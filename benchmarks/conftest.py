@@ -1,0 +1,43 @@
+"""Shared fixtures and reporting for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table/figure/claim of the paper
+(see DESIGN.md §3).  Row results are collected into module-level lists
+and the rendered tables are printed in the terminal summary, so a plain
+
+    pytest benchmarks/ --benchmark-only
+
+reproduces the paper's tables alongside the timing statistics.
+"""
+
+import pytest
+
+from repro.library import mcnc_like
+from repro.opt import GdoConfig
+
+_REPORTS = []
+
+
+@pytest.fixture(scope="session")
+def lib():
+    return mcnc_like()
+
+
+@pytest.fixture(scope="session")
+def gdo_config():
+    """The configuration used for all table rows (BPFS with 512 random
+    vectors, SAT proofs, both phases — the paper's setup at small
+    scale).  Rounds and wall-clock are capped so every row stays
+    CI-friendly."""
+    return GdoConfig(n_words=8, verify_words=16, max_rounds=8,
+                     max_seconds=15.0)
+
+
+def register_report(title: str, text: str) -> None:
+    """Queue a rendered table for the end-of-run summary."""
+    _REPORTS.append((title, text))
+
+
+def pytest_terminal_summary(terminalreporter):
+    for title, text in _REPORTS:
+        terminalreporter.write_sep("=", title)
+        terminalreporter.write_line(text)

@@ -1,0 +1,53 @@
+"""Test-area workflow: ATPG campaign, fault coverage, redundancy map.
+
+The paper generalizes test-area techniques to optimization; this example
+runs the underlying test-area flow itself on a benchmark circuit and
+shows the connection: the redundant faults found by the campaign are
+exactly the valid C1-clauses GDO's redundancy removal would exploit.
+
+Run:  python examples/atpg_campaign.py
+"""
+
+from repro.atpg import compact_tests, full_fault_list, run_campaign
+from repro.circuits import priority_controller
+from repro.clauses import c1_clauses
+from repro.library import mcnc_like
+from repro.synth import script_rugged
+
+
+def main() -> None:
+    lib = mcnc_like()
+    net = script_rugged(priority_controller(6), lib)
+    print(f"circuit: {net.name}, {net.num_gates} gates, "
+          f"{len(net.pis)} PIs, {len(net.pos)} POs")
+
+    faults = full_fault_list(net)
+    print(f"collapsed stuck-at fault list: {len(faults)} faults")
+
+    result = run_campaign(net)
+    print(f"\nATPG campaign ({result.cpu_seconds:.1f}s):")
+    print(f"  detected   : {result.detected}")
+    print(f"  redundant  : {result.redundant} "
+          f"({100 * result.redundancy_ratio:.1f}% of all faults)")
+    print(f"  aborted    : {result.aborted}")
+    print(f"  coverage   : {100 * result.coverage:.1f}% of testable faults")
+    print(f"  test set   : {len(result.tests)} vectors")
+
+    compacted = compact_tests(net, result.tests)
+    print(f"  compacted  : {len(compacted)} vectors "
+          f"(reverse-order compaction)")
+
+    if result.redundant_faults:
+        print("\nredundant faults == valid C1-clauses (Sec. 3):")
+        for fault in result.redundant_faults[:8]:
+            # the C1-clause corresponding to this untestable fault
+            clause = c1_clauses(fault.site)[1 if fault.value else 0]
+            print(f"  {fault.describe(net):38} <->  {clause.describe()}")
+    else:
+        print("\nno redundant faults — the mapped circuit is fully "
+              "testable (GDO would find only observability-conditional "
+              "rewirings here).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Delay-optimize an array multiplier (the C6288 experiment, scaled).
+
+C6288 — a 16x16 NOR-cell array multiplier — is the paper's flagship
+result: 22% delay reduction after technology mapping.  This example runs
+the same pipeline on a configurable width (default 6x6; pass a width as
+the first argument, e.g. ``python examples/optimize_multiplier.py 8``).
+
+The multiplier is built with the ISCAS NOR-cell structure, synthesized
+with the 1995-era area script (sweep + tree mapping, like SIS), then
+globally delay-optimized with GDO.
+"""
+
+import sys
+import time
+
+from repro import GdoConfig, Sta, gdo_optimize, mcnc_like, script_rugged
+from repro.circuits import array_multiplier
+from repro.timing import longest_path
+from repro.verify import check_equivalence
+
+
+def main(width: int = 6) -> None:
+    lib = mcnc_like()
+    source = array_multiplier(width, style="nor")
+    print(f"== {width}x{width} NOR-cell array multiplier ==")
+    print(f"source: {source.num_gates} gates, depth {source.depth()}")
+
+    mapped = script_rugged(source, lib)  # era='1995': sweep + tree map
+    sta = Sta(mapped, lib)
+    print(f"mapped: {mapped.num_gates} gates, "
+          f"{mapped.num_literals} literals, delay {sta.delay:.2f}")
+    print("critical path:",
+          " -> ".join(longest_path(sta)[:10]),
+          "..." if len(longest_path(sta)) > 10 else "")
+
+    start = time.perf_counter()
+    result = gdo_optimize(mapped, lib, GdoConfig(n_words=8))
+    elapsed = time.perf_counter() - start
+    s = result.stats
+
+    print(f"\nGDO finished in {elapsed:.1f}s "
+          f"({s.rounds} rounds, {s.proofs_passed}/{s.proofs_attempted} "
+          f"PVCC proofs passed)")
+    print(f"  delay    {s.delay_before:8.2f} -> {s.delay_after:8.2f}   "
+          f"({100 * s.delay_reduction:.1f}% reduction)")
+    print(f"  literals {s.literals_before:8d} -> {s.literals_after:8d}")
+    print(f"  gates    {s.gates_before:8d} -> {s.gates_after:8d}")
+    print(f"  mods     OS/IS2: {s.mods2}   OS/IS3: {s.mods3}")
+    print(f"  equivalent (random sim + SAT miter): {s.equivalent}")
+
+    # independent re-verification against the *source* netlist
+    print("re-verified against the original generator:",
+          check_equivalence(source, result.net))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 6)

@@ -1,0 +1,37 @@
+"""repro — reproduction of "Logic Clause Analysis for Delay Optimization"
+(Rohfleisch, Wurth, Antreich; DAC 1995).
+
+The package implements GDO — post-technology-mapping delay optimization
+by clause analysis — together with every substrate the paper relies on:
+netlist + genlib library modelling, bit-parallel (fault) simulation,
+CNF/SAT and BDD engines, ATPG, static timing, a compact synthesis flow
+standing in for SIS, and generators for an ISCAS-85/MCNC-like benchmark
+suite.
+
+Quickstart::
+
+    from repro import mcnc_like, script_rugged, gdo_optimize
+    from repro.circuits import array_multiplier
+
+    lib = mcnc_like()
+    mapped = script_rugged(array_multiplier(8), lib)   # SIS stand-in
+    result = gdo_optimize(mapped, lib)                 # the paper's GDO
+    print(result.stats.delay_before, "->", result.stats.delay_after)
+"""
+
+from .library import TechLibrary, load_genlib, mcnc_like, parse_genlib, unit_delay_library
+from .netlist import Branch, Gate, Netlist, NetlistError
+from .opt import GdoConfig, GdoResult, GdoStats, gdo_optimize
+from .synth import map_netlist, script_delay, script_rugged
+from .timing import Sta
+from .verify import check_equivalence
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TechLibrary", "load_genlib", "mcnc_like", "parse_genlib",
+    "unit_delay_library", "Branch", "Gate", "Netlist", "NetlistError",
+    "GdoConfig", "GdoResult", "GdoStats", "gdo_optimize",
+    "map_netlist", "script_delay", "script_rugged", "Sta",
+    "check_equivalence", "__version__",
+]

@@ -1,0 +1,18 @@
+"""ATPG: stuck-at faults, SAT-based and PODEM test generation,
+redundancy identification/removal."""
+
+from .campaign import CampaignResult, compact_tests, fault_simulate, run_campaign
+from .faults import Fault, full_fault_list, inject_fault
+from .podem import PodemEngine, podem_generate
+from .redundancy import (
+    candidate_redundancies, remove_all_redundancies, remove_redundancy,
+)
+from .satatpg import AtpgResult, affected_po_indices, generate_test, is_redundant
+
+__all__ = [
+    "CampaignResult", "compact_tests", "fault_simulate", "run_campaign",
+    "Fault", "full_fault_list", "inject_fault",
+    "PodemEngine", "podem_generate",
+    "candidate_redundancies", "remove_all_redundancies", "remove_redundancy",
+    "AtpgResult", "affected_po_indices", "generate_test", "is_redundant",
+]

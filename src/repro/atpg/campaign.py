@@ -1,0 +1,149 @@
+"""Full ATPG campaigns: fault coverage, test-set generation, compaction.
+
+The paper "generalizes techniques which originated in the test area";
+this module provides the test-area workflow itself: run ATPG over the
+complete (collapsed) stuck-at fault list, fault-simulate each new test
+word-parallel to drop covered faults, and reverse-order compact the
+resulting test set.  Used by the benchmarks to characterize how
+redundancy-rich the generated circuits are — the quantity GDO feeds on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..netlist.netlist import Branch, Netlist
+from ..sim.bitsim import BitSimulator
+from ..sim.observability import ObservabilityEngine
+from ..sim.vectors import vectors_to_words, word_mask_for
+from .faults import Fault, full_fault_list, inject_fault
+from .satatpg import generate_test
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one ATPG campaign."""
+
+    total_faults: int = 0
+    detected: int = 0
+    redundant: int = 0
+    aborted: int = 0
+    tests: List[Dict[str, int]] = field(default_factory=list)
+    redundant_faults: List[Fault] = field(default_factory=list)
+    cpu_seconds: float = 0.0
+
+    @property
+    def coverage(self) -> float:
+        testable = self.total_faults - self.redundant
+        return 1.0 if testable == 0 else self.detected / testable
+
+    @property
+    def redundancy_ratio(self) -> float:
+        return 0.0 if not self.total_faults else \
+            self.redundant / self.total_faults
+
+
+def fault_simulate(
+    net: Netlist, tests: List[Dict[str, int]], faults: List[Fault]
+) -> List[Fault]:
+    """Faults from ``faults`` detected by ``tests`` (bit-parallel).
+
+    All tests are packed into words and simulated once per fault via
+    cone resimulation — classic parallel-pattern single-fault
+    propagation.
+    """
+    if not tests or not faults:
+        return []
+    sim = BitSimulator(net)
+    words = vectors_to_words(net.pis, tests)
+    state = sim.simulate(words)
+    mask = word_mask_for(len(tests))
+    detected: List[Fault] = []
+    for fault in faults:
+        signal = fault.signal(net)
+        base = state.word(signal)
+        stuck = np.full_like(
+            base,
+            np.uint64(0xFFFFFFFFFFFFFFFF) if fault.value else np.uint64(0),
+        )
+        if isinstance(fault.site, Branch):
+            sink = (sim.index_of[fault.site.gate], fault.site.pin)
+            overrides = sim.resimulate_cone(state, signal, stuck,
+                                            sink_filter=sink)
+        else:
+            if np.array_equal(stuck & mask, base & mask):
+                continue  # never activated by these tests
+            overrides = sim.resimulate_cone(state, signal, stuck)
+        diff = sim.po_difference(state, overrides) & mask
+        if diff.any():
+            detected.append(fault)
+    return detected
+
+
+def run_campaign(
+    net: Netlist,
+    faults: Optional[List[Fault]] = None,
+    max_conflicts: Optional[int] = 100_000,
+    drop_by_simulation: bool = True,
+) -> CampaignResult:
+    """ATPG for every fault: generate tests, fault-simulate to drop
+    covered faults, classify the rest."""
+    start = time.perf_counter()
+    remaining = list(faults if faults is not None else full_fault_list(net))
+    result = CampaignResult(total_faults=len(remaining))
+    while remaining:
+        fault = remaining.pop(0)
+        atpg = generate_test(net, fault, max_conflicts=max_conflicts)
+        if atpg.redundant:
+            result.redundant += 1
+            result.redundant_faults.append(fault)
+            continue
+        if atpg.status == "aborted":
+            result.aborted += 1
+            continue
+        result.detected += 1
+        result.tests.append(atpg.test)
+        if drop_by_simulation and remaining:
+            covered = set(
+                id(f) for f in fault_simulate(net, [atpg.test], remaining)
+            )
+            if covered:
+                kept = []
+                for f in remaining:
+                    if id(f) in covered:
+                        result.detected += 1
+                    else:
+                        kept.append(f)
+                remaining = kept
+    result.cpu_seconds = time.perf_counter() - start
+    return result
+
+
+def compact_tests(
+    net: Netlist, tests: List[Dict[str, int]],
+    faults: Optional[List[Fault]] = None,
+) -> List[Dict[str, int]]:
+    """Reverse-order test compaction: drop tests whose faults are all
+    covered by the kept set."""
+    fault_list = list(faults if faults is not None else full_fault_list(net))
+    testable = set(
+        id(f) for f in fault_simulate(net, tests, fault_list)
+    )
+    kept: List[Dict[str, int]] = []
+    covered: set = set()
+    for test in reversed(tests):
+        newly = {
+            id(f) for f in fault_simulate(net, [test], fault_list)
+            if id(f) in testable
+        }
+        if newly - covered:
+            kept.append(test)
+            covered |= newly
+        if covered >= testable:
+            break
+    kept.reverse()
+    return kept

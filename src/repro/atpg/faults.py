@@ -1,0 +1,91 @@
+"""Stuck-at fault model.
+
+A fault site is either a *stem* (a gate output / PI signal) or a
+*branch* (one fanout pin), matching the signal taxonomy of Sec. 2.  A
+stuck-at fault that no input vector can test is *redundant* — the
+paper's C1-clauses: ``(~Oa + a)`` valid  <=>  ``a`` stuck-at-1 redundant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from ..netlist.netlist import Branch, Netlist
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Stuck-at fault: ``site`` stuck at ``value``.
+
+    ``site`` is a signal name (stem fault) or a :class:`Branch`
+    (branch fault on one fanout pin).
+    """
+
+    site: Union[str, Branch]
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise ValueError("stuck-at value must be 0 or 1")
+
+    @property
+    def is_branch(self) -> bool:
+        return isinstance(self.site, Branch)
+
+    def signal(self, net: Netlist) -> str:
+        """The signal whose value the fault perturbs."""
+        if isinstance(self.site, Branch):
+            return net.gates[self.site.gate].inputs[self.site.pin]
+        return self.site
+
+    def describe(self, net: Optional[Netlist] = None) -> str:
+        if isinstance(self.site, Branch):
+            where = f"{self.site.gate}.pin{self.site.pin}"
+            if net is not None:
+                where += f"({self.signal(net)})"
+        else:
+            where = str(self.site)
+        return f"{where} stuck-at-{self.value}"
+
+
+def full_fault_list(net: Netlist, collapse: bool = True) -> List[Fault]:
+    """All stuck-at faults of the netlist.
+
+    Stem faults on every signal; branch faults on every pin of
+    multi-fanout signals (single-fanout pins are equivalent to their stem
+    fault and skipped when ``collapse``).
+    """
+    faults: List[Fault] = []
+    for sig in net.signals():
+        for value in (0, 1):
+            faults.append(Fault(sig, value))
+        branches = net.fanouts(sig)
+        multi = len(branches) + (1 if net.is_po(sig) else 0) > 1
+        if multi or not collapse:
+            for branch in branches:
+                for value in (0, 1):
+                    faults.append(Fault(branch, value))
+    return faults
+
+
+def inject_fault(net: Netlist, fault: Fault) -> Netlist:
+    """A copy of ``net`` with the fault hard-wired (for fault simulation
+    and miter-based test generation)."""
+    from ..netlist.netlist import constant_signal
+
+    faulty = net.copy(name=f"{net.name}__{fault.describe()}")
+    const = constant_signal(faulty, fault.value)
+    if isinstance(fault.site, Branch):
+        faulty.gates[fault.site.gate].inputs[fault.site.pin] = const
+        faulty.invalidate()
+        return faulty
+    signal = fault.site
+    if faulty.is_pi(signal) or signal in faulty.gates:
+        # Redirect all readers (and PO bindings) to the constant.
+        for branch in list(faulty.fanouts(signal)):
+            faulty.gates[branch.gate].inputs[branch.pin] = const
+        faulty.pos = [const if po == signal else po for po in faulty.pos]
+        faulty.invalidate()
+        return faulty
+    raise ValueError(f"fault site {signal!r} not in netlist")

@@ -1,0 +1,237 @@
+"""PODEM structural test pattern generation.
+
+A classic path-oriented decision-making ATPG over a composite
+(good, faulty) three-valued simulation.  PODEM decides values on primary
+inputs only, chosen by backtracing objectives through X-paths, and is
+complete: if the PI decision tree is exhausted without a test, the fault
+is redundant.
+
+The SAT backend (:mod:`repro.atpg.satatpg`) is the default in GDO; PODEM
+is kept as the structural alternative in the spirit of the test-area
+techniques the paper builds on, and as a cross-check in the test suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..netlist.gatefunc import GateFunc
+from ..netlist.netlist import Branch, Netlist
+from .faults import Fault
+from .satatpg import AtpgResult
+
+X = None  # unknown in the 3-valued domain {0, 1, X}
+Val = Optional[int]
+
+
+class _Composite:
+    """Per-signal (good, faulty) 3-valued values."""
+
+    __slots__ = ("good", "faulty")
+
+    def __init__(self) -> None:
+        self.good: Dict[str, Val] = {}
+        self.faulty: Dict[str, Val] = {}
+
+
+def _ternary_eval(func: GateFunc, ins: List[Val]) -> Val:
+    """Output value set of ``func`` over all completions of X inputs."""
+    name = func.name
+    if name in ("AND", "NAND"):
+        if any(v == 0 for v in ins):
+            out = 0
+        elif all(v == 1 for v in ins):
+            out = 1
+        else:
+            return X
+        return out ^ 1 if name == "NAND" else out
+    if name in ("OR", "NOR"):
+        if any(v == 1 for v in ins):
+            out = 1
+        elif all(v == 0 for v in ins):
+            out = 0
+        else:
+            return X
+        return out ^ 1 if name == "NOR" else out
+    if name == "INV":
+        return X if ins[0] is X else ins[0] ^ 1
+    if name == "BUF":
+        return ins[0]
+    if name == "CONST0":
+        return 0
+    if name == "CONST1":
+        return 1
+    # Generic: enumerate completions of the X inputs (arity <= 4).
+    xs = [k for k, v in enumerate(ins) if v is X]
+    seen = set()
+    for combo in itertools.product((0, 1), repeat=len(xs)):
+        full = list(ins)
+        for k, val in zip(xs, combo):
+            full[k] = val
+        seen.add(func.eval_bits(full))
+        if len(seen) == 2:
+            return X
+    return seen.pop()
+
+
+_CONTROLLING = {"AND": 0, "NAND": 0, "OR": 1, "NOR": 1}
+_INVERTING = {"INV", "NAND", "NOR", "XNOR", "AOI21", "AOI22", "OAI21", "OAI22"}
+
+
+class PodemEngine:
+    """One PODEM run per :meth:`generate` call."""
+
+    def __init__(self, net: Netlist, max_backtracks: int = 10_000):
+        self.net = net
+        self.max_backtracks = max_backtracks
+        self._order = net.topo_order()
+
+    # ------------------------------------------------------------------
+    def generate(self, fault: Fault) -> AtpgResult:
+        """Find a test for ``fault``, prove redundancy, or abort."""
+        self.fault = fault
+        self.site_signal = fault.signal(self.net)
+        self.pi_assign: Dict[str, int] = {}
+        backtracks = 0
+        # Decision stack: (pi, value, both_tried)
+        stack: List[Tuple[str, int, bool]] = []
+        while True:
+            vals = self._imply()
+            status = self._status(vals)
+            if status == "test":
+                test = {pi: self.pi_assign.get(pi, 0) for pi in self.net.pis}
+                return AtpgResult("testable", test=test)
+            if status == "open":
+                target = self._objective(vals)
+                if target is not None:
+                    pi, value = self._backtrace(vals, *target)
+                    if pi not in self.pi_assign:
+                        stack.append((pi, value, False))
+                        self.pi_assign[pi] = value
+                        continue
+                status = "fail"  # no (new) objective reachable
+            # status == "fail": undo decisions.
+            while stack and stack[-1][2]:
+                pi, _value, _ = stack.pop()
+                del self.pi_assign[pi]
+            if not stack:
+                return AtpgResult("redundant")
+            pi, value, _ = stack.pop()
+            backtracks += 1
+            if backtracks > self.max_backtracks:
+                return AtpgResult("aborted")
+            stack.append((pi, value ^ 1, True))
+            self.pi_assign[pi] = value ^ 1
+
+    # ------------------------------------------------------------------
+    def _imply(self) -> _Composite:
+        """Forward 3-valued simulation of good and faulty machines."""
+        vals = _Composite()
+        fault = self.fault
+        for pi in self.net.pis:
+            v = self.pi_assign.get(pi, X)
+            vals.good[pi] = v
+            vals.faulty[pi] = v
+        if not isinstance(fault.site, Branch) and self.net.is_pi(fault.site):
+            vals.faulty[fault.site] = fault.value
+        for out in self._order:
+            gate = self.net.gates[out]
+            g_ins = [vals.good[s] for s in gate.inputs]
+            f_ins = [vals.faulty[s] for s in gate.inputs]
+            if isinstance(fault.site, Branch) and fault.site.gate == out:
+                f_ins[fault.site.pin] = fault.value
+            vals.good[out] = _ternary_eval(gate.func, g_ins)
+            f_out = _ternary_eval(gate.func, f_ins)
+            if not isinstance(fault.site, Branch) and fault.site == out:
+                f_out = fault.value
+            vals.faulty[out] = f_out
+        return vals
+
+    def _status(self, vals: _Composite) -> str:
+        """'test' (difference at a PO), 'fail' (provably hopeless under
+        the current assignment), or 'open'."""
+        for po in self.net.pos:
+            g, f = vals.good[po], vals.faulty[po]
+            if g is not X and f is not X and g != f:
+                return "test"
+        g_site = vals.good[self.site_signal]
+        if g_site is not X and g_site == self.fault.value:
+            return "fail"  # fault cannot be excited any more
+        if g_site is X:
+            return "open"  # still working on activation
+        if not self._d_frontier(vals) and not self._po_may_differ(vals):
+            return "fail"
+        return "open"
+
+    def _po_may_differ(self, vals: _Composite) -> bool:
+        return any(
+            vals.good[po] is X or vals.faulty[po] is X for po in self.net.pos
+        )
+
+    def _d_frontier(self, vals: _Composite) -> List[str]:
+        """Gates whose output is X but some input carries the fault
+        difference."""
+        frontier = []
+        for out in self._order:
+            if vals.good[out] is not X and vals.faulty[out] is not X:
+                continue
+            gate = self.net.gates[out]
+            for pin, sig in enumerate(gate.inputs):
+                g, f = vals.good[sig], vals.faulty[sig]
+                if isinstance(self.fault.site, Branch) and \
+                        self.fault.site == Branch(out, pin):
+                    f = self.fault.value
+                if g is not X and f is not X and g != f:
+                    frontier.append(out)
+                    break
+        return frontier
+
+    def _objective(self, vals: _Composite) -> Optional[Tuple[str, int]]:
+        g_site = vals.good[self.site_signal]
+        if g_site is X:
+            return self.site_signal, self.fault.value ^ 1
+        for out in self._d_frontier(vals):
+            gate = self.net.gates[out]
+            ctrl = _CONTROLLING.get(gate.func.name)
+            noncontrolling = ctrl ^ 1 if ctrl is not None else 0
+            for sig in gate.inputs:
+                # An input that is X in either machine can still be
+                # driven by PI decisions; good-X preferred.
+                if vals.good[sig] is X or vals.faulty[sig] is X:
+                    return sig, noncontrolling
+        return None
+
+    def _backtrace(self, vals: _Composite, signal: str,
+                   value: int) -> Tuple[str, int]:
+        """Walk back from an objective to an unassigned PI."""
+        current, want = signal, value
+        guard = 0
+        while not self.net.is_pi(current):
+            guard += 1
+            if guard > len(self.net.gates) + len(self.net.pis) + 1:
+                raise RuntimeError("backtrace did not reach a PI")
+            gate = self.net.gates[current]
+            if gate.func.name in _INVERTING:
+                want ^= 1
+            chosen = None
+            for sig in gate.inputs:
+                if vals.good[sig] is X:
+                    chosen = sig
+                    break
+            if chosen is None:
+                for sig in gate.inputs:
+                    if vals.faulty[sig] is X:
+                        chosen = sig
+                        break
+            if chosen is None:
+                # Shouldn't happen: an X output has an X input.
+                chosen = gate.inputs[0]
+            current = chosen
+        return current, want
+
+
+def podem_generate(net: Netlist, fault: Fault,
+                   max_backtracks: int = 10_000) -> AtpgResult:
+    """Convenience wrapper: one PODEM test-generation run."""
+    return PodemEngine(net, max_backtracks=max_backtracks).generate(fault)

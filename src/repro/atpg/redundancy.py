@@ -1,0 +1,94 @@
+"""Redundancy identification and removal.
+
+Valid C1-clauses correspond to stuck-at redundant faults (Sec. 3): the
+clause ``(~Oa + a)`` is valid iff ``a`` stuck-at-1 is untestable, in
+which case the connection may be tied to 1 and the netlist simplified
+[Bryan/Brglez/Lisanke].  This module implements the classic loop:
+simulate to drop testable faults cheaply, prove the rest with ATPG,
+remove one redundancy, repeat (removals can create new redundancies).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..netlist.edit import propagate_constants, prune_dangling, set_branch_constant
+from ..netlist.netlist import Branch, Netlist
+from ..sim.bitsim import BitSimulator
+from ..sim.observability import ObservabilityEngine
+from .faults import Fault
+from .satatpg import is_redundant
+
+
+def candidate_redundancies(
+    net: Netlist, n_words: int = 8, seed: int = 0
+) -> List[Fault]:
+    """Branch faults not refuted by random simulation (potential C1s).
+
+    A branch fault ``a`` stuck-at-v is untestable iff every vector has
+    ``Oa = 0`` or ``a = v`` — exactly validity of the C1-clause.  Random
+    vectors discard the overwhelming majority of testable faults.
+    """
+    sim = BitSimulator(net)
+    state = sim.simulate_random(n_words=n_words, seed=seed)
+    obs = ObservabilityEngine(sim, state)
+    survivors: List[Fault] = []
+    for sig in net.signals():
+        for branch in net.fanouts(sig):
+            o_word = obs.branch_observability(branch)
+            value = state.word(sig)
+            # stuck-at-1 candidate: observable vectors all have a = 1.
+            if not np.any(o_word & ~value):
+                survivors.append(Fault(branch, 1))
+            # stuck-at-0 candidate: observable vectors all have a = 0.
+            if not np.any(o_word & value):
+                survivors.append(Fault(branch, 0))
+    return survivors
+
+
+def remove_redundancy(net: Netlist, fault: Fault) -> None:
+    """Apply one proven redundancy: tie the branch to the stuck value and
+    clean up constants and dangling logic."""
+    if not isinstance(fault.site, Branch):
+        raise ValueError("redundancy removal operates on branch faults")
+    set_branch_constant(net, fault.site, fault.value)
+    propagate_constants(net)
+    prune_dangling(net)
+
+
+def remove_all_redundancies(
+    net: Netlist,
+    n_words: int = 8,
+    seed: int = 0,
+    max_rounds: int = 50,
+    max_conflicts: Optional[int] = 50_000,
+    on_removal: Optional[Callable[[Fault], None]] = None,
+) -> int:
+    """Iteratively remove provable redundancies; returns the count.
+
+    One proven redundancy is removed per ATPG round (removals invalidate
+    other candidates), then candidates are recomputed — the standard
+    redundancy-removal fixpoint.
+    """
+    removed = 0
+    for round_no in range(max_rounds):
+        progress = False
+        for fault in candidate_redundancies(net, n_words=n_words,
+                                            seed=seed + round_no):
+            if not isinstance(fault.site, Branch):
+                continue
+            gate = net.gates.get(fault.site.gate)
+            if gate is None or fault.site.pin >= gate.nin:
+                continue  # invalidated by a previous removal this round
+            if is_redundant(net, fault, max_conflicts=max_conflicts):
+                remove_redundancy(net, fault)
+                removed += 1
+                progress = True
+                if on_removal is not None:
+                    on_removal(fault)
+                break  # recompute candidates after a structural change
+        if not progress:
+            break
+    return removed

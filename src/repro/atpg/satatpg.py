@@ -1,0 +1,82 @@
+"""SAT-based automatic test pattern generation (after Larrabee [9]).
+
+A test for a stuck-at fault exists iff the miter of the fault-free
+circuit against the fault-injected circuit is satisfiable; the satisfying
+assignment restricted to the PIs *is* the test.  Untestable = redundant.
+
+Only the primary outputs in the fault's transitive fanout participate in
+the miter, which keeps queries local.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..netlist.netlist import Branch, Netlist
+from ..sat.miter import build_miter_cnf
+from ..sat.solver import Solver, SolverBudgetExceeded
+from .faults import Fault, inject_fault
+
+
+class AtpgResult:
+    """Outcome of one test-generation query."""
+
+    def __init__(self, status: str, test: Optional[Dict[str, int]] = None,
+                 conflicts: int = 0):
+        if status not in ("testable", "redundant", "aborted"):
+            raise ValueError(f"bad ATPG status {status!r}")
+        self.status = status
+        self.test = test
+        self.conflicts = conflicts
+
+    @property
+    def redundant(self) -> bool:
+        return self.status == "redundant"
+
+    @property
+    def testable(self) -> bool:
+        return self.status == "testable"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AtpgResult({self.status})"
+
+
+def affected_po_indices(net: Netlist, fault: Fault) -> List[int]:
+    """Indices of POs reachable from the fault site."""
+    if isinstance(fault.site, Branch):
+        root = fault.site.gate
+    else:
+        root = fault.site
+    tfo = net.transitive_fanout(root, include_self=True)
+    if not isinstance(fault.site, Branch):
+        tfo.add(root)
+    return [i for i, po in enumerate(net.pos) if po in tfo]
+
+
+def generate_test(
+    net: Netlist,
+    fault: Fault,
+    max_conflicts: Optional[int] = 200_000,
+) -> AtpgResult:
+    """Generate a test vector for ``fault`` or prove it redundant."""
+    po_idx = affected_po_indices(net, fault)
+    if not po_idx:
+        return AtpgResult("redundant")
+    faulty = inject_fault(net, fault)
+    cnf, pi_vars = build_miter_cnf(net, faulty, po_indices=po_idx)
+    solver = Solver()
+    solver.add_cnf(cnf)
+    try:
+        result = solver.solve(max_conflicts=max_conflicts)
+    except SolverBudgetExceeded:
+        return AtpgResult("aborted", conflicts=solver.conflicts)
+    if not result.sat:
+        return AtpgResult("redundant", conflicts=result.conflicts)
+    test = {pi: int(result.value(var)) for pi, var in pi_vars.items()}
+    return AtpgResult("testable", test=test, conflicts=result.conflicts)
+
+
+def is_redundant(net: Netlist, fault: Fault,
+                 max_conflicts: Optional[int] = 200_000) -> bool:
+    """True iff the fault is provably untestable."""
+    return generate_test(net, fault, max_conflicts=max_conflicts).redundant

@@ -1,0 +1,9 @@
+"""ROBDD package and BDD-based circuit verification."""
+
+from .bdd import BddBudgetExceeded, BddManager, BddNode
+from .circuit_bdd import bdd_equivalent, build_signal_bdds
+
+__all__ = [
+    "BddBudgetExceeded", "BddManager", "BddNode",
+    "bdd_equivalent", "build_signal_bdds",
+]

@@ -1,0 +1,126 @@
+"""Building BDDs for netlist signals and BDD-based equivalence.
+
+Variable order is the netlist PI order (callers may pre-permute).  Since
+ROBDD nodes are interned, two signals are functionally equivalent iff
+their BDDs are the same object — the verification used by the paper's
+BDD proof backend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..netlist.netlist import Netlist
+from .bdd import BddBudgetExceeded, BddManager, BddNode
+
+_NARY = {"AND", "NAND", "OR", "NOR", "XOR", "XNOR"}
+
+
+def build_signal_bdds(
+    net: Netlist,
+    manager: Optional[BddManager] = None,
+    var_order: Optional[Sequence[str]] = None,
+    targets: Optional[Sequence[str]] = None,
+) -> Dict[str, BddNode]:
+    """BDDs for all (or the ``targets``' transitive-fanin) signals.
+
+    Raises :class:`BddBudgetExceeded` if the manager budget is hit.
+    """
+    mgr = manager if manager is not None else BddManager()
+    order = list(var_order) if var_order is not None else list(net.pis)
+    if set(order) != set(net.pis):
+        raise ValueError("var_order must be a permutation of the PIs")
+    var_index = {pi: k for k, pi in enumerate(order)}
+    needed = None
+    if targets is not None:
+        needed = set()
+        for t in targets:
+            needed |= net.transitive_fanin(t)
+    bdds: Dict[str, BddNode] = {}
+    for pi in net.pis:
+        if needed is None or pi in needed:
+            bdds[pi] = mgr.var(var_index[pi])
+    for out in net.topo_order():
+        if needed is not None and out not in needed:
+            continue
+        gate = net.gates[out]
+        bdds[out] = _gate_bdd(mgr, gate, [bdds[s] for s in gate.inputs])
+    return bdds
+
+
+def _gate_bdd(mgr: BddManager, gate, ins: List[BddNode]) -> BddNode:
+    name = gate.func.name
+    if name in _NARY:
+        return mgr.apply_many(name, ins)
+    if name == "INV":
+        return mgr.apply_not(ins[0])
+    if name == "BUF":
+        return ins[0]
+    if name == "CONST0":
+        return mgr.zero
+    if name == "CONST1":
+        return mgr.one
+    if name == "AOI21":
+        return mgr.apply_not(mgr.apply_or(mgr.apply_and(ins[0], ins[1]), ins[2]))
+    if name == "OAI21":
+        return mgr.apply_not(mgr.apply_and(mgr.apply_or(ins[0], ins[1]), ins[2]))
+    if name == "AOI22":
+        return mgr.apply_not(mgr.apply_or(
+            mgr.apply_and(ins[0], ins[1]), mgr.apply_and(ins[2], ins[3])))
+    if name == "OAI22":
+        return mgr.apply_not(mgr.apply_and(
+            mgr.apply_or(ins[0], ins[1]), mgr.apply_or(ins[2], ins[3])))
+    if name == "MUX21":
+        return mgr.ite(ins[2], ins[1], ins[0])
+    if name == "MAJ3":
+        ab = mgr.apply_and(ins[0], ins[1])
+        ac = mgr.apply_and(ins[0], ins[2])
+        bc = mgr.apply_and(ins[1], ins[2])
+        return mgr.apply_or(ab, mgr.apply_or(ac, bc))
+    if name == "ANDN":
+        return mgr.apply_and(ins[0], mgr.apply_not(ins[1]))
+    if name == "ORN":
+        return mgr.apply_or(ins[0], mgr.apply_not(ins[1]))
+    # Generic fallback: Shannon expansion over the truth table.
+    return _table_bdd(mgr, gate.func, ins)
+
+
+def _table_bdd(mgr: BddManager, func, ins: List[BddNode]) -> BddNode:
+    table = func.truth_table(len(ins))
+
+    def expand(prefix: int, k: int) -> BddNode:
+        if k == len(ins):
+            return mgr.one if table[prefix] else mgr.zero
+        low = expand(prefix, k + 1)
+        high = expand(prefix | (1 << k), k + 1)
+        return mgr.ite(ins[k], high, low)
+
+    return expand(0, 0)
+
+
+def bdd_equivalent(
+    left: Netlist,
+    right: Netlist,
+    po_indices: Optional[Sequence[int]] = None,
+    max_nodes: int = 2_000_000,
+) -> bool:
+    """BDD verification of (selected) POs of two netlists.
+
+    POs are compared positionally; PIs must agree as sets (the shared
+    variable order is the left netlist's PI order).  Raises
+    :class:`BddBudgetExceeded` if the node budget is hit.
+    """
+    if set(left.pis) != set(right.pis):
+        raise ValueError("netlists have different PI sets")
+    if len(left.pos) != len(right.pos):
+        raise ValueError("netlists have different PO counts")
+    indices = list(range(len(left.pos))) if po_indices is None else list(po_indices)
+    mgr = BddManager(max_nodes=max_nodes)
+    order = list(left.pis)
+    l_targets = [left.pos[i] for i in indices]
+    r_targets = [right.pos[i] for i in indices]
+    l_bdds = build_signal_bdds(left, mgr, var_order=order, targets=l_targets)
+    r_bdds = build_signal_bdds(right, mgr, var_order=order, targets=r_targets)
+    return all(
+        l_bdds[left.pos[i]] is r_bdds[right.pos[i]] for i in indices
+    )

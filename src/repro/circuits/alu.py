@@ -1,0 +1,93 @@
+"""Bit-sliced ALUs — the alu4/C880-class stand-ins.
+
+``alu181`` follows the 74181 structure: per-slice generate/propagate
+terms controlled by four select lines, a mode line switching between
+logic and arithmetic, and a ripple carry chain — long reconvergent
+paths through the carry chain make it a natural delay-optimization
+target.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..netlist.netlist import Netlist
+from .builders import g, invert, mux2, tree, vector_input
+
+
+def alu181(width: int = 8, name: str | None = None) -> Netlist:
+    """74181-style ALU: ``width`` slices, 4 select lines, mode, carry."""
+    net = Netlist(name or f"alu181_{width}")
+    a = vector_input(net, "a", width)
+    b = vector_input(net, "b", width)
+    s = vector_input(net, "s", 4)
+    mode = net.add_pi("m")          # 1 = logic, 0 = arithmetic
+    cin = net.add_pi("cn")
+    not_mode = invert(net, mode)
+    sums: List[str] = []
+    carry = cin
+    for k in range(width):
+        nb = invert(net, b[k])
+        # 74181 internal terms (active-low flavour simplified):
+        # p = a + (s0 & b) + (s1 & ~b)      (propagate-ish)
+        # q = (s2 & ~b & a) + (s3 & b & a)  (generate-ish)
+        t0 = g(net, "AND", [s[0], b[k]], "t0")
+        t1 = g(net, "AND", [s[1], nb], "t1")
+        p = tree(net, "OR", [a[k], t0, t1], "p")
+        t2 = g(net, "AND", [s[2], nb, a[k]], "t2")
+        t3 = g(net, "AND", [s[3], b[k], a[k]], "t3")
+        q = g(net, "OR", [t2, t3], "q")
+        # p ^ q: for the add select (s=1001) this is exactly a ^ b.
+        half = g(net, "XOR", [p, q], "h")      # logic-mode function
+        carry_gated = g(net, "AND", [carry, not_mode], "cg")
+        sums.append(g(net, "XOR", [half, carry_gated], "f"))
+        # carry = q + p & carry   (arithmetic chain)
+        pc = g(net, "AND", [p, carry], "pc")
+        carry = g(net, "OR", [q, pc], "cout")
+    # group outputs: result bits, carry-out, A=B detector
+    a_eq_b = tree(net, "AND", sums, "aeqb")
+    net.set_pos(sums + [carry, a_eq_b])
+    net.validate()
+    return net
+
+
+def alu4_like(name: str = "alu4_like") -> Netlist:
+    """alu4 stand-in: an 8-bit 74181-style ALU (14 PIs, 10 POs)."""
+    return alu181(8, name=name)
+
+
+def priority_controller(width: int = 12, name: str | None = None) -> Netlist:
+    """C432-flavoured interrupt/priority controller.
+
+    Three request buses are masked and priority-resolved; outputs are
+    per-channel grants plus bus-select lines — deep AND/OR cones with
+    heavy reconvergence, like the ISCAS C432 channel selector.
+    """
+    net = Netlist(name or f"prio{width}")
+    req_a = vector_input(net, "ra", width)
+    req_b = vector_input(net, "rb", width)
+    mask = vector_input(net, "mk", width)
+    enable = net.add_pi("en")
+    masked = [
+        g(net, "AND", [g(net, "OR", [req_a[k], req_b[k]], "mr"), mask[k]], "mm")
+        for k in range(width)
+    ]
+    # priority resolution: grant k iff masked[k] and no higher request
+    grants: List[str] = []
+    blockers: List[str] = []
+    for k in range(width):
+        terms = [masked[k], enable] + blockers
+        grants.append(tree(net, "AND", terms, f"gr{k}"))
+        blockers.append(invert(net, masked[k]))
+    any_grant = tree(net, "OR", grants, "any")
+    src_sel = [
+        tree(net, "OR", [
+            g(net, "AND", [grants[k], req_a[k]], "sa") for k in range(width)
+        ], "sel0"),
+        tree(net, "OR", [
+            g(net, "AND", [grants[k], req_b[k]], "sb") for k in range(width)
+        ], "sel1"),
+    ]
+    net.set_pos(grants + [any_grant] + src_sel)
+    net.validate()
+    return net

@@ -1,0 +1,115 @@
+"""Arithmetic benchmark circuits: adders, comparators, small function
+blocks (Z5xp1-like)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..netlist.netlist import Netlist, constant_signal
+from .builders import (
+    full_adder, g, greater_than_const, half_adder, invert, mux2,
+    ripple_add, tree, vector_input,
+)
+
+
+def ripple_carry_adder(width: int = 16, name: str | None = None) -> Netlist:
+    """n-bit ripple-carry adder with carry-in and carry-out."""
+    net = Netlist(name or f"rca{width}")
+    a = vector_input(net, "a", width)
+    b = vector_input(net, "b", width)
+    cin = net.add_pi("cin")
+    sums, cout = ripple_add(net, a, b, cin)
+    net.set_pos(sums + [cout])
+    net.validate()
+    return net
+
+
+def carry_select_adder(width: int = 16, block: int = 4,
+                       name: str | None = None) -> Netlist:
+    """Carry-select adder: per-block dual ripple chains + mux."""
+    net = Netlist(name or f"csa{width}")
+    a = vector_input(net, "a", width)
+    b = vector_input(net, "b", width)
+    cin = net.add_pi("cin")
+    zero = constant_signal(net, 0)
+    one = constant_signal(net, 1)
+    sums: List[str] = []
+    carry = cin
+    for start in range(0, width, block):
+        stop = min(start + block, width)
+        s0, c0 = ripple_add(net, a[start:stop], b[start:stop], zero)
+        s1, c1 = ripple_add(net, a[start:stop], b[start:stop], one)
+        for k in range(stop - start):
+            sums.append(mux2(net, carry, s1[k], s0[k]))
+        carry = mux2(net, carry, c1, c0)
+    net.set_pos(sums + [carry])
+    net.validate()
+    return net
+
+
+def comparator(width: int = 16, name: str | None = None) -> Netlist:
+    """Unsigned comparator: outputs (a < b, a == b, a > b)."""
+    net = Netlist(name or f"cmp{width}")
+    a = vector_input(net, "a", width)
+    b = vector_input(net, "b", width)
+    eq_bits = [
+        g(net, "XNOR", [a[k], b[k]], "eq") for k in range(width)
+    ]
+    gt_terms: List[str] = []
+    for k in reversed(range(width)):
+        cond = [a[k], invert(net, b[k])] + eq_bits[k + 1:]
+        gt_terms.append(tree(net, "AND", cond, "gtt"))
+    a_gt_b = tree(net, "OR", gt_terms, "gt")
+    a_eq_b = tree(net, "AND", eq_bits, "alleq")
+    a_lt_b = g(net, "NOR", [a_gt_b, a_eq_b], "lt")
+    net.set_pos([a_lt_b, a_eq_b, a_gt_b])
+    net.validate()
+    return net
+
+
+def z5xp1_like(name: str = "z5xp1_like") -> Netlist:
+    """7-input, 10-output arithmetic block (Z5xp1 stand-in).
+
+    Computes ``X*5 + X + (X >> 2)`` over a 7-bit input — a mix of shifted
+    additions giving the multi-output arithmetic flavour of the MCNC
+    two-level benchmark.
+    """
+    net = Netlist(name)
+    x = vector_input(net, "x", 7)
+    zero = constant_signal(net, 0)
+    # X*4 (shift by 2), width 10
+    def pad(bits: List[str], shift: int, width: int) -> List[str]:
+        padded = [zero] * shift + list(bits)
+        padded = padded[:width] + [zero] * max(0, width - len(padded))
+        return padded[:width]
+
+    width = 10
+    x4 = pad(x, 2, width)
+    x1 = pad(x, 0, width)
+    x_shr2 = pad(x[2:], 0, width)
+    s1, _ = ripple_add(net, x4, x1)          # X*5
+    s2, _ = ripple_add(net, s1, x1)          # X*6
+    s3, _ = ripple_add(net, s2, x_shr2)      # X*6 + X>>2
+    net.set_pos(s3)
+    net.validate()
+    return net
+
+
+def c880_like(width: int = 8, name: str = "c880_like") -> Netlist:
+    """ALU/control mix (C880 stand-in): add/sub with zero/overflow flags
+    plus a parity-protected bypass path."""
+    net = Netlist(name)
+    a = vector_input(net, "a", width)
+    b = vector_input(net, "b", width)
+    sub = net.add_pi("sub")
+    bypass = net.add_pi("byp")
+    b_eff = [g(net, "XOR", [bit, sub], "bx") for bit in b]
+    sums, cout = ripple_add(net, a, b_eff, sub)
+    zero_flag = g(net, "NOR", sums[:4], "zf0")
+    zero_hi = g(net, "NOR", sums[4:], "zf1")
+    zero = g(net, "AND", [zero_flag, zero_hi], "zf")
+    parity = tree(net, "XOR", a, "par")
+    outs = [mux2(net, bypass, a[k], sums[k]) for k in range(width)]
+    net.set_pos(outs + [cout, zero, parity])
+    net.validate()
+    return net

@@ -1,0 +1,130 @@
+"""Shared bit-level construction helpers for the benchmark generators.
+
+All builders operate on a :class:`~repro.netlist.netlist.Netlist` under
+construction and deal in little-endian lists of signal names.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..netlist.netlist import Netlist, constant_signal
+
+
+def fresh(net: Netlist, hint: str) -> str:
+    return net.fresh_name(hint)
+
+
+def g(net: Netlist, func: str, ins: Sequence[str], hint: str = "n") -> str:
+    """Add a gate with a fresh name; returns the output signal."""
+    return net.add_gate(net.fresh_name(hint), func, list(ins))
+
+
+def half_adder(net: Netlist, a: str, b: str) -> Tuple[str, str]:
+    """(sum, carry)."""
+    return g(net, "XOR", [a, b], "ha_s"), g(net, "AND", [a, b], "ha_c")
+
+
+def full_adder(net: Netlist, a: str, b: str, cin: str) -> Tuple[str, str]:
+    """(sum, carry) — the classic 2-XOR / MAJ decomposition."""
+    axb = g(net, "XOR", [a, b], "fa_x")
+    s = g(net, "XOR", [axb, cin], "fa_s")
+    t1 = g(net, "AND", [a, b], "fa_a")
+    t2 = g(net, "AND", [axb, cin], "fa_b")
+    c = g(net, "OR", [t1, t2], "fa_c")
+    return s, c
+
+
+def ripple_add(net: Netlist, a: Sequence[str], b: Sequence[str],
+               cin: str | None = None) -> Tuple[List[str], str]:
+    """Little-endian ripple-carry addition; returns (sum bits, carry out)."""
+    if len(a) != len(b):
+        raise ValueError("operand widths differ")
+    sums: List[str] = []
+    carry = cin
+    for bit_a, bit_b in zip(a, b):
+        if carry is None:
+            s, carry = half_adder(net, bit_a, bit_b)
+        else:
+            s, carry = full_adder(net, bit_a, bit_b, carry)
+        sums.append(s)
+    return sums, carry
+
+
+def vector_input(net: Netlist, prefix: str, width: int) -> List[str]:
+    return [net.add_pi(f"{prefix}{k}") for k in range(width)]
+
+
+def tree(net: Netlist, func: str, ins: Sequence[str], hint: str = "t") -> str:
+    """Balanced tree of 2-input ``func`` gates."""
+    layer = list(ins)
+    if not layer:
+        raise ValueError("empty operand list")
+    while len(layer) > 1:
+        nxt: List[str] = []
+        for k in range(0, len(layer) - 1, 2):
+            nxt.append(g(net, func, [layer[k], layer[k + 1]], hint))
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+    return layer[0]
+
+
+def invert(net: Netlist, sig: str) -> str:
+    return g(net, "INV", [sig], "inv")
+
+
+def mux2(net: Netlist, sel: str, d1: str, d0: str) -> str:
+    """``sel ? d1 : d0`` from primitive gates."""
+    n_sel = invert(net, sel)
+    t1 = g(net, "AND", [sel, d1], "mx")
+    t0 = g(net, "AND", [n_sel, d0], "mx")
+    return g(net, "OR", [t1, t0], "mx")
+
+
+def equals_const(net: Netlist, bits: Sequence[str], value: int) -> str:
+    """1 iff the little-endian vector equals ``value``."""
+    lits = []
+    for k, sig in enumerate(bits):
+        lits.append(sig if (value >> k) & 1 else invert(net, sig))
+    return tree(net, "AND", lits, "eq")
+
+
+def popcount(net: Netlist, bits: Sequence[str]) -> List[str]:
+    """Little-endian binary count of ones (CSA-style adder tree)."""
+    queue: List[List[str]] = [[b] for b in bits]
+    while len(queue) > 1:
+        queue.sort(key=len)
+        a = queue.pop(0)
+        b = queue.pop(0)
+        width = max(len(a), len(b))
+        zero = constant_signal(net, 0)
+        a = list(a) + [zero] * (width - len(a))
+        b = list(b) + [zero] * (width - len(b))
+        total, carry = ripple_add(net, a, b)
+        queue.append(total + [carry])
+    return queue[0]
+
+
+def less_equal_const(net: Netlist, bits: Sequence[str], value: int) -> str:
+    """1 iff vector <= value (unsigned)."""
+    gt = greater_than_const(net, bits, value)
+    return invert(net, gt)
+
+
+def greater_than_const(net: Netlist, bits: Sequence[str], value: int) -> str:
+    """1 iff vector > value (unsigned)."""
+    terms: List[str] = []
+    higher: List[str] = []  # condition "all higher bits equal"
+    for k in reversed(range(len(bits))):
+        bit_val = (value >> k) & 1
+        if bit_val == 0:
+            cond = [bits[k]] + higher
+            terms.append(tree(net, "AND", cond, "gt") if len(cond) > 1
+                         else cond[0])
+            higher = higher + [invert(net, bits[k])]
+        else:
+            higher = higher + [bits[k]]
+    if not terms:
+        return constant_signal(net, 0)
+    return tree(net, "OR", terms, "gt") if len(terms) > 1 else terms[0]

@@ -1,0 +1,125 @@
+"""Seeded random multi-level control logic.
+
+Stand-ins for the MCNC control benchmarks (term1, x3, apex6, frg2, vda,
+rot, pair, C5315).  Deep random AND/OR logic saturates to constants, so
+the generator tracks an estimated signal probability for every net and
+picks gate functions that keep probabilities away from 0 and 1 — the
+result is deep, reconvergent, *live* control logic with the redundancy
+profile GDO exploits, deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..netlist.netlist import Netlist
+
+# AND/OR-family dominated like real control logic; a sprinkle of XORs.
+# (XOR-heavy random logic also makes CDCL equivalence checking blow up,
+# which is unrepresentative of the MCNC control benchmarks.)
+_FUNCS = ["AND", "OR", "NAND", "NOR"] * 2 + ["XOR", "XNOR"]
+
+
+def _output_probability(func: str, probs: List[float]) -> float:
+    if func in ("AND", "NAND"):
+        p = 1.0
+        for q in probs:
+            p *= q
+        return 1.0 - p if func == "NAND" else p
+    if func in ("OR", "NOR"):
+        p = 1.0
+        for q in probs:
+            p *= 1.0 - q
+        return p if func == "NOR" else 1.0 - p
+    # XOR / XNOR (2 inputs)
+    p = probs[0] * (1 - probs[1]) + probs[1] * (1 - probs[0])
+    return 1.0 - p if func == "XNOR" else p
+
+
+def random_control(
+    n_pi: int,
+    n_gates: int,
+    n_po: int,
+    seed: int = 0,
+    locality: int = 24,
+    name: str | None = None,
+) -> Netlist:
+    """Random control-logic netlist.
+
+    ``locality`` bounds how far back a gate may pick its fanins (small
+    windows yield deep circuits with tight reconvergence); a fraction of
+    fanins always comes from the PIs so entropy keeps flowing in.
+    Outputs are drawn from the last third of the signal list so cones
+    overlap.
+    """
+    rnd = random.Random(seed)
+    net = Netlist(name or f"ctrl_s{seed}")
+    sigs: List[str] = [net.add_pi(f"i{k}") for k in range(n_pi)]
+    prob = {s: 0.5 for s in sigs}
+    pis = list(sigs)
+    for k in range(n_gates):
+        window = sigs[-locality:]
+        picks: List[str] = []
+        nin = rnd.choice((2, 2, 2, 2, 3, 3, 4))
+        for _ in range(nin):
+            source = pis if rnd.random() < 0.25 else window
+            picks.append(rnd.choice(source))
+        picks = list(dict.fromkeys(picks))  # dedupe, keep order
+        if len(picks) == 1:
+            sigs.append(net.add_gate(f"g{k}", "INV", picks))
+            prob[sigs[-1]] = 1.0 - prob[picks[0]]
+            continue
+        in_probs = [prob[s] for s in picks]
+        candidates = _FUNCS if len(picks) == 2 else _FUNCS[:8]
+        live = [
+            f for f in candidates
+            if 0.15 <= _output_probability(f, in_probs) <= 0.85
+        ]
+        func = rnd.choice(live) if live else (
+            "XOR" if len(picks) == 2 else
+            min(candidates,
+                key=lambda f: abs(_output_probability(f, in_probs) - 0.5))
+        )
+        if func in ("XOR", "XNOR"):
+            picks = picks[:2]
+            in_probs = in_probs[:2]
+        sigs.append(net.add_gate(f"g{k}", func, picks))
+        prob[sigs[-1]] = _output_probability(func, in_probs)
+    tail = sigs[-max(n_po * 2, len(sigs) // 3):]
+    pos = rnd.sample(tail, min(n_po, len(tail)))
+    net.set_pos(pos)
+    net.validate()
+    return net
+
+
+def term1_like(name: str = "term1_like") -> Netlist:
+    return random_control(34, 260, 10, seed=101, locality=20, name=name)
+
+
+def x3_like(name: str = "x3_like") -> Netlist:
+    return random_control(135, 900, 99, seed=303, locality=40, name=name)
+
+
+def apex6_like(name: str = "apex6_like") -> Netlist:
+    return random_control(135, 950, 99, seed=404, locality=36, name=name)
+
+
+def vda_like(name: str = "vda_like") -> Netlist:
+    return random_control(17, 900, 39, seed=505, locality=16, name=name)
+
+
+def rot_like(name: str = "rot_like") -> Netlist:
+    return random_control(135, 850, 107, seed=606, locality=30, name=name)
+
+
+def frg2_like(name: str = "frg2_like") -> Netlist:
+    return random_control(143, 1100, 139, seed=707, locality=28, name=name)
+
+
+def pair_like(name: str = "pair_like") -> Netlist:
+    return random_control(173, 1900, 137, seed=808, locality=44, name=name)
+
+
+def c5315_like(name: str = "c5315_like") -> Netlist:
+    return random_control(178, 2100, 123, seed=909, locality=48, name=name)

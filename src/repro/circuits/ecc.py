@@ -1,0 +1,93 @@
+"""Single-error-correcting circuits — the C499/C1355 stand-ins.
+
+C499 (and its NAND-expanded twin C1355) is a 32-bit single-error-
+correcting translator: syndrome computation over XOR trees followed by
+a decode-and-correct stage.  ``sec_corrector`` builds the same shape:
+``data`` plus ``check`` inputs, recomputed parities XORed into a
+syndrome, a decoder AND-plane, and XOR correctors on every data bit.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..netlist.netlist import Netlist
+from .builders import equals_const, g, invert, tree, vector_input
+
+
+def _parity_positions(n_data: int) -> List[List[int]]:
+    """Hamming-style parity groups: check ``j`` covers data positions
+    whose (1-based, gap-coded) index has bit ``j`` set."""
+    n_check = 1
+    while (1 << n_check) < n_data + n_check + 1:
+        n_check += 1
+    positions: List[List[int]] = [[] for _ in range(n_check)]
+    # Assign data bits to codeword positions that are not powers of two.
+    codeword_pos: List[int] = []
+    pos = 1
+    while len(codeword_pos) < n_data:
+        if pos & (pos - 1):  # not a power of two
+            codeword_pos.append(pos)
+        pos += 1
+    for d_idx, c_pos in enumerate(codeword_pos):
+        for j in range(n_check):
+            if (c_pos >> j) & 1:
+                positions[j].append(d_idx)
+    return positions
+
+
+def sec_corrector(n_data: int = 32, name: str | None = None) -> Netlist:
+    """Single-error corrector over ``n_data`` bits (C499-like).
+
+    Inputs: data bits ``d*`` and received check bits ``p*``.  Outputs:
+    corrected data bits.  A wrong check bit or a single flipped data bit
+    is corrected; the circuit is dominated by XOR trees feeding a
+    decoder, exactly the reconvergent structure of C499.
+    """
+    net = Netlist(name or f"sec{n_data}")
+    data = vector_input(net, "d", n_data)
+    groups = _parity_positions(n_data)
+    checks = vector_input(net, "p", len(groups))
+    syndrome: List[str] = []
+    for j, members in enumerate(groups):
+        recomputed = tree(net, "XOR", [data[k] for k in members], f"syn{j}")
+        syndrome.append(g(net, "XOR", [recomputed, checks[j]], f"s{j}"))
+    # Decode: data bit k is flipped iff the syndrome equals its position.
+    codeword_pos: List[int] = []
+    pos = 1
+    while len(codeword_pos) < n_data:
+        if pos & (pos - 1):
+            codeword_pos.append(pos)
+        pos += 1
+    corrected: List[str] = []
+    for k in range(n_data):
+        hit = equals_const(net, syndrome, codeword_pos[k])
+        corrected.append(g(net, "XOR", [data[k], hit], f"cor{k}"))
+    net.set_pos(corrected)
+    net.validate()
+    return net
+
+
+def c1355_like(n_data: int = 32, name: str = "c1355_like") -> Netlist:
+    """The NAND-expanded twin: same function with XORs expanded into
+    4-NAND cells (C1355 is exactly this expansion of C499)."""
+    base = sec_corrector(n_data, name=name)
+    expanded = Netlist(name)
+    for pi in base.pis:
+        expanded.add_pi(pi)
+    mapping = {pi: pi for pi in base.pis}
+    for out in base.topo_order():
+        gate = base.gates[out]
+        ins = [mapping[s] for s in gate.inputs]
+        if gate.func.name == "XOR":
+            n1 = g(expanded, "NAND", ins, f"{out}_n1")
+            n2 = g(expanded, "NAND", [ins[0], n1], f"{out}_n2")
+            n3 = g(expanded, "NAND", [ins[1], n1], f"{out}_n3")
+            expanded.add_gate(out, "NAND", [n2, n3])
+            mapping[out] = out
+        else:
+            expanded.add_gate(out, gate.func, ins)
+            mapping[out] = out
+    expanded.set_pos([mapping[po] for po in base.pos])
+    expanded.validate()
+    return expanded

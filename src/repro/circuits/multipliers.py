@@ -1,0 +1,145 @@
+"""Array multipliers — the C6288 stand-in.
+
+C6288 is a 16x16 carry-save array multiplier and the classic stress
+case for redundancy-oriented optimizers (the paper reduces its delay by
+22%).  ``array_multiplier`` reproduces that structure at any width; the
+benchmarks use reduced widths to keep pure-Python runtimes sane.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..netlist.netlist import Netlist, constant_signal
+from .builders import full_adder, g, half_adder, ripple_add, vector_input
+
+
+def _nor_xor(net: Netlist, a: str, b: str):
+    """XOR from NOR gates (the C6288 cell style).
+
+    Returns (xor, xnor, nor_ab): the intermediate nodes reconverge into
+    the carry logic, which is exactly where the ISCAS multiplier's
+    redundancies live.
+    """
+    n1 = g(net, "NOR", [a, b], "nx1")
+    n2 = g(net, "NOR", [a, n1], "nx2")
+    n3 = g(net, "NOR", [b, n1], "nx3")
+    xnor = g(net, "NOR", [n2, n3], "nx4")
+    xor = g(net, "NOR", [xnor, n1], "nx5")
+    return xor, xnor, n1
+
+
+def _nor_full_adder(net: Netlist, a: str, b: str, c: str):
+    """NOR-only full adder as used by the ISCAS-85 C6288 cells.
+
+    ``cout = (a + b) & (XNOR(a,b) + c)`` — functionally ``ab + (a+b)c``
+    but sharing the XNOR node with the sum path, the reconvergent
+    encoding that makes C6288 redundancy-rich."""
+    x, xnor_ab, nor_ab = _nor_xor(net, a, b)
+    m1 = g(net, "NOR", [x, c], "nf1")
+    m2 = g(net, "NOR", [x, m1], "nf2")
+    m3 = g(net, "NOR", [c, m1], "nf3")
+    s_xnor = g(net, "NOR", [m2, m3], "nf4")
+    s = g(net, "NOR", [s_xnor, m1], "nf5")
+    k1 = g(net, "NOR", [xnor_ab, c], "nf6")
+    cout = g(net, "NOR", [nor_ab, k1], "nf7")
+    return s, cout
+
+
+def _nor_half_adder(net: Netlist, a: str, b: str):
+    x, _xnor, _nor = _nor_xor(net, a, b)
+    na = g(net, "NOR", [a, a], "nh1")
+    nb = g(net, "NOR", [b, b], "nh2")
+    cout = g(net, "NOR", [na, nb], "nh3")
+    return x, cout
+
+
+def array_multiplier(width: int = 8, name: str | None = None,
+                     style: str = "nor") -> Netlist:
+    """``width x width`` carry-save array multiplier (C6288 structure).
+
+    ``style="nor"`` (default) builds each adder cell from NOR gates like
+    the ISCAS-85 netlist — functionally identical but with the
+    reconvergent cell structure whose redundancies GDO exploits;
+    ``style="csa"`` uses clean XOR/MAJ full adders.
+    """
+    if style not in ("nor", "csa"):
+        raise ValueError("style must be 'nor' or 'csa'")
+    net = Netlist(name or f"mult{width}")
+    fa = _nor_full_adder if style == "nor" else \
+        (lambda n, a, b, c: full_adder(n, a, b, c))
+    ha = _nor_half_adder if style == "nor" else \
+        (lambda n, a, b: half_adder(n, a, b))
+    a = vector_input(net, "a", width)
+    b = vector_input(net, "b", width)
+    # partial products
+    pp = [
+        [g(net, "AND", [a[i], b[j]], f"pp{i}_{j}") for i in range(width)]
+        for j in range(width)
+    ]
+    # carry-save reduction, row by row (the C6288 array shape)
+    sums: List[str] = list(pp[0])
+    carries: List[str] = []
+    outputs: List[str] = []
+    for j in range(1, width):
+        outputs.append(sums[0])
+        row = pp[j]
+        new_sums: List[str] = []
+        new_carries: List[str] = []
+        for i in range(width):
+            operand = sums[i + 1] if i + 1 < len(sums) else None
+            carry_in = carries[i] if i < len(carries) else None
+            terms = [row[i]]
+            if operand is not None:
+                terms.append(operand)
+            if carry_in is not None:
+                terms.append(carry_in)
+            if len(terms) == 1:
+                new_sums.append(terms[0])
+                new_carries.append(constant_signal(net, 0))
+            elif len(terms) == 2:
+                s, c = ha(net, terms[0], terms[1])
+                new_sums.append(s)
+                new_carries.append(c)
+            else:
+                s, c = fa(net, terms[0], terms[1], terms[2])
+                new_sums.append(s)
+                new_carries.append(c)
+        sums = new_sums
+        carries = new_carries
+    # final carry-propagate row
+    zero = constant_signal(net, 0)
+    final = []
+    carry = None
+    acc_a = sums[1:] + [zero]
+    for bit_a, bit_b in zip(acc_a, carries):
+        if carry is None:
+            s, carry = ha(net, bit_a, bit_b)
+        else:
+            s, carry = fa(net, bit_a, bit_b, carry)
+        final.append(s)
+    cout = carry
+    outputs.append(sums[0])
+    outputs.extend(final)
+    outputs.append(cout)
+    net.set_pos(outputs[: 2 * width])
+    net.validate()
+    return net
+
+
+def squarer(width: int = 6, name: str | None = None) -> Netlist:
+    """``x*x`` via the array multiplier structure with shared operand —
+    rich in redundancies (pp[i][j] == pp[j][i])."""
+    net = array_multiplier(width, name=name or f"sqr{width}")
+    # Tie the b inputs to the a inputs by rebuilding with shared PIs.
+    shared = Netlist(name or f"sqr{width}")
+    x = vector_input(shared, "x", width)
+    rename = {f"a{k}": x[k] for k in range(width)}
+    rename.update({f"b{k}": x[k] for k in range(width)})
+    for out in net.topo_order():
+        gate = net.gates[out]
+        shared.add_gate(out, gate.func,
+                        [rename.get(s, s) for s in gate.inputs])
+    shared.set_pos([rename.get(po, po) for po in net.pos])
+    shared.validate()
+    return shared

@@ -1,0 +1,42 @@
+"""Parity trees and parity-checked datapaths (C1908-class stand-in)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..netlist.netlist import Netlist
+from .builders import g, mux2, ripple_add, tree, vector_input
+
+
+def parity_tree(n: int = 16, name: str | None = None) -> Netlist:
+    """Balanced XOR parity tree."""
+    net = Netlist(name or f"parity{n}")
+    x = vector_input(net, "x", n)
+    net.set_pos([tree(net, "XOR", x, "px")])
+    net.validate()
+    return net
+
+
+def c1908_like(width: int = 12, name: str = "c1908_like") -> Netlist:
+    """Parity-checked datapath (C1908 flavour: 16-bit SEC/arith mix).
+
+    Data passes through an add/rotate stage; parities of input and
+    output are compared, and an error flag conditions the outputs —
+    producing the error-detecting reconvergence C1908 is built from.
+    """
+    net = Netlist(name)
+    d = vector_input(net, "d", width)
+    k = vector_input(net, "k", width)
+    rot = net.add_pi("rot")
+    pin = net.add_pi("pin")
+    sums, cout = ripple_add(net, d, k)
+    rotated = [mux2(net, rot, sums[(i + 1) % width], sums[i])
+               for i in range(width)]
+    in_par = tree(net, "XOR", d + [pin], "ip")
+    out_par = tree(net, "XOR", rotated, "op")
+    err = g(net, "XOR", [in_par, out_par], "err")
+    guarded = [g(net, "AND", [bit, g(net, "INV", [err], "ne")], "gd")
+               for bit in rotated]
+    net.set_pos(guarded + [cout, err])
+    net.validate()
+    return net

@@ -1,0 +1,48 @@
+"""Symmetric functions — the 9sym stand-in.
+
+9sym is the 9-input totally symmetric function that is 1 iff the input
+weight lies in {3,4,5,6}.  Built as a popcount adder tree followed by
+window comparators, which synthesizes into the same deep reconvergent
+logic the MCNC benchmark is known for.
+"""
+
+from __future__ import annotations
+
+from ..netlist.netlist import Netlist
+from .builders import (
+    g, greater_than_const, invert, popcount, tree, vector_input,
+)
+
+
+def nsym(n: int = 9, low: int = 3, high: int = 6,
+         name: str | None = None) -> Netlist:
+    """1 iff ``low <= popcount(x) <= high`` (9sym: n=9, low=3, high=6)."""
+    if not (0 <= low <= high <= n):
+        raise ValueError("need 0 <= low <= high <= n")
+    net = Netlist(name or f"{n}sym")
+    x = vector_input(net, "x", n)
+    count = popcount(net, x)
+    ge_low = greater_than_const(net, count, low - 1) if low > 0 else None
+    le_high = invert(net, greater_than_const(net, count, high))
+    if ge_low is None:
+        out = le_high
+    else:
+        out = g(net, "AND", [ge_low, le_high], "sym")
+    net.set_pos([out])
+    net.validate()
+    return net
+
+
+def nsym9(name: str = "9sym_like") -> Netlist:
+    return nsym(9, 3, 6, name=name)
+
+
+def majority(n: int = 9, name: str | None = None) -> Netlist:
+    """Majority-of-n via the same popcount structure."""
+    net = Netlist(name or f"maj{n}")
+    x = vector_input(net, "x", n)
+    count = popcount(net, x)
+    out = greater_than_const(net, count, n // 2)
+    net.set_pos([out])
+    net.validate()
+    return net

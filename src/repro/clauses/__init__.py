@@ -1,0 +1,18 @@
+"""Clause analysis: the paper's core (Secs. 2-4)."""
+
+from .theory import (
+    Clause, ObsLit, SigLit, c1_clauses, c2_clauses, c3_clauses,
+    circuit_characteristic_clauses, gate_characteristic_clauses,
+    structural_observability_clauses, clause,
+)
+from .pvcc import Candidate
+from .candidates import CandidateEnumerator, EnumerationStats
+from .implications import ImplicationGraph, propagate_assumption
+
+__all__ = [
+    "Clause", "ObsLit", "SigLit", "c1_clauses", "c2_clauses", "c3_clauses",
+    "circuit_characteristic_clauses", "gate_characteristic_clauses",
+    "structural_observability_clauses", "clause",
+    "Candidate", "CandidateEnumerator", "EnumerationStats",
+    "ImplicationGraph", "propagate_assumption",
+]

@@ -1,0 +1,333 @@
+"""Enumeration of substitution candidates via BPFS (Sec. 4).
+
+The number of potential C3-clauses is cubic in the netlist size, so the
+paper reduces the considered set *before* simulation with three filters,
+all implemented here:
+
+1. **no-loss filter** — only stem signals as b/c-sources; drop any source
+   whose arrival time cannot yield a gain (the arrival-limit argument);
+2. **C2-reuse filter** — results of the (cheap) C2 simulation restrict
+   the C3 source pools for AND/OR forms exactly, and heuristically for
+   XOR/XNOR (the paper notes XOR substitutions may be lost this way);
+3. **structural filter** — optional bound on the topological-level skew
+   between target and source signals.
+
+Candidates that survive word-parallel simulation are the PVCCs handed to
+the proof backends in :mod:`repro.transform.substitution`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..library.cells import TechLibrary
+from ..netlist.edit import find_inverted
+from ..netlist.gatefunc import INV, TwoInputForm, two_input_forms
+from ..netlist.netlist import Branch, Netlist
+from ..sim.observability import ObservabilityEngine, SignalRef
+from ..timing.sta import Sta
+from .pvcc import Candidate
+from ..transform.realize import form_cell_delay
+
+
+@dataclass
+class EnumerationStats:
+    """Counters for the Sec.-4 reduction ablations."""
+
+    pool_size: int = 0
+    c2_checked: int = 0
+    c2_survived: int = 0
+    c3_pairs_full: int = 0
+    c3_pairs_checked: int = 0
+    c3_survived: int = 0
+
+    def merge(self, other: "EnumerationStats") -> None:
+        self.pool_size += other.pool_size
+        self.c2_checked += other.c2_checked
+        self.c2_survived += other.c2_survived
+        self.c3_pairs_full += other.c3_pairs_full
+        self.c3_pairs_checked += other.c3_pairs_checked
+        self.c3_survived += other.c3_survived
+
+
+class CandidateEnumerator:
+    """Produces simulation-filtered substitution candidates for targets."""
+
+    def __init__(
+        self,
+        net: Netlist,
+        sta: Sta,
+        engine: ObservabilityEngine,
+        library: TechLibrary,
+        include_xor: bool = True,
+        use_c2_reduction: bool = True,
+        allow_inverted: bool = True,
+        max_pool: int = 64,
+        level_skew: Optional[int] = None,
+        eps: float = 1e-9,
+    ):
+        self.net = net
+        self.sta = sta
+        self.engine = engine
+        self.library = library
+        self.include_xor = include_xor
+        self.use_c2_reduction = use_c2_reduction
+        self.allow_inverted = allow_inverted
+        self.max_pool = max_pool
+        self.level_skew = level_skew
+        self.eps = eps
+        self._levels = net.levels() if level_skew is not None else None
+        self.stats = EnumerationStats()
+        # Signals never used as sources: constants and buffers of them.
+        self._banned_sources = {
+            g.output for g in net.gates.values()
+            if g.func.name in ("CONST0", "CONST1")
+        }
+
+    # ------------------------------------------------------------------
+    # target selection
+    # ------------------------------------------------------------------
+    def point_signal(self, ref: SignalRef) -> str:
+        return self.engine.signal_of(ref)
+
+    def point_arrival(self, ref: SignalRef) -> float:
+        return self.sta.arrival[self.point_signal(ref)]
+
+    def delay_targets(self) -> List[SignalRef]:
+        """Critical stems and critical branches (the paper's critical
+        gates, Sec. 5), ranked by NCP."""
+        refs: List[SignalRef] = []
+        for out in self.sta.critical_gates():
+            gate = self.net.gates[out]
+            for pin in range(gate.nin):
+                branch = Branch(out, pin)
+                if self.sta.is_critical_edge(branch):
+                    refs.append(branch)
+            if self.sta.ncp(out) > 0:
+                refs.append(out)
+        refs.sort(key=lambda r: -self.sta.ncp_of(r))
+        return refs
+
+    # ------------------------------------------------------------------
+    # source pools
+    # ------------------------------------------------------------------
+    def _forbidden(self, ref: SignalRef) -> Set[str]:
+        if isinstance(ref, Branch):
+            root = ref.gate
+            current = self.net.gates[ref.gate].inputs[ref.pin]
+            forb = self.net.transitive_fanout(root, include_self=True)
+            forb.add(current)
+        else:
+            forb = self.net.transitive_fanout(ref, include_self=True)
+        return forb
+
+    def source_pool(
+        self, ref: SignalRef, arrival_limit: float,
+        forbidden: Optional[Set[str]] = None,
+    ) -> List[str]:
+        """Arrival/cycle/structure-filtered b/c-source signals."""
+        if forbidden is None:
+            forbidden = self._forbidden(ref)
+        a_sig = self.point_signal(ref)
+        pool: List[str] = []
+        for sig in self.net.signals():
+            if sig in forbidden or sig == a_sig:
+                continue
+            if sig in self._banned_sources:
+                continue
+            if self.sta.arrival[sig] > arrival_limit + self.eps:
+                continue
+            if self._levels is not None and abs(
+                self._levels.get(sig, 0) - self._levels.get(a_sig, 0)
+            ) > self.level_skew:
+                continue
+            pool.append(sig)
+        # Latest arrivals first: sources arriving just under the limit
+        # are the ones logically correlated with a deep target (a signal
+        # near the PIs is almost never equivalent to one deep in the
+        # cone), and any pool member already guarantees the gain bound.
+        pool.sort(key=lambda s: -self.sta.arrival[s])
+        if self.max_pool is not None and len(pool) > self.max_pool:
+            pool = pool[: self.max_pool]
+        return pool
+
+    # ------------------------------------------------------------------
+    # candidate enumeration
+    # ------------------------------------------------------------------
+    def two_subs(self, ref: SignalRef, arrival_limit: float) -> List[Candidate]:
+        """OS2/IS2 candidates surviving BPFS, newest-arrival bounded."""
+        obs = self.engine.observability(ref)
+        if not obs.any():
+            return []  # target unobservable on all vectors: a C1 matter
+        a_val = self.engine.value(self.point_signal(ref))
+        pool = self.source_pool(ref, arrival_limit)
+        self.stats.pool_size += len(pool)
+        if not pool:
+            return []
+        kind = "IS2" if isinstance(ref, Branch) else "OS2"
+        matrix = np.stack([self.engine.value(s) for s in pool])
+        diff = (matrix ^ a_val[None, :]) & obs[None, :]
+        straight = ~diff.any(axis=1)
+        inv_diff = (~(matrix ^ a_val[None, :])) & obs[None, :]
+        inverted = ~inv_diff.any(axis=1)
+        self.stats.c2_checked += 2 * len(pool)
+        out: List[Candidate] = []
+        point_arr = self.point_arrival(ref)
+        ncp = self.sta.ncp_of(ref)
+        for idx, sig in enumerate(pool):
+            if straight[idx]:
+                out.append(Candidate(
+                    target=ref, kind=kind, sources=(sig,),
+                    lds=point_arr - self.sta.arrival[sig], ncp=ncp,
+                ))
+            if inverted[idx] and self.allow_inverted:
+                inv_arr = self._inverted_arrival(sig, ref)
+                if inv_arr is not None and inv_arr <= arrival_limit + self.eps:
+                    out.append(Candidate(
+                        target=ref, kind=kind, sources=(sig,), inverted=True,
+                        lds=point_arr - inv_arr, ncp=ncp,
+                    ))
+        self.stats.c2_survived += len(out)
+        return out
+
+    def _inverted_arrival(self, sig: str, ref: SignalRef) -> Optional[float]:
+        """Arrival of the complement of ``sig``: an existing structural
+        complement if available, else through a new inverter."""
+        existing = find_inverted(self.net, sig)
+        if existing is not None and existing not in self._forbidden(ref):
+            return self.sta.arrival[existing]
+        inv_cell = self.library.cell_for(INV, 1)
+        if inv_cell is None:
+            return None
+        load = self._target_load(ref)
+        return self.sta.arrival[sig] + inv_cell.pins[0].delay(load)
+
+    def _target_load(self, ref: SignalRef) -> float:
+        if isinstance(ref, Branch):
+            gate = self.net.gates[ref.gate]
+            return self.library.gate_input_load(gate, ref.pin)
+        return self.sta.load.get(ref, 1.0)
+
+    # ------------------------------------------------------------------
+    def three_subs(self, ref: SignalRef, arrival_limit: float) -> List[Candidate]:
+        """OS3/IS3 candidates surviving BPFS."""
+        obs = self.engine.observability(ref)
+        if not obs.any():
+            return []
+        a_val = self.engine.value(self.point_signal(ref))
+        load = self._target_load(ref)
+        forms = two_input_forms(include_xor=self.include_xor)
+        # The fastest candidate gate bounds the usable source arrivals.
+        delays = {}
+        for form in forms:
+            d = form_cell_delay(self.library, form, load)
+            if d is not None:
+                delays[form.name] = d
+        if not delays:
+            return []
+        min_delay = min(delays.values())
+        pool = self.source_pool(ref, arrival_limit - min_delay)
+        self.stats.pool_size += len(pool)
+        if len(pool) < 2:
+            return []
+        kind = "IS3" if isinstance(ref, Branch) else "OS3"
+        matrix = np.stack([self.engine.value(s) for s in pool])
+        self.stats.c3_pairs_full += (len(pool) * (len(pool) - 1)) // 2
+        act1 = obs & a_val        # observable vectors with a = 1
+        act0 = obs & ~a_val       # observable vectors with a = 0
+        # C2-style per-source facts (the reuse filter of Sec. 4).
+        v1 = ~((act1[None, :] & ~matrix).any(axis=1))  # Oa&a  => s=1
+        v0 = ~((act1[None, :] & matrix).any(axis=1))   # Oa&a  => s=0
+        w1 = ~((act0[None, :] & ~matrix).any(axis=1))  # Oa&~a => s=1
+        w0 = ~((act0[None, :] & matrix).any(axis=1))   # Oa&~a => s=0
+        out: List[Candidate] = []
+        point_arr = self.point_arrival(ref)
+        ncp = self.sta.ncp_of(ref)
+
+        def emit(form: TwoInputForm, bi: int, ci: int) -> None:
+            gate_delay = delays.get(form.name)
+            if gate_delay is None:
+                return
+            t_new = max(self.sta.arrival[pool[bi]],
+                        self.sta.arrival[pool[ci]]) + gate_delay
+            if t_new > arrival_limit + self.eps:
+                return
+            out.append(Candidate(
+                target=ref, kind=kind, sources=(pool[bi], pool[ci]),
+                form=form, lds=point_arr - t_new, ncp=ncp,
+            ))
+
+        for form in forms:
+            base = form.base.name
+            if base == "AND":
+                req_b = v0 if form.inv_b else v1
+                req_c = v0 if form.inv_c else v1
+                idx_b = np.flatnonzero(req_b)
+                idx_c = np.flatnonzero(req_c)
+                for bi in idx_b:
+                    if not len(idx_c):
+                        break
+                    bt = matrix[bi] if not form.inv_b else ~matrix[bi]
+                    # third clause: no vector with Oa&~a and b~ & c~
+                    blocked = act0 & bt
+                    cs = matrix[idx_c] if not form.inv_c else ~matrix[idx_c]
+                    bad = (cs & blocked[None, :]).any(axis=1)
+                    self.stats.c3_pairs_checked += len(idx_c)
+                    for k, ci in enumerate(idx_c):
+                        if ci == bi or bad[k]:
+                            continue
+                        if form.inv_b == form.inv_c and ci < bi:
+                            continue  # symmetric form: pair already emitted
+                        emit(form, int(bi), int(ci))
+            elif base == "OR":
+                req_b = w1 if form.inv_b else w0
+                req_c = w1 if form.inv_c else w0
+                idx_b = np.flatnonzero(req_b)
+                idx_c = np.flatnonzero(req_c)
+                for bi in idx_b:
+                    if not len(idx_c):
+                        break
+                    bt = matrix[bi] if not form.inv_b else ~matrix[bi]
+                    # third clause: no vector with Oa&a and ~b~ & ~c~
+                    blocked = act1 & ~bt
+                    cs = matrix[idx_c] if not form.inv_c else ~matrix[idx_c]
+                    bad = ((~cs) & blocked[None, :]).any(axis=1)
+                    self.stats.c3_pairs_checked += len(idx_c)
+                    for k, ci in enumerate(idx_c):
+                        if ci == bi or bad[k]:
+                            continue
+                        if form.inv_b == form.inv_c and ci < bi:
+                            continue
+                        emit(form, int(bi), int(ci))
+            else:  # XOR / XNOR
+                if self.use_c2_reduction:
+                    idx = np.flatnonzero(v1 | v0 | w1 | w0)
+                else:
+                    idx = np.arange(len(pool))
+                target = a_val if base == "XOR" else ~a_val
+                for pos_b in range(len(idx)):
+                    bi = idx[pos_b]
+                    want = (target ^ matrix[bi])  # needed value of c
+                    cs = matrix[idx[pos_b + 1:]]
+                    bad = ((cs ^ want[None, :]) & obs[None, :]).any(axis=1)
+                    self.stats.c3_pairs_checked += len(bad)
+                    for k, ci in enumerate(idx[pos_b + 1:]):
+                        if not bad[k]:
+                            emit(form, int(bi), int(ci))
+        self.stats.c3_survived += len(out)
+        return out
+
+    # ------------------------------------------------------------------
+    def all_candidates(
+        self, ref: SignalRef, arrival_limit: float,
+        with_three: bool = True,
+    ) -> List[Candidate]:
+        found = self.two_subs(ref, arrival_limit)
+        if with_three:
+            found += self.three_subs(ref, arrival_limit)
+        found.sort(key=lambda c: (-c.ncp, -c.lds))
+        return found

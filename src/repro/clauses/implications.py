@@ -1,0 +1,292 @@
+"""Implication graph over signal literals (Sec. 4's "other method").
+
+Besides BPFS, the paper notes valid clauses can be computed from "global
+implications using the circuit structure [Schulz/Auth, Kunz/Menon], or
+an implication graph [Larrabee, Chakradhar]".  This module implements
+that route:
+
+* every gate contributes its *direct* binary implications between
+  terminal literals (derived uniformly from the gate truth table, so
+  complex cells work too);
+* the transitive closure of the graph yields *global* implications;
+* a mutual implication ``a=1 <=> b=1`` proves the two signals equal on
+  every input vector — an OS2/IS2 substitution that is valid without
+  any observability weakening (and therefore without an ATPG/BDD
+  proof); literal SCCs enumerate all such equivalence classes.
+
+Every implication ``(s1=v1) => (s2=v2)`` is exactly the valid global
+clause ``(~s1^v1 + s2^v2)`` in the paper's notation, e.g.
+``a=1 => b=0`` is the valid clause ``(~a + ~b)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..netlist.netlist import Netlist
+from .theory import Clause, SigLit
+
+Lit = Tuple[str, int]  # (signal, value)
+
+
+def negate(lit: Lit) -> Lit:
+    return (lit[0], 1 - lit[1])
+
+
+class Conflict(Exception):
+    """Assumption propagation derived both values for a signal."""
+
+
+def propagate_assumption(net: Netlist, lit: Lit) -> Dict[str, int]:
+    """All signal values forced by assuming ``lit`` (Schulz-style
+    "improved deterministic" implication: forward 3-valued evaluation
+    plus backward justification, iterated to a fixpoint).
+
+    Returns ``{signal: value}`` including the assumption itself; raises
+    :class:`Conflict` if the assumption is infeasible (the literal is
+    structurally constant at the opposite value).
+    """
+    values: Dict[str, int] = {lit[0]: lit[1]}
+    changed = True
+    order = net.topo_order()
+    while changed:
+        changed = False
+        for out in order:
+            gate = net.gates[out]
+            if gate.nin == 0 or gate.nin > 4:
+                if gate.func.name in ("CONST0", "CONST1"):
+                    val = 1 if gate.func.name == "CONST1" else 0
+                    changed |= _assign(values, out, val)
+                continue
+            known_in = [values.get(s) for s in gate.inputs]
+            known_out = values.get(out)
+            feasible = []
+            for bits in itertools.product((0, 1), repeat=gate.nin):
+                if any(k is not None and k != b
+                       for k, b in zip(known_in, bits)):
+                    continue
+                o = gate.func.eval_bits(bits)
+                if known_out is not None and o != known_out:
+                    continue
+                feasible.append(bits + (o,))
+            if not feasible:
+                raise Conflict(lit)
+            for pin, sig in enumerate(list(gate.inputs) + [out]):
+                forced = {row[pin] for row in feasible}
+                if len(forced) == 1:
+                    changed |= _assign(values, sig, forced.pop())
+    return values
+
+
+def _assign(values: Dict[str, int], signal: str, value: int) -> bool:
+    old = values.get(signal)
+    if old is None:
+        values[signal] = value
+        return True
+    if old != value:
+        raise Conflict((signal, value))
+    return False
+
+
+class ImplicationGraph:
+    """Gate implications plus on-demand transitive closure.
+
+    ``learn=True`` additionally runs assumption propagation for every
+    literal (static learning): multi-antecedent consequences such as
+    ``m=0 => {a=0, b=0} => n=1`` become graph edges, at quadratic cost.
+    """
+
+    def __init__(self, net: Netlist, learn: bool = False):
+        self.net = net
+        self._edges: Dict[Lit, Set[Lit]] = {}
+        self._closure_cache: Dict[Lit, FrozenSet[Lit]] = {}
+        for out in net.topo_order():
+            self._add_gate_implications(out)
+        if learn:
+            self._static_learning()
+
+    def _static_learning(self) -> None:
+        for signal in list(self.net.signals()):
+            for value in (0, 1):
+                src = (signal, value)
+                try:
+                    forced = propagate_assumption(self.net, src)
+                except Conflict:
+                    # The literal is infeasible: it implies everything;
+                    # record the self-contradiction.
+                    self._add_edge(src, negate(src))
+                    continue
+                for sig, val in forced.items():
+                    if sig != signal:
+                        self._add_edge(src, (sig, val))
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _add_edge(self, src: Lit, dst: Lit) -> None:
+        if src == dst:
+            return
+        self._edges.setdefault(src, set()).add(dst)
+        # contrapositive
+        self._edges.setdefault(negate(dst), set()).add(negate(src))
+
+    def _add_gate_implications(self, output: str) -> None:
+        gate = self.net.gates[output]
+        nin = gate.nin
+        if nin == 0 or nin > 4:
+            return
+        terminals = list(gate.inputs) + [output]
+        rows = []
+        for bits in itertools.product((0, 1), repeat=nin):
+            rows.append(tuple(bits) + (gate.func.eval_bits(bits),))
+        n_term = nin + 1
+        for i in range(n_term):
+            for vi in (0, 1):
+                holding = [r for r in rows if r[i] == vi]
+                if not holding:
+                    continue
+                for j in range(n_term):
+                    if i == j or terminals[i] == terminals[j]:
+                        continue
+                    for vj in (0, 1):
+                        if all(r[j] == vj for r in holding):
+                            self._add_edge(
+                                (terminals[i], vi), (terminals[j], vj)
+                            )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def direct(self, lit: Lit) -> Set[Lit]:
+        return self._edges.get(lit, set())
+
+    def implications(self, lit: Lit) -> FrozenSet[Lit]:
+        """All literals transitively implied by ``lit`` (excluding it)."""
+        cached = self._closure_cache.get(lit)
+        if cached is not None:
+            return cached
+        seen: Set[Lit] = set()
+        queue = deque(self._edges.get(lit, ()))
+        while queue:
+            cur = queue.popleft()
+            if cur in seen or cur == lit:
+                continue
+            seen.add(cur)
+            queue.extend(self._edges.get(cur, ()))
+        result = frozenset(seen)
+        self._closure_cache[lit] = result
+        return result
+
+    def implies(self, src: Lit, dst: Lit) -> bool:
+        return dst in self.implications(src)
+
+    def contradiction(self, lit: Lit) -> bool:
+        """``lit`` implies its own complement: the literal is constant."""
+        return negate(lit) in self.implications(lit)
+
+    def clause_for(self, src: Lit, dst: Lit) -> Clause:
+        """The valid global clause expressed by ``src => dst``."""
+        return Clause([
+            SigLit(src[0], src[1] == 0),   # ~src literal
+            SigLit(dst[0], dst[1] == 1),
+        ])
+
+    def implication_clauses(self, signal: str) -> List[Clause]:
+        """All valid 2-literal global clauses rooted at ``signal``."""
+        out: List[Clause] = []
+        for value in (0, 1):
+            for dst in self.implications((signal, value)):
+                out.append(self.clause_for((signal, value), dst))
+        return out
+
+    # ------------------------------------------------------------------
+    # equivalences via SCCs (Tarjan, iterative)
+    # ------------------------------------------------------------------
+    def equivalence_classes(self) -> List[List[Lit]]:
+        """Literal classes that mutually imply each other.
+
+        A class containing ``(a,1)`` and ``(b,1)`` proves ``a == b`` on
+        all vectors; containing ``(a,1)`` and ``(b,0)`` proves
+        ``a == ~b``.  Only classes with at least two distinct signals
+        are returned.
+        """
+        index: Dict[Lit, int] = {}
+        lowlink: Dict[Lit, int] = {}
+        on_stack: Set[Lit] = set()
+        stack: List[Lit] = []
+        counter = [0]
+        sccs: List[List[Lit]] = []
+
+        def strongconnect(root: Lit) -> None:
+            work = [(root, iter(self._edges.get(root, ())))]
+            index[root] = lowlink[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, it = work[-1]
+                advanced = False
+                for succ in it:
+                    if succ not in index:
+                        index[succ] = lowlink[succ] = counter[0]
+                        counter[0] += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append(
+                            (succ, iter(self._edges.get(succ, ())))
+                        )
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        lowlink[node] = min(lowlink[node], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    scc: List[Lit] = []
+                    while True:
+                        lit = stack.pop()
+                        on_stack.discard(lit)
+                        scc.append(lit)
+                        if lit == node:
+                            break
+                    if len({s for s, _ in scc}) > 1:
+                        sccs.append(scc)
+
+        for lit in list(self._edges):
+            if lit not in index:
+                strongconnect(lit)
+        return sccs
+
+    def equivalent_signal_pairs(self) -> List[Tuple[str, str, bool]]:
+        """(a, b, inverted) pairs with ``a == b`` (or ``a == ~b``)
+        guaranteed structurally — deduplicated, a later in topo order.
+
+        These feed OS2/IS2 substitutions that need no further proof.
+        """
+        order = {s: k for k, s in enumerate(self.net.topo_order())}
+        order.update({s: -1 for s in self.net.pis})
+        pairs: Dict[Tuple[str, str], bool] = {}
+        for scc in self.equivalence_classes():
+            positives = sorted(
+                {lit for lit in scc},
+                key=lambda l: order.get(l[0], 0),
+            )
+            for (s1, v1), (s2, v2) in itertools.combinations(positives, 2):
+                if s1 == s2:
+                    continue
+                a, b = (s2, s1) if order.get(s1, 0) < order.get(s2, 0) \
+                    else (s1, s2)
+                key = (a, b)
+                pairs.setdefault(key, v1 != v2)
+        return [(a, b, inv) for (a, b), inv in pairs.items()]
+
+
+def count_implications(graph: ImplicationGraph) -> int:
+    """Total number of direct implication edges (for reporting)."""
+    return sum(len(v) for v in graph._edges.values())

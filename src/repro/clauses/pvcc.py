@@ -1,0 +1,134 @@
+"""Potentially valid clause combinations (PVCCs) and the substitution
+candidates they authorize (Sec. 3, Theorems 1 and 2).
+
+A :class:`Candidate` bundles
+
+* the *target* — the stem signal (OS) or branch (IS) to substitute,
+* the replacement — an existing signal ``b`` (possibly inverted) for
+  OS2/IS2, or a new 2-input gate over ``b``, ``c`` for OS3/IS3,
+* the bookkeeping used for ranking: LDS (local delay save) and NCP
+  (number of critical paths through the target).
+
+``clause_combination`` materializes the exact conjunction of C2/C3
+clauses whose validity is equivalent to permissibility; ``holds_on``
+performs the word-parallel check of that condition on simulated vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..netlist.gatefunc import TwoInputForm
+from ..netlist.netlist import Branch
+from ..sim.observability import ObservabilityEngine, SignalRef
+from .theory import Clause, ObsLit, SigLit
+
+
+@dataclass
+class Candidate:
+    """One substitution candidate with its PVCC."""
+
+    target: SignalRef
+    kind: str                      # "OS2" | "IS2" | "OS3" | "IS3"
+    sources: Tuple[str, ...]
+    inverted: bool = False         # 2-subs: substitute by the complement
+    form: Optional[TwoInputForm] = None  # 3-subs: the new gate's function
+    lds: float = 0.0
+    ncp: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind in ("OS2", "IS2"):
+            if len(self.sources) != 1 or self.form is not None:
+                raise ValueError("2-substitution takes one source, no form")
+        elif self.kind in ("OS3", "IS3"):
+            if len(self.sources) != 2 or self.form is None:
+                raise ValueError("3-substitution takes two sources and a form")
+        else:
+            raise ValueError(f"unknown substitution kind {self.kind!r}")
+        if self.kind.startswith("OS") != (not isinstance(self.target, Branch)):
+            raise ValueError("OS targets are stems, IS targets are branches")
+
+    @property
+    def is_output_substitution(self) -> bool:
+        return self.kind.startswith("OS")
+
+    def describe(self) -> str:
+        tgt = (
+            f"{self.target.gate}/{self.target.pin}"
+            if isinstance(self.target, Branch) else str(self.target)
+        )
+        if self.kind in ("OS2", "IS2"):
+            src = ("~" if self.inverted else "") + self.sources[0]
+        else:
+            tag_b = ("~" if self.form.inv_b else "") + self.sources[0]
+            tag_c = ("~" if self.form.inv_c else "") + self.sources[1]
+            src = f"{self.form.base.name}({tag_b},{tag_c})"
+        return f"{self.kind}({tgt} <- {src})"
+
+    # ------------------------------------------------------------------
+    def clause_combination(self) -> List[Clause]:
+        """The conjunction of clauses equivalent to permissibility."""
+        a = self.target
+        no = ObsLit(a, False)
+        if self.kind in ("OS2", "IS2"):
+            b = self.sources[0]
+            pos = not self.inverted
+            # (~Oa + a + ~b~)(~Oa + ~a + b~)  with b~ = b or its complement
+            return [
+                Clause([no, SigLit(a, True), SigLit(b, not pos)]),
+                Clause([no, SigLit(a, False), SigLit(b, pos)]),
+            ]
+        b, c = self.sources
+        form = self.form
+        lb = lambda positive: SigLit(b, positive != form.inv_b)
+        lc = lambda positive: SigLit(c, positive != form.inv_c)
+        base = form.base.name
+        if base == "AND":
+            # a == b~ & c~ :  two C2-clauses and one C3-clause (Thm. 2)
+            return [
+                Clause([no, SigLit(a, False), lb(True)]),
+                Clause([no, SigLit(a, False), lc(True)]),
+                Clause([no, SigLit(a, True), lb(False), lc(False)]),
+            ]
+        if base == "OR":
+            return [
+                Clause([no, SigLit(a, True), lb(False)]),
+                Clause([no, SigLit(a, True), lc(False)]),
+                Clause([no, SigLit(a, False), lb(True), lc(True)]),
+            ]
+        if base == "XOR":
+            return [
+                Clause([no, SigLit(a, False), lb(True), lc(True)]),
+                Clause([no, SigLit(a, False), lb(False), lc(False)]),
+                Clause([no, SigLit(a, True), lb(False), lc(True)]),
+                Clause([no, SigLit(a, True), lb(True), lc(False)]),
+            ]
+        if base == "XNOR":
+            return [
+                Clause([no, SigLit(a, False), lb(False), lc(True)]),
+                Clause([no, SigLit(a, False), lb(True), lc(False)]),
+                Clause([no, SigLit(a, True), lb(True), lc(True)]),
+                Clause([no, SigLit(a, True), lb(False), lc(False)]),
+            ]
+        raise ValueError(f"unsupported form base {base!r}")
+
+    # ------------------------------------------------------------------
+    def replacement_words(self, engine: ObservabilityEngine) -> np.ndarray:
+        """Word values of the replacement signal/function."""
+        if self.kind in ("OS2", "IS2"):
+            word = engine.value(self.sources[0])
+            return ~word if self.inverted else word
+        return self.form.eval_words(
+            engine.value(self.sources[0]), engine.value(self.sources[1])
+        )
+
+    def holds_on(self, engine: ObservabilityEngine) -> bool:
+        """Word-parallel permissibility check on the simulated vectors:
+        ``Oa -> (a == replacement)`` — equivalent to the validity of
+        :meth:`clause_combination` on the same vectors."""
+        obs = engine.observability(self.target)
+        a_val = engine.value(engine.signal_of(self.target))
+        return not bool(np.any(obs & (a_val ^ self.replacement_words(engine))))

@@ -1,0 +1,208 @@
+"""Clauses over signal and observability variables (Sec. 2 of the paper).
+
+A :class:`Clause` is a sum of literals over
+
+* *signal variables* — the value of a stem or branch signal, and
+* *observability variables* ``Oa`` — whether a change of the signal is
+  visible at some primary output,
+
+and is *valid* iff it evaluates to 1 for every assignment produced by a
+primary input vector (Definition 1).  Validity against a set of
+simulated vectors is decided word-parallel through the
+:class:`~repro.sim.observability.ObservabilityEngine` — this is the BPFS
+filtering of Sec. 4: one falsifying vector discards a clause.
+
+This module also derives the per-gate characteristic clauses and the
+structural observability clauses shown for Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..netlist.netlist import Branch, Netlist
+from ..sim.observability import ObservabilityEngine, SignalRef
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+@dataclass(frozen=True)
+class SigLit:
+    """Literal of a signal variable: the signal's value or its complement."""
+
+    ref: SignalRef
+    positive: bool = True
+
+    def complement(self) -> "SigLit":
+        return SigLit(self.ref, not self.positive)
+
+    def describe(self) -> str:
+        name = _ref_name(self.ref)
+        return name if self.positive else f"~{name}"
+
+
+@dataclass(frozen=True)
+class ObsLit:
+    """Literal of an observability variable ``O_ref``."""
+
+    ref: SignalRef
+    positive: bool = True
+
+    def complement(self) -> "ObsLit":
+        return ObsLit(self.ref, not self.positive)
+
+    def describe(self) -> str:
+        name = f"O[{_ref_name(self.ref)}]"
+        return name if self.positive else f"~{name}"
+
+
+Literal = Union[SigLit, ObsLit]
+
+
+def _ref_name(ref: SignalRef) -> str:
+    if isinstance(ref, Branch):
+        return f"{ref.gate}/{ref.pin}"
+    return str(ref)
+
+
+class Clause:
+    """A sum (disjunction) of signal/observability literals."""
+
+    def __init__(self, literals: Iterable[Literal]):
+        self.literals: Tuple[Literal, ...] = tuple(literals)
+        if not self.literals:
+            raise ValueError("empty clause")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "(" + " + ".join(l.describe() for l in self.literals) + ")"
+
+    def describe(self) -> str:
+        return repr(self)
+
+    @property
+    def order(self) -> int:
+        """Number of *signal* literals — the paper's C1/C2/C3 classes."""
+        return sum(1 for l in self.literals if isinstance(l, SigLit))
+
+    # ------------------------------------------------------------------
+    def words(self, engine: ObservabilityEngine) -> np.ndarray:
+        """Word-parallel truth of the clause on the engine's vectors."""
+        acc = None
+        for lit in self.literals:
+            if isinstance(lit, ObsLit):
+                word = engine.observability(lit.ref)
+            else:
+                word = engine.value(engine.signal_of(lit.ref))
+            if not lit.positive:
+                word = ~word
+            acc = word.copy() if acc is None else (acc | word)
+        return acc
+
+    def falsified_by(self, engine: ObservabilityEngine) -> bool:
+        """True iff some simulated vector falsifies the clause (the BPFS
+        discard test)."""
+        return bool(np.any(~self.words(engine)))
+
+    def holds_on(self, engine: ObservabilityEngine) -> bool:
+        return not self.falsified_by(engine)
+
+
+def clause(*lits: Literal) -> Clause:
+    return Clause(lits)
+
+
+# ----------------------------------------------------------------------
+# the clause families of Sec. 2 (the C1/C2/C3 table)
+# ----------------------------------------------------------------------
+def c1_clauses(a: SignalRef) -> List[Clause]:
+    """Both C1-clauses of ``a``: ``(~Oa + ~a)`` and ``(~Oa + a)``."""
+    return [
+        Clause([ObsLit(a, False), SigLit(a, False)]),
+        Clause([ObsLit(a, False), SigLit(a, True)]),
+    ]
+
+
+def c2_clauses(a: SignalRef, b: str) -> List[Clause]:
+    """All four C2-clauses of the pair (a, b)."""
+    out = []
+    for pa in (False, True):
+        for pb in (False, True):
+            out.append(Clause([ObsLit(a, False), SigLit(a, pa), SigLit(b, pb)]))
+    return out
+
+
+def c3_clauses(a: SignalRef, b: str, c: str) -> List[Clause]:
+    """All eight C3-clauses of the triple (a, b, c)."""
+    out = []
+    for pa in (False, True):
+        for pb in (False, True):
+            for pc in (False, True):
+                out.append(Clause([
+                    ObsLit(a, False), SigLit(a, pa),
+                    SigLit(b, pb), SigLit(c, pc),
+                ]))
+    return out
+
+
+# ----------------------------------------------------------------------
+# characteristic formulas (Sec. 2, after Larrabee)
+# ----------------------------------------------------------------------
+def gate_characteristic_clauses(net: Netlist, output: str) -> List[Clause]:
+    """The CNF characteristic formula of one gate as Clause objects.
+
+    For the AND gate of Figure 1 this yields
+    ``(~d + a) . (~d + b) . (d + ~a + ~b)``.
+    """
+    gate = net.gate_of(output)
+    int_clauses = gate.func.cnf(
+        len(gate.inputs) + 1,
+        list(range(1, len(gate.inputs) + 1)),
+    )
+    names = list(gate.inputs) + [output]
+    result = []
+    for cl in int_clauses:
+        result.append(Clause([
+            SigLit(names[abs(l) - 1], l > 0) for l in cl
+        ]))
+    return result
+
+
+def circuit_characteristic_clauses(net: Netlist) -> List[Clause]:
+    """Conjunction (as a list) of every gate's characteristic clauses."""
+    out: List[Clause] = []
+    for sig in net.topo_order():
+        out.extend(gate_characteristic_clauses(net, sig))
+    return out
+
+
+def structural_observability_clauses(net: Netlist, output: str) -> List[Clause]:
+    """Local observability clauses derivable from one gate (Sec. 2).
+
+    For every input pin ``x`` of the gate driving ``output``:
+
+    * ``(~O_x + O_out)`` — an observable input implies an observable
+      output, and
+    * for AND/NAND (dually OR/NOR): ``(~O_x + y)`` for every other input
+      ``y`` — the side inputs must be non-controlling.
+
+    Input observabilities are *branch* observabilities of the pins.
+    """
+    gate = net.gate_of(output)
+    clauses: List[Clause] = []
+    fname = gate.func.name
+    for pin in range(gate.nin):
+        pin_ref = Branch(output, pin)
+        clauses.append(Clause([ObsLit(pin_ref, False), ObsLit(output, True)]))
+        if fname in ("AND", "NAND", "OR", "NOR"):
+            side_positive = fname in ("AND", "NAND")
+            for other_pin, other_sig in enumerate(gate.inputs):
+                if other_pin == pin:
+                    continue
+                clauses.append(Clause([
+                    ObsLit(pin_ref, False),
+                    SigLit(other_sig, side_positive),
+                ]))
+    return clauses

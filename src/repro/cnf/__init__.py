@@ -1,0 +1,5 @@
+"""CNF formulas, netlist characteristic functions, DIMACS I/O."""
+
+from .formula import CNF, Clause, VarPool, encode_netlist, from_dimacs, to_dimacs
+
+__all__ = ["CNF", "Clause", "VarPool", "encode_netlist", "from_dimacs", "to_dimacs"]

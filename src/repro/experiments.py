@@ -1,0 +1,164 @@
+"""Experiment harness regenerating the paper's Tables 1 and 2.
+
+Each row runs the same pipeline the paper describes:
+
+* Table 1 — ``script.rugged``-style synthesis, area mapping, then GDO;
+* Table 2 — ``script.delay``-style synthesis, delay mapping, then GDO;
+
+and reports gates / literals / delay before and after, the OS/IS2 and
+OS/IS3 modification counts, and CPU seconds — the exact columns of the
+paper.  Absolute values differ (our substrate is not the authors' SIS +
+DEC 3000), but the shape claims are asserted in the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from .circuits.registry import SMALL_SUITE, SUITE, TABLE2_NAMES, build
+from .library.builtin import mcnc_like
+from .library.cells import TechLibrary
+from .netlist.netlist import Netlist
+from .opt.config import GdoConfig
+from .opt.gdo import gdo_optimize
+from .synth.scripts import script_delay, script_rugged
+from .timing.sta import Sta
+
+
+@dataclass
+class TableRow:
+    """One benchmark line of Table 1 / Table 2."""
+
+    circuit: str
+    gates_before: int
+    gates_after: int
+    literals_before: int
+    literals_after: int
+    delay_before: float
+    delay_after: float
+    mods2: int
+    mods3: int
+    cpu_seconds: float
+    equivalent: Optional[bool]
+
+    @property
+    def delay_reduction(self) -> float:
+        return 0.0 if self.delay_before <= 0 else \
+            1.0 - self.delay_after / self.delay_before
+
+
+def run_circuit(
+    name: str,
+    library: Optional[TechLibrary] = None,
+    script: str = "rugged",
+    small: bool = True,
+    config: Optional[GdoConfig] = None,
+) -> TableRow:
+    """Synthesize + map + GDO one suite circuit; returns its table row."""
+    lib = library or mcnc_like()
+    net = build(name, small=small)
+    front = script_rugged if script == "rugged" else script_delay
+    mapped = front(net, lib)
+    cfg = config or GdoConfig()
+    start = time.perf_counter()
+    result = gdo_optimize(mapped, lib, cfg)
+    elapsed = time.perf_counter() - start
+    s = result.stats
+    return TableRow(
+        circuit=name,
+        gates_before=s.gates_before, gates_after=s.gates_after,
+        literals_before=s.literals_before, literals_after=s.literals_after,
+        delay_before=s.delay_before, delay_after=s.delay_after,
+        mods2=s.mods2, mods3=s.mods3, cpu_seconds=elapsed,
+        equivalent=s.equivalent,
+    )
+
+
+def run_table1(
+    names: Optional[List[str]] = None,
+    small: bool = True,
+    config: Optional[GdoConfig] = None,
+    library: Optional[TechLibrary] = None,
+) -> List[TableRow]:
+    """All rows of the Table-1 experiment (area script + GDO)."""
+    picked = names if names is not None else list(SUITE)
+    return [
+        run_circuit(nm, library=library, script="rugged", small=small,
+                    config=config)
+        for nm in picked
+    ]
+
+
+def run_table2(
+    names: Optional[List[str]] = None,
+    small: bool = True,
+    config: Optional[GdoConfig] = None,
+    library: Optional[TechLibrary] = None,
+) -> List[TableRow]:
+    """All rows of the Table-2 experiment (delay script + GDO)."""
+    picked = names if names is not None else list(TABLE2_NAMES)
+    return [
+        run_circuit(nm, library=library, script="delay", small=small,
+                    config=config)
+        for nm in picked
+    ]
+
+
+def format_table(rows: List[TableRow], title: str) -> str:
+    """Render rows in the paper's table layout (plus Σ / red. lines)."""
+    header = (
+        f"{'circuit':10} {'#gates':>13} {'#literals':>13} "
+        f"{'delay':>15} {'#mod.':>11} {'CPU[s]':>8} {'equiv':>5}"
+    )
+    sub = (
+        f"{'':10} {'before':>6} {'after':>6} {'before':>6} {'after':>6} "
+        f"{'before':>7} {'after':>7} {'2-sub':>5} {'3-sub':>5}"
+    )
+    lines = [title, header, sub, "-" * len(header)]
+    tot = dict(gb=0, ga=0, lb=0, la=0, db=0.0, da=0.0)
+    for r in rows:
+        lines.append(
+            f"{r.circuit:10} {r.gates_before:6d} {r.gates_after:6d} "
+            f"{r.literals_before:6d} {r.literals_after:6d} "
+            f"{r.delay_before:7.1f} {r.delay_after:7.1f} "
+            f"{r.mods2:5d} {r.mods3:5d} {r.cpu_seconds:8.1f} "
+            f"{str(r.equivalent):>5}"
+        )
+        tot["gb"] += r.gates_before
+        tot["ga"] += r.gates_after
+        tot["lb"] += r.literals_before
+        tot["la"] += r.literals_after
+        tot["db"] += r.delay_before
+        tot["da"] += r.delay_after
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'SUM':10} {tot['gb']:6d} {tot['ga']:6d} {tot['lb']:6d} "
+        f"{tot['la']:6d} {tot['db']:7.1f} {tot['da']:7.1f}"
+    )
+    red = lambda b, a: 0.0 if b == 0 else 100.0 * (1 - a / b)
+    lines.append(
+        f"{'red.':10} {'':6} {red(tot['gb'], tot['ga']):5.1f}% "
+        f"{'':6} {red(tot['lb'], tot['la']):5.1f}% "
+        f"{'':7} {red(tot['db'], tot['da']):6.1f}%"
+    )
+    return "\n".join(lines)
+
+
+def summarize(rows: List[TableRow]) -> Dict[str, float]:
+    """Aggregate reductions (the paper's Σ/red. lines)."""
+    gb = sum(r.gates_before for r in rows)
+    ga = sum(r.gates_after for r in rows)
+    lb = sum(r.literals_before for r in rows)
+    la = sum(r.literals_after for r in rows)
+    db = sum(r.delay_before for r in rows)
+    da = sum(r.delay_after for r in rows)
+    return {
+        "gate_reduction": 0.0 if not gb else 1 - ga / gb,
+        "literal_reduction": 0.0 if not lb else 1 - la / lb,
+        "delay_reduction": 0.0 if not db else 1 - da / db,
+        "mods2": sum(r.mods2 for r in rows),
+        "mods3": sum(r.mods3 for r in rows),
+        "cpu_seconds": sum(r.cpu_seconds for r in rows),
+    }

@@ -1,0 +1,11 @@
+"""Netlist I/O: BLIF and ISCAS .bench formats."""
+
+from .bench import BenchError, load_bench, parse_bench, write_bench
+from .blif import BlifError, load_blif, parse_blif, write_blif
+from .verilog import VerilogError, write_verilog
+
+__all__ = [
+    "BenchError", "load_bench", "parse_bench", "write_bench",
+    "BlifError", "load_blif", "parse_blif", "write_blif",
+    "VerilogError", "write_verilog",
+]

@@ -1,0 +1,121 @@
+"""Reader/writer for the ISCAS ``.bench`` netlist format.
+
+The format used to distribute the ISCAS-85/89 benchmark suites::
+
+    INPUT(a)
+    OUTPUT(y)
+    n1 = NAND(a, b)
+    y  = NOT(n1)
+
+Users holding the original benchmark files can load them directly and
+run GDO on the real circuits; our test suites use generated equivalents
+(see :mod:`repro.circuits`).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from ..netlist.gatefunc import (
+    AND, BUF, CONST0, CONST1, GateFunc, INV, NAND, NOR, OR, XNOR, XOR,
+)
+from ..netlist.netlist import Netlist, NetlistError
+
+_FUNC_FROM_BENCH: Dict[str, GateFunc] = {
+    "AND": AND, "NAND": NAND, "OR": OR, "NOR": NOR,
+    "XOR": XOR, "XNOR": XNOR, "NOT": INV, "INV": INV,
+    "BUF": BUF, "BUFF": BUF,
+}
+
+_BENCH_FROM_FUNC: Dict[str, str] = {
+    "AND": "AND", "NAND": "NAND", "OR": "OR", "NOR": "NOR",
+    "XOR": "XOR", "XNOR": "XNOR", "INV": "NOT", "BUF": "BUFF",
+}
+
+_LINE_RE = re.compile(
+    r"^\s*(?:"
+    r"(?P<io>INPUT|OUTPUT)\s*\(\s*(?P<io_name>[^)\s]+)\s*\)"
+    r"|(?P<out>\S+)\s*=\s*(?P<func>[A-Za-z]+)\s*\(\s*(?P<args>[^)]*)\)"
+    r")\s*$"
+)
+
+
+class BenchError(Exception):
+    """Malformed .bench input."""
+
+
+def parse_bench(text: str, name: str = "bench") -> Netlist:
+    """Parse ``.bench`` source text into a :class:`Netlist`.
+
+    XOR/XNOR gates with more than two inputs are expanded into binary
+    trees, since the primitive functions are 2-input.
+    """
+    net = Netlist(name)
+    outputs: List[str] = []
+    pending: List[tuple] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        match = _LINE_RE.match(line)
+        if match is None:
+            raise BenchError(f"line {lineno}: cannot parse {raw!r}")
+        if match.group("io") == "INPUT":
+            net.add_pi(match.group("io_name"))
+        elif match.group("io") == "OUTPUT":
+            outputs.append(match.group("io_name"))
+        else:
+            fname = match.group("func").upper()
+            func = _FUNC_FROM_BENCH.get(fname)
+            if func is None:
+                raise BenchError(f"line {lineno}: unknown gate {fname!r}")
+            args = [a.strip() for a in match.group("args").split(",") if a.strip()]
+            pending.append((match.group("out"), func, args, lineno))
+    for out, func, args, lineno in pending:
+        try:
+            if func in (XOR, XNOR) and len(args) > 2:
+                _add_xor_tree(net, out, func, args)
+            else:
+                net.add_gate(out, func, args)
+        except (NetlistError, ValueError) as exc:
+            raise BenchError(f"line {lineno}: {exc}") from exc
+    net.set_pos(outputs)
+    try:
+        net.validate()
+    except NetlistError as exc:
+        raise BenchError(str(exc)) from exc
+    return net
+
+
+def _add_xor_tree(net: Netlist, out: str, func: GateFunc, args: List[str]) -> None:
+    acc = args[0]
+    for sig in args[1:-1]:
+        acc = net.add_gate(net.fresh_name(f"{out}_x"), XOR, [acc, sig])
+    net.add_gate(out, func, [acc, args[-1]])
+
+
+def load_bench(path: str) -> Netlist:
+    with open(path) as handle:
+        return parse_bench(handle.read(), name=path)
+
+
+def write_bench(net: Netlist) -> str:
+    """Serialize a netlist of bench-expressible gates to ``.bench`` text.
+
+    Constants are expressed through a dummy input tied with AND/NAND
+    self-loops being illegal, so CONST gates raise; complex cells (AOI,
+    MUX, ...) also raise — decompose them first if needed.
+    """
+    lines: List[str] = [f"# {net.name}"]
+    lines += [f"INPUT({pi})" for pi in net.pis]
+    lines += [f"OUTPUT({po})" for po in net.pos]
+    for out in net.topo_order():
+        gate = net.gates[out]
+        bench_name = _BENCH_FROM_FUNC.get(gate.func.name)
+        if bench_name is None:
+            raise BenchError(
+                f"gate {out!r} ({gate.func.name}) not expressible in .bench"
+            )
+        lines.append(f"{out} = {bench_name}({', '.join(gate.inputs)})")
+    return "\n".join(lines) + "\n"

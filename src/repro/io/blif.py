@@ -1,0 +1,241 @@
+"""Reader/writer for (a combinational subset of) the BLIF format.
+
+Supported constructs: ``.model``, ``.inputs``, ``.outputs``, ``.names``
+(SOP covers), ``.gate`` (mapped cells from a supplied library), ``.end``,
+line continuation with ``\\``, and comments.  Latches and hierarchy are
+out of scope — the paper optimizes combinational netlists.
+
+``.names`` covers are decomposed into primitive AND/OR/INV gates (one
+AND per cube, an OR collecting the cubes), so any SOP is readable even
+though netlist gates are primitives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..library.cells import TechLibrary
+from ..library.genlib import cell_formula
+from ..netlist.gatefunc import AND, BUF, CONST0, CONST1, INV, OR
+from ..netlist.netlist import Netlist, NetlistError
+
+
+class BlifError(Exception):
+    """Malformed BLIF input."""
+
+
+def parse_blif(text: str, library: Optional[TechLibrary] = None) -> Netlist:
+    """Parse BLIF text into a :class:`Netlist`.
+
+    ``library`` is required to resolve ``.gate`` lines; pin connections
+    are given as ``pin=signal`` pairs with ``o``/``O``/last formula
+    variable as the output pin.
+    """
+    net = Netlist("blif")
+    lines = _logical_lines(text)
+    idx = 0
+    outputs: List[str] = []
+    while idx < len(lines):
+        tokens = lines[idx].split()
+        idx += 1
+        key = tokens[0]
+        if key == ".model":
+            net.name = tokens[1] if len(tokens) > 1 else "blif"
+        elif key == ".inputs":
+            for name in tokens[1:]:
+                net.add_pi(name)
+        elif key == ".outputs":
+            outputs.extend(tokens[1:])
+        elif key == ".names":
+            idx = _parse_names(net, tokens[1:], lines, idx)
+        elif key == ".gate":
+            _parse_gate(net, tokens[1:], library)
+        elif key == ".end":
+            break
+        elif key.startswith("."):
+            raise BlifError(f"unsupported BLIF construct {key!r}")
+        else:
+            raise BlifError(f"unexpected line {lines[idx - 1]!r}")
+    net.set_pos(outputs)
+    net.validate()
+    return net
+
+
+def load_blif(path: str, library: Optional[TechLibrary] = None) -> Netlist:
+    with open(path) as handle:
+        return parse_blif(handle.read(), library=library)
+
+
+def _logical_lines(text: str) -> List[str]:
+    lines: List[str] = []
+    buffer = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        if line.endswith("\\"):
+            buffer += line[:-1] + " "
+            continue
+        lines.append((buffer + line).strip())
+        buffer = ""
+    if buffer.strip():
+        lines.append(buffer.strip())
+    return lines
+
+
+def _parse_names(net: Netlist, signals: Sequence[str],
+                 lines: List[str], idx: int) -> int:
+    """Parse one ``.names`` block starting at ``lines[idx]``."""
+    if not signals:
+        raise BlifError(".names without signals")
+    *ins, out = signals
+    cubes: List[Tuple[str, str]] = []
+    while idx < len(lines) and not lines[idx].startswith("."):
+        parts = lines[idx].split()
+        if len(ins) == 0:
+            if len(parts) != 1:
+                raise BlifError(f"bad constant cover line {lines[idx]!r}")
+            cubes.append(("", parts[0]))
+        else:
+            if len(parts) != 2:
+                raise BlifError(f"bad cover line {lines[idx]!r}")
+            cubes.append((parts[0], parts[1]))
+        idx += 1
+    _build_sop(net, out, ins, cubes)
+    return idx
+
+
+def _build_sop(net: Netlist, out: str, ins: Sequence[str],
+               cubes: List[Tuple[str, str]]) -> None:
+    """Instantiate primitive gates computing the SOP cover."""
+    if not cubes:
+        net.add_gate(out, CONST0, [])
+        return
+    out_vals = {c[1] for c in cubes}
+    if out_vals == {"0"}:
+        # Offset cover: complement of the OR of the cubes.
+        _build_sop_phase(net, out, ins, [c[0] for c in cubes], invert=True)
+        return
+    if out_vals != {"1"}:
+        raise BlifError(f".names {out}: mixed cover polarities")
+    _build_sop_phase(net, out, ins, [c[0] for c in cubes], invert=False)
+
+
+def _build_sop_phase(net: Netlist, out: str, ins: Sequence[str],
+                     masks: List[str], invert: bool) -> None:
+    if not ins:
+        value = 0 if invert else 1
+        net.add_gate(out, CONST1 if value else CONST0, [])
+        return
+    terms: List[str] = []
+    for mask in masks:
+        if len(mask) != len(ins):
+            raise BlifError(f".names {out}: cube width mismatch")
+        lits: List[str] = []
+        for sig, bit in zip(ins, mask):
+            if bit == "-":
+                continue
+            if bit == "1":
+                lits.append(sig)
+            elif bit == "0":
+                lits.append(_inverted(net, sig, hint=out))
+            else:
+                raise BlifError(f".names {out}: bad cube char {bit!r}")
+        if not lits:
+            # Tautological cube.
+            terms = []
+            net.add_gate(out, CONST0 if invert else CONST1, [])
+            return
+        if len(lits) == 1:
+            terms.append(lits[0])
+        else:
+            terms.append(net.add_gate(net.fresh_name(f"{out}_c"), AND, lits))
+    if len(terms) == 1:
+        net.add_gate(out, INV if invert else BUF, [terms[0]])
+    else:
+        net.add_gate(out, "NOR" if invert else "OR", terms)
+
+
+def _inverted(net: Netlist, signal: str, hint: str) -> str:
+    for branch in net.fanouts(signal):
+        gate = net.gates[branch.gate]
+        if gate.func is INV:
+            return gate.output
+    return net.add_gate(net.fresh_name(f"{hint}_n"), INV, [signal])
+
+
+def _parse_gate(net: Netlist, tokens: Sequence[str],
+                library: Optional[TechLibrary]) -> None:
+    if library is None:
+        raise BlifError(".gate requires a technology library")
+    if not tokens:
+        raise BlifError(".gate without cell name")
+    cellname = tokens[0]
+    if cellname not in library:
+        raise BlifError(f".gate references unknown cell {cellname!r}")
+    cell = library[cellname]
+    conns: Dict[str, str] = {}
+    for pair in tokens[1:]:
+        if "=" not in pair:
+            raise BlifError(f"bad .gate connection {pair!r}")
+        pin, sig = pair.split("=", 1)
+        conns[pin] = sig
+    out_pin = next((p for p in ("o", "O", "out", "Y", "y") if p in conns), None)
+    if out_pin is None:
+        raise BlifError(f".gate {cellname}: no output connection")
+    pin_names = [p for p in _cell_pin_names(cell) if p in conns]
+    if len(pin_names) != cell.nin:
+        raise BlifError(f".gate {cellname}: expected {cell.nin} input pins")
+    net.add_gate(conns[out_pin], cell.func,
+                 [conns[p] for p in pin_names], cell=cell.name)
+
+
+def _cell_pin_names(cell) -> List[str]:
+    # Builtin-library convention: pins are named a, b, c, ...
+    return list("abcdefgh"[: cell.nin])
+
+
+# ----------------------------------------------------------------------
+# writing
+# ----------------------------------------------------------------------
+def write_blif(net: Netlist, mapped: bool = False,
+               library: Optional[TechLibrary] = None) -> str:
+    """Serialize a netlist to BLIF.
+
+    With ``mapped=True`` gates bound to library cells are emitted as
+    ``.gate`` lines (pins named a, b, c...); otherwise every gate becomes
+    a ``.names`` cover derived from its truth table.
+    """
+    lines = [f".model {net.name}"]
+    lines.append(".inputs " + " ".join(net.pis))
+    lines.append(".outputs " + " ".join(net.pos))
+    for out in net.topo_order():
+        gate = net.gates[out]
+        if mapped and gate.cell and library is not None and gate.cell in library:
+            conns = " ".join(
+                f"{pin}={sig}" for pin, sig in
+                zip(_cell_pin_names(library[gate.cell]), gate.inputs)
+            )
+            lines.append(f".gate {gate.cell} {conns} o={out}")
+        else:
+            lines.append(".names " + " ".join(gate.inputs + [out]))
+            lines.extend(_cover_lines(gate))
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def _cover_lines(gate) -> List[str]:
+    nin = gate.nin
+    if nin == 0:
+        return ["1"] if gate.func is CONST1 else []
+    rows: List[str] = []
+    table = gate.func.truth_table(nin)
+    if gate.func.name in ("AND",):
+        return ["1" * nin + " 1"]
+    if gate.func.name in ("OR",):
+        return [("-" * k + "1" + "-" * (nin - k - 1)) + " 1" for k in range(nin)]
+    for row in range(1 << nin):
+        if table[row]:
+            mask = "".join("1" if (row >> k) & 1 else "0" for k in range(nin))
+            rows.append(mask + " 1")
+    return rows

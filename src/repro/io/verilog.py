@@ -1,0 +1,117 @@
+"""Structural Verilog writer for mapped and unmapped netlists.
+
+Mapped gates become cell instances (pins ``a, b, ... -> o``, matching
+the built-in genlib convention); unmapped gates become Verilog primitive
+instantiations (``and``, ``nand``, ``xor``, ``not``, ...).  There is no
+reader — BLIF/.bench are the interchange formats; the writer exists so
+optimized netlists can flow into downstream tools.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from ..library.cells import TechLibrary
+from ..netlist.netlist import Netlist
+
+_PRIMITIVE: Dict[str, str] = {
+    "AND": "and", "NAND": "nand", "OR": "or", "NOR": "nor",
+    "XOR": "xor", "XNOR": "xnor", "INV": "not", "BUF": "buf",
+}
+
+_ID_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+
+
+def _escape(name: str) -> str:
+    """Verilog-legal identifier (escaped identifier when necessary)."""
+    if _ID_RE.match(name):
+        return name
+    return "\\" + name + " "
+
+
+class VerilogError(Exception):
+    """The netlist contains something inexpressible (for the chosen
+    mode)."""
+
+
+def write_verilog(
+    net: Netlist,
+    mapped: bool = False,
+    library: Optional[TechLibrary] = None,
+    module_name: Optional[str] = None,
+) -> str:
+    """Serialize the netlist as a structural Verilog module."""
+    name = module_name or re.sub(r"[^A-Za-z0-9_]", "_", net.name) or "top"
+    pis = [_escape(p) for p in net.pis]
+    pos = []
+    po_nets: List[str] = []
+    for idx, po in enumerate(net.pos):
+        pos.append(f"po{idx}")
+        po_nets.append(po)
+    lines = [f"module {name} ("]
+    ports = [f"  input  {p}" for p in pis] + [f"  output {p}" for p in pos]
+    lines.append(",\n".join(ports))
+    lines.append(");")
+    wires = [
+        _escape(sig) for sig in net.topo_order() if sig not in net.pis
+    ]
+    if wires:
+        lines.append("  wire " + ", ".join(wires) + ";")
+    for k, out in enumerate(net.topo_order()):
+        gate = net.gates[out]
+        fname = gate.func.name
+        ins = ", ".join(_escape(s) for s in gate.inputs)
+        if mapped and gate.cell and library is not None \
+                and gate.cell in library:
+            conns = ", ".join(
+                f".{pin}({_escape(sig)})"
+                for pin, sig in zip("abcdefgh", gate.inputs)
+            )
+            lines.append(
+                f"  {gate.cell} u{k} ({conns}, .o({_escape(out)}));"
+            )
+        elif fname in _PRIMITIVE:
+            lines.append(
+                f"  {_PRIMITIVE[fname]} u{k} ({_escape(out)}, {ins});"
+            )
+        elif fname == "CONST0":
+            lines.append(f"  assign {_escape(out)} = 1'b0;")
+        elif fname == "CONST1":
+            lines.append(f"  assign {_escape(out)} = 1'b1;")
+        elif fname == "MUX21":
+            a, b, s = (_escape(x) for x in gate.inputs)
+            lines.append(
+                f"  assign {_escape(out)} = {s} ? {b} : {a};"
+            )
+        elif fname in ("AOI21", "OAI21", "AOI22", "OAI22", "MAJ3",
+                       "ANDN", "ORN"):
+            lines.append(
+                f"  assign {_escape(out)} = {_complex_expr(fname, gate)};"
+            )
+        else:
+            raise VerilogError(f"gate {out!r}: no Verilog form for {fname}")
+    for idx, po in enumerate(po_nets):
+        lines.append(f"  assign po{idx} = {_escape(po)};")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def _complex_expr(fname: str, gate) -> str:
+    ins = [_escape(s) for s in gate.inputs]
+    if fname == "AOI21":
+        return f"~(({ins[0]} & {ins[1]}) | {ins[2]})"
+    if fname == "OAI21":
+        return f"~(({ins[0]} | {ins[1]}) & {ins[2]})"
+    if fname == "AOI22":
+        return (f"~(({ins[0]} & {ins[1]}) | ({ins[2]} & {ins[3]}))")
+    if fname == "OAI22":
+        return (f"~(({ins[0]} | {ins[1]}) & ({ins[2]} | {ins[3]}))")
+    if fname == "MAJ3":
+        a, b, c = ins
+        return f"(({a} & {b}) | ({a} & {c}) | ({b} & {c}))"
+    if fname == "ANDN":
+        return f"({ins[0]} & ~{ins[1]})"
+    if fname == "ORN":
+        return f"({ins[0]} | ~{ins[1]})"
+    raise VerilogError(fname)

@@ -1,0 +1,11 @@
+"""Technology library: genlib parsing and built-in cell libraries."""
+
+from .cells import Cell, PinTiming, TechLibrary
+from .genlib import GenlibError, cell_formula, load_genlib, parse_genlib, write_genlib
+from .builtin import MCNC_LIKE_GENLIB, mcnc_like, unit_delay_library
+
+__all__ = [
+    "Cell", "PinTiming", "TechLibrary",
+    "GenlibError", "cell_formula", "load_genlib", "parse_genlib",
+    "write_genlib", "MCNC_LIKE_GENLIB", "mcnc_like", "unit_delay_library",
+]

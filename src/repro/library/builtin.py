@@ -1,0 +1,79 @@
+"""Built-in technology libraries.
+
+``mcnc_like()`` is the stand-in for the paper's ``mcnc.genlib`` — the
+same cell families (INV/BUF, NAND/NOR/AND/OR at 2..4 inputs, XOR/XNOR,
+AOI/OAI complex gates) with genlib-style block+drive pin delays and
+relative areas.  It is defined as genlib source and parsed through the
+regular reader, so the parser is exercised on every import.
+
+``unit_delay_library()`` gives every function a delay of exactly 1.0
+and area 1.0 — handy for deterministic unit tests.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .cells import Cell, PinTiming, TechLibrary
+from .genlib import parse_genlib
+from ..netlist.gatefunc import (
+    AND, ANDN, AOI21, AOI22, BUF, INV, MAJ3, MUX21, NAND, NOR, OAI21,
+    OAI22, OR, ORN, XNOR, XOR,
+)
+
+MCNC_LIKE_GENLIB = """
+# mcnc-like standard cell library (areas relative to the inverter)
+GATE inv1   1.0  o=!a;              PIN * INV 1.0 999 1.0 0.40 1.0 0.40
+GATE buf1   1.5  o=a;               PIN * NONINV 1.0 999 1.2 0.30 1.2 0.30
+GATE nand2  1.5  o=!(a*b);          PIN * INV 1.0 999 1.0 0.50 1.0 0.50
+GATE nand3  2.0  o=!(a*b*c);        PIN * INV 1.1 999 1.3 0.55 1.3 0.55
+GATE nand4  2.5  o=!(a*b*c*d);      PIN * INV 1.2 999 1.6 0.60 1.6 0.60
+GATE nor2   1.5  o=!(a+b);          PIN * INV 1.0 999 1.4 0.55 1.4 0.55
+GATE nor3   2.0  o=!(a+b+c);        PIN * INV 1.1 999 1.8 0.60 1.8 0.60
+GATE nor4   2.5  o=!(a+b+c+d);      PIN * INV 1.2 999 2.2 0.65 2.2 0.65
+GATE and2   2.0  o=a*b;             PIN * NONINV 1.0 999 1.9 0.45 1.9 0.45
+GATE and3   2.5  o=a*b*c;           PIN * NONINV 1.1 999 2.2 0.50 2.2 0.50
+GATE and4   3.0  o=a*b*c*d;         PIN * NONINV 1.2 999 2.5 0.55 2.5 0.55
+GATE or2    2.0  o=a+b;             PIN * NONINV 1.0 999 2.1 0.45 2.1 0.45
+GATE or3    2.5  o=a+b+c;           PIN * NONINV 1.1 999 2.5 0.50 2.5 0.50
+GATE or4    3.0  o=a+b+c+d;         PIN * NONINV 1.2 999 2.9 0.55 2.9 0.55
+GATE xor2   3.5  o=a^b;             PIN * UNKNOWN 1.8 999 2.6 0.60 2.6 0.60
+GATE xnor2  3.5  o=!(a^b);          PIN * UNKNOWN 1.8 999 2.6 0.60 2.6 0.60
+GATE aoi21  2.0  o=!((a*b)+c);      PIN * INV 1.0 999 1.6 0.60 1.6 0.60
+GATE oai21  2.0  o=!((a+b)*c);      PIN * INV 1.0 999 1.6 0.60 1.6 0.60
+GATE aoi22  2.5  o=!((a*b)+(c*d));  PIN * INV 1.1 999 2.0 0.65 2.0 0.65
+GATE oai22  2.5  o=!((a+b)*(c+d));  PIN * INV 1.1 999 2.0 0.65 2.0 0.65
+GATE mux21  3.0  o=(a*!c)+(b*c);    PIN * UNKNOWN 1.4 999 2.4 0.55 2.4 0.55
+GATE maj3   3.0  o=(a*b)+(a*c)+(b*c); PIN * NONINV 1.2 999 2.4 0.55 2.4 0.55
+GATE andn2  2.0  o=a*!b;            PIN * UNKNOWN 1.0 999 1.9 0.45 1.9 0.45
+GATE orn2   2.0  o=a+!b;            PIN * UNKNOWN 1.0 999 2.1 0.45 2.1 0.45
+"""
+
+
+@lru_cache(maxsize=None)
+def mcnc_like() -> TechLibrary:
+    """The default mapping/optimization target library."""
+    return parse_genlib(MCNC_LIKE_GENLIB, name="mcnc_like")
+
+
+@lru_cache(maxsize=None)
+def unit_delay_library() -> TechLibrary:
+    """Every supported function, unit delay, unit area (test library)."""
+    unit = [PinTiming(1.0, 0.0)]
+    cells = []
+    specs = [
+        ("u_inv", INV, 1), ("u_buf", BUF, 1),
+        ("u_and2", AND, 2), ("u_and3", AND, 3), ("u_and4", AND, 4),
+        ("u_nand2", NAND, 2), ("u_nand3", NAND, 3), ("u_nand4", NAND, 4),
+        ("u_or2", OR, 2), ("u_or3", OR, 3), ("u_or4", OR, 4),
+        ("u_nor2", NOR, 2), ("u_nor3", NOR, 3), ("u_nor4", NOR, 4),
+        ("u_xor2", XOR, 2), ("u_xnor2", XNOR, 2),
+        ("u_aoi21", AOI21, 3), ("u_oai21", OAI21, 3),
+        ("u_aoi22", AOI22, 4), ("u_oai22", OAI22, 4),
+        ("u_mux21", MUX21, 3), ("u_maj3", MAJ3, 3),
+        ("u_andn2", ANDN, 2), ("u_orn2", ORN, 2),
+    ]
+    for name, func, nin in specs:
+        cells.append(Cell(name, 1.0, func, nin, input_load=1.0,
+                          pins=list(unit) * nin))
+    return TechLibrary("unit", cells)

@@ -1,0 +1,145 @@
+"""Technology library model: cells with area, load, and pin delays.
+
+The delay model follows genlib: the delay through a pin is
+``block + drive * load`` where ``load`` is the sum of the input loads of
+the fanout pins.  The paper maps with ``map -n 1`` (no fanout
+optimization) and then relies on "exact gate delay information" — this
+module supplies that information to :mod:`repro.timing`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netlist.gatefunc import GateFunc
+from ..netlist.netlist import Gate, Netlist
+
+
+@dataclass(frozen=True)
+class PinTiming:
+    """Per-pin genlib timing: ``delay = block + drive * load`` (we keep
+    the max of rise and fall arcs as a single arc)."""
+
+    block: float
+    drive: float
+
+    def delay(self, load: float) -> float:
+        return self.block + self.drive * load
+
+
+@dataclass
+class Cell:
+    """One library cell."""
+
+    name: str
+    area: float
+    func: GateFunc
+    nin: int
+    input_load: float = 1.0
+    pins: List[PinTiming] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.pins:
+            self.pins = [PinTiming(1.0, 0.2)] * self.nin
+        if len(self.pins) == 1 and self.nin > 1:
+            self.pins = list(self.pins) * self.nin
+        if len(self.pins) != self.nin:
+            raise ValueError(
+                f"cell {self.name}: {len(self.pins)} pin timings "
+                f"for {self.nin} pins"
+            )
+
+    def pin_delay(self, pin: int, load: float) -> float:
+        return self.pins[pin].delay(load)
+
+    def worst_block(self) -> float:
+        return max((p.block for p in self.pins), default=0.0)
+
+
+class TechLibrary:
+    """A collection of cells indexed by name and by (function, arity)."""
+
+    def __init__(self, name: str, cells: Sequence[Cell]):
+        self.name = name
+        self.cells: Dict[str, Cell] = {}
+        self._by_func: Dict[Tuple[str, int], List[Cell]] = {}
+        for cell in cells:
+            self.add(cell)
+
+    def add(self, cell: Cell) -> None:
+        if cell.name in self.cells:
+            raise ValueError(f"duplicate cell {cell.name!r}")
+        self.cells[cell.name] = cell
+        self._by_func.setdefault((cell.func.name, cell.nin), []).append(cell)
+        self._by_func[(cell.func.name, cell.nin)].sort(key=lambda c: c.area)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.cells
+
+    def __getitem__(self, name: str) -> Cell:
+        return self.cells[name]
+
+    def __iter__(self):
+        return iter(self.cells.values())
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    # ------------------------------------------------------------------
+    def cell_for(self, func: GateFunc, nin: int) -> Optional[Cell]:
+        """Smallest-area cell implementing ``func`` with ``nin`` inputs."""
+        matches = self._by_func.get((func.name, nin))
+        return matches[0] if matches else None
+
+    def has_func(self, func: GateFunc, nin: int = 2) -> bool:
+        return self.cell_for(func, nin) is not None
+
+    def rebind(self, net: Netlist) -> int:
+        """(Re)assign ``gate.cell`` for every gate from its function.
+
+        Returns the number of gates left unbound (no matching cell); the
+        timing model falls back to a default arc for those.
+        """
+        unbound = 0
+        for gate in net.gates.values():
+            cell = self.cell_for(gate.func, gate.nin)
+            if cell is None:
+                gate.cell = None
+                if gate.func.name not in ("CONST0", "CONST1"):
+                    unbound += 1
+            else:
+                gate.cell = cell.name
+        return unbound
+
+    # ------------------------------------------------------------------
+    # per-gate accessors used by timing and area accounting
+    # ------------------------------------------------------------------
+    def gate_cell(self, gate: Gate) -> Optional[Cell]:
+        if gate.cell is not None and gate.cell in self.cells:
+            return self.cells[gate.cell]
+        return self.cell_for(gate.func, gate.nin)
+
+    def gate_area(self, gate: Gate) -> float:
+        cell = self.gate_cell(gate)
+        if cell is not None:
+            return cell.area
+        if gate.func.name in ("CONST0", "CONST1"):
+            return 0.0
+        # Unbound gate: pessimistic composite of 2-input pieces.
+        return float(max(gate.nin, 1))
+
+    def gate_input_load(self, gate: Gate, pin: int) -> float:
+        cell = self.gate_cell(gate)
+        return cell.input_load if cell is not None else 1.0
+
+    def gate_pin_timing(self, gate: Gate, pin: int) -> PinTiming:
+        cell = self.gate_cell(gate)
+        if cell is not None:
+            return cell.pins[pin]
+        if gate.func.name in ("CONST0", "CONST1"):
+            return PinTiming(0.0, 0.0)
+        return PinTiming(1.0, 0.2)
+
+    def netlist_area(self, net: Netlist) -> float:
+        return sum(self.gate_area(g) for g in net.gates.values())

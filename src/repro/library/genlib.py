@@ -1,0 +1,347 @@
+"""Reader/writer for the genlib gate-library format (SIS/MCNC style).
+
+Supported syntax per cell::
+
+    GATE <name> <area> <out>=<expr>;
+        PIN <pin|*> <phase> <in-load> <max-load> <r-blk> <r-drv> <f-blk> <f-drv>
+
+Expressions use ``!``/``'`` for NOT, ``*`` for AND, ``+`` for OR, ``^``
+for XOR, parentheses, and the constants ``0``/``1``.  Each parsed cell is
+matched against the primitive :mod:`repro.netlist.gatefunc` functions by
+truth table; cells computing an unsupported function raise (or are
+skipped with ``skip_unknown=True``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netlist.gatefunc import ALL_FUNCS, GateFunc
+from .cells import Cell, PinTiming, TechLibrary
+
+
+class GenlibError(Exception):
+    """Malformed genlib input or unsupported cell function."""
+
+
+# ----------------------------------------------------------------------
+# boolean expression parsing
+# ----------------------------------------------------------------------
+_TOKEN_RE = re.compile(r"\s*([A-Za-z_][A-Za-z_0-9\[\]]*|[01!'()*+^])")
+
+
+class _Expr:
+    def eval(self, env: Dict[str, int]) -> int:
+        raise NotImplementedError
+
+
+class _Var(_Expr):
+    def __init__(self, name: str):
+        self.name = name
+
+    def eval(self, env: Dict[str, int]) -> int:
+        return env[self.name]
+
+
+class _Const(_Expr):
+    def __init__(self, value: int):
+        self.value = value
+
+    def eval(self, env: Dict[str, int]) -> int:
+        return self.value
+
+
+class _Not(_Expr):
+    def __init__(self, sub: _Expr):
+        self.sub = sub
+
+    def eval(self, env: Dict[str, int]) -> int:
+        return 1 - self.sub.eval(env)
+
+
+class _Bin(_Expr):
+    def __init__(self, op: str, left: _Expr, right: _Expr):
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def eval(self, env: Dict[str, int]) -> int:
+        lv = self.left.eval(env)
+        rv = self.right.eval(env)
+        if self.op == "*":
+            return lv & rv
+        if self.op == "+":
+            return lv | rv
+        return lv ^ rv
+
+
+class _ExprParser:
+    """Recursive descent: or <- xor (+ xor)*, xor <- and (^ and)*,
+    and <- unary (* unary)*, unary <- ! unary | primary ['], primary."""
+
+    def __init__(self, text: str):
+        self.tokens = _tokenize(text)
+        self.pos = 0
+        self.pin_order: List[str] = []
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise GenlibError("unexpected end of expression")
+        self.pos += 1
+        return tok
+
+    def parse(self) -> _Expr:
+        expr = self._or()
+        if self.peek() is not None:
+            raise GenlibError(f"trailing token {self.peek()!r} in expression")
+        return expr
+
+    def _or(self) -> _Expr:
+        expr = self._xor()
+        while self.peek() == "+":
+            self.take()
+            expr = _Bin("+", expr, self._xor())
+        return expr
+
+    def _xor(self) -> _Expr:
+        expr = self._and()
+        while self.peek() == "^":
+            self.take()
+            expr = _Bin("^", expr, self._and())
+        return expr
+
+    def _and(self) -> _Expr:
+        expr = self._unary()
+        while True:
+            tok = self.peek()
+            if tok == "*":
+                self.take()
+                expr = _Bin("*", expr, self._unary())
+            elif tok is not None and (tok == "(" or tok == "!" or
+                                      _is_ident(tok) or tok in "01"):
+                # implicit AND by juxtaposition
+                expr = _Bin("*", expr, self._unary())
+            else:
+                return expr
+
+    def _unary(self) -> _Expr:
+        tok = self.peek()
+        if tok == "!":
+            self.take()
+            return _Not(self._unary())
+        expr = self._primary()
+        while self.peek() == "'":
+            self.take()
+            expr = _Not(expr)
+        return expr
+
+    def _primary(self) -> _Expr:
+        tok = self.take()
+        if tok == "(":
+            expr = self._or()
+            if self.take() != ")":
+                raise GenlibError("missing ')' in expression")
+            return expr
+        if tok in ("0", "1"):
+            return _Const(int(tok))
+        if _is_ident(tok):
+            if tok not in self.pin_order:
+                self.pin_order.append(tok)
+            return _Var(tok)
+        raise GenlibError(f"unexpected token {tok!r} in expression")
+
+
+def _is_ident(tok: str) -> bool:
+    return bool(re.match(r"^[A-Za-z_]", tok))
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            if text[pos:].strip():
+                raise GenlibError(f"bad character in expression: {text[pos:]!r}")
+            break
+        tokens.append(match.group(1))
+        pos = match.end()
+    return tokens
+
+
+def _match_func(
+    expr: _Expr, pin_order: Sequence[str]
+) -> Tuple[GateFunc, List[str]]:
+    """Identify the primitive function computed by ``expr``.
+
+    Pin order in a genlib formula is the order of first appearance, which
+    need not match the argument order of our primitive functions (e.g.
+    MUX21's select pin).  All input permutations are tried; the returned
+    pin list is reordered to align with the function's argument order.
+    """
+    import itertools
+
+    nin = len(pin_order)
+    candidates = [
+        f for f in ALL_FUNCS
+        if (f.arity == nin) or (f.arity is None and nin >= 1)
+    ]
+    tables = {f.name: f.truth_table(nin) for f in candidates}
+    for perm in itertools.permutations(range(nin)):
+        # ordered[k] is the pin feeding function argument k.
+        ordered = [pin_order[perm[k]] for k in range(nin)]
+        table = []
+        for row in range(1 << nin):
+            env = {pin: (row >> k) & 1 for k, pin in enumerate(ordered)}
+            table.append(expr.eval(env))
+        for func in candidates:
+            if tables[func.name] == table:
+                return func, ordered
+    raise GenlibError(
+        f"cell function with {nin} pins not in the primitive set"
+    )
+
+
+# ----------------------------------------------------------------------
+# genlib file parsing
+# ----------------------------------------------------------------------
+def parse_genlib(text: str, name: str = "genlib",
+                 skip_unknown: bool = False) -> TechLibrary:
+    """Parse genlib source text into a :class:`TechLibrary`."""
+    cells: List[Cell] = []
+    for cellname, area, formula, pin_specs in _iter_gates(text):
+        parser = _ExprParser(formula.split("=", 1)[1])
+        expr = parser.parse()
+        try:
+            func, pin_order = _match_func(expr, parser.pin_order)
+        except GenlibError:
+            if skip_unknown:
+                continue
+            raise GenlibError(f"cell {cellname!r}: unsupported function")
+        input_load, pins = _assemble_pins(cellname, pin_order, pin_specs)
+        cells.append(Cell(cellname, area, func, len(pin_order),
+                          input_load=input_load, pins=pins))
+    return TechLibrary(name, cells)
+
+
+def load_genlib(path: str, name: Optional[str] = None,
+                skip_unknown: bool = False) -> TechLibrary:
+    with open(path) as handle:
+        return parse_genlib(handle.read(), name=name or path,
+                            skip_unknown=skip_unknown)
+
+
+def _strip_comments(text: str) -> str:
+    return re.sub(r"#[^\n]*", "", text)
+
+
+_GATE_RE = re.compile(
+    r"GATE\s+(\S+)\s+([0-9.eE+-]+)\s+([^;]+);", re.MULTILINE
+)
+_PIN_RE = re.compile(
+    r"PIN\s+(\S+)\s+(\S+)\s+([0-9.eE+-]+)\s+([0-9.eE+-]+)\s+"
+    r"([0-9.eE+-]+)\s+([0-9.eE+-]+)\s+([0-9.eE+-]+)\s+([0-9.eE+-]+)"
+)
+
+
+def _iter_gates(text: str):
+    text = _strip_comments(text)
+    gate_matches = list(_GATE_RE.finditer(text))
+    for idx, match in enumerate(gate_matches):
+        start = match.end()
+        end = gate_matches[idx + 1].start() if idx + 1 < len(gate_matches) \
+            else len(text)
+        pin_specs = [
+            (m.group(1), float(m.group(3)),
+             float(m.group(5)), float(m.group(6)),
+             float(m.group(7)), float(m.group(8)))
+            for m in _PIN_RE.finditer(text[start:end])
+        ]
+        formula = match.group(3).strip()
+        if "=" not in formula:
+            raise GenlibError(f"cell {match.group(1)!r}: bad formula")
+        yield match.group(1), float(match.group(2)), formula, pin_specs
+
+
+def _assemble_pins(cellname, pin_order, pin_specs):
+    """Combine PIN lines into per-pin timings; returns (input_load, pins)."""
+    nin = len(pin_order)
+    if not pin_specs:
+        return 1.0, [PinTiming(1.0, 0.2)] * nin
+    star = next((p for p in pin_specs if p[0] == "*"), None)
+    by_name = {p[0]: p for p in pin_specs if p[0] != "*"}
+    pins: List[PinTiming] = []
+    loads: List[float] = []
+    for pin in pin_order:
+        spec = by_name.get(pin, star)
+        if spec is None:
+            raise GenlibError(f"cell {cellname!r}: no PIN spec for {pin!r}")
+        _, load, r_blk, r_drv, f_blk, f_drv = spec
+        pins.append(PinTiming(max(r_blk, f_blk), max(r_drv, f_drv)))
+        loads.append(load)
+    return max(loads), pins
+
+
+# ----------------------------------------------------------------------
+# genlib writing
+# ----------------------------------------------------------------------
+_FORMULA: Dict[str, str] = {
+    "BUF": "{0}",
+    "INV": "!{0}",
+    "AND": "*",
+    "NAND": "!AND",
+    "OR": "+",
+    "NOR": "!OR",
+    "XOR": "{0}^{1}",
+    "XNOR": "!({0}^{1})",
+    "AOI21": "!(({0}*{1})+{2})",
+    "OAI21": "!(({0}+{1})*{2})",
+    "AOI22": "!(({0}*{1})+({2}*{3}))",
+    "OAI22": "!(({0}+{1})*({2}+{3}))",
+    "MUX21": "({0}*!{2})+({1}*{2})",
+    "MAJ3": "({0}*{1})+({0}*{2})+({1}*{2})",
+    "ANDN": "{0}*!{1}",
+    "ORN": "{0}+!{1}",
+    "CONST0": "0",
+    "CONST1": "1",
+}
+
+_PINS = "abcdefgh"
+
+
+def cell_formula(cell: Cell) -> str:
+    """genlib formula string (``o=...``) for a supported cell."""
+    template = _FORMULA.get(cell.func.name)
+    if template is None:
+        raise GenlibError(f"no formula template for {cell.func.name}")
+    names = list(_PINS[: cell.nin])
+    if template == "*":
+        body = "*".join(names)
+    elif template == "!AND":
+        body = "!(" + "*".join(names) + ")"
+    elif template == "+":
+        body = "+".join(names)
+    elif template == "!OR":
+        body = "!(" + "+".join(names) + ")"
+    else:
+        body = template.format(*names)
+    return f"o={body}"
+
+
+def write_genlib(lib: TechLibrary) -> str:
+    """Serialize a library back to genlib text."""
+    lines: List[str] = [f"# library {lib.name}"]
+    for cell in lib:
+        lines.append(f"GATE {cell.name} {cell.area:g} {cell_formula(cell)};")
+        for pin_name, timing in zip(_PINS, cell.pins):
+            lines.append(
+                f"  PIN {pin_name} UNKNOWN {cell.input_load:g} 999 "
+                f"{timing.block:g} {timing.drive:g} "
+                f"{timing.block:g} {timing.drive:g}"
+            )
+    return "\n".join(lines) + "\n"

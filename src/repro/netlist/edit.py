@@ -1,0 +1,249 @@
+"""Incremental netlist editing primitives.
+
+These are the low-level mutations on which the paper's transformations
+(OS2/IS2/OS3/IS3, redundancy removal) are built.  All functions mutate
+the netlist in place and keep it structurally valid; none of them checks
+*permissibility* — that is the job of :mod:`repro.clauses` and
+:mod:`repro.transform`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .gatefunc import (
+    AND, BUF, CONST0, CONST1, GateFunc, INV, NAND, NOR, OR, XNOR, XOR,
+)
+from .netlist import Branch, Gate, Netlist, NetlistError, constant_signal
+
+
+def replace_input(net: Netlist, branch: Branch, new_signal: str) -> str:
+    """Reconnect one gate input pin (a *branch* signal) to ``new_signal``.
+
+    This is the structural move of an IS2/IS3 substitution.  Returns the
+    signal previously connected.
+    """
+    gate = net.gate_of(branch.gate)
+    if not (0 <= branch.pin < gate.nin):
+        raise NetlistError(f"gate {branch.gate!r} has no pin {branch.pin}")
+    if not net.has_signal(new_signal):
+        raise NetlistError(f"signal {new_signal!r} does not exist")
+    old = gate.inputs[branch.pin]
+    gate.inputs[branch.pin] = new_signal
+    net.invalidate()
+    return old
+
+
+def substitute_stem(net: Netlist, stem: str, new_signal: str) -> int:
+    """Reconnect *every* reader of ``stem`` (gate pins and POs) to
+    ``new_signal``.  This is the structural move of an OS2/OS3
+    substitution; the freed logic is reclaimed with :func:`prune_dangling`.
+
+    Returns the number of reconnected readers.
+    """
+    if not net.has_signal(new_signal):
+        raise NetlistError(f"signal {new_signal!r} does not exist")
+    if stem == new_signal:
+        raise NetlistError("cannot substitute a signal by itself")
+    count = 0
+    for branch in list(net.fanouts(stem)):
+        replace_input(net, branch, new_signal)
+        count += 1
+    for idx, po in enumerate(net.pos):
+        if po == stem:
+            net.pos[idx] = new_signal
+            count += 1
+    net.invalidate()
+    return count
+
+
+def insert_gate(
+    net: Netlist,
+    func: GateFunc | str,
+    inputs: Sequence[str],
+    cell: Optional[str] = None,
+    hint: str = "g",
+) -> str:
+    """Create a new gate with a fresh output name and return that name."""
+    name = net.fresh_name(hint)
+    net.add_gate(name, func, inputs, cell=cell)
+    return name
+
+
+def insert_inverter(net: Netlist, signal: str, cell: Optional[str] = None) -> str:
+    """Insert an inverter driven by ``signal``; returns the inverted signal."""
+    return insert_gate(net, INV, [signal], cell=cell, hint="inv")
+
+
+def find_inverted(net: Netlist, signal: str) -> Optional[str]:
+    """Return an existing signal computing the complement of ``signal``.
+
+    Only structural complements are recognized: an inverter driven by
+    ``signal``, or — if ``signal`` is itself an inverter output — its
+    input.  Used to realize phase assignments without adding gates.
+    """
+    for branch in net.fanouts(signal):
+        gate = net.gate_of(branch.gate)
+        if gate.func is INV:
+            return gate.output
+    if signal in net.gates and net.gates[signal].func is INV:
+        return net.gates[signal].inputs[0]
+    return None
+
+
+def remove_gate(net: Netlist, signal: str) -> Gate:
+    """Remove the driver of ``signal``; the signal must be unread."""
+    if net.fanout_count(signal):
+        raise NetlistError(f"signal {signal!r} still has fanout")
+    gate = net.gates.pop(signal)
+    net.invalidate()
+    return gate
+
+
+def prune_dangling(net: Netlist, roots: Optional[Sequence[str]] = None) -> List[Gate]:
+    """Iteratively remove gates whose output is unread and not a PO.
+
+    ``roots`` optionally seeds the worklist (signals whose fanout may
+    have just disappeared); with ``None`` the whole netlist is swept.
+    Returns the removed gates — their area is the reclamation gain of an
+    output substitution (Fig. 3b of the paper).
+    """
+    removed: List[Gate] = []
+    po_set = set(net.pos)
+    if roots is None:
+        work = [s for s in net.gates]
+    else:
+        work = [s for s in roots if s in net.gates]
+    while work:
+        batch, work = work, []
+        for sig in batch:
+            if sig not in net.gates or sig in po_set:
+                continue
+            if net.fanout_count(sig) == 0:
+                gate = remove_gate(net, sig)
+                removed.append(gate)
+                work.extend(s for s in gate.inputs if s in net.gates)
+    return removed
+
+
+def would_create_cycle(net: Netlist, reader: str, new_input: str) -> bool:
+    """True if connecting ``new_input`` into gate ``reader`` creates a cycle,
+    i.e. ``reader`` lies in the transitive fanin of ``new_input``."""
+    if new_input == reader:
+        return True
+    return reader in net.transitive_fanin(new_input, include_self=False)
+
+
+_DROP_ON_0 = {AND.name, NAND.name}
+_DROP_ON_1 = {OR.name, NOR.name}
+
+
+def set_branch_constant(net: Netlist, branch: Branch, value: int) -> None:
+    """Tie one gate input pin to a constant and simplify the gate.
+
+    This realizes redundancy removal: a valid C1-clause ``(~Oa + a)``
+    means the branch is stuck-at-1 redundant and may be tied to 1 (dually
+    for stuck-at-0).  The gate is simplified in place; downstream
+    constant propagation is the caller's concern (see
+    :func:`repro.transform.redremoval.remove_redundancy`).
+    """
+    gate = net.gate_of(branch.gate)
+    simplified = _simplify_with_constant(gate, branch.pin, value)
+    if simplified is None:
+        # No special rule — tie the pin to an explicit constant signal.
+        const = constant_signal(net, value)
+        gate.inputs[branch.pin] = const
+    net.invalidate()
+
+
+def _simplify_with_constant(gate: Gate, pin: int, value: int) -> Optional[bool]:
+    """Try to simplify ``gate`` given input ``pin`` fixed to ``value``.
+
+    Returns True when a simplification was applied, None when the gate
+    type has no rule (caller ties the pin to a constant signal instead).
+    """
+    fname = gate.func.name
+    if fname in ("AND", "NAND"):
+        if value == 1:
+            _drop_pin(gate, pin)
+        else:
+            _to_constant(gate, 0 if fname == "AND" else 1)
+        return True
+    if fname in ("OR", "NOR"):
+        if value == 0:
+            _drop_pin(gate, pin)
+        else:
+            _to_constant(gate, 1 if fname == "OR" else 0)
+        return True
+    if fname in ("XOR", "XNOR"):
+        other = gate.inputs[1 - pin]
+        want_buf = (fname == "XOR") == (value == 0)
+        gate.inputs = [other]
+        gate.func = BUF if want_buf else INV
+        gate.cell = None
+        return True
+    if fname in ("BUF", "INV"):
+        out_val = value if fname == "BUF" else 1 - value
+        _to_constant(gate, out_val)
+        return True
+    return None
+
+
+_EMPTY_VALUE = {"AND": 1, "NAND": 0, "OR": 0, "NOR": 1}
+
+
+def _drop_pin(gate: Gate, pin: int) -> None:
+    gate.inputs.pop(pin)
+    gate.cell = None
+    if not gate.inputs:
+        # n-ary gate with all inputs dropped evaluates to its neutral value.
+        _to_constant(gate, _EMPTY_VALUE[gate.func.name])
+    elif len(gate.inputs) == 1:
+        if gate.func.name in ("AND", "OR"):
+            gate.func = BUF
+        elif gate.func.name in ("NAND", "NOR"):
+            gate.func = INV
+
+
+def _to_constant(gate: Gate, value: int) -> None:
+    gate.inputs = []
+    gate.func = CONST1 if value else CONST0
+    gate.cell = None
+
+
+def propagate_constants(net: Netlist) -> int:
+    """Fold constant gate outputs into their readers; returns #folds.
+
+    Runs to fixpoint.  POs driven by constants keep an explicit constant
+    gate.  Buffers created by simplification are also collapsed.
+    """
+    folds = 0
+    changed = True
+    while changed:
+        changed = False
+        for out in list(net.topo_order()):
+            gate = net.gates.get(out)
+            if gate is None:
+                continue
+            if gate.func in (CONST0, CONST1):
+                value = 1 if gate.func is CONST1 else 0
+                for branch in list(net.fanouts(out)):
+                    reader = net.gates.get(branch.gate)
+                    if reader is None or branch.pin >= reader.nin \
+                            or reader.inputs[branch.pin] != out:
+                        # Stale branch: an earlier simplification of this
+                        # reader shifted its pins; retry on the next sweep.
+                        changed = True
+                        continue
+                    if _simplify_with_constant(reader, branch.pin, value):
+                        folds += 1
+                        changed = True
+                net.invalidate()
+            elif gate.func is BUF:
+                src = gate.inputs[0]
+                if src != out and net.fanout_count(out) > 0:
+                    substitute_stem(net, out, src)
+                    folds += 1
+                    changed = True
+    prune_dangling(net)
+    return folds

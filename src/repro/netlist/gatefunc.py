@@ -1,0 +1,330 @@
+"""Primitive logic functions for netlist gates.
+
+Every gate in a :class:`~repro.netlist.netlist.Netlist` computes one of the
+functions defined here.  A :class:`GateFunc` provides three views of the same
+boolean function:
+
+* ``eval_words`` — bit-parallel evaluation on numpy ``uint64`` words (the
+  engine behind bit-parallel fault simulation, Sec. 4 of the paper),
+* ``eval_bits`` — scalar evaluation on 0/1 integers (truth tables, PODEM),
+* ``cnf`` — characteristic clauses relating output and input variables
+  (the per-gate formulas of Sec. 2, after Larrabee).
+
+Functions are singletons; compare them with ``is`` or by ``name``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+Clause = Tuple[int, ...]
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+class GateFunc:
+    """A primitive combinational function of ``arity`` inputs.
+
+    ``arity`` is ``None`` for n-ary functions (AND, OR, NAND, NOR) which
+    accept any number of inputs >= 1.
+    """
+
+    def __init__(self, name: str, arity: int | None):
+        self.name = name
+        self.arity = arity
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"GateFunc({self.name})"
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def eval_words(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        """Evaluate bit-parallel on uint64 word arrays."""
+        raise NotImplementedError
+
+    def eval_bits(self, bits: Sequence[int]) -> int:
+        """Evaluate on scalar 0/1 values."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # CNF characteristic formula
+    # ------------------------------------------------------------------
+    def cnf(self, out: int, ins: Sequence[int]) -> List[Clause]:
+        """Clauses that are satisfied iff ``out`` is consistent with inputs.
+
+        Variables are encoded as positive integers; a negative literal
+        denotes the complemented variable (DIMACS convention).
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def truth_table(self, nin: int) -> List[int]:
+        """Output column of the truth table for ``nin`` inputs.
+
+        Row index ``i`` has input ``k`` equal to bit ``k`` of ``i``
+        (input 0 is the least significant bit).
+        """
+        self._check_arity(nin)
+        return [
+            self.eval_bits([(row >> k) & 1 for k in range(nin)])
+            for row in range(1 << nin)
+        ]
+
+    def _check_arity(self, nin: int) -> None:
+        if self.arity is not None and nin != self.arity:
+            raise ValueError(
+                f"{self.name} expects {self.arity} inputs, got {nin}"
+            )
+        if self.arity is None and nin < 1:
+            raise ValueError(f"{self.name} expects at least one input")
+
+
+def _tt_cnf(func: GateFunc, out: int, ins: Sequence[int]) -> List[Clause]:
+    """Generic truth-table CNF: one clause per input row.
+
+    For each assignment of the inputs, add a clause forcing the output to
+    the function value under that assignment.  Exponential in arity, used
+    only for fixed small-arity functions (<= 4 inputs).
+    """
+    nin = len(ins)
+    clauses: List[Clause] = []
+    for row in range(1 << nin):
+        bits = [(row >> k) & 1 for k in range(nin)]
+        val = func.eval_bits(bits)
+        # If inputs match this row, out must equal val:
+        # (l1' + l2' + ... + out_lit) where li' opposes bit i.
+        lits = [(-ins[k] if bits[k] else ins[k]) for k in range(nin)]
+        lits.append(out if val else -out)
+        clauses.append(tuple(lits))
+    return clauses
+
+
+class _Const(GateFunc):
+    def __init__(self, name: str, value: int):
+        super().__init__(name, 0)
+        self.value = value
+
+    def eval_words(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        raise ValueError("constant gates are evaluated by the simulator")
+
+    def eval_bits(self, bits: Sequence[int]) -> int:
+        return self.value
+
+    def cnf(self, out: int, ins: Sequence[int]) -> List[Clause]:
+        return [(out,)] if self.value else [(-out,)]
+
+
+class _Buf(GateFunc):
+    def __init__(self) -> None:
+        super().__init__("BUF", 1)
+
+    def eval_words(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        return inputs[0].copy()
+
+    def eval_bits(self, bits: Sequence[int]) -> int:
+        return bits[0]
+
+    def cnf(self, out: int, ins: Sequence[int]) -> List[Clause]:
+        a = ins[0]
+        return [(-out, a), (out, -a)]
+
+
+class _Inv(GateFunc):
+    def __init__(self) -> None:
+        super().__init__("INV", 1)
+
+    def eval_words(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        return ~inputs[0]
+
+    def eval_bits(self, bits: Sequence[int]) -> int:
+        return 1 - bits[0]
+
+    def cnf(self, out: int, ins: Sequence[int]) -> List[Clause]:
+        a = ins[0]
+        return [(-out, -a), (out, a)]
+
+
+class _And(GateFunc):
+    def __init__(self, name: str = "AND", invert: bool = False):
+        super().__init__(name, None)
+        self.invert = invert
+
+    def eval_words(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        acc = inputs[0].copy()
+        for word in inputs[1:]:
+            acc &= word
+        return ~acc if self.invert else acc
+
+    def eval_bits(self, bits: Sequence[int]) -> int:
+        val = int(all(bits))
+        return 1 - val if self.invert else val
+
+    def cnf(self, out: int, ins: Sequence[int]) -> List[Clause]:
+        o = -out if self.invert else out
+        clauses: List[Clause] = [(-o, a) for a in ins]
+        clauses.append(tuple([o] + [-a for a in ins]))
+        return clauses
+
+
+class _Or(GateFunc):
+    def __init__(self, name: str = "OR", invert: bool = False):
+        super().__init__(name, None)
+        self.invert = invert
+
+    def eval_words(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        acc = inputs[0].copy()
+        for word in inputs[1:]:
+            acc |= word
+        return ~acc if self.invert else acc
+
+    def eval_bits(self, bits: Sequence[int]) -> int:
+        val = int(any(bits))
+        return 1 - val if self.invert else val
+
+    def cnf(self, out: int, ins: Sequence[int]) -> List[Clause]:
+        o = -out if self.invert else out
+        clauses: List[Clause] = [(o, -a) for a in ins]
+        clauses.append(tuple([-o] + list(ins)))
+        return clauses
+
+
+class _Xor(GateFunc):
+    def __init__(self, name: str = "XOR", invert: bool = False):
+        super().__init__(name, 2)
+        self.invert = invert
+
+    def eval_words(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        acc = inputs[0] ^ inputs[1]
+        return ~acc if self.invert else acc
+
+    def eval_bits(self, bits: Sequence[int]) -> int:
+        val = bits[0] ^ bits[1]
+        return 1 - val if self.invert else val
+
+    def cnf(self, out: int, ins: Sequence[int]) -> List[Clause]:
+        return _tt_cnf(self, out, ins)
+
+
+class _TableFunc(GateFunc):
+    """Fixed-arity function defined by a python expression over bits."""
+
+    def __init__(self, name: str, arity: int, fn):
+        super().__init__(name, arity)
+        self._fn = fn
+
+    def eval_words(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        return self._fn(*inputs)
+
+    def eval_bits(self, bits: Sequence[int]) -> int:
+        full = self._fn(*(np.uint64(_ALL_ONES if b else 0) for b in bits))
+        return int(full & np.uint64(1))
+
+    def cnf(self, out: int, ins: Sequence[int]) -> List[Clause]:
+        return _tt_cnf(self, out, ins)
+
+
+# ----------------------------------------------------------------------
+# singletons
+# ----------------------------------------------------------------------
+CONST0 = _Const("CONST0", 0)
+CONST1 = _Const("CONST1", 1)
+BUF = _Buf()
+INV = _Inv()
+AND = _And("AND", invert=False)
+NAND = _And("NAND", invert=True)
+OR = _Or("OR", invert=False)
+NOR = _Or("NOR", invert=True)
+XOR = _Xor("XOR", invert=False)
+XNOR = _Xor("XNOR", invert=True)
+
+# AOI21(a, b, c)  = ~((a & b) | c)
+AOI21 = _TableFunc("AOI21", 3, lambda a, b, c: ~((a & b) | c))
+# OAI21(a, b, c)  = ~((a | b) & c)
+OAI21 = _TableFunc("OAI21", 3, lambda a, b, c: ~((a | b) & c))
+# AOI22(a, b, c, d) = ~((a & b) | (c & d))
+AOI22 = _TableFunc("AOI22", 4, lambda a, b, c, d: ~((a & b) | (c & d)))
+# OAI22(a, b, c, d) = ~((a | b) & (c | d))
+OAI22 = _TableFunc("OAI22", 4, lambda a, b, c, d: ~((a | b) & (c | d)))
+# MUX21(d0, d1, s) = d1 if s else d0
+MUX21 = _TableFunc("MUX21", 3, lambda d0, d1, s: (d0 & ~s) | (d1 & s))
+# MAJ3(a, b, c): carry function
+MAJ3 = _TableFunc("MAJ3", 3, lambda a, b, c: (a & b) | (a & c) | (b & c))
+# ANDN(a, b) = a & ~b   (phase-assigned AND used by OS3/IS3)
+ANDN = _TableFunc("ANDN", 2, lambda a, b: a & ~b)
+# ORN(a, b) = a | ~b
+ORN = _TableFunc("ORN", 2, lambda a, b: a | ~b)
+
+ALL_FUNCS: Tuple[GateFunc, ...] = (
+    CONST0, CONST1, BUF, INV, AND, NAND, OR, NOR, XOR, XNOR,
+    AOI21, OAI21, AOI22, OAI22, MUX21, MAJ3, ANDN, ORN,
+)
+
+FUNC_BY_NAME: Dict[str, GateFunc] = {f.name: f for f in ALL_FUNCS}
+
+
+def func_from_name(name: str) -> GateFunc:
+    """Look up a :class:`GateFunc` by its canonical name."""
+    try:
+        return FUNC_BY_NAME[name.upper()]
+    except KeyError:
+        raise KeyError(f"unknown gate function {name!r}") from None
+
+
+# ----------------------------------------------------------------------
+# the 2-input function family used by OS3/IS3 (Sec. 3, Theorem 2)
+# ----------------------------------------------------------------------
+class TwoInputForm:
+    """A 2-input gate type with a phase assignment to its inputs.
+
+    ``base`` is one of AND, OR, XOR, XNOR and ``inv_b``/``inv_c`` record
+    whether the b/c driving signals enter inverted.  XOR/XNOR phase
+    assignments collapse (inverting one XOR input yields XNOR), so only
+    the positive-phase XOR and XNOR forms are enumerated.
+    """
+
+    def __init__(self, base: GateFunc, inv_b: bool, inv_c: bool):
+        self.base = base
+        self.inv_b = inv_b
+        self.inv_c = inv_c
+
+    @property
+    def name(self) -> str:
+        tag_b = "~b" if self.inv_b else "b"
+        tag_c = "~c" if self.inv_c else "c"
+        return f"{self.base.name}({tag_b},{tag_c})"
+
+    def eval_bits(self, b: int, c: int) -> int:
+        if self.inv_b:
+            b = 1 - b
+        if self.inv_c:
+            c = 1 - c
+        return self.base.eval_bits([b, c])
+
+    def eval_words(self, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+        vb = ~b if self.inv_b else b
+        vc = ~c if self.inv_c else c
+        return self.base.eval_words([vb, vc])
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"TwoInputForm({self.name})"
+
+
+def two_input_forms(include_xor: bool = True) -> List[TwoInputForm]:
+    """All phase-assigned AND/OR (and optionally XOR/XNOR) forms.
+
+    These are the candidate functions for the new gate of an OS3/IS3
+    substitution.  AND and OR each come with the four phase assignments of
+    Theorem 2's extension; XOR and XNOR are phase-symmetric.
+    """
+    forms: List[TwoInputForm] = []
+    for base in (AND, OR):
+        for inv_b, inv_c in itertools.product((False, True), repeat=2):
+            forms.append(TwoInputForm(base, inv_b, inv_c))
+    if include_xor:
+        forms.append(TwoInputForm(XOR, False, False))
+        forms.append(TwoInputForm(XNOR, False, False))
+    return forms

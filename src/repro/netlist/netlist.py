@@ -1,0 +1,301 @@
+"""Gate-level netlist data structure.
+
+A :class:`Netlist` is a DAG of library-style gates.  Every gate drives a
+single output signal and the gate is keyed by that signal name, so
+"signal" and "gate output" are interchangeable.  Primary inputs are
+signals without a driving gate.
+
+Following the paper's terminology (Sec. 2):
+
+* the *stem* of a signal is its driver output; a signal driving several
+  fanout gates has one stem and several *branch* signals;
+* a branch is identified here by the pair ``(sink gate output, pin)``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .gatefunc import CONST0, CONST1, GateFunc, func_from_name
+
+
+@dataclass(frozen=True)
+class Branch:
+    """One fanout branch of a signal: pin ``pin`` of gate ``gate``."""
+
+    gate: str
+    pin: int
+
+
+@dataclass
+class Gate:
+    """A single gate: ``output = func(inputs)``.
+
+    ``cell`` optionally names the technology-library cell implementing the
+    function (set after mapping; ``None`` for unmapped logic gates).
+    """
+
+    output: str
+    func: GateFunc
+    inputs: List[str] = field(default_factory=list)
+    cell: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        self.func._check_arity(len(self.inputs))
+
+    @property
+    def nin(self) -> int:
+        return len(self.inputs)
+
+    def copy(self) -> "Gate":
+        return Gate(self.output, self.func, list(self.inputs), self.cell)
+
+
+class NetlistError(Exception):
+    """Structural error in a netlist (cycle, dangling signal, ...)."""
+
+
+class Netlist:
+    """A combinational gate netlist.
+
+    The class maintains derived structures (fanout map, topological
+    order) lazily; any structural mutation must go through the editing
+    API (or call :meth:`invalidate`) so caches stay consistent.
+    """
+
+    def __init__(self, name: str = "netlist"):
+        self.name = name
+        self.pis: List[str] = []
+        self.pos: List[str] = []
+        self.gates: Dict[str, Gate] = {}
+        self._pi_set: Set[str] = set()
+        self._fanouts: Optional[Dict[str, List[Branch]]] = None
+        self._topo: Optional[List[str]] = None
+        self._name_counter = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_pi(self, name: str) -> str:
+        if name in self._pi_set or name in self.gates:
+            raise NetlistError(f"signal {name!r} already exists")
+        self.pis.append(name)
+        self._pi_set.add(name)
+        self.invalidate()
+        return name
+
+    def add_gate(
+        self,
+        output: str,
+        func: GateFunc | str,
+        inputs: Sequence[str],
+        cell: Optional[str] = None,
+    ) -> str:
+        """Add a gate driving ``output``; inputs may be added before their
+        drivers exist (checked in :meth:`validate`)."""
+        if isinstance(func, str):
+            func = func_from_name(func)
+        if output in self._pi_set or output in self.gates:
+            raise NetlistError(f"signal {output!r} already exists")
+        self.gates[output] = Gate(output, func, list(inputs), cell)
+        self.invalidate()
+        return output
+
+    def set_pos(self, names: Iterable[str]) -> None:
+        self.pos = list(names)
+        self.invalidate()
+
+    def add_po(self, name: str) -> None:
+        self.pos.append(name)
+        self.invalidate()
+
+    def fresh_name(self, hint: str = "n") -> str:
+        """Generate a signal name not present in the netlist."""
+        while True:
+            self._name_counter += 1
+            name = f"{hint}_{self._name_counter}"
+            if name not in self.gates and name not in self._pi_set:
+                return name
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def is_pi(self, signal: str) -> bool:
+        return signal in self._pi_set
+
+    def is_po(self, signal: str) -> bool:
+        return signal in self.pos
+
+    def has_signal(self, signal: str) -> bool:
+        return signal in self._pi_set or signal in self.gates
+
+    def gate_of(self, signal: str) -> Gate:
+        try:
+            return self.gates[signal]
+        except KeyError:
+            raise NetlistError(f"signal {signal!r} has no driving gate") from None
+
+    def signals(self) -> Iterator[str]:
+        yield from self.pis
+        yield from self.gates
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+    @property
+    def num_literals(self) -> int:
+        """Literal count of the mapped netlist = total gate input pins."""
+        return sum(g.nin for g in self.gates.values())
+
+    # ------------------------------------------------------------------
+    # derived structures
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop cached fanout map and topological order."""
+        self._fanouts = None
+        self._topo = None
+
+    def fanouts(self, signal: str) -> List[Branch]:
+        return self.fanout_map().get(signal, [])
+
+    def fanout_map(self) -> Dict[str, List[Branch]]:
+        if self._fanouts is None:
+            fan: Dict[str, List[Branch]] = {}
+            for gate in self.gates.values():
+                for pin, sig in enumerate(gate.inputs):
+                    fan.setdefault(sig, []).append(Branch(gate.output, pin))
+            self._fanouts = fan
+        return self._fanouts
+
+    def fanout_count(self, signal: str) -> int:
+        """Number of gate pins driven, plus 1 if the signal is a PO."""
+        return len(self.fanouts(signal)) + self.pos.count(signal)
+
+    def topo_order(self) -> List[str]:
+        """Gate outputs in topological order (PIs excluded)."""
+        if self._topo is not None:
+            return self._topo
+        indeg: Dict[str, int] = {}
+        for gate in self.gates.values():
+            indeg[gate.output] = sum(
+                1 for s in gate.inputs if s in self.gates
+            )
+        ready = deque(sorted(g for g, d in indeg.items() if d == 0))
+        fan = self.fanout_map()
+        order: List[str] = []
+        while ready:
+            sig = ready.popleft()
+            order.append(sig)
+            for branch in fan.get(sig, []):
+                indeg[branch.gate] -= 1
+                if indeg[branch.gate] == 0:
+                    ready.append(branch.gate)
+        if len(order) != len(self.gates):
+            raise NetlistError("netlist contains a combinational cycle")
+        self._topo = order
+        return order
+
+    def levels(self) -> Dict[str, int]:
+        """Topological level of every signal (PIs are level 0)."""
+        level: Dict[str, int] = {pi: 0 for pi in self.pis}
+        for out in self.topo_order():
+            gate = self.gates[out]
+            level[out] = 1 + max(
+                (level.get(s, 0) for s in gate.inputs), default=0
+            )
+        return level
+
+    def depth(self) -> int:
+        lv = self.levels()
+        return max((lv[po] for po in self.pos if po in lv), default=0)
+
+    # ------------------------------------------------------------------
+    # cone traversals
+    # ------------------------------------------------------------------
+    def transitive_fanout(self, signal: str, include_self: bool = True) -> Set[str]:
+        """All gate outputs reachable from ``signal`` (optionally itself)."""
+        seen: Set[str] = set()
+        stack = [b.gate for b in self.fanouts(signal)]
+        while stack:
+            sig = stack.pop()
+            if sig in seen:
+                continue
+            seen.add(sig)
+            stack.extend(b.gate for b in self.fanouts(sig))
+        if include_self and not self.is_pi(signal):
+            seen.add(signal)
+        return seen
+
+    def transitive_fanin(self, signal: str, include_self: bool = True) -> Set[str]:
+        """All signals (including PIs) feeding ``signal``."""
+        seen: Set[str] = set()
+        stack = [signal] if include_self else list(
+            self.gates[signal].inputs
+        ) if signal in self.gates else []
+        while stack:
+            sig = stack.pop()
+            if sig in seen:
+                continue
+            seen.add(sig)
+            if sig in self.gates:
+                stack.extend(self.gates[sig].inputs)
+        return seen
+
+    def support(self, signal: str) -> Set[str]:
+        """Primary inputs in the transitive fanin of ``signal``."""
+        return {s for s in self.transitive_fanin(signal) if self.is_pi(s)}
+
+    # ------------------------------------------------------------------
+    # housekeeping
+    # ------------------------------------------------------------------
+    def copy(self, name: Optional[str] = None) -> "Netlist":
+        dup = Netlist(name or self.name)
+        dup.pis = list(self.pis)
+        dup._pi_set = set(self._pi_set)
+        dup.pos = list(self.pos)
+        dup.gates = {k: g.copy() for k, g in self.gates.items()}
+        dup._name_counter = self._name_counter
+        return dup
+
+    def validate(self) -> None:
+        """Raise :class:`NetlistError` on any structural inconsistency."""
+        for gate in self.gates.values():
+            for sig in gate.inputs:
+                if not self.has_signal(sig):
+                    raise NetlistError(
+                        f"gate {gate.output!r} reads undriven signal {sig!r}"
+                    )
+            gate.func._check_arity(gate.nin)
+        for po in self.pos:
+            if not self.has_signal(po):
+                raise NetlistError(f"primary output {po!r} is undriven")
+        self.topo_order()  # raises on cycles
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "pis": len(self.pis),
+            "pos": len(self.pos),
+            "gates": self.num_gates,
+            "literals": self.num_literals,
+            "depth": self.depth(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Netlist({self.name!r}, pis={len(self.pis)}, "
+            f"pos={len(self.pos)}, gates={len(self.gates)})"
+        )
+
+
+def constant_signal(net: Netlist, value: int) -> str:
+    """Return (creating if needed) a constant-0/1 signal in ``net``."""
+    func = CONST1 if value else CONST0
+    for gate in net.gates.values():
+        if gate.func is func:
+            return gate.output
+    name = net.fresh_name("const1" if value else "const0")
+    net.add_gate(name, func, [])
+    return name

@@ -1,0 +1,13 @@
+"""The GDO optimizer and companion optimizations."""
+
+from .config import GdoConfig, GdoStats, ModRecord
+from .fanout import FanoutStats, optimize_fanout
+from .gdo import GdoResult, gdo_optimize
+from .rar import RarStats, rar_optimize
+from .report import compare_report, critical_path_report, format_result
+
+__all__ = [
+    "GdoConfig", "GdoStats", "ModRecord", "FanoutStats", "optimize_fanout",
+    "GdoResult", "gdo_optimize", "RarStats", "rar_optimize",
+    "compare_report", "critical_path_report", "format_result",
+]

@@ -1,0 +1,103 @@
+"""Configuration for the GDO optimizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class GdoConfig:
+    """Tuning knobs of :func:`repro.opt.gdo.gdo_optimize`.
+
+    Defaults follow the paper's setup where it is described: random BPFS
+    vectors, C2 substitutions before C3, critical gates only in the delay
+    phase, area phase afterwards with periodic returns to the delay
+    phase, XOR forms enabled (``mcnc_like`` has XOR cells).
+    """
+
+    # --- simulation (BPFS) ---
+    n_words: int = 16          # 64 vectors per word
+    seed: int = 0
+
+    # --- candidate enumeration ---
+    include_xor: bool = True
+    use_c2_reduction: bool = True
+    allow_inverted: bool = True
+    max_pool: int = 48         # b/c-source pool cap per target
+    level_skew: Optional[int] = None  # structural filter; None = off
+    max_targets_per_pass: int = 24
+    max_mods_per_pass: int = 8  # "several modifications per simulation"
+    max_candidates_per_target: int = 16
+    max_trials_per_pass: int = 96  # trial-apply budget per pass
+
+    # --- proof backend ---
+    proof: str = "sat"         # "sat" | "bdd" | "auto" | "none"
+    max_conflicts: int = 30_000  # per-proof CDCL budget; abort = reject
+    bdd_max_nodes: int = 200_000
+    max_proofs_per_pass: int = 64
+
+    # --- phases ---
+    area_phase: bool = True
+    area_mods_before_retry: int = 5
+    max_rounds: int = 400
+    max_passes_per_phase: int = 40  # safety cap against tie ping-pong
+    max_seconds: Optional[float] = None  # wall-clock budget (None = off)
+
+    # --- timing model ---
+    po_load: float = 1.0
+    eps: float = 1e-6
+    # Equal-delay modifications must reduce the total PO arrival by at
+    # least this much (absolute) — prevents epsilon-churn on ties.
+    secondary_gain: float = 0.05
+
+    # --- safety ---
+    verify_final: bool = True
+    verify_words: int = 32
+
+
+@dataclass
+class ModRecord:
+    """One accepted modification, for reporting."""
+
+    phase: str        # "delay" | "area"
+    description: str
+    kind: str         # OS2/IS2/OS3/IS3
+    delay_before: float
+    delay_after: float
+    area_before: float
+    area_after: float
+
+
+@dataclass
+class GdoStats:
+    """Aggregate statistics of one GDO run (the Table 1/2 columns)."""
+
+    gates_before: int = 0
+    gates_after: int = 0
+    literals_before: int = 0
+    literals_after: int = 0
+    area_before: float = 0.0
+    area_after: float = 0.0
+    delay_before: float = 0.0
+    delay_after: float = 0.0
+    mods2: int = 0             # OS2 + IS2 count
+    mods3: int = 0             # OS3 + IS3 count
+    proofs_attempted: int = 0
+    proofs_passed: int = 0
+    rounds: int = 0
+    cpu_seconds: float = 0.0
+    equivalent: Optional[bool] = None
+    history: list = field(default_factory=list)
+
+    @property
+    def delay_reduction(self) -> float:
+        if self.delay_before <= 0:
+            return 0.0
+        return 1.0 - self.delay_after / self.delay_before
+
+    @property
+    def literal_reduction(self) -> float:
+        if self.literals_before <= 0:
+            return 0.0
+        return 1.0 - self.literals_after / self.literals_before

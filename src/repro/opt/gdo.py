@@ -1,0 +1,361 @@
+"""GDO — Global Delay Optimization (Sec. 5 of the paper).
+
+Two alternating phases over a mapped netlist:
+
+* **delay reduction phase** — only critical gates are a-signals.  C2
+  substitutions (OS2/IS2) are tried first, C3 substitutions (OS3/IS3)
+  when C2 runs dry.  Surviving PVCCs are ranked by NCP (number of
+  critical paths through the a-signal), ties broken by LDS (local delay
+  save), proven with the configured backend, and applied; slacks are
+  recomputed after every accepted modification.
+* **area optimization phase** — substitutions of non-critical gates that
+  reduce area without creating new critical paths.  After a few area
+  modifications the optimizer returns to the delay phase (area moves can
+  re-enable delay moves); it terminates when neither phase finds a
+  permissible improving substitution.
+
+Every accepted modification is individually proven permissible, so the
+optimized netlist is equivalent to the input by construction; a final
+random-simulation + SAT-miter verification is run as a safety net.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Tuple
+
+from ..clauses.candidates import CandidateEnumerator
+from ..clauses.pvcc import Candidate
+from ..library.cells import TechLibrary
+from ..netlist.netlist import Branch, Netlist
+from ..sim.bitsim import BitSimulator
+from ..sim.observability import ObservabilityEngine
+from ..timing.sta import Sta
+from ..transform.substitution import (
+    TransformError, apply_candidate, prove_candidate,
+)
+from .config import GdoConfig, GdoStats, ModRecord
+
+
+class GdoResult:
+    """Optimized netlist plus run statistics."""
+
+    def __init__(self, net: Netlist, stats: GdoStats):
+        self.net = net
+        self.stats = stats
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats
+        return (
+            f"GdoResult(delay {s.delay_before:.2f}->{s.delay_after:.2f}, "
+            f"literals {s.literals_before}->{s.literals_after}, "
+            f"mods2={s.mods2}, mods3={s.mods3})"
+        )
+
+
+def gdo_optimize(
+    net: Netlist,
+    library: TechLibrary,
+    config: Optional[GdoConfig] = None,
+) -> GdoResult:
+    """Run GDO on a mapped netlist; the input is not modified."""
+    cfg = config or GdoConfig()
+    work = net.copy(name=net.name)
+    library.rebind(work)
+    stats = GdoStats()
+    start = time.perf_counter()
+    sta = Sta(work, library, po_load=cfg.po_load, eps=cfg.eps)
+    stats.gates_before = work.num_gates
+    stats.literals_before = work.num_literals
+    stats.area_before = library.netlist_area(work)
+    stats.delay_before = sta.delay
+
+    runner = _GdoRunner(work, library, cfg, stats)
+    runner.run()
+
+    sta = Sta(work, library, po_load=cfg.po_load, eps=cfg.eps)
+    stats.gates_after = work.num_gates
+    stats.literals_after = work.num_literals
+    stats.area_after = library.netlist_area(work)
+    stats.delay_after = sta.delay
+    stats.cpu_seconds = time.perf_counter() - start
+    if cfg.verify_final:
+        from ..sat.solver import SolverBudgetExceeded
+        from ..verify.equiv import check_equivalence
+
+        try:
+            stats.equivalent = check_equivalence(
+                net, work, n_words=cfg.verify_words, seed=cfg.seed,
+                max_conflicts=cfg.max_conflicts,
+            )
+        except SolverBudgetExceeded:
+            # Refutation already failed on verify_words * 64 random
+            # vectors; the formal proof ran out of budget: unknown.
+            stats.equivalent = None
+    return GdoResult(work, stats)
+
+
+class _GdoRunner:
+    """Holds the mutable optimization state for one run."""
+
+    def __init__(self, net: Netlist, library: TechLibrary,
+                 cfg: GdoConfig, stats: GdoStats):
+        self.net = net
+        self.library = library
+        self.cfg = cfg
+        self.stats = stats
+        self.seed_counter = cfg.seed
+        self.deadline = (
+            time.perf_counter() + cfg.max_seconds
+            if cfg.max_seconds is not None else None
+        )
+
+    def _out_of_time(self) -> bool:
+        return self.deadline is not None and \
+            time.perf_counter() > self.deadline
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        cfg = self.cfg
+        rounds = 0
+        previous = self._progress_metric()
+        while rounds < cfg.max_rounds and not self._out_of_time():
+            rounds += 1
+            made_delay = self._delay_phase()
+            made_area = self._area_phase() if cfg.area_phase else False
+            if not made_delay and not made_area:
+                break
+            current = self._progress_metric()
+            if current >= previous:
+                # The round only shuffled ties (e.g. delay moves adding
+                # the area the area phase just reclaimed): stop.
+                break
+            previous = current
+        self.stats.rounds = rounds
+
+    def _progress_metric(self):
+        cfg = self.cfg
+        sta = Sta(self.net, self.library, po_load=cfg.po_load, eps=cfg.eps)
+        arrival_sum = sum(sta.arrival.get(po, 0.0) for po in self.net.pos)
+        grain = max(cfg.secondary_gain, cfg.eps)
+        return (
+            round(sta.delay / grain),
+            round(arrival_sum / grain),
+            round(self.library.netlist_area(self.net) / grain),
+        )
+
+    # ------------------------------------------------------------------
+    def _fresh_engine(self) -> ObservabilityEngine:
+        self.seed_counter += 1
+        sim = BitSimulator(self.net)
+        state = sim.simulate_random(
+            n_words=self.cfg.n_words, seed=self.seed_counter
+        )
+        return ObservabilityEngine(sim, state)
+
+    def _enumerator(self, sta: Sta, engine: ObservabilityEngine
+                    ) -> CandidateEnumerator:
+        cfg = self.cfg
+        return CandidateEnumerator(
+            self.net, sta, engine, self.library,
+            include_xor=cfg.include_xor,
+            use_c2_reduction=cfg.use_c2_reduction,
+            allow_inverted=cfg.allow_inverted,
+            max_pool=cfg.max_pool,
+            level_skew=cfg.level_skew,
+        )
+
+    # ------------------------------------------------------------------
+    # delay reduction phase
+    # ------------------------------------------------------------------
+    def _delay_phase(self) -> bool:
+        """Repeated delay passes; C2 first, then C3 (Sec. 5)."""
+        made_any = False
+        for _ in range(self.cfg.max_passes_per_phase):
+            if self._out_of_time():
+                break
+            if self._delay_pass(with_three=False):
+                made_any = True
+                continue
+            if self._delay_pass(with_three=True):
+                made_any = True
+                continue
+            break
+        return made_any
+
+    def _delay_pass(self, with_three: bool) -> bool:
+        cfg = self.cfg
+        sta = Sta(self.net, self.library, po_load=cfg.po_load, eps=cfg.eps)
+        engine = self._fresh_engine()
+        enum = self._enumerator(sta, engine)
+        targets = enum.delay_targets()[: cfg.max_targets_per_pass]
+        candidates: List[Candidate] = []
+        for ref in targets:
+            limit = enum.point_arrival(ref) - cfg.eps
+            if with_three:
+                found = enum.three_subs(ref, limit)
+            else:
+                found = enum.two_subs(ref, limit)
+            found.sort(key=lambda c: -c.lds)
+            candidates.extend(found[: cfg.max_candidates_per_target])
+        candidates.sort(key=lambda c: (-c.ncp, -c.lds))
+        return self._apply_best(candidates, sta, phase="delay") > 0
+
+    # ------------------------------------------------------------------
+    # area optimization phase
+    # ------------------------------------------------------------------
+    def _area_phase(self) -> bool:
+        made_any = False
+        mods = 0
+        while mods < self.cfg.area_mods_before_retry and \
+                not self._out_of_time():
+            got = self._area_pass(with_three=False)
+            if not got:
+                got = self._area_pass(with_three=True)
+            if not got:
+                break
+            mods += got
+            made_any = True
+        return made_any
+
+    def _area_pass(self, with_three: bool) -> int:
+        cfg = self.cfg
+        sta = Sta(self.net, self.library, po_load=cfg.po_load, eps=cfg.eps)
+        engine = self._fresh_engine()
+        enum = self._enumerator(sta, engine)
+        # Non-critical stems ranked by reclaimable logic (Fig. 3b gain).
+        targets = [
+            out for out in self.net.topo_order()
+            if not sta.is_critical(out)
+        ]
+        from ..netlist.traverse import mffc
+
+        targets.sort(
+            key=lambda s: -len(mffc(self.net, s))
+        )
+        candidates: List[Candidate] = []
+        for out in targets[: cfg.max_targets_per_pass]:
+            limit = sta.required.get(out, float("inf"))
+            if limit == float("inf"):
+                limit = sta.delay
+            if with_three:
+                found = enum.three_subs(out, limit)
+            else:
+                found = enum.two_subs(out, limit)
+            found.sort(key=lambda c: -c.lds)
+            candidates.extend(found[: cfg.max_candidates_per_target])
+        candidates.sort(key=lambda c: -c.lds)
+        return self._apply_best(candidates, sta, phase="area")
+
+    # ------------------------------------------------------------------
+    def _apply_best(self, candidates: List[Candidate], sta: Sta,
+                    phase: str) -> int:
+        """Prove and apply the ranked candidates; returns #applied.
+
+        Each accepted modification is validated against a trial copy:
+        LDS is only an upper bound on the gain (other paths may become
+        critical, fanout loads shift), so the overall delay/area is
+        re-measured and the modification rolled back if it regressed.
+        """
+        cfg = self.cfg
+        applied = 0
+        proofs = 0
+        trials = 0
+        delay_now = sta.delay
+        arrival_sum_now = sum(sta.arrival.get(po, 0.0) for po in self.net.pos)
+        area_now = self.library.netlist_area(self.net)
+        touched: set = set()
+        for cand in candidates:
+            if applied >= cfg.max_mods_per_pass:
+                break
+            if proofs >= cfg.max_proofs_per_pass:
+                break
+            if trials >= cfg.max_trials_per_pass:
+                break
+            if self._out_of_time():
+                break
+            trials += 1
+            point = (
+                cand.target if not isinstance(cand.target, Branch)
+                else cand.target.gate
+            )
+            if point in touched or any(s in touched for s in cand.sources):
+                continue  # stale bookkeeping after earlier mods this pass
+            trial = self.net.copy()
+            try:
+                applied_rec = apply_candidate(
+                    trial, cand, library=self.library, prune=True
+                )
+            except TransformError:
+                continue
+            trial_sta = Sta(trial, self.library,
+                            po_load=cfg.po_load, eps=cfg.eps)
+            trial_area = self.library.netlist_area(trial)
+            trial_arrival_sum = sum(
+                trial_sta.arrival.get(po, 0.0) for po in trial.pos
+            )
+            if phase == "delay":
+                # LDS is local (Sec. 5): a permissible modification that
+                # shortens its own paths is worth applying even when
+                # parallel critical paths keep the overall delay pinned —
+                # the gains compound across modifications.  Total PO
+                # arrival is the monotone progress measure.
+                secondary = max(cfg.eps, cfg.secondary_gain)
+                ok = trial_sta.delay < delay_now - cfg.eps or (
+                    trial_sta.delay <= delay_now + cfg.eps
+                    and (trial_arrival_sum < arrival_sum_now - secondary
+                         or self._critical_shrunk(trial_sta, sta))
+                )
+            else:
+                ok = (trial_area < area_now - cfg.eps
+                      and trial_sta.delay <= delay_now + cfg.eps)
+            if not ok:
+                continue
+            # Cheap refutation on fresh random vectors before the formal
+            # proof: the BPFS filter used one vector batch; most false
+            # positives die on a second, different batch.
+            from ..verify.equiv import random_sim_refutes
+
+            self.seed_counter += 1
+            if random_sim_refutes(self.net, trial, n_words=cfg.n_words,
+                                  seed=self.seed_counter):
+                continue
+            proofs += 1
+            self.stats.proofs_attempted += 1
+            if not prove_candidate(
+                self.net, cand, library=self.library, proof=cfg.proof,
+                max_conflicts=cfg.max_conflicts,
+                bdd_max_nodes=cfg.bdd_max_nodes,
+            ):
+                continue
+            self.stats.proofs_passed += 1
+            # Adopt the trial netlist.
+            self._adopt(trial)
+            touched.add(point)
+            touched.update(cand.sources)
+            if cand.kind in ("OS2", "IS2"):
+                self.stats.mods2 += 1
+            else:
+                self.stats.mods3 += 1
+            self.stats.history.append(ModRecord(
+                phase=phase, description=cand.describe(), kind=cand.kind,
+                delay_before=delay_now, delay_after=trial_sta.delay,
+                area_before=area_now, area_after=trial_area,
+            ))
+            delay_now = trial_sta.delay
+            arrival_sum_now = trial_arrival_sum
+            area_now = trial_area
+            applied += 1
+        return applied
+
+    def _critical_shrunk(self, new_sta: Sta, old_sta: Sta) -> bool:
+        """Accept equal-delay moves that reduce critical-path breadth."""
+        return len(new_sta.critical_gates()) < len(old_sta.critical_gates())
+
+    def _adopt(self, trial: Netlist) -> None:
+        self.net.gates = trial.gates
+        self.net.pos = trial.pos
+        self.net.pis = trial.pis
+        self.net._pi_set = trial._pi_set
+        self.net._name_counter = trial._name_counter
+        self.net.invalidate()

@@ -1,0 +1,12 @@
+"""CDCL SAT solving and miter-based equivalence checking."""
+
+from .miter import (
+    InterfaceMismatch, build_miter_cnf, miter_counterexample, miter_equivalent,
+)
+from .solver import SatResult, Solver, SolverBudgetExceeded, solve_cnf
+
+__all__ = [
+    "InterfaceMismatch", "build_miter_cnf", "miter_counterexample",
+    "miter_equivalent", "SatResult", "Solver", "SolverBudgetExceeded",
+    "solve_cnf",
+]

@@ -1,0 +1,14 @@
+"""Bit-parallel simulation: vectors, logic simulation, observability."""
+
+from .bitsim import BitSimulator, SimState, truth_table_of
+from .observability import ObservabilityEngine
+from .vectors import (
+    WORD_BITS, exhaustive_mask, exhaustive_words, random_words,
+    vectors_to_words, word_mask_for,
+)
+
+__all__ = [
+    "BitSimulator", "SimState", "truth_table_of", "ObservabilityEngine",
+    "WORD_BITS", "exhaustive_mask", "exhaustive_words", "random_words",
+    "vectors_to_words", "word_mask_for",
+]

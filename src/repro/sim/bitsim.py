@@ -1,0 +1,199 @@
+"""Bit-parallel netlist simulator.
+
+The netlist is compiled once into flat arrays (topological gate order,
+per-gate function and operand indices); a simulation then evaluates each
+gate on numpy ``uint64`` word rows, i.e. 64 input vectors per word.
+
+Besides full-netlist simulation the compiled form supports *cone
+resimulation*: re-evaluating only the transitive fanout of one signal
+with an overridden value.  That is the primitive behind word-parallel
+observability (fault simulation) in :mod:`repro.sim.observability`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..netlist.gatefunc import CONST0, CONST1
+from ..netlist.netlist import Netlist
+from .vectors import exhaustive_words, random_words
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+class SimState:
+    """Signal values for one batch of vectors: ``values[index_of[sig]]``
+    is the uint64 word row of signal ``sig``."""
+
+    def __init__(self, sim: "BitSimulator", values: np.ndarray):
+        self.sim = sim
+        self.values = values
+
+    @property
+    def n_words(self) -> int:
+        return self.values.shape[1]
+
+    def word(self, signal: str) -> np.ndarray:
+        return self.values[self.sim.index_of[signal]]
+
+    def po_words(self) -> List[np.ndarray]:
+        return [self.word(po) for po in self.sim.net.pos]
+
+    def bit(self, signal: str, vector: int) -> int:
+        word, bit = divmod(vector, 64)
+        return int((self.word(signal)[word] >> np.uint64(bit)) & np.uint64(1))
+
+
+class BitSimulator:
+    """Compiled bit-parallel simulator for one netlist.
+
+    The simulator holds a snapshot of the netlist structure; after any
+    netlist mutation build a fresh ``BitSimulator``.
+    """
+
+    def __init__(self, net: Netlist):
+        self.net = net
+        self.index_of: Dict[str, int] = {}
+        for sig in net.pis:
+            self.index_of[sig] = len(self.index_of)
+        self._order = net.topo_order()
+        for sig in self._order:
+            self.index_of[sig] = len(self.index_of)
+        self.n_signals = len(self.index_of)
+        # Compiled gate list: (out_index, func, tuple(in_indices))
+        self._ops: List[Tuple[int, object, Tuple[int, ...]]] = []
+        for sig in self._order:
+            gate = net.gates[sig]
+            self._ops.append(
+                (self.index_of[sig], gate.func,
+                 tuple(self.index_of[s] for s in gate.inputs))
+            )
+        self._gate_pos = {op[0]: k for k, op in enumerate(self._ops)}
+        self._cone_cache: Dict[str, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    def simulate(self, pi_words: Dict[str, np.ndarray]) -> SimState:
+        """Full simulation of the packed vectors in ``pi_words``."""
+        n_words = len(next(iter(pi_words.values()))) if pi_words else 1
+        values = np.zeros((self.n_signals, n_words), dtype=np.uint64)
+        for pi in self.net.pis:
+            values[self.index_of[pi]] = pi_words[pi]
+        for out_idx, func, in_idx in self._ops:
+            if func is CONST0:
+                values[out_idx] = 0
+            elif func is CONST1:
+                values[out_idx] = _ALL_ONES
+            else:
+                values[out_idx] = func.eval_words(
+                    [values[i] for i in in_idx]
+                )
+        return SimState(self, values)
+
+    def simulate_random(self, n_words: int = 16, seed: int = 0) -> SimState:
+        return self.simulate(random_words(self.net.pis, n_words, seed))
+
+    def simulate_exhaustive(self) -> SimState:
+        return self.simulate(exhaustive_words(self.net.pis))
+
+    # ------------------------------------------------------------------
+    def cone_ops(self, signal: str) -> List[int]:
+        """Indices into the compiled op list of the gates in the
+        transitive fanout of ``signal`` (excluding its own driver),
+        in topological order."""
+        cached = self._cone_cache.get(signal)
+        if cached is not None:
+            return cached
+        affected = {self.index_of[signal]}
+        ops: List[int] = []
+        for k, (out_idx, _func, in_idx) in enumerate(self._ops):
+            if out_idx in affected:
+                continue
+            if any(i in affected for i in in_idx):
+                affected.add(out_idx)
+                ops.append(k)
+        self._cone_cache[signal] = ops
+        return ops
+
+    def resimulate_cone(
+        self,
+        state: SimState,
+        signal: str,
+        new_value: np.ndarray,
+        sink_filter: Optional[Tuple[int, int]] = None,
+    ) -> Dict[int, np.ndarray]:
+        """Propagate an overridden value of ``signal`` through its cone.
+
+        Returns a dict of signal-index -> new word row for every signal
+        whose value changed (always including ``signal`` itself).  Base
+        ``state`` is not modified.
+
+        ``sink_filter`` restricts the initial perturbation to a single
+        fanout branch ``(gate_out_index, pin)`` — the branch-fault mode:
+        only that gate sees ``new_value``; every other reader of
+        ``signal`` keeps the base value.
+        """
+        src = self.index_of[signal]
+        overrides: Dict[int, np.ndarray] = {}
+        if sink_filter is None:
+            overrides[src] = new_value
+            for k in self.cone_ops(signal):
+                self._reeval(state, overrides, k)
+        else:
+            sink_idx, pin = sink_filter
+            k = self._gate_pos[sink_idx]
+            out_idx, func, in_idx = self._ops[k]
+            inputs = [
+                new_value if (i == src and p == pin) else state.values[i]
+                for p, i in enumerate(in_idx)
+            ]
+            new_out = func.eval_words(inputs)
+            if np.array_equal(new_out, state.values[out_idx]):
+                return {}
+            overrides[out_idx] = new_out
+            for k2 in self.cone_ops(self._signal_name(out_idx)):
+                self._reeval(state, overrides, k2)
+        return overrides
+
+    def _signal_name(self, index: int) -> str:
+        # PIs occupy the first len(pis) indices, then gates in topo order.
+        n_pi = len(self.net.pis)
+        if index < n_pi:
+            return self.net.pis[index]
+        return self._order[index - n_pi]
+
+    def _reeval(self, state: SimState, overrides: Dict[int, np.ndarray],
+                k: int) -> None:
+        out_idx, func, in_idx = self._ops[k]
+        if not any(i in overrides for i in in_idx):
+            return
+        inputs = [overrides.get(i, state.values[i]) for i in in_idx]
+        new_out = func.eval_words(inputs)
+        if not np.array_equal(new_out, state.values[out_idx]):
+            overrides[out_idx] = new_out
+
+    # ------------------------------------------------------------------
+    def po_difference(
+        self, state: SimState, overrides: Dict[int, np.ndarray]
+    ) -> np.ndarray:
+        """Word row marking the vectors on which any PO changed."""
+        diff = np.zeros(state.n_words, dtype=np.uint64)
+        for po in self.net.pos:
+            idx = self.index_of[po]
+            if idx in overrides:
+                diff |= overrides[idx] ^ state.values[idx]
+        return diff
+
+
+def truth_table_of(net: Netlist, po: Optional[str] = None) -> List[int]:
+    """Exhaustive truth table of one PO (or the first) — small nets only."""
+    sim = BitSimulator(net)
+    state = sim.simulate_exhaustive()
+    target = po if po is not None else net.pos[0]
+    word = state.word(target)
+    n_vectors = 1 << len(net.pis)
+    return [
+        int((word[v // 64] >> np.uint64(v % 64)) & np.uint64(1))
+        for v in range(n_vectors)
+    ]

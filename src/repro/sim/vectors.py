@@ -1,0 +1,98 @@
+"""Input vector sources for bit-parallel simulation.
+
+Vectors are packed 64 per numpy ``uint64`` word, as in classic
+bit-parallel fault simulation [Waicukauski et al.]: simulating ``W``
+words evaluates ``64 * W`` input vectors at once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+WORD_BITS = 64
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+# Within-word exhaustive patterns for input index i < 6: bit k of the
+# pattern equals bit i of k.
+_INTRA_WORD = [
+    np.uint64(0xAAAAAAAAAAAAAAAA),
+    np.uint64(0xCCCCCCCCCCCCCCCC),
+    np.uint64(0xF0F0F0F0F0F0F0F0),
+    np.uint64(0xFF00FF00FF00FF00),
+    np.uint64(0xFFFF0000FFFF0000),
+    np.uint64(0xFFFFFFFF00000000),
+]
+
+
+def random_words(
+    pis: Sequence[str], n_words: int, seed: int = 0
+) -> Dict[str, np.ndarray]:
+    """Uniform random vectors: ``n_words`` words (64 vectors each) per PI."""
+    rng = np.random.default_rng(seed)
+    return {
+        pi: rng.integers(0, 1 << 64, size=n_words, dtype=np.uint64)
+        for pi in pis
+    }
+
+
+def exhaustive_words(pis: Sequence[str]) -> Dict[str, np.ndarray]:
+    """All ``2**len(pis)`` input vectors, packed into words.
+
+    Vector ``v`` assigns PI ``i`` the value ``(v >> i) & 1``.  Raises for
+    more than 22 inputs (64 MiB of words per signal) to avoid accidents.
+    """
+    n = len(pis)
+    if n > 22:
+        raise ValueError(f"exhaustive simulation of {n} inputs is too large")
+    n_vectors = 1 << n
+    n_words = max(1, n_vectors // WORD_BITS)
+    words: Dict[str, np.ndarray] = {}
+    for i, pi in enumerate(pis):
+        arr = np.empty(n_words, dtype=np.uint64)
+        if i < 6:
+            pattern = _INTRA_WORD[i]
+            if n_vectors < WORD_BITS:
+                pattern = pattern & np.uint64((1 << n_vectors) - 1)
+            arr[:] = pattern
+        else:
+            for j in range(n_words):
+                arr[j] = _ALL_ONES if (j >> (i - 6)) & 1 else np.uint64(0)
+        words[pi] = arr
+    return words
+
+
+def exhaustive_mask(n_inputs: int) -> np.ndarray:
+    """Valid-vector mask matching :func:`exhaustive_words` (all bits valid
+    except when fewer than 64 vectors exist)."""
+    n_vectors = 1 << n_inputs
+    if n_vectors >= WORD_BITS:
+        return np.full(n_vectors // WORD_BITS, _ALL_ONES, dtype=np.uint64)
+    return np.array([np.uint64((1 << n_vectors) - 1)], dtype=np.uint64)
+
+
+def vectors_to_words(
+    pis: Sequence[str], vectors: Sequence[Dict[str, int]]
+) -> Dict[str, np.ndarray]:
+    """Pack explicit vectors (dicts of 0/1 per PI) into word arrays."""
+    n_words = (len(vectors) + WORD_BITS - 1) // WORD_BITS
+    words = {pi: np.zeros(max(n_words, 1), dtype=np.uint64) for pi in pis}
+    for v_idx, vector in enumerate(vectors):
+        word, bit = divmod(v_idx, WORD_BITS)
+        for pi in pis:
+            if vector.get(pi, 0):
+                words[pi][word] |= np.uint64(1) << np.uint64(bit)
+    return words
+
+
+def word_mask_for(n_vectors: int) -> np.ndarray:
+    """Mask array with the first ``n_vectors`` bits set."""
+    n_words = (n_vectors + WORD_BITS - 1) // WORD_BITS
+    mask = np.full(max(n_words, 1), _ALL_ONES, dtype=np.uint64)
+    rem = n_vectors % WORD_BITS
+    if rem:
+        mask[-1] = np.uint64((1 << rem) - 1)
+    if n_vectors == 0:
+        mask[:] = 0
+    return mask

@@ -1,0 +1,14 @@
+"""Synthesis substrate: AIG, cleanup, balancing, technology mapping."""
+
+from .aig import Aig, aig_from_netlist, lit_compl, lit_node, lit_not, make_lit, netlist_from_aig
+from .balance import balance
+from .mapper import MappingError, PatternTable, map_aig, map_netlist
+from .rewrite import compress, live_ands
+from .scripts import script_delay, script_rugged
+
+__all__ = [
+    "Aig", "aig_from_netlist", "lit_compl", "lit_node", "lit_not",
+    "make_lit", "netlist_from_aig", "balance", "MappingError",
+    "PatternTable", "map_aig", "map_netlist", "compress", "live_ands",
+    "script_delay", "script_rugged",
+]

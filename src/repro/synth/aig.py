@@ -1,0 +1,297 @@
+"""And-inverter graph (AIG) with structural hashing.
+
+The technology-independent representation used by the synthesis
+substrate (our stand-in for SIS).  Nodes are 2-input ANDs; edges carry
+optional complement flags.  A *literal* is ``2*node + complement``.
+Node 0 is the constant FALSE, nodes ``1..n_pis`` are the primary inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netlist.netlist import Netlist
+
+FALSE_LIT = 0
+TRUE_LIT = 1
+
+
+def lit_not(lit: int) -> int:
+    return lit ^ 1
+
+
+def lit_node(lit: int) -> int:
+    return lit >> 1
+
+
+def lit_compl(lit: int) -> bool:
+    return bool(lit & 1)
+
+
+def make_lit(node: int, compl: bool = False) -> int:
+    return (node << 1) | int(compl)
+
+
+class Aig:
+    """Structurally hashed AIG.
+
+    ``rules=False`` disables the one-level boolean rewriting rules
+    (idempotence/absorption/containment) so only plain structural
+    hashing remains — the fidelity mode matching a 1995 ``sweep``.
+    """
+
+    def __init__(self, pi_names: Sequence[str], rules: bool = True):
+        self.pi_names: List[str] = list(pi_names)
+        self.rules = rules
+        # fanins[i] = (lit0, lit1) for AND nodes; None for const/PIs.
+        self.fanins: List[Optional[Tuple[int, int]]] = [None] * (
+            1 + len(self.pi_names)
+        )
+        self.pos: List[int] = []
+        self.po_names: List[str] = []
+        self._strash: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return len(self.fanins)
+
+    @property
+    def n_ands(self) -> int:
+        return self.n_nodes - 1 - len(self.pi_names)
+
+    def is_pi(self, node: int) -> bool:
+        return 1 <= node <= len(self.pi_names)
+
+    def is_and(self, node: int) -> bool:
+        return self.fanins[node] is not None
+
+    def pi_lit(self, index: int) -> int:
+        return make_lit(1 + index)
+
+    def pi_lit_by_name(self, name: str) -> int:
+        return self.pi_lit(self.pi_names.index(name))
+
+    def add_po(self, lit: int, name: str) -> None:
+        self.pos.append(lit)
+        self.po_names.append(name)
+
+    # ------------------------------------------------------------------
+    # construction with one-level rewriting rules
+    # ------------------------------------------------------------------
+    def lit_and(self, a: int, b: int) -> int:
+        if a > b:
+            a, b = b, a
+        # constants / trivialities
+        if a == FALSE_LIT:
+            return FALSE_LIT
+        if a == TRUE_LIT:
+            return b
+        if a == b:
+            return a
+        if a == lit_not(b):
+            return FALSE_LIT
+        # absorption / containment one-level lookahead:
+        for x, y in ((a, b), (b, a)) if self.rules else ():
+            node = lit_node(y)
+            if self.is_and(node):
+                f0, f1 = self.fanins[node]
+                if not lit_compl(y):
+                    # x & (f0 & f1)
+                    if x == f0 or x == f1:
+                        return y           # idempotence
+                    if x == lit_not(f0) or x == lit_not(f1):
+                        return FALSE_LIT   # contradiction
+                else:
+                    # x & ~(f0 & f1)
+                    if x == lit_not(f0) or x == lit_not(f1):
+                        return x           # a & ~(... ~a ...) = a? no:
+                        # x & ~(f0&f1) with f_i = ~x: f0&f1 is 0 when x=1,
+                        # so the complemented node is 1: result x.
+                    if x == f0:
+                        # x & ~(x & f1) = x & ~f1
+                        return self.lit_and(x, lit_not(f1))
+                    if x == f1:
+                        return self.lit_and(x, lit_not(f0))
+        key = (a, b)
+        found = self._strash.get(key)
+        if found is not None:
+            return make_lit(found)
+        node = len(self.fanins)
+        self.fanins.append(key)
+        self._strash[key] = node
+        return make_lit(node)
+
+    def lit_or(self, a: int, b: int) -> int:
+        return lit_not(self.lit_and(lit_not(a), lit_not(b)))
+
+    def lit_xor(self, a: int, b: int) -> int:
+        return self.lit_or(
+            self.lit_and(a, lit_not(b)), self.lit_and(lit_not(a), b)
+        )
+
+    def lit_mux(self, sel: int, d1: int, d0: int) -> int:
+        """``sel ? d1 : d0``."""
+        return self.lit_or(self.lit_and(sel, d1),
+                           self.lit_and(lit_not(sel), d0))
+
+    def lit_and_many(self, lits: Sequence[int]) -> int:
+        acc = TRUE_LIT
+        for lit in lits:
+            acc = self.lit_and(acc, lit)
+        return acc
+
+    def lit_or_many(self, lits: Sequence[int]) -> int:
+        acc = FALSE_LIT
+        for lit in lits:
+            acc = self.lit_or(acc, lit)
+        return acc
+
+    # ------------------------------------------------------------------
+    def levels(self) -> List[int]:
+        level = [0] * self.n_nodes
+        for node in range(1 + len(self.pi_names), self.n_nodes):
+            f0, f1 = self.fanins[node]
+            level[node] = 1 + max(level[lit_node(f0)], level[lit_node(f1)])
+        return level
+
+    def depth(self) -> int:
+        level = self.levels()
+        return max((level[lit_node(po)] for po in self.pos), default=0)
+
+    def refs(self) -> List[int]:
+        """Fanout counts (POs included)."""
+        counts = [0] * self.n_nodes
+        for node in range(self.n_nodes):
+            fin = self.fanins[node]
+            if fin is not None:
+                counts[lit_node(fin[0])] += 1
+                counts[lit_node(fin[1])] += 1
+        for po in self.pos:
+            counts[lit_node(po)] += 1
+        return counts
+
+    def reachable(self) -> List[bool]:
+        """Nodes in some PO's transitive fanin (plus const/PIs)."""
+        mark = [False] * self.n_nodes
+        mark[0] = True
+        for k in range(len(self.pi_names)):
+            mark[1 + k] = True
+        stack = [lit_node(po) for po in self.pos]
+        while stack:
+            node = stack.pop()
+            if mark[node]:
+                continue
+            mark[node] = True
+            fin = self.fanins[node]
+            if fin is not None:
+                stack.append(lit_node(fin[0]))
+                stack.append(lit_node(fin[1]))
+        return mark
+
+
+# ----------------------------------------------------------------------
+# conversions
+# ----------------------------------------------------------------------
+def aig_from_netlist(net: Netlist, rules: bool = True) -> Aig:
+    """Flatten a gate netlist into a structurally hashed AIG."""
+    aig = Aig(net.pis, rules=rules)
+    lit: Dict[str, int] = {
+        pi: aig.pi_lit(k) for k, pi in enumerate(net.pis)
+    }
+    for out in net.topo_order():
+        gate = net.gates[out]
+        ins = [lit[s] for s in gate.inputs]
+        name = gate.func.name
+        if name == "CONST0":
+            value = FALSE_LIT
+        elif name == "CONST1":
+            value = TRUE_LIT
+        elif name == "BUF":
+            value = ins[0]
+        elif name == "INV":
+            value = lit_not(ins[0])
+        elif name == "AND":
+            value = aig.lit_and_many(ins)
+        elif name == "NAND":
+            value = lit_not(aig.lit_and_many(ins))
+        elif name == "OR":
+            value = aig.lit_or_many(ins)
+        elif name == "NOR":
+            value = lit_not(aig.lit_or_many(ins))
+        elif name == "XOR":
+            value = aig.lit_xor(ins[0], ins[1])
+        elif name == "XNOR":
+            value = lit_not(aig.lit_xor(ins[0], ins[1]))
+        elif name == "AOI21":
+            value = lit_not(aig.lit_or(aig.lit_and(ins[0], ins[1]), ins[2]))
+        elif name == "OAI21":
+            value = lit_not(aig.lit_and(aig.lit_or(ins[0], ins[1]), ins[2]))
+        elif name == "AOI22":
+            value = lit_not(aig.lit_or(
+                aig.lit_and(ins[0], ins[1]), aig.lit_and(ins[2], ins[3])))
+        elif name == "OAI22":
+            value = lit_not(aig.lit_and(
+                aig.lit_or(ins[0], ins[1]), aig.lit_or(ins[2], ins[3])))
+        elif name == "MUX21":
+            value = aig.lit_mux(ins[2], ins[1], ins[0])
+        elif name == "MAJ3":
+            value = aig.lit_or_many([
+                aig.lit_and(ins[0], ins[1]),
+                aig.lit_and(ins[0], ins[2]),
+                aig.lit_and(ins[1], ins[2]),
+            ])
+        elif name == "ANDN":
+            value = aig.lit_and(ins[0], lit_not(ins[1]))
+        elif name == "ORN":
+            value = aig.lit_or(ins[0], lit_not(ins[1]))
+        else:
+            raise ValueError(f"cannot flatten gate function {name!r}")
+        lit[out] = value
+    for po in net.pos:
+        aig.add_po(lit[po], po)
+    return aig
+
+
+def netlist_from_aig(aig: Aig, name: str = "aig") -> Netlist:
+    """Naive AND/INV netlist from an AIG (for testing; mapping is the
+    production path)."""
+    net = Netlist(name)
+    for pi in aig.pi_names:
+        net.add_pi(pi)
+    reach = aig.reachable()
+    sig: Dict[int, str] = {}
+    for k, pi in enumerate(aig.pi_names):
+        sig[1 + k] = pi
+
+    def lit_signal(lit: int) -> str:
+        node = lit_node(lit)
+        if node == 0:
+            base = None
+            from ..netlist.netlist import constant_signal
+
+            base = constant_signal(net, 0)
+        else:
+            base = sig[node]
+        if not lit_compl(lit):
+            return base
+        inv_name = f"{base}_bar"
+        if not net.has_signal(inv_name):
+            net.add_gate(inv_name, "INV", [base])
+        return inv_name
+
+    for node in range(1 + len(aig.pi_names), aig.n_nodes):
+        if not reach[node]:
+            continue
+        f0, f1 = aig.fanins[node]
+        out = f"n{node}"
+        net.add_gate(out, "AND", [lit_signal(f0), lit_signal(f1)])
+        sig[node] = out
+    for po_lit, po_name in zip(aig.pos, aig.po_names):
+        driver = lit_signal(po_lit)
+        if net.has_signal(po_name) or po_name == driver:
+            net.add_po(driver)
+        else:
+            net.add_gate(po_name, "BUF", [driver])
+            net.add_po(po_name)
+    return net

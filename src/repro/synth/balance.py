@@ -1,0 +1,72 @@
+"""Depth-oriented AIG balancing (the delay script's work-horse).
+
+Collects maximal AND-trees (following non-complemented AND edges with a
+single reference) and rebuilds each as a delay-balanced tree, combining
+the two shallowest operands first — the AIG analogue of SIS's
+``reduce_depth``/``speed_up`` style restructuring used in
+``script.delay``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .aig import Aig, lit_compl, lit_node
+
+
+def balance(aig: Aig) -> Aig:
+    """Return a depth-balanced rebuild of ``aig``."""
+    fresh = Aig(aig.pi_names, rules=aig.rules)
+    mapping: Dict[int, int] = {0: 0}
+    for k in range(len(aig.pi_names)):
+        mapping[1 + k] = fresh.pi_lit(k)
+    refs = aig.refs()
+    level_cache: Dict[int, int] = {}
+
+    def new_level(lit: int) -> int:
+        node = lit_node(lit)
+        if node not in level_cache:
+            if fresh.fanins[node] is None:
+                level_cache[node] = 0
+            else:
+                f0, f1 = fresh.fanins[node]
+                level_cache[node] = 1 + max(new_level(f0), new_level(f1))
+        return level_cache[node]
+
+    def collect(node: int, out: List[int]) -> None:
+        """Leaves of the maximal single-fanout AND-tree rooted here."""
+        f0, f1 = aig.fanins[node]
+        for lit in (f0, f1):
+            sub = lit_node(lit)
+            if (not lit_compl(lit) and aig.fanins[sub] is not None
+                    and refs[sub] == 1):
+                collect(sub, out)
+            else:
+                out.append(lit)
+
+    def rebuilt_lit(lit: int) -> int:
+        return mapping[lit_node(lit)] ^ int(lit_compl(lit))
+
+    reach = aig.reachable()
+    for node in range(1 + len(aig.pi_names), aig.n_nodes):
+        if not reach[node] or aig.fanins[node] is None:
+            continue
+        leaves: List[int] = []
+        collect(node, leaves)
+        operands = [rebuilt_lit(l) for l in leaves]
+        # Huffman-style: combine the two shallowest operands first.
+        operands.sort(key=new_level, reverse=True)
+        while len(operands) > 1:
+            a = operands.pop()
+            b = operands.pop()
+            combined = fresh.lit_and(a, b)
+            # insert keeping descending level order
+            lv = new_level(combined)
+            pos = len(operands)
+            while pos > 0 and new_level(operands[pos - 1]) < lv:
+                pos -= 1
+            operands.insert(pos, combined)
+        mapping[node] = operands[0]
+    for po, name in zip(aig.pos, aig.po_names):
+        fresh.add_po(rebuilt_lit(po), name)
+    return fresh

@@ -1,0 +1,341 @@
+"""Cut-based technology mapping onto a genlib library.
+
+The stand-in for SIS's ``map`` (and the paper's ``map -n 1``: no fanout
+optimization).  K-feasible cuts are enumerated on the AIG, cut functions
+(<= 4 leaves) are matched against library-cell truth tables under all
+input permutations, and dynamic programming selects covers in one of two
+modes:
+
+* ``mode="area"``  — minimize area flow (the area script's mapper),
+* ``mode="delay"`` — minimize arrival time (the delay script's mapper).
+
+Both phases of every node are costed, with explicit inverters bridging
+phases, so NAND/NOR/AOI-style negative-phase cells are used naturally.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..library.cells import Cell, TechLibrary
+from ..netlist.gatefunc import INV
+from ..netlist.netlist import Netlist
+from .aig import Aig, FALSE_LIT, lit_compl, lit_node
+
+MAX_CUT_LEAVES = 4
+MAX_CUTS_PER_NODE = 8
+
+_VAR_MASKS_4 = [0xAAAA, 0xCCCC, 0xF0F0, 0xFF00]
+
+
+class MappingError(Exception):
+    """The library cannot realize some required function."""
+
+
+# ----------------------------------------------------------------------
+# library pattern table
+# ----------------------------------------------------------------------
+class PatternTable:
+    """Truth-table -> (cell, pin permutation, leaf-phase mask) index.
+
+    ``mask`` bit ``j`` set means cell pin ``j`` reads the *complement*
+    of its leaf, i.e. the instantiation connects that pin to the leaf's
+    negative-phase signal.  Phase-aware matching is what lets sparse
+    libraries (e.g. NAND/NOR/INV only) cover every function.
+    """
+
+    MAX_MATCHES_PER_TT = 10
+
+    def __init__(self, library: TechLibrary):
+        self.library = library
+        self.matches: Dict[
+            Tuple[int, int], List[Tuple[Cell, Tuple[int, ...], int]]
+        ] = {}
+        self.inv_cell = library.cell_for(INV, 1)
+        if self.inv_cell is None:
+            raise MappingError("library has no inverter")
+        for cell in library:
+            if cell.nin < 1 or cell.nin > MAX_CUT_LEAVES:
+                continue
+            table = cell.func.truth_table(cell.nin)
+            for perm in itertools.permutations(range(cell.nin)):
+                for mask in range(1 << cell.nin):
+                    tt = 0
+                    for row in range(1 << cell.nin):
+                        # pin j of the cell reads leaf perm[j], possibly
+                        # complemented.
+                        bits = [
+                            ((row >> perm[j]) & 1) ^ ((mask >> j) & 1)
+                            for j in range(cell.nin)
+                        ]
+                        idx = sum(b << j for j, b in enumerate(bits))
+                        if table[idx]:
+                            tt |= 1 << row
+                    bucket = self.matches.setdefault((cell.nin, tt), [])
+                    if len(bucket) < self.MAX_MATCHES_PER_TT:
+                        bucket.append((cell, perm, mask))
+        # Prefer matches with fewer complemented pins (cheaper leaves).
+        for bucket in self.matches.values():
+            bucket.sort(key=lambda m: (bin(m[2]).count("1"), m[0].area))
+
+    def lookup(self, nin: int, tt: int
+               ) -> List[Tuple[Cell, Tuple[int, ...], int]]:
+        return self.matches.get((nin, tt), [])
+
+
+# ----------------------------------------------------------------------
+# cut enumeration
+# ----------------------------------------------------------------------
+def _merge_cuts(c1: Tuple[int, ...], c2: Tuple[int, ...]
+                ) -> Optional[Tuple[int, ...]]:
+    merged = tuple(sorted(set(c1) | set(c2)))
+    if len(merged) > MAX_CUT_LEAVES:
+        return None
+    return merged
+
+
+def enumerate_cuts(aig: Aig) -> List[List[Tuple[int, ...]]]:
+    """Per-node K-feasible cuts (node's trivial cut first)."""
+    cuts: List[List[Tuple[int, ...]]] = [[] for _ in range(aig.n_nodes)]
+    for node in range(aig.n_nodes):
+        fin = aig.fanins[node]
+        if fin is None:
+            cuts[node] = [(node,)]
+            continue
+        found = {(node,)}
+        a, b = lit_node(fin[0]), lit_node(fin[1])
+        for c1 in cuts[a]:
+            for c2 in cuts[b]:
+                merged = _merge_cuts(c1, c2)
+                if merged is not None:
+                    found.add(merged)
+        ordered = sorted(found, key=lambda c: (len(c), c))
+        cuts[node] = ordered[:MAX_CUTS_PER_NODE]
+        if (node,) not in cuts[node]:
+            cuts[node].insert(0, (node,))
+    return cuts
+
+
+def _fanout_free_cone(aig: Aig, refs: List[int], root: int,
+                      leaves: Tuple[int, ...]) -> bool:
+    """True iff every internal node of the cut cone (excluding the root
+    and the leaves) has a single fanout — the tree-mapping discipline."""
+    leaf_set = set(leaves)
+    stack = [root]
+    seen = set()
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        if node != root and node not in leaf_set and refs[node] > 1:
+            return False
+        if node in leaf_set:
+            continue
+        fin = aig.fanins[node]
+        if fin is None:
+            continue
+        stack.append(lit_node(fin[0]))
+        stack.append(lit_node(fin[1]))
+    return True
+
+
+def cut_truth_table(aig: Aig, node: int, leaves: Tuple[int, ...]) -> int:
+    """Truth table (bitmask over 2^len(leaves) rows) of ``node`` as a
+    function of the cut leaves."""
+    masks: Dict[int, int] = {0: 0}
+    width_mask = (1 << (1 << len(leaves))) - 1
+    for k, leaf in enumerate(leaves):
+        masks[leaf] = _VAR_MASKS_4[k] & width_mask
+
+    def value(n: int) -> int:
+        found = masks.get(n)
+        if found is not None:
+            return found
+        f0, f1 = aig.fanins[n]
+        v0 = value(lit_node(f0))
+        if lit_compl(f0):
+            v0 ^= width_mask
+        v1 = value(lit_node(f1))
+        if lit_compl(f1):
+            v1 ^= width_mask
+        masks[n] = v0 & v1
+        return masks[n]
+
+    return value(node) & width_mask
+
+
+# ----------------------------------------------------------------------
+# dynamic-programming cover selection
+# ----------------------------------------------------------------------
+class _Choice:
+    __slots__ = ("cost", "arrival", "kind", "cut", "cell", "perm", "mask")
+
+    def __init__(self, cost, arrival, kind, cut=None, cell=None, perm=None,
+                 mask=0):
+        self.cost = cost
+        self.arrival = arrival
+        self.kind = kind      # "cell" | "inv" | "pi" | "const"
+        self.cut = cut
+        self.cell = cell
+        self.perm = perm
+        self.mask = mask      # bit j: cell pin j reads the leaf inverted
+
+
+def map_netlist(
+    source: Netlist,
+    library: TechLibrary,
+    mode: str = "area",
+    name: Optional[str] = None,
+    tree: bool = False,
+) -> Netlist:
+    """Map a netlist onto ``library`` via its AIG."""
+    from .aig import aig_from_netlist
+
+    return map_aig(aig_from_netlist(source), library, mode=mode,
+                   name=name or source.name, tree=tree)
+
+
+def map_aig(
+    aig: Aig,
+    library: TechLibrary,
+    mode: str = "area",
+    name: str = "mapped",
+    tree: bool = False,
+) -> Netlist:
+    """Cover an AIG with library cells; returns a mapped netlist.
+
+    ``tree=True`` restricts matches to fanout-free cones (every internal
+    cone node single-fanout), the DAGON/SIS tree-mapping discipline of
+    the paper's era.  Tree mapping never looks across a fanout point, so
+    redundant reconvergent structure in the subject graph survives into
+    the mapped netlist — the precondition for the paper's rewiring gains
+    on circuits like C6288.  ``tree=False`` is the modern cut mapper.
+    """
+    if mode not in ("area", "delay"):
+        raise ValueError("mode must be 'area' or 'delay'")
+    patterns = PatternTable(library)
+    inv_cell = patterns.inv_cell
+    inv_cost = inv_cell.area
+    inv_delay = inv_cell.pins[0].delay(1.0)
+    cuts = enumerate_cuts(aig)
+    refs = aig.refs()
+    best: List[List[Optional[_Choice]]] = [
+        [None, None] for _ in range(aig.n_nodes)
+    ]
+    best[0][0] = _Choice(0.0, 0.0, "const")
+    best[0][1] = _Choice(0.0, 0.0, "const")
+    for k in range(len(aig.pi_names)):
+        best[1 + k][0] = _Choice(0.0, 0.0, "pi")
+        best[1 + k][1] = _Choice(inv_cost, inv_delay, "inv")
+
+    def metric(choice: _Choice) -> float:
+        return choice.arrival if mode == "delay" else choice.cost
+
+    for node in range(1 + len(aig.pi_names), aig.n_nodes):
+        if aig.fanins[node] is None:
+            continue
+        options: List[List[_Choice]] = [[], []]
+        for cut in cuts[node]:
+            if node in cut:
+                continue
+            if any(best[l][0] is None for l in cut):
+                continue
+            if tree and not _fanout_free_cone(aig, refs, node, cut):
+                continue
+            tt = cut_truth_table(aig, node, cut)
+            width_mask = (1 << (1 << len(cut))) - 1
+            for phase, want in ((0, tt), (1, tt ^ width_mask)):
+                for cell, perm, mask in patterns.lookup(len(cut), want):
+                    arrival = 0.0
+                    cost = cell.area
+                    worst_pin = max(p.delay(1.0) for p in cell.pins)
+                    feasible = True
+                    for j in range(cell.nin):
+                        leaf = cut[perm[j]]
+                        leaf_phase = (mask >> j) & 1
+                        leaf_choice = best[leaf][leaf_phase]
+                        if leaf_choice is None:
+                            feasible = False
+                            break
+                        arrival = max(arrival,
+                                      leaf_choice.arrival + worst_pin)
+                        if tree:
+                            # DAGON-exact within a tree: multi-fanout
+                            # leaves are tree roots, costed once overall
+                            # — but a complemented read still pays its
+                            # (dedicated) inverter.
+                            if refs[leaf] <= 1:
+                                cost += leaf_choice.cost
+                            elif leaf_phase == 1:
+                                cost += inv_cost
+                        else:
+                            share = max(refs[leaf], 1)
+                            cost += leaf_choice.cost / share
+                    if not feasible:
+                        continue
+                    options[phase].append(_Choice(
+                        cost, arrival, "cell", cut=cut, cell=cell,
+                        perm=perm, mask=mask,
+                    ))
+        for phase in (0, 1):
+            if options[phase]:
+                best[node][phase] = min(options[phase], key=metric)
+        # Phase bridging with inverters (both directions, one pass).
+        for phase in (0, 1):
+            other = best[node][1 - phase]
+            if other is None or other.kind == "inv":
+                continue  # never stack inverter on inverter (cycle)
+            bridged = _Choice(other.cost + inv_cost,
+                              other.arrival + inv_delay, "inv")
+            if best[node][phase] is None or \
+                    metric(bridged) < metric(best[node][phase]):
+                best[node][phase] = bridged
+
+    return _instantiate(aig, library, best, inv_cell, name)
+
+
+def _instantiate(aig, library, best, inv_cell, name: str) -> Netlist:
+    net = Netlist(name)
+    for pi in aig.pi_names:
+        net.add_pi(pi)
+    memo: Dict[Tuple[int, int], str] = {}
+
+    def build(node: int, phase: int) -> str:
+        key = (node, phase)
+        if key in memo:
+            return memo[key]
+        choice = best[node][phase]
+        if choice is None:
+            raise MappingError(f"no cover for node {node} phase {phase}")
+        if choice.kind == "const":
+            from ..netlist.netlist import constant_signal
+
+            # Node 0 is FALSE: phase 0 -> const0, phase 1 -> const1.
+            sig = constant_signal(net, phase)
+        elif choice.kind == "pi":
+            sig = aig.pi_names[node - 1]
+        elif choice.kind == "inv":
+            src = build(node, 1 - phase)
+            sig = net.add_gate(net.fresh_name("minv"), INV, [src],
+                               cell=inv_cell.name)
+        else:
+            cell, perm, cut = choice.cell, choice.perm, choice.cut
+            # pin j of the cell reads leaf perm[j] in the phase the
+            # match's mask dictates.
+            ins = [
+                build(cut[perm[j]], (choice.mask >> j) & 1)
+                for j in range(cell.nin)
+            ]
+            sig = net.add_gate(net.fresh_name("m"), cell.func, ins,
+                               cell=cell.name)
+        memo[key] = sig
+        return sig
+
+    for po_lit, po_name in zip(aig.pos, aig.po_names):
+        node = lit_node(po_lit)
+        phase = 1 if lit_compl(po_lit) else 0
+        driver = build(node, phase)
+        net.add_po(driver)
+    return net

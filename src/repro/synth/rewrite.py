@@ -1,0 +1,60 @@
+"""Technology-independent AIG cleanup (the area script's work-horse).
+
+``compress`` rebuilds the AIG through the hashed constructor until a
+fixpoint: structural duplicates merge, the one-level boolean rules
+(idempotence, absorption, containment) fire on the rebuilt structure,
+and unreachable nodes disappear.  This plays the role of the iterated
+simplification passes of ``script.rugged`` in our SIS stand-in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .aig import Aig, lit_compl, lit_node, make_lit
+
+
+def _rebuild(aig: Aig) -> Aig:
+    fresh = Aig(aig.pi_names, rules=aig.rules)
+    mapping: Dict[int, int] = {0: 0}
+    for k in range(len(aig.pi_names)):
+        mapping[1 + k] = fresh.pi_lit(k)
+
+    reach = aig.reachable()
+    for node in range(1 + len(aig.pi_names), aig.n_nodes):
+        if not reach[node] or aig.fanins[node] is None:
+            continue
+        f0, f1 = aig.fanins[node]
+        l0 = mapping[lit_node(f0)] ^ int(lit_compl(f0))
+        l1 = mapping[lit_node(f1)] ^ int(lit_compl(f1))
+        mapping[node] = fresh.lit_and(l0, l1)
+    for po, name in zip(aig.pos, aig.po_names):
+        lit = mapping[lit_node(po)] ^ int(lit_compl(po))
+        fresh.add_po(lit, name)
+    return fresh
+
+
+def compress(aig: Aig, max_iterations: int = 8) -> Aig:
+    """Rebuild to a structural fixpoint."""
+    current = aig
+    size = current.n_ands
+    for _ in range(max_iterations):
+        current = _rebuild(current)
+        reach = current.reachable()
+        live = sum(
+            1 for n in range(current.n_nodes)
+            if reach[n] and current.fanins[n] is not None
+        )
+        if live == size:
+            break
+        size = live
+    return current
+
+
+def live_ands(aig: Aig) -> int:
+    """Number of AND nodes in some PO cone."""
+    reach = aig.reachable()
+    return sum(
+        1 for n in range(aig.n_nodes)
+        if reach[n] and aig.fanins[n] is not None
+    )

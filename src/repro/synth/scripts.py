@@ -1,0 +1,62 @@
+"""Synthesis scripts — stand-ins for the SIS flows used in Sec. 6.
+
+* :func:`script_rugged` plays ``script.rugged`` + ``map -n 1``: area-
+  oriented cleanup followed by area-mode mapping.  Used before GDO in
+  the Table-1 experiments.
+* :func:`script_delay` plays ``script.delay`` + ``map -n 1``: cleanup,
+  depth balancing, and delay-mode mapping.  Used before GDO in the
+  Table-2 experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..library.cells import TechLibrary
+from ..netlist.netlist import Netlist
+from .aig import aig_from_netlist
+from .balance import balance
+from .mapper import map_aig
+from .rewrite import compress
+
+
+def script_rugged(net: Netlist, library: TechLibrary,
+                  name: Optional[str] = None, era: str = "1995") -> Netlist:
+    """Area-oriented synthesis + area mapping (Table 1 front-end).
+
+    ``era="1995"`` reproduces the experimental conditions GDO was built
+    for: sweep-strength cleanup (pure structural hashing) and DAGON tree
+    mapping, which — like SIS's ``map`` — never optimizes across fanout
+    points and therefore leaves the redundant reconvergent structure of
+    circuits like C6288 in the mapped netlist.  ``era="modern"`` uses
+    boolean rewriting rules and global cut mapping instead; the
+    ``bench_frontends`` ablation shows it removes most of the rewiring
+    potential GDO feeds on.
+    """
+    faithful = _check_era(era)
+    aig = compress(aig_from_netlist(net, rules=not faithful))
+    mapped = map_aig(aig, library, mode="area", name=name or net.name,
+                     tree=faithful)
+    library.rebind(mapped)
+    mapped.validate()
+    return mapped
+
+
+def script_delay(net: Netlist, library: TechLibrary,
+                 name: Optional[str] = None, era: str = "1995") -> Netlist:
+    """Delay-oriented synthesis + delay mapping (Table 2 front-end)."""
+    faithful = _check_era(era)
+    aig = compress(aig_from_netlist(net, rules=not faithful))
+    aig = balance(aig)
+    aig = compress(aig)
+    mapped = map_aig(aig, library, mode="delay", name=name or net.name,
+                     tree=faithful)
+    library.rebind(mapped)
+    mapped.validate()
+    return mapped
+
+
+def _check_era(era: str) -> bool:
+    if era not in ("1995", "modern"):
+        raise ValueError("era must be '1995' or 'modern'")
+    return era == "1995"

@@ -1,0 +1,6 @@
+"""Static timing analysis with library delays."""
+
+from .paths import enumerate_critical_paths, longest_path, path_delay
+from .sta import Sta
+
+__all__ = ["Sta", "enumerate_critical_paths", "longest_path", "path_delay"]

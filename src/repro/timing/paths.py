@@ -1,0 +1,75 @@
+"""Critical path extraction and enumeration."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..netlist.netlist import Branch, Netlist
+from .sta import Sta
+
+
+def longest_path(sta: Sta) -> List[str]:
+    """One topologically-critical path, PO back to PI, returned PI-first."""
+    net = sta.net
+    end = max(net.pos, key=lambda po: sta.arrival.get(po, 0.0), default=None)
+    if end is None:
+        return []
+    path = [end]
+    current = end
+    while current in net.gates:
+        gate = net.gates[current]
+        best_src, best_t = None, -1.0
+        for pin, src in enumerate(gate.inputs):
+            t = sta.arrival[src] + sta.edge_delay(Branch(current, pin))
+            if t > best_t:
+                best_src, best_t = src, t
+        if best_src is None:
+            break
+        path.append(best_src)
+        current = best_src
+    path.reverse()
+    return path
+
+
+def enumerate_critical_paths(sta: Sta, limit: int = 100) -> List[List[str]]:
+    """Up to ``limit`` complete critical paths (PI -> PO), DFS order."""
+    net = sta.net
+    paths: List[List[str]] = []
+    ends = [
+        po for po in net.pos
+        if abs(sta.arrival.get(po, 0.0) - sta.delay) <= sta.eps
+    ]
+
+    def walk(sig: str, suffix: List[str]) -> None:
+        if len(paths) >= limit:
+            return
+        suffix = [sig] + suffix
+        if sig not in net.gates:
+            paths.append(suffix)
+            return
+        gate = net.gates[sig]
+        extended = False
+        for pin, src in enumerate(gate.inputs):
+            if sta.is_critical_edge(Branch(sig, pin)):
+                extended = True
+                walk(src, suffix)
+                if len(paths) >= limit:
+                    return
+        if not extended:
+            paths.append(suffix)
+
+    for po in dict.fromkeys(ends):
+        walk(po, [])
+    return paths
+
+
+def path_delay(sta: Sta, path: List[str]) -> float:
+    """Arrival time accumulated along an explicit path."""
+    if not path:
+        return 0.0
+    total = sta.arrival.get(path[0], 0.0) if path[0] in sta.net.pis else 0.0
+    for prev, cur in zip(path, path[1:]):
+        gate = sta.net.gates[cur]
+        pin = gate.inputs.index(prev)
+        total += sta.edge_delay(Branch(cur, pin))
+    return total

@@ -1,0 +1,173 @@
+"""Static timing analysis on mapped netlists.
+
+Arrival times, required times, slacks, critical gates, and the
+NCP (number of critical paths) metric used to rank substitutions in
+Sec. 5.  Delays come from the technology library's genlib model:
+``delay(pin) = block + drive * load(output)``, where a signal's load is
+the sum of the input loads of its fanout pins (the paper maps with
+``map -n 1``, i.e. the netlist is used as-is, no buffering).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..library.cells import TechLibrary
+from ..netlist.netlist import Branch, Netlist
+
+EPS = 1e-9
+
+
+class Sta:
+    """One timing snapshot of a netlist.  Rebuild after any edit."""
+
+    def __init__(
+        self,
+        net: Netlist,
+        library: TechLibrary,
+        po_load: float = 1.0,
+        input_arrival: Optional[Dict[str, float]] = None,
+        eps: float = 1e-6,
+    ):
+        self.net = net
+        self.library = library
+        self.po_load = po_load
+        self.eps = eps
+        self.input_arrival = dict(input_arrival or {})
+        self.load: Dict[str, float] = {}
+        self.arrival: Dict[str, float] = {}
+        self.required: Dict[str, float] = {}
+        self.slack: Dict[str, float] = {}
+        self._ncp: Optional[Dict[str, int]] = None
+        self._compute()
+
+    # ------------------------------------------------------------------
+    def _compute(self) -> None:
+        net, lib = self.net, self.library
+        for sig in net.signals():
+            total = self.po_load * net.pos.count(sig)
+            for branch in net.fanouts(sig):
+                total += lib.gate_input_load(net.gates[branch.gate], branch.pin)
+            self.load[sig] = total
+        for pi in net.pis:
+            self.arrival[pi] = self.input_arrival.get(pi, 0.0)
+        for out in net.topo_order():
+            gate = net.gates[out]
+            out_load = self.load[out]
+            best = 0.0
+            for pin, sig in enumerate(gate.inputs):
+                d = lib.gate_pin_timing(gate, pin).delay(out_load)
+                best = max(best, self.arrival[sig] + d)
+            self.arrival[out] = best
+        self.delay = max(
+            (self.arrival[po] for po in net.pos), default=0.0
+        )
+        # Required times: POs must meet the current critical delay.
+        for sig in net.signals():
+            self.required[sig] = float("inf")
+        for po in net.pos:
+            self.required[po] = min(self.required[po], self.delay)
+        for out in reversed(net.topo_order()):
+            gate = net.gates[out]
+            req_out = self.required[out]
+            out_load = self.load[out]
+            for pin, sig in enumerate(gate.inputs):
+                d = lib.gate_pin_timing(gate, pin).delay(out_load)
+                self.required[sig] = min(self.required[sig], req_out - d)
+        for sig in net.signals():
+            req = self.required[sig]
+            self.slack[sig] = (
+                req - self.arrival[sig] if req != float("inf") else float("inf")
+            )
+
+    # ------------------------------------------------------------------
+    def edge_delay(self, branch: Branch) -> float:
+        """Delay of the arc through ``branch`` (input pin -> gate output)."""
+        gate = self.net.gates[branch.gate]
+        return self.library.gate_pin_timing(gate, branch.pin).delay(
+            self.load[branch.gate]
+        )
+
+    def is_critical(self, signal: str) -> bool:
+        return self.slack.get(signal, float("inf")) <= self.eps
+
+    def critical_signals(self) -> Set[str]:
+        return {s for s in self.net.signals() if self.is_critical(s)}
+
+    def critical_gates(self) -> List[str]:
+        """Gate outputs with (near-)zero slack — the optimization targets."""
+        return [s for s in self.net.topo_order() if self.is_critical(s)]
+
+    def is_critical_edge(self, branch: Branch) -> bool:
+        """True if the arc lies on some critical path."""
+        out = branch.gate
+        src = self.net.gates[out].inputs[branch.pin]
+        if not (self.is_critical(out) and self.is_critical(src)):
+            return False
+        return abs(
+            self.arrival[src] + self.edge_delay(branch) - self.arrival[out]
+        ) <= self.eps
+
+    # ------------------------------------------------------------------
+    def ncp(self, signal: str) -> int:
+        """Number of critical paths running through ``signal`` (Sec. 5)."""
+        if self._ncp is None:
+            self._ncp = self._count_critical_paths()
+        return self._ncp.get(signal, 0)
+
+    def ncp_edge(self, branch: Branch) -> int:
+        """Number of critical paths through one fanout branch."""
+        if self._ncp is None:
+            self._ncp = self._count_critical_paths()
+        if not self.is_critical_edge(branch):
+            return 0
+        src = self.net.gates[branch.gate].inputs[branch.pin]
+        return self._fwd.get(src, 0) * self._bwd.get(branch.gate, 0)
+
+    def ncp_of(self, ref) -> int:
+        """NCP for a stem (str) or branch (:class:`Branch`) reference."""
+        if isinstance(ref, Branch):
+            return self.ncp_edge(ref)
+        return self.ncp(ref)
+
+    def _count_critical_paths(self) -> Dict[str, int]:
+        net = self.net
+        order = net.topo_order()
+        fwd: Dict[str, int] = {}
+        for pi in net.pis:
+            fwd[pi] = 1 if self.is_critical(pi) else 0
+        for out in order:
+            if not self.is_critical(out):
+                fwd[out] = 0
+                continue
+            gate = net.gates[out]
+            total = 0
+            for pin, src in enumerate(gate.inputs):
+                if self.is_critical_edge(Branch(out, pin)):
+                    total += fwd.get(src, 0)
+            # A critical gate fed only by non-critical edges starts paths
+            # itself only if it is a (constant) source; otherwise 0.
+            fwd[out] = total if gate.inputs else (1 if self.is_critical(out) else 0)
+        bwd: Dict[str, int] = {s: 0 for s in fwd}
+        for po in net.pos:
+            if abs(self.arrival.get(po, 0.0) - self.delay) <= self.eps:
+                bwd[po] = bwd.get(po, 0) + 1
+        for out in reversed(order):
+            gate = net.gates[out]
+            for pin, src in enumerate(gate.inputs):
+                if self.is_critical_edge(Branch(out, pin)):
+                    bwd[src] = bwd.get(src, 0) + bwd.get(out, 0)
+        self._fwd, self._bwd = fwd, bwd
+        return {s: fwd.get(s, 0) * bwd.get(s, 0) for s in fwd}
+
+    # ------------------------------------------------------------------
+    def report(self) -> str:
+        crit = self.critical_gates()
+        lines = [
+            f"delay      : {self.delay:.3f}",
+            f"gates      : {self.net.num_gates}",
+            f"literals   : {self.net.num_literals}",
+            f"area       : {self.library.netlist_area(self.net):.2f}",
+            f"critical   : {len(crit)} gates",
+        ]
+        return "\n".join(lines)

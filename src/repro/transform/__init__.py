@@ -1,0 +1,18 @@
+"""Permissible netlist transformations: substitutions, insertions,
+redundancy removal."""
+
+from .insertion import Insertion, apply_insertion, candidate_insertions
+from .realize import form_cell, form_cell_delay, realize_form
+from .redremoval import c1_fault, prove_and_remove_c1, valid_c1_candidates
+from .substitution import (
+    AppliedSubstitution, TransformError, affected_outputs, apply_candidate,
+    prove_candidate,
+)
+
+__all__ = [
+    "Insertion", "apply_insertion", "candidate_insertions",
+    "form_cell", "form_cell_delay", "realize_form",
+    "c1_fault", "prove_and_remove_c1", "valid_c1_candidates",
+    "AppliedSubstitution", "TransformError", "affected_outputs",
+    "apply_candidate", "prove_candidate",
+]

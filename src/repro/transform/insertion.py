@@ -1,0 +1,91 @@
+"""Single-C2-clause transformation: inserting a 2-input gate on a
+connection (Fig. 2 of the paper).
+
+A valid C2-clause ``(~Oa + ~a + b)`` permits cutting the connection
+carrying ``a`` into gate G2 and feeding G2 from a new AND(a, b) instead
+— the "permissible bridge" of [Rohfleisch/Brglez].  The insertion itself
+gains nothing, but it perturbs the network so that other signals become
+stuck-at redundant; redundancy removal then collects the gain (the
+strategy of [Kunz/Menon] and [Cheng/Entrena] referenced in Sec. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..library.cells import TechLibrary
+from ..netlist.edit import insert_gate, replace_input, would_create_cycle
+from ..netlist.gatefunc import AND, GateFunc, OR
+from ..netlist.netlist import Branch, Netlist
+from ..sim.observability import ObservabilityEngine
+from ..clauses.theory import Clause, ObsLit, SigLit
+from .substitution import TransformError
+
+
+@dataclass
+class Insertion:
+    """Insert ``func(a, side)`` in place of branch ``target`` (which
+    currently carries ``a``)."""
+
+    target: Branch
+    side: str
+    func: GateFunc = AND
+
+    def clause(self, net: Netlist) -> Clause:
+        """The single C2-clause whose validity permits the insertion."""
+        a = self.target
+        if self.func is AND:
+            # (~Oa + ~a + side): when observable and a=1, side must be 1.
+            return Clause([ObsLit(a, False), SigLit(a, False),
+                           SigLit(self.side, True)])
+        if self.func is OR:
+            return Clause([ObsLit(a, False), SigLit(a, True),
+                           SigLit(self.side, False)])
+        raise ValueError("insertion supports AND and OR bridges")
+
+    def holds_on(self, engine: ObservabilityEngine) -> bool:
+        return self.clause(engine.sim.net).holds_on(engine)
+
+
+def apply_insertion(
+    net: Netlist,
+    insertion: Insertion,
+    library: Optional[TechLibrary] = None,
+) -> str:
+    """Execute the insertion; returns the new gate's output signal."""
+    branch = insertion.target
+    if branch.gate not in net.gates or branch.pin >= net.gates[branch.gate].nin:
+        raise TransformError(f"branch {branch} no longer exists")
+    if not net.has_signal(insertion.side):
+        raise TransformError(f"side signal {insertion.side!r} does not exist")
+    if would_create_cycle(net, branch.gate, insertion.side):
+        raise TransformError("insertion would create a cycle")
+    a_sig = net.gates[branch.gate].inputs[branch.pin]
+    cell = library.cell_for(insertion.func, 2) if library is not None else None
+    new_sig = insert_gate(net, insertion.func, [a_sig, insertion.side],
+                          cell=cell.name if cell else None, hint="bridge")
+    replace_input(net, branch, new_sig)
+    return new_sig
+
+
+def candidate_insertions(
+    engine: ObservabilityEngine,
+    target: Branch,
+    pool: List[str],
+    func: GateFunc = AND,
+) -> List[Insertion]:
+    """Insertions on ``target`` whose C2-clause survives simulation."""
+    net = engine.sim.net
+    obs = engine.branch_observability(target)
+    a_val = engine.value(net.gates[target.gate].inputs[target.pin])
+    active = (obs & a_val) if func is AND else (obs & ~a_val)
+    out: List[Insertion] = []
+    for side in pool:
+        side_val = engine.value(side)
+        blocked = active & (~side_val if func is AND else side_val)
+        if not np.any(blocked):
+            out.append(Insertion(target, side, func))
+    return out

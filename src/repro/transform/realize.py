@@ -1,0 +1,71 @@
+"""Realization of phase-assigned 2-input forms as library cells.
+
+Theorem 2 allows OS3/IS3 with "an AND-, OR-, or XOR-gate with a certain
+phase assignment to the driving signals".  Every phase assignment maps
+onto a standard cell without extra inverters:
+
+=====================  ==================
+form                   realization
+=====================  ==================
+AND(b, c)              AND2(b, c)
+AND(b, ~c)             ANDN(b, c)
+AND(~b, c)             ANDN(c, b)
+AND(~b, ~c)            NOR2(b, c)
+OR(b, c)               OR2(b, c)
+OR(b, ~c)              ORN(b, c)
+OR(~b, c)              ORN(c, b)
+OR(~b, ~c)             NAND2(b, c)
+XOR / XNOR             XOR2 / XNOR2
+=====================  ==================
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..library.cells import Cell, TechLibrary
+from ..netlist.gatefunc import (
+    AND, ANDN, GateFunc, NAND, NOR, OR, ORN, TwoInputForm, XNOR, XOR,
+)
+
+
+def realize_form(form: TwoInputForm) -> Tuple[GateFunc, bool]:
+    """Primitive function and whether (b, c) must be swapped."""
+    base = form.base.name
+    if base == "AND":
+        if not form.inv_b and not form.inv_c:
+            return AND, False
+        if not form.inv_b and form.inv_c:
+            return ANDN, False
+        if form.inv_b and not form.inv_c:
+            return ANDN, True
+        return NOR, False
+    if base == "OR":
+        if not form.inv_b and not form.inv_c:
+            return OR, False
+        if not form.inv_b and form.inv_c:
+            return ORN, False
+        if form.inv_b and not form.inv_c:
+            return ORN, True
+        return NAND, False
+    if base == "XOR":
+        return XOR, False
+    if base == "XNOR":
+        return XNOR, False
+    raise ValueError(f"unsupported form base {base!r}")
+
+
+def form_cell(library: TechLibrary, form: TwoInputForm) -> Optional[Cell]:
+    """The library cell realizing ``form``, or None if unavailable."""
+    func, _swap = realize_form(form)
+    return library.cell_for(func, 2)
+
+
+def form_cell_delay(
+    library: TechLibrary, form: TwoInputForm, load: float
+) -> Optional[float]:
+    """Worst pin delay of the realizing cell under ``load``."""
+    cell = form_cell(library, form)
+    if cell is None:
+        return None
+    return max(p.delay(load) for p in cell.pins)

@@ -1,0 +1,62 @@
+"""C1-clauses as transformations: redundancy removal.
+
+Thin bridge between the clause view (a valid C1-clause ``(~Oa + a)``)
+and the fault view (``a`` stuck-at-1 redundant) — Sec. 3's first
+correspondence.  The heavy lifting lives in :mod:`repro.atpg.redundancy`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..atpg.faults import Fault
+from ..atpg.redundancy import remove_redundancy
+from ..atpg.satatpg import is_redundant
+from ..netlist.netlist import Branch, Netlist
+from ..sim.observability import ObservabilityEngine
+from ..clauses.theory import Clause, SigLit, c1_clauses
+
+
+def c1_fault(clause: Clause) -> Fault:
+    """The stuck-at fault described by a C1-clause.
+
+    ``(~Oa + a)``  -> a stuck-at-1 (value always 1 when observed),
+    ``(~Oa + ~a)`` -> a stuck-at-0.
+    """
+    sig_lits = [l for l in clause.literals if isinstance(l, SigLit)]
+    if len(sig_lits) != 1:
+        raise ValueError("not a C1-clause")
+    lit = sig_lits[0]
+    return Fault(lit.ref, 1 if lit.positive else 0)
+
+
+def valid_c1_candidates(
+    engine: ObservabilityEngine, refs: Optional[List[Branch]] = None
+) -> List[Fault]:
+    """Branch C1-clauses that survive simulation, as faults."""
+    net = engine.sim.net
+    if refs is None:
+        refs = [b for s in net.signals() for b in net.fanouts(s)]
+    out: List[Fault] = []
+    for branch in refs:
+        obs = engine.branch_observability(branch)
+        val = engine.value(net.gates[branch.gate].inputs[branch.pin])
+        if not np.any(obs & ~val):
+            out.append(Fault(branch, 1))
+        if not np.any(obs & val):
+            out.append(Fault(branch, 0))
+    return out
+
+
+def prove_and_remove_c1(
+    net: Netlist,
+    fault: Fault,
+    max_conflicts: Optional[int] = 100_000,
+) -> bool:
+    """Prove one C1 candidate redundant and, if so, remove it."""
+    if is_redundant(net, fault, max_conflicts=max_conflicts):
+        remove_redundancy(net, fault)
+        return True
+    return False

@@ -1,0 +1,216 @@
+"""Applying and proving OS2/IS2/OS3/IS3 substitutions.
+
+The simulation filter (:mod:`repro.clauses.candidates`) only shows that
+no sampled vector refutes a PVCC; permissibility (Definition 2) must be
+*proven*.  Per Sec. 4 this is done either by "ATPG" — here, a SAT query
+on the miter of original vs. modified circuit (satisfiable iff some test
+vector distinguishes them, exactly Larrabee's formulation) — or by
+BDD-based verification of the two circuits.  Both operate on the cones
+of the primary outputs reachable from the substitution point, which is
+what keeps global optimization of large circuits feasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..bdd.bdd import BddBudgetExceeded
+from ..bdd.circuit_bdd import bdd_equivalent
+from ..library.cells import TechLibrary
+from ..netlist.edit import (
+    find_inverted, insert_gate, prune_dangling, replace_input,
+    substitute_stem, would_create_cycle,
+)
+from ..netlist.gatefunc import INV
+from ..netlist.netlist import Branch, Gate, Netlist
+from ..netlist.traverse import extract_cone
+from ..sat.miter import miter_equivalent
+from ..sat.solver import SolverBudgetExceeded
+from ..clauses.pvcc import Candidate
+from .realize import realize_form
+
+
+class TransformError(Exception):
+    """A substitution could not be applied to the netlist."""
+
+
+@dataclass
+class AppliedSubstitution:
+    """Record of one executed substitution."""
+
+    candidate: Candidate
+    replacement: str
+    added_gates: List[str] = field(default_factory=list)
+    removed_gates: List[Gate] = field(default_factory=list)
+
+    def area_delta(self, library: TechLibrary, net: Netlist) -> float:
+        """Area change (negative = area saved)."""
+        added = sum(
+            library.gate_area(net.gates[g])
+            for g in self.added_gates if g in net.gates
+        )
+        removed = sum(library.gate_area(g) for g in self.removed_gates)
+        return added - removed
+
+
+# ----------------------------------------------------------------------
+# application
+# ----------------------------------------------------------------------
+def apply_candidate(
+    net: Netlist,
+    cand: Candidate,
+    library: Optional[TechLibrary] = None,
+    prune: bool = True,
+) -> AppliedSubstitution:
+    """Execute the substitution on ``net`` (mutating it).
+
+    Performs structural sanity checks (sources exist, no cycle) but NOT
+    the permissibility proof — call :func:`prove_candidate` first.
+    """
+    added: List[str] = []
+    replacement = _build_replacement(net, cand, library, added)
+
+    def bail(reason: str) -> None:
+        for sig in reversed(added):
+            if sig in net.gates and net.fanout_count(sig) == 0:
+                del net.gates[sig]
+        net.invalidate()
+        raise TransformError(reason)
+
+    if isinstance(cand.target, Branch):
+        if cand.target.gate not in net.gates or \
+                cand.target.pin >= net.gates[cand.target.gate].nin:
+            bail(f"branch {cand.target} no longer exists")
+        if would_create_cycle(net, cand.target.gate, replacement):
+            bail(f"{cand.describe()} would create a cycle")
+        old = replace_input(net, cand.target, replacement)
+        roots = [old]
+    else:
+        if not net.has_signal(cand.target):
+            bail(f"stem {cand.target!r} no longer exists")
+        if cand.target in net.transitive_fanin(replacement):
+            bail(f"{cand.describe()} would create a cycle")
+        substitute_stem(net, cand.target, replacement)
+        roots = [cand.target]
+    removed = prune_dangling(net, roots=roots) if prune else []
+    if library is not None:
+        for sig in added:
+            gate = net.gates[sig]
+            cell = library.cell_for(gate.func, gate.nin)
+            gate.cell = cell.name if cell is not None else None
+    return AppliedSubstitution(
+        candidate=cand, replacement=replacement,
+        added_gates=added, removed_gates=removed,
+    )
+
+
+def _build_replacement(
+    net: Netlist,
+    cand: Candidate,
+    library: Optional[TechLibrary],
+    added: List[str],
+) -> str:
+    for src in cand.sources:
+        if not net.has_signal(src):
+            raise TransformError(f"source {src!r} no longer exists")
+    if cand.kind in ("OS2", "IS2"):
+        sig = cand.sources[0]
+        if not cand.inverted:
+            return sig
+        existing = find_inverted(net, sig)
+        if existing is not None:
+            return existing
+        inv_cell = library.cell_for(INV, 1) if library is not None else None
+        name = insert_gate(net, INV, [sig],
+                           cell=inv_cell.name if inv_cell else None,
+                           hint="gdo_inv")
+        added.append(name)
+        return name
+    func, swap = realize_form(cand.form)
+    b, c = cand.sources
+    if swap:
+        b, c = c, b
+    cell = library.cell_for(func, 2) if library is not None else None
+    name = insert_gate(net, func, [b, c],
+                       cell=cell.name if cell else None, hint="gdo")
+    added.append(name)
+    return name
+
+
+# ----------------------------------------------------------------------
+# proof backends
+# ----------------------------------------------------------------------
+def affected_outputs(net: Netlist, cand: Candidate) -> List[int]:
+    """Indices of POs whose function a substitution could change."""
+    root = cand.target.gate if isinstance(cand.target, Branch) else cand.target
+    tfo = net.transitive_fanout(root, include_self=True)
+    tfo.add(root)
+    return [i for i, po in enumerate(net.pos) if po in tfo]
+
+
+def _aligned_cones(
+    left: Netlist, right: Netlist, po_indices: Sequence[int]
+) -> Tuple[Netlist, Netlist]:
+    """Cone netlists for the selected POs with identical PI interfaces."""
+    l_cone = extract_cone(left, [left.pos[i] for i in po_indices], "left")
+    r_cone = extract_cone(right, [right.pos[i] for i in po_indices], "right")
+    all_pis = [pi for pi in left.pis if pi in set(l_cone.pis) | set(r_cone.pis)]
+    for cone in (l_cone, r_cone):
+        have = set(cone.pis)
+        for pi in all_pis:
+            if pi not in have:
+                cone.add_pi(pi)
+        cone.pis = [pi for pi in all_pis]
+        cone.invalidate()
+    return l_cone, r_cone
+
+
+def prove_candidate(
+    net: Netlist,
+    cand: Candidate,
+    library: Optional[TechLibrary] = None,
+    proof: str = "sat",
+    max_conflicts: Optional[int] = 200_000,
+    bdd_max_nodes: int = 500_000,
+) -> bool:
+    """Prove permissibility of ``cand`` against ``net``.
+
+    ``proof`` is ``"sat"``, ``"bdd"``, ``"auto"`` (BDD first, SAT on
+    budget exhaustion — the paper's observation that BDDs win on small
+    and medium cones, ATPG scales further), or ``"none"`` (trust the
+    simulation filter; only sound under exhaustive simulation).
+    """
+    if proof == "none":
+        return True
+    modified = net.copy(name=net.name + "_mod")
+    try:
+        apply_candidate(modified, cand, library=library, prune=True)
+    except TransformError:
+        return False
+    po_idx = affected_outputs(net, cand)
+    if not po_idx:
+        return True
+    # The SAT miter hashes shared structure away; the BDD backend builds
+    # only the affected-PO cones in one shared manager.  Neither needs
+    # explicit cone extraction.
+    if proof == "bdd":
+        return bdd_equivalent(net, modified, po_indices=po_idx,
+                              max_nodes=bdd_max_nodes)
+    if proof == "sat":
+        try:
+            return miter_equivalent(net, modified, po_indices=po_idx,
+                                    max_conflicts=max_conflicts)
+        except SolverBudgetExceeded:
+            return False  # undecided within budget: reject the PVCC
+    if proof == "auto":
+        try:
+            return bdd_equivalent(net, modified, po_indices=po_idx,
+                                  max_nodes=bdd_max_nodes)
+        except BddBudgetExceeded:
+            try:
+                return miter_equivalent(net, modified, po_indices=po_idx,
+                                        max_conflicts=max_conflicts)
+            except SolverBudgetExceeded:
+                return False
+    raise ValueError(f"unknown proof backend {proof!r}")

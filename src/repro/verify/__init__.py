@@ -1,0 +1,5 @@
+"""Equivalence checking utilities."""
+
+from .equiv import check_equivalence, find_counterexample, random_sim_refutes
+
+__all__ = ["check_equivalence", "find_counterexample", "random_sim_refutes"]

@@ -1,0 +1,67 @@
+"""Combinational equivalence checking (the safety net).
+
+Strategy: fast random word-parallel simulation to refute, then a SAT
+miter (or BDD comparison) to prove.  Used after every GDO run and
+heavily in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..bdd.bdd import BddBudgetExceeded
+from ..bdd.circuit_bdd import bdd_equivalent
+from ..netlist.netlist import Netlist
+from ..sat.miter import miter_counterexample, miter_equivalent
+from ..sim.bitsim import BitSimulator
+from ..sim.vectors import random_words
+
+
+def random_sim_refutes(
+    left: Netlist, right: Netlist, n_words: int = 32, seed: int = 0
+) -> bool:
+    """True if random vectors already distinguish the two netlists."""
+    if set(left.pis) != set(right.pis) or len(left.pos) != len(right.pos):
+        return True
+    words = random_words(left.pis, n_words, seed)
+    l_state = BitSimulator(left).simulate(words)
+    r_state = BitSimulator(right).simulate(words)
+    for l_po, r_po in zip(left.pos, right.pos):
+        if np.any(l_state.word(l_po) ^ r_state.word(r_po)):
+            return True
+    return False
+
+
+def check_equivalence(
+    left: Netlist,
+    right: Netlist,
+    n_words: int = 32,
+    seed: int = 0,
+    method: str = "sat",
+    max_conflicts: Optional[int] = 500_000,
+    bdd_max_nodes: int = 1_000_000,
+) -> bool:
+    """Full equivalence check: simulate to refute, then prove.
+
+    ``method`` is ``"sat"``, ``"bdd"``, or ``"auto"`` (BDD with SAT
+    fallback on budget exhaustion).
+    """
+    if random_sim_refutes(left, right, n_words=n_words, seed=seed):
+        return False
+    if method == "bdd":
+        return bdd_equivalent(left, right, max_nodes=bdd_max_nodes)
+    if method == "auto":
+        try:
+            return bdd_equivalent(left, right, max_nodes=bdd_max_nodes)
+        except BddBudgetExceeded:
+            return miter_equivalent(left, right, max_conflicts=max_conflicts)
+    return miter_equivalent(left, right, max_conflicts=max_conflicts)
+
+
+def find_counterexample(
+    left: Netlist, right: Netlist, max_conflicts: Optional[int] = 500_000
+):
+    """Distinguishing input assignment, or None if equivalent."""
+    return miter_counterexample(left, right, max_conflicts=max_conflicts)

@@ -1,0 +1,154 @@
+"""Tests for fault modelling, SAT-ATPG, PODEM, and redundancy removal."""
+
+import random
+
+import pytest
+
+from repro.atpg import (
+    Fault, candidate_redundancies, full_fault_list, generate_test,
+    inject_fault, is_redundant, podem_generate, remove_all_redundancies,
+)
+from repro.netlist import Branch, Netlist
+from repro.sim import BitSimulator, vectors_to_words
+from repro.verify import check_equivalence
+
+
+def redundant_net():
+    """y = (a & b) | (a & ~b) == a: the b-branches are redundant-ish;
+    specifically t2's b-input stuck-at faults include redundancies."""
+    net = Netlist("red")
+    for pi in "ab":
+        net.add_pi(pi)
+    net.add_gate("nb", "INV", ["b"])
+    net.add_gate("t1", "AND", ["a", "b"])
+    net.add_gate("t2", "AND", ["a", "nb"])
+    net.add_gate("y", "OR", ["t1", "t2"])
+    net.set_pos(["y"])
+    return net
+
+
+def test_fault_model_basics():
+    net = redundant_net()
+    fault = Fault("t1", 0)
+    assert not fault.is_branch
+    assert fault.signal(net) == "t1"
+    branch_fault = Fault(Branch("y", 0), 1)
+    assert branch_fault.is_branch
+    assert branch_fault.signal(net) == "t1"
+    with pytest.raises(ValueError):
+        Fault("t1", 2)
+
+
+def test_full_fault_list_counts():
+    net = redundant_net()
+    faults = full_fault_list(net)
+    stems = [f for f in faults if not f.is_branch]
+    branches = [f for f in faults if f.is_branch]
+    # every signal: 2 stem faults
+    assert len(stems) == 2 * (2 + 4)
+    # only multi-fanout signals get branch faults: a (2 fanouts), b (2)
+    assert len(branches) == 2 * 2 + 2 * 2
+
+
+def test_inject_fault_semantics():
+    net = redundant_net()
+    faulty = inject_fault(net, Fault("a", 0))
+    state = BitSimulator(faulty).simulate(
+        vectors_to_words(faulty.pis, [{"a": 1, "b": 1}])
+    )
+    assert state.bit(faulty.pos[0], 0) == 0  # y stuck low when a s-a-0
+
+
+def test_testable_fault_has_valid_test():
+    net = redundant_net()
+    fault = Fault("a", 0)
+    res = generate_test(net, fault)
+    assert res.testable
+    faulty = inject_fault(net, fault)
+    good = BitSimulator(net).simulate(vectors_to_words(net.pis, [res.test]))
+    bad = BitSimulator(faulty).simulate(
+        vectors_to_words(faulty.pis, [res.test]))
+    assert any(
+        good.bit(p1, 0) != bad.bit(p2, 0)
+        for p1, p2 in zip(net.pos, faulty.pos)
+    )
+
+
+def test_redundant_fault_detected():
+    # y = a | (a & b): the (a & b) term is absorbed; t-branch s-a-0 is
+    # untestable.
+    net = Netlist("absorb")
+    for pi in "ab":
+        net.add_pi(pi)
+    net.add_gate("t", "AND", ["a", "b"])
+    net.add_gate("y", "OR", ["a", "t"])
+    net.set_pos(["y"])
+    assert is_redundant(net, Fault("t", 0))
+    assert not is_redundant(net, Fault("a", 0))
+
+
+def test_podem_agrees_with_sat_on_random_nets():
+    rnd = random.Random(20)
+    funcs = ["AND", "OR", "NAND", "NOR", "XOR", "XNOR"]
+    for trial in range(8):
+        net = Netlist(f"r{trial}")
+        sigs = [net.add_pi(f"i{k}") for k in range(4)]
+        for k in range(10):
+            f = rnd.choice(funcs + ["INV"])
+            ins = [rnd.choice(sigs)] if f == "INV" else rnd.sample(sigs, 2)
+            sigs.append(net.add_gate(f"g{k}", f, ins))
+        net.set_pos(sigs[-2:])
+        for fault in full_fault_list(net)[:24]:
+            sat_res = generate_test(net, fault)
+            pod_res = podem_generate(net, fault, max_backtracks=4000)
+            assert pod_res.status != "aborted"
+            assert sat_res.status == pod_res.status, (trial, fault)
+
+
+def test_podem_redundant():
+    net = Netlist("absorb")
+    for pi in "ab":
+        net.add_pi(pi)
+    net.add_gate("t", "AND", ["a", "b"])
+    net.add_gate("y", "OR", ["a", "t"])
+    net.set_pos(["y"])
+    assert podem_generate(net, Fault("t", 0)).redundant
+
+
+def test_candidate_redundancies_include_real_one():
+    net = Netlist("absorb")
+    for pi in "ab":
+        net.add_pi(pi)
+    net.add_gate("t", "AND", ["a", "b"])
+    net.add_gate("y", "OR", ["a", "t"])
+    net.set_pos(["y"])
+    cands = candidate_redundancies(net, n_words=8)
+    assert any(
+        f.is_branch and f.value == 0 and f.signal(net) == "t" for f in cands
+    )
+
+
+def test_remove_all_redundancies_preserves_function():
+    net = Netlist("absorb2")
+    for pi in "abc":
+        net.add_pi(pi)
+    net.add_gate("t", "AND", ["a", "b"])
+    net.add_gate("u", "OR", ["a", "t"])    # u == a
+    net.add_gate("y", "AND", ["u", "c"])
+    net.set_pos(["y"])
+    original = net.copy()
+    removed = remove_all_redundancies(net)
+    assert removed >= 1
+    net.validate()
+    assert check_equivalence(original, net)
+    assert net.num_literals < original.num_literals
+
+
+def test_unconnected_fault_site_redundant():
+    net = Netlist("dead")
+    net.add_pi("a")
+    net.add_gate("x", "INV", ["a"])
+    net.add_gate("y", "BUF", ["a"])
+    net.set_pos(["y"])
+    # x drives nothing: any fault on it is untestable
+    assert generate_test(net, Fault("x", 0)).redundant

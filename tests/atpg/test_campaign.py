@@ -1,0 +1,101 @@
+"""Tests for ATPG campaigns: coverage, fault simulation, compaction."""
+
+import pytest
+
+from repro.atpg import (
+    Fault, compact_tests, fault_simulate, full_fault_list, run_campaign,
+)
+from repro.netlist import Branch, Netlist
+
+
+def c17_like():
+    net = Netlist("c17")
+    for pi in ("i1", "i2", "i3", "i6", "i7"):
+        net.add_pi(pi)
+    net.add_gate("n10", "NAND", ["i1", "i3"])
+    net.add_gate("n11", "NAND", ["i3", "i6"])
+    net.add_gate("n16", "NAND", ["i2", "n11"])
+    net.add_gate("n19", "NAND", ["n11", "i7"])
+    net.add_gate("n22", "NAND", ["n10", "n16"])
+    net.add_gate("n23", "NAND", ["n16", "n19"])
+    net.set_pos(["n22", "n23"])
+    return net
+
+
+def redundant_net():
+    net = Netlist("red")
+    for pi in "ab":
+        net.add_pi(pi)
+    net.add_gate("t", "AND", ["a", "b"])
+    net.add_gate("y", "OR", ["a", "t"])
+    net.set_pos(["y"])
+    return net
+
+
+def test_campaign_full_coverage_on_c17():
+    """c17 is fully testable: 100% coverage, no redundancies."""
+    net = c17_like()
+    result = run_campaign(net)
+    assert result.redundant == 0
+    assert result.aborted == 0
+    assert result.coverage == pytest.approx(1.0)
+    assert result.detected == result.total_faults
+    assert len(result.tests) <= result.total_faults  # sim dropped many
+
+
+def test_campaign_classifies_redundancy():
+    net = redundant_net()
+    result = run_campaign(net)
+    assert result.redundant >= 1
+    assert result.coverage == pytest.approx(1.0)
+    assert 0.0 < result.redundancy_ratio < 1.0
+    assert any(
+        isinstance(f.site, Branch) or isinstance(f.site, str)
+        for f in result.redundant_faults
+    )
+
+
+def test_fault_simulate_detects_known_fault():
+    net = c17_like()
+    # i1 stuck-at-1: testable; find a test via the campaign machinery.
+    fault = Fault("i1", 1)
+    from repro.atpg import generate_test
+
+    res = generate_test(net, fault)
+    assert res.testable
+    detected = fault_simulate(net, [res.test], [fault])
+    assert detected == [fault]
+    # the opposite-polarity vector should not detect it
+    flipped = {k: 1 - v for k, v in res.test.items()}
+    maybe = fault_simulate(net, [flipped], [fault])
+    assert maybe in ([], [fault])  # just must not crash; usually empty
+
+
+def test_fault_simulate_empty_inputs():
+    net = c17_like()
+    assert fault_simulate(net, [], full_fault_list(net)) == []
+    assert fault_simulate(net, [{pi: 0 for pi in net.pis}], []) == []
+
+
+def test_compaction_keeps_coverage():
+    net = c17_like()
+    result = run_campaign(net, drop_by_simulation=False)
+    # without drop-by-sim there is one test per testable fault
+    assert len(result.tests) == result.detected
+    compacted = compact_tests(net, result.tests)
+    assert len(compacted) <= len(result.tests)
+    faults = full_fault_list(net)
+    before = {f.describe(net) for f in fault_simulate(net, result.tests,
+                                                      faults)}
+    after = {f.describe(net) for f in fault_simulate(net, compacted,
+                                                     faults)}
+    assert after == before
+
+
+def test_campaign_on_selected_faults():
+    net = c17_like()
+    picked = full_fault_list(net)[:6]
+    result = run_campaign(net, faults=picked)
+    assert result.total_faults == 6
+    assert result.detected + result.redundant + result.aborted >= 6 or \
+        result.detected <= 6

@@ -1,0 +1,150 @@
+"""Tests for the ROBDD package."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.bdd import BddBudgetExceeded, BddManager, bdd_equivalent, build_signal_bdds
+from repro.netlist import Netlist
+
+
+def test_terminals_and_vars():
+    mgr = BddManager()
+    assert mgr.zero is not mgr.one
+    x = mgr.var(0)
+    assert x.low is mgr.zero and x.high is mgr.one
+    assert mgr.var(0) is x  # interned
+
+
+def test_ite_basic_identities():
+    mgr = BddManager()
+    x, y = mgr.var(0), mgr.var(1)
+    assert mgr.ite(mgr.one, x, y) is x
+    assert mgr.ite(mgr.zero, x, y) is y
+    assert mgr.ite(x, mgr.one, mgr.zero) is x
+    assert mgr.apply_and(x, x) is x
+    assert mgr.apply_or(x, mgr.apply_not(x)) is mgr.one
+    assert mgr.apply_and(x, mgr.apply_not(x)) is mgr.zero
+
+
+def test_apply_matches_semantics():
+    mgr = BddManager()
+    x, y, z = mgr.var(0), mgr.var(1), mgr.var(2)
+    f = mgr.apply_or(mgr.apply_and(x, y), mgr.apply_xor(y, z))
+    for bits in itertools.product((0, 1), repeat=3):
+        env = {0: bits[0], 1: bits[1], 2: bits[2]}
+        expected = (bits[0] & bits[1]) | (bits[1] ^ bits[2])
+        assert mgr.evaluate(f, env) == expected
+
+
+def test_canonicity_random_expressions():
+    # Structurally different but equal expressions intern identically.
+    mgr = BddManager()
+    x, y = mgr.var(0), mgr.var(1)
+    demorgan_l = mgr.apply_not(mgr.apply_and(x, y))
+    demorgan_r = mgr.apply_or(mgr.apply_not(x), mgr.apply_not(y))
+    assert demorgan_l is demorgan_r
+    xor1 = mgr.apply_xor(x, y)
+    xor2 = mgr.apply_or(mgr.apply_and(x, mgr.apply_not(y)),
+                        mgr.apply_and(mgr.apply_not(x), y))
+    assert xor1 is xor2
+
+
+def test_sat_count():
+    mgr = BddManager()
+    x, y, z = mgr.var(0), mgr.var(1), mgr.var(2)
+    assert mgr.sat_count(mgr.one, 3) == 8
+    assert mgr.sat_count(mgr.zero, 3) == 0
+    assert mgr.sat_count(x, 3) == 4
+    assert mgr.sat_count(mgr.apply_and(x, y), 3) == 2
+    maj = mgr.apply_or(
+        mgr.apply_or(mgr.apply_and(x, y), mgr.apply_and(x, z)),
+        mgr.apply_and(y, z),
+    )
+    assert mgr.sat_count(maj, 3) == 4
+
+
+def test_any_sat():
+    mgr = BddManager()
+    x, y = mgr.var(0), mgr.var(1)
+    f = mgr.apply_and(x, mgr.apply_not(y))
+    model = mgr.any_sat(f)
+    assert model[0] == 1 and model[1] == 0
+    assert mgr.any_sat(mgr.zero) is None
+
+
+def test_size():
+    mgr = BddManager()
+    x, y = mgr.var(0), mgr.var(1)
+    f = mgr.apply_xor(x, y)
+    assert mgr.size(f) == 3
+    assert mgr.size(mgr.one) == 0
+
+
+def test_budget_exceeded():
+    mgr = BddManager(max_nodes=4)
+    with pytest.raises(BddBudgetExceeded):
+        acc = mgr.one
+        for k in range(8):
+            acc = mgr.apply_and(acc, mgr.apply_xor(mgr.var(2 * k),
+                                                   mgr.var(2 * k + 1)))
+
+
+def _net_pair():
+    left = Netlist("l")
+    for pi in "ab":
+        left.add_pi(pi)
+    left.add_gate("y", "NAND", ["a", "b"])
+    left.set_pos(["y"])
+    right = Netlist("r")
+    for pi in "ab":
+        right.add_pi(pi)
+    right.add_gate("na", "INV", ["a"])
+    right.add_gate("nb", "INV", ["b"])
+    right.add_gate("y", "OR", ["na", "nb"])
+    right.set_pos(["y"])
+    return left, right
+
+
+def test_bdd_equivalent_demorgan():
+    left, right = _net_pair()
+    assert bdd_equivalent(left, right)
+
+
+def test_bdd_inequivalent():
+    left, right = _net_pair()
+    right.gates["y"].func = __import__(
+        "repro.netlist.gatefunc", fromlist=["AND"]).AND
+    assert not bdd_equivalent(left, right)
+
+
+def test_build_signal_bdds_targets_only():
+    net = Netlist("two")
+    for pi in "ab":
+        net.add_pi(pi)
+    net.add_gate("x", "AND", ["a", "b"])
+    net.add_gate("y", "OR", ["a", "b"])
+    net.set_pos(["x", "y"])
+    mgr = BddManager()
+    bdds = build_signal_bdds(net, mgr, targets=["x"])
+    assert "x" in bdds and "y" not in bdds
+
+
+def test_bdds_vs_truth_table_random():
+    from repro.sim import truth_table_of
+
+    rnd = random.Random(5)
+    funcs = ["AND", "OR", "NAND", "NOR", "XOR", "XNOR"]
+    for trial in range(10):
+        net = Netlist(f"r{trial}")
+        sigs = [net.add_pi(f"i{k}") for k in range(4)]
+        for k in range(12):
+            f = rnd.choice(funcs)
+            sigs.append(net.add_gate(f"g{k}", f, rnd.sample(sigs, 2)))
+        net.set_pos([sigs[-1]])
+        bdds = build_signal_bdds(net, mgr := BddManager())
+        table = truth_table_of(net)
+        for v in range(16):
+            env = {k: (v >> k) & 1 for k in range(4)}
+            assert mgr.evaluate(bdds[net.pos[0]], env) == table[v]

@@ -1,0 +1,214 @@
+"""Functional tests for the benchmark circuit generators."""
+
+import random
+
+import pytest
+
+from repro.circuits import (
+    SMALL_SUITE, SUITE, TABLE2_NAMES, alu181, array_multiplier, build,
+    c1355_like, c880_like, carry_select_adder, comparator, majority, nsym,
+    nsym9, parity_tree, priority_controller, ripple_carry_adder,
+    sec_corrector, squarer, suite_names, z5xp1_like,
+)
+from repro.circuits.ecc import _parity_positions
+from repro.sim import BitSimulator, truth_table_of, vectors_to_words
+from repro.verify import check_equivalence
+
+
+def eval_vec(net, assign):
+    state = BitSimulator(net).simulate(vectors_to_words(net.pis, [assign]))
+    return [state.bit(po, 0) for po in net.pos]
+
+
+def to_int(bits):
+    return sum(b << k for k, b in enumerate(bits))
+
+
+def vec_assign(prefix, value, width):
+    return {f"{prefix}{k}": (value >> k) & 1 for k in range(width)}
+
+
+@pytest.mark.parametrize("width", [2, 5, 8])
+def test_ripple_carry_adder(width):
+    net = ripple_carry_adder(width)
+    rnd = random.Random(width)
+    for _ in range(20):
+        a, b = rnd.getrandbits(width), rnd.getrandbits(width)
+        c = rnd.getrandbits(1)
+        assign = {**vec_assign("a", a, width), **vec_assign("b", b, width),
+                  "cin": c}
+        assert to_int(eval_vec(net, assign)) == a + b + c
+
+
+def test_carry_select_matches_ripple():
+    rca = ripple_carry_adder(9)
+    csa = carry_select_adder(9, block=3)
+    assert check_equivalence(rca, csa)
+
+
+@pytest.mark.parametrize("style", ["nor", "csa"])
+def test_multiplier_exhaustive_4x4(style):
+    net = array_multiplier(4, style=style)
+    for a in range(16):
+        for b in range(16):
+            assign = {**vec_assign("a", a, 4), **vec_assign("b", b, 4)}
+            assert to_int(eval_vec(net, assign)) == a * b
+
+
+def test_multiplier_styles_equivalent():
+    assert check_equivalence(array_multiplier(4, style="nor"),
+                             array_multiplier(4, style="csa"))
+
+
+def test_multiplier_bad_style():
+    with pytest.raises(ValueError):
+        array_multiplier(4, style="wallace")
+
+
+def test_squarer():
+    net = squarer(4)
+    for x in range(16):
+        assert to_int(eval_vec(net, vec_assign("x", x, 4))) == x * x
+
+
+def test_comparator():
+    net = comparator(5)
+    rnd = random.Random(1)
+    for _ in range(40):
+        a, b = rnd.getrandbits(5), rnd.getrandbits(5)
+        assign = {**vec_assign("a", a, 5), **vec_assign("b", b, 5)}
+        lt, eq, gt = eval_vec(net, assign)
+        assert (lt, eq, gt) == (int(a < b), int(a == b), int(a > b))
+
+
+def test_z5xp1_like_function():
+    net = z5xp1_like()
+    for x in (0, 1, 5, 77, 127):
+        expected = (6 * x + (x >> 2)) & 0x3FF
+        assert to_int(eval_vec(net, vec_assign("x", x, 7))) == expected
+
+
+def test_nsym9_window():
+    net = nsym9()
+    rnd = random.Random(3)
+    for _ in range(60):
+        x = rnd.getrandbits(9)
+        got = eval_vec(net, vec_assign("x", x, 9))[0]
+        assert got == int(3 <= bin(x).count("1") <= 6)
+
+
+def test_nsym_validation():
+    with pytest.raises(ValueError):
+        nsym(5, 4, 2)
+
+
+def test_nsym_low_zero():
+    net = nsym(4, 0, 2)
+    for x in range(16):
+        got = eval_vec(net, vec_assign("x", x, 4))[0]
+        assert got == int(bin(x).count("1") <= 2)
+
+
+def test_majority():
+    net = majority(5)
+    for x in range(32):
+        got = eval_vec(net, vec_assign("x", x, 5))[0]
+        assert got == int(bin(x).count("1") > 2)
+
+
+def test_parity_tree():
+    net = parity_tree(10)
+    rnd = random.Random(4)
+    for _ in range(30):
+        x = rnd.getrandbits(10)
+        assert eval_vec(net, vec_assign("x", x, 10))[0] == \
+            bin(x).count("1") % 2
+
+
+def test_sec_corrector_corrects_single_errors():
+    n = 8
+    net = sec_corrector(n)
+    groups = _parity_positions(n)
+    rnd = random.Random(9)
+    for _ in range(40):
+        data = rnd.getrandbits(n)
+        checks = [
+            sum((data >> m) & 1 for m in members) % 2 for members in groups
+        ]
+        err = rnd.choice(["none", "data", "check"])
+        data_tx, checks_tx = data, list(checks)
+        if err == "data":
+            data_tx ^= 1 << rnd.randrange(n)
+        elif err == "check":
+            checks_tx[rnd.randrange(len(groups))] ^= 1
+        assign = vec_assign("d", data_tx, n)
+        assign.update({f"p{j}": checks_tx[j] for j in range(len(groups))})
+        assert to_int(eval_vec(net, assign)) == data, err
+
+
+def test_c1355_is_expanded_c499():
+    base = sec_corrector(8, name="x")
+    expanded = c1355_like(8, name="y")
+    assert check_equivalence(base, expanded)
+    # the expansion uses no XOR gates at all
+    assert all(g.func.name != "XOR" for g in expanded.gates.values())
+    assert expanded.num_gates > base.num_gates
+
+
+def test_alu181_add_mode():
+    """Select 1001 in arithmetic mode computes A plus B (74181-style)."""
+    net = alu181(8)
+    rnd = random.Random(5)
+    for _ in range(30):
+        a, b = rnd.getrandbits(8), rnd.getrandbits(8)
+        assign = {**vec_assign("a", a, 8), **vec_assign("b", b, 8),
+                  "s0": 1, "s1": 0, "s2": 0, "s3": 1, "m": 0, "cn": 0}
+        bits = eval_vec(net, assign)
+        total = to_int(bits[:8]) + (bits[8] << 8)
+        assert total == a + b, (a, b, total)
+
+
+def test_alu181_logic_mode_xor():
+    """Select 1001 in logic mode computes XOR(a, b) bitwise."""
+    net = alu181(4)
+    for a in range(16):
+        for b in range(16):
+            assign = {**vec_assign("a", a, 4), **vec_assign("b", b, 4),
+                      "s0": 1, "s1": 0, "s2": 0, "s3": 1, "m": 1, "cn": 0}
+            bits = eval_vec(net, assign)
+            assert to_int(bits[:4]) == (a ^ b) & 0xF
+
+
+def test_structured_generators_validate():
+    for gen in (lambda: c880_like(6), lambda: priority_controller(6),
+                z5xp1_like):
+        net = gen()
+        net.validate()
+        assert net.num_gates > 0
+
+
+def test_registry():
+    assert set(TABLE2_NAMES) <= set(SUITE)
+    assert set(SMALL_SUITE) == set(SUITE)
+    assert "C6288" in suite_names()
+    net = build("9sym", small=True)
+    assert net.num_gates > 0
+    with pytest.raises(KeyError):
+        build("nonesuch")
+
+
+def test_small_suite_sizes_are_modest():
+    for name, gen in SMALL_SUITE.items():
+        net = gen()
+        net.validate()
+        assert net.num_gates <= 450, name
+
+
+def test_random_control_deterministic():
+    from repro.circuits import random_control
+
+    n1 = random_control(10, 50, 5, seed=7)
+    n2 = random_control(10, 50, 5, seed=7)
+    assert [g.output for g in n1.gates.values()] == \
+        [g.output for g in n2.gates.values()]
+    assert check_equivalence(n1, n2)

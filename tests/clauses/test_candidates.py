@@ -1,0 +1,170 @@
+"""Tests for BPFS candidate enumeration and the Sec. 4 reduction
+filters."""
+
+import pytest
+
+from repro.clauses import CandidateEnumerator
+from repro.library import mcnc_like, unit_delay_library
+from repro.netlist import Branch, Netlist
+from repro.sim import BitSimulator, ObservabilityEngine
+from repro.timing import Sta
+from repro.transform import apply_candidate
+from repro.verify import check_equivalence
+
+
+def dup_net():
+    """Contains an exact duplicate pair (d1, d2) plus an XOR identity:
+    x  = a ^ b, y = ~a & b | a & ~b  (same function, different gates)."""
+    net = Netlist("dup")
+    for pi in "ab":
+        net.add_pi(pi)
+    net.add_gate("d1", "AND", ["a", "b"])
+    net.add_gate("d2", "AND", ["b", "a"])
+    net.add_gate("x", "XOR", ["a", "b"])
+    net.add_gate("na", "INV", ["a"])
+    net.add_gate("nb", "INV", ["b"])
+    net.add_gate("t1", "AND", ["na", "b"])
+    net.add_gate("t2", "AND", ["a", "nb"])
+    net.add_gate("y", "OR", ["t1", "t2"])
+    net.add_gate("o1", "OR", ["d1", "x"])
+    net.add_gate("o2", "AND", ["d2", "y"])
+    net.set_pos(["o1", "o2"])
+    return net
+
+
+def make_enum(net, **kwargs):
+    lib = unit_delay_library()
+    lib.rebind(net)
+    sta = Sta(net, lib)
+    sim = BitSimulator(net)
+    eng = ObservabilityEngine(sim, sim.simulate_exhaustive())
+    return CandidateEnumerator(net, sta, eng, lib, **kwargs), sta
+
+
+def test_two_subs_finds_duplicate():
+    net = dup_net()
+    enum, sta = make_enum(net)
+    cands = enum.two_subs("y", arrival_limit=sta.arrival["y"])
+    sources = {c.sources[0] for c in cands}
+    assert "x" in sources  # y == x
+
+
+def test_two_subs_respects_arrival_limit():
+    net = dup_net()
+    enum, sta = make_enum(net)
+    # y arrives at 2 (unit), x arrives at 1: limit below 1 excludes x.
+    cands = enum.two_subs("y", arrival_limit=0.5)
+    assert all(c.sources[0] != "x" for c in cands)
+
+
+def test_three_subs_finds_xor_recomposition():
+    net = dup_net()
+    enum, sta = make_enum(net, use_c2_reduction=False)
+    cands = enum.three_subs("y", arrival_limit=sta.arrival["y"] + 10)
+    forms = {(c.form.base.name, frozenset(c.sources)) for c in cands}
+    assert ("XOR", frozenset({"a", "b"})) in forms
+
+
+def test_c2_reduction_loses_xor(recwarn):
+    """The paper: reusing C2 results can lose XOR substitutions."""
+    net = dup_net()
+    enum, sta = make_enum(net, use_c2_reduction=True)
+    with_red = enum.three_subs("y", arrival_limit=sta.arrival["y"] + 10)
+    enum2, _ = make_enum(net, use_c2_reduction=False)
+    without_red = enum2.three_subs("y", arrival_limit=sta.arrival["y"] + 10)
+    assert len(with_red) <= len(without_red)
+    assert enum.stats.c3_pairs_checked <= enum2.stats.c3_pairs_checked
+
+
+def test_three_subs_and_form():
+    """o2 = d2 & y: recomposable as AND(d1, x) etc."""
+    net = dup_net()
+    enum, sta = make_enum(net)
+    cands = enum.three_subs("o2", arrival_limit=sta.arrival["o2"] + 10)
+    combos = {(c.form.base.name, frozenset(c.sources)) for c in cands}
+    assert any(base == "AND" for base, _ in combos)
+    # every emitted candidate must actually be valid (exhaustive sim)
+    eng = enum.engine
+    for cand in cands:
+        assert cand.holds_on(eng), cand.describe()
+
+
+def test_candidates_apply_equivalent():
+    """Every candidate from exhaustive simulation is permissible."""
+    net = dup_net()
+    enum, sta = make_enum(net)
+    for target in ["y", "o2", "d2"]:
+        for cand in enum.all_candidates(target, sta.arrival[target] + 10):
+            work = net.copy()
+            apply_candidate(work, cand)
+            work.validate()
+            assert check_equivalence(net, work), cand.describe()
+
+
+def test_pool_excludes_tfo_and_constants():
+    net = dup_net()
+    net.add_gate("k1", "CONST1", [])
+    net.invalidate()
+    enum, sta = make_enum(net)
+    pool = enum.source_pool("d1", arrival_limit=100.0)
+    assert "o1" not in pool  # in TFO of d1
+    assert "d1" not in pool
+    assert "k1" not in pool  # constants banned
+    assert "a" in pool
+
+
+def test_structural_level_filter():
+    net = dup_net()
+    enum, _ = make_enum(net, level_skew=0)
+    pool = enum.source_pool("y", arrival_limit=100.0)
+    # with skew 0 only same-level signals survive
+    levels = net.levels()
+    assert all(levels[s] == levels["y"] for s in pool)
+
+
+def test_max_pool_cap():
+    net = dup_net()
+    enum, _ = make_enum(net, max_pool=2)
+    pool = enum.source_pool("y", arrival_limit=100.0)
+    assert len(pool) <= 2
+
+
+def test_inverted_candidates():
+    """x == ~(XNOR(a,b)); with an inverter present, inverted OS2 works."""
+    net = Netlist("invc")
+    for pi in "ab":
+        net.add_pi(pi)
+    net.add_gate("e", "XNOR", ["a", "b"])
+    net.add_gate("ne", "INV", ["e"])
+    net.add_gate("x", "XOR", ["a", "b"])
+    net.add_gate("o", "OR", ["x", "ne"])
+    net.set_pos(["o", "e"])
+    enum, sta = make_enum(net, allow_inverted=True)
+    cands = enum.two_subs("x", arrival_limit=sta.arrival["x"] + 10)
+    inv = [c for c in cands if c.inverted]
+    assert any(c.sources[0] == "e" for c in inv)
+    no_inv_enum, _ = make_enum(net, allow_inverted=False)
+    cands2 = no_inv_enum.two_subs("x", arrival_limit=sta.arrival["x"] + 10)
+    assert not any(c.inverted for c in cands2)
+
+
+def test_delay_targets_ranked_by_ncp():
+    net = dup_net()
+    enum, sta = make_enum(net)
+    targets = enum.delay_targets()
+    assert targets  # something is critical
+    ncps = [sta.ncp_of(t) for t in targets]
+    assert ncps == sorted(ncps, reverse=True)
+
+
+def test_unobservable_target_yields_nothing():
+    net = Netlist("dead")
+    net.add_pi("a")
+    net.add_pi("b")
+    net.add_gate("u", "AND", ["a", "b"])
+    net.add_gate("v", "OR", ["u", "a"])
+    net.add_gate("w", "BUF", ["a"])
+    net.set_pos(["w"])
+    enum, _ = make_enum(net)
+    assert enum.two_subs("u", arrival_limit=100.0) == []
+    assert enum.three_subs("u", arrival_limit=100.0) == []

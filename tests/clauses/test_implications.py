@@ -1,0 +1,183 @@
+"""Tests for the implication-graph route to valid clauses."""
+
+import itertools
+
+import pytest
+
+from repro.clauses.implications import (
+    ImplicationGraph, count_implications, negate,
+)
+from repro.netlist import Netlist, substitute_stem, prune_dangling
+from repro.sim import truth_table_of
+from repro.verify import check_equivalence
+
+
+def chain_net():
+    net = Netlist("impl")
+    for pi in "abc":
+        net.add_pi(pi)
+    net.add_gate("d", "AND", ["a", "b"])
+    net.add_gate("e", "OR", ["d", "c"])
+    net.add_gate("f", "INV", ["e"])
+    net.set_pos(["f"])
+    return net
+
+
+def test_direct_gate_implications():
+    g = ImplicationGraph(chain_net())
+    # AND: d=1 => a=1, b=1; a=0 => d=0
+    assert g.implies(("d", 1), ("a", 1))
+    assert g.implies(("d", 1), ("b", 1))
+    assert g.implies(("a", 0), ("d", 0))
+    # OR: e=0 => d=0, c=0
+    assert g.implies(("e", 0), ("c", 0))
+    # INV equivalence both ways
+    assert g.implies(("e", 1), ("f", 0))
+    assert g.implies(("f", 0), ("e", 1))
+
+
+def test_transitive_global_implications():
+    g = ImplicationGraph(chain_net())
+    # d=1 => e=1 => f=0 : a global implication spanning two gates
+    assert g.implies(("d", 1), ("f", 0))
+    # contrapositive: f=1 => d=0
+    assert g.implies(("f", 1), ("d", 0))
+    # and further back: f=1 => e=0 => c=0
+    assert g.implies(("f", 1), ("c", 0))
+
+
+def test_no_false_implications_exhaustive():
+    """Soundness: every reported implication holds on the truth table."""
+    net = chain_net()
+    g = ImplicationGraph(net)
+    sigs = list(net.signals())
+    tables = {s: truth_table_of(net, None) for s in []}
+    # simulate all signals
+    from repro.sim import BitSimulator
+
+    sim = BitSimulator(net)
+    state = sim.simulate_exhaustive()
+
+    def holds(lit, vec):
+        return state.bit(lit[0], vec) == lit[1]
+
+    n = len(net.pis)
+    for s1 in sigs:
+        for v1 in (0, 1):
+            for (s2, v2) in g.implications((s1, v1)):
+                for vec in range(1 << n):
+                    if holds((s1, v1), vec):
+                        assert holds((s2, v2), vec), \
+                            f"{s1}={v1} => {s2}={v2} fails on {vec}"
+
+
+def test_clause_rendering():
+    g = ImplicationGraph(chain_net())
+    clause = g.clause_for(("d", 1), ("a", 1))
+    assert clause.describe() == "(~d + a)"
+    clause2 = g.clause_for(("f", 1), ("d", 0))
+    assert clause2.describe() == "(~f + ~d)"
+    clauses = g.implication_clauses("d")
+    assert any(c.describe() == "(~d + a)" for c in clauses)
+
+
+def test_equivalence_detection_buffers():
+    """Chained inverters create literal SCCs: y == x, ny == ~x."""
+    net = Netlist("bufs")
+    net.add_pi("x")
+    net.add_pi("z")
+    net.add_gate("nx", "INV", ["x"])
+    net.add_gate("y", "INV", ["nx"])
+    net.add_gate("o", "AND", ["y", "z"])
+    net.set_pos(["o"])
+    g = ImplicationGraph(net)
+    pairs = g.equivalent_signal_pairs()
+    as_dict = {(a, b): inv for a, b, inv in pairs}
+    assert as_dict.get(("y", "x")) is False       # y == x
+    assert as_dict.get(("nx", "x")) is True or \
+        as_dict.get(("y", "nx")) is True          # inverted relation seen
+    # applying the equivalence keeps the circuit equivalent
+    before = net.copy()
+    substitute_stem(net, "y", "x")
+    prune_dangling(net, roots=["y"])
+    assert check_equivalence(before, net)
+
+
+def _rebuilt_function_net():
+    net = Netlist("eq")
+    for pi in "ab":
+        net.add_pi(pi)
+    net.add_gate("n1", "NOR", ["a", "b"])
+    net.add_gate("n2", "INV", ["n1"])      # n2 = a | b
+    net.add_gate("m", "OR", ["a", "b"])    # m  = a | b
+    net.add_gate("o", "AND", ["n2", "m"])
+    net.set_pos(["o"])
+    return net
+
+
+def test_direct_graph_misses_multiantecedent_equivalence():
+    """Without learning, m=0 => n2=0 needs the 2-antecedent step
+    {a=0, b=0} => n1=1 and is not derivable."""
+    g = ImplicationGraph(_rebuilt_function_net(), learn=False)
+    pairs = {(a, b) for a, b, inv in g.equivalent_signal_pairs() if not inv}
+    assert ("m", "n2") not in pairs and ("n2", "m") not in pairs
+
+
+def test_static_learning_finds_equivalence():
+    """With Schulz-style learning the rebuilt OR is proven equal."""
+    g = ImplicationGraph(_rebuilt_function_net(), learn=True)
+    pairs = {(a, b) for a, b, inv in g.equivalent_signal_pairs() if not inv}
+    assert ("m", "n2") in pairs or ("n2", "m") in pairs
+
+
+def test_propagate_assumption_forward_backward():
+    from repro.clauses.implications import Conflict, propagate_assumption
+
+    net = _rebuilt_function_net()
+    forced = propagate_assumption(net, ("m", 0))
+    assert forced["a"] == 0 and forced["b"] == 0
+    assert forced["n1"] == 1 and forced["n2"] == 0 and forced["o"] == 0
+    # backward: o=1 forces everything up
+    forced = propagate_assumption(net, ("o", 1))
+    assert forced["m"] == 1 and forced["n2"] == 1 and forced["n1"] == 0
+    # conflict on an infeasible literal
+    net2 = Netlist("c")
+    net2.add_pi("a")
+    net2.add_gate("na", "INV", ["a"])
+    net2.add_gate("z", "AND", ["a", "na"])
+    net2.set_pos(["z"])
+    with pytest.raises(Conflict):
+        propagate_assumption(net2, ("z", 1))
+
+
+def test_contradiction_detects_constants():
+    net = Netlist("const")
+    net.add_pi("a")
+    net.add_gate("na", "INV", ["a"])
+    net.add_gate("z", "AND", ["a", "na"])  # constant 0
+    net.add_gate("o", "OR", ["z", "a"])
+    net.set_pos(["o"])
+    g = ImplicationGraph(net)
+    assert g.contradiction(("z", 1))
+    assert not g.contradiction(("a", 1))
+
+
+def test_negate():
+    assert negate(("x", 1)) == ("x", 0)
+    assert negate(("x", 0)) == ("x", 1)
+
+
+def test_count_implications_positive():
+    assert count_implications(ImplicationGraph(chain_net())) > 10
+
+
+def test_complex_cell_implications():
+    net = Netlist("aoi")
+    for pi in "abc":
+        net.add_pi(pi)
+    net.add_gate("y", "AOI21", ["a", "b", "c"])
+    net.set_pos(["y"])
+    g = ImplicationGraph(net)
+    # y = ~((a&b)|c): y=1 => c=0; c=1 => y=0
+    assert g.implies(("y", 1), ("c", 0))
+    assert g.implies(("c", 1), ("y", 0))

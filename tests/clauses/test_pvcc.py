@@ -1,0 +1,144 @@
+"""Tests for PVCCs: Theorems 1 and 2 — clause combinations are valid
+exactly when the substitution is permissible."""
+
+import itertools
+
+import pytest
+
+from repro.clauses import Candidate
+from repro.netlist import Branch, Netlist, TwoInputForm, two_input_forms
+from repro.sim import BitSimulator, ObservabilityEngine
+from repro.transform import apply_candidate
+from repro.verify import check_equivalence
+
+
+def exhaustive_engine(net):
+    sim = BitSimulator(net)
+    return ObservabilityEngine(sim, sim.simulate_exhaustive())
+
+
+def test_candidate_validation():
+    with pytest.raises(ValueError):
+        Candidate(target="a", kind="OS2", sources=("b", "c"))
+    with pytest.raises(ValueError):
+        Candidate(target="a", kind="OS3", sources=("b",))
+    with pytest.raises(ValueError):
+        Candidate(target="a", kind="XX2", sources=("b",))
+    with pytest.raises(ValueError):
+        # OS target must be a stem, not a branch
+        Candidate(target=Branch("g", 0), kind="OS2", sources=("b",))
+
+
+def test_describe():
+    c = Candidate(target="a", kind="OS2", sources=("b",), inverted=True)
+    assert c.describe() == "OS2(a <- ~b)"
+    form = two_input_forms()[1]  # AND(b, ~c)
+    c3 = Candidate(target=Branch("g", 1), kind="IS3", sources=("x", "y"),
+                   form=form)
+    assert c3.describe() == "IS3(g/1 <- AND(x,~y))"
+
+
+def test_theorem1_clause_combination():
+    c = Candidate(target="a", kind="OS2", sources=("b",))
+    rendered = sorted(cl.describe() for cl in c.clause_combination())
+    assert rendered == ["(~O[a] + a + ~b)", "(~O[a] + ~a + b)"]
+
+
+def test_theorem2_and_combination():
+    form = TwoInputForm(
+        __import__("repro.netlist.gatefunc", fromlist=["AND"]).AND,
+        False, False)
+    c = Candidate(target="a", kind="OS3", sources=("b", "c"), form=form)
+    rendered = sorted(cl.describe() for cl in c.clause_combination())
+    # two C2-clauses and one C3-clause (Theorem 2)
+    assert rendered == [
+        "(~O[a] + a + ~b + ~c)",
+        "(~O[a] + ~a + b)",
+        "(~O[a] + ~a + c)",
+    ]
+
+
+def test_xor_combination_has_four_c3_clauses():
+    from repro.netlist.gatefunc import XOR
+
+    c = Candidate(target="a", kind="OS3", sources=("b", "c"),
+                  form=TwoInputForm(XOR, False, False))
+    clauses = c.clause_combination()
+    assert len(clauses) == 4
+    assert all(cl.order == 3 for cl in clauses)
+
+
+def _chain_net():
+    """f = (a&b) | (a&b&c): the OR's second input equals (d & c) where
+    d = a&b, so several valid substitutions exist."""
+    net = Netlist("chain")
+    for pi in "abc":
+        net.add_pi(pi)
+    net.add_gate("d", "AND", ["a", "b"])
+    net.add_gate("e", "AND", ["d", "c"])
+    net.add_gate("f", "OR", ["d", "e"])
+    net.set_pos(["f"])
+    return net
+
+
+def test_holds_on_equals_clause_validity():
+    """The vectorized check and the clause-object check agree."""
+    net = _chain_net()
+    eng = exhaustive_engine(net)
+    sigs = ["a", "b", "c", "d", "e"]
+    for target in ["d", "e"]:
+        for src in sigs:
+            if src == target:
+                continue
+            for inv in (False, True):
+                cand = Candidate(target=target, kind="OS2", sources=(src,),
+                                 inverted=inv)
+                by_words = cand.holds_on(eng)
+                by_clauses = all(
+                    cl.holds_on(eng) for cl in cand.clause_combination()
+                )
+                assert by_words == by_clauses, cand.describe()
+
+
+def test_valid_pvcc_gives_permissible_transformation():
+    """Exhaustively: every PVCC valid on ALL vectors must yield an
+    equivalent circuit once applied (Definition 2 via Theorems 1/2)."""
+    net = _chain_net()
+    eng = exhaustive_engine(net)
+    sigs = [s for s in net.signals()]
+    checked = applied = 0
+    for target in ["d", "e"]:
+        for src in sigs:
+            if src == target or src in net.transitive_fanout(target):
+                continue
+            cand = Candidate(target=target, kind="OS2", sources=(src,))
+            checked += 1
+            if cand.holds_on(eng):
+                work = net.copy()
+                apply_candidate(work, cand)
+                work.validate()
+                assert check_equivalence(net, work), cand.describe()
+                applied += 1
+    assert checked > 0
+
+
+def test_is3_permissible_application():
+    """e = d & c: substituting branch f/1 by AND(d, c) is permissible
+    (trivially), and by construction so is AND(a-cone rebuilds)."""
+    net = _chain_net()
+    eng = exhaustive_engine(net)
+    from repro.netlist.gatefunc import AND
+
+    cand = Candidate(target=Branch("f", 1), kind="IS3",
+                     sources=("d", "c"), form=TwoInputForm(AND, False, False))
+    assert cand.holds_on(eng)
+    work = net.copy()
+    apply_candidate(work, cand)
+    assert check_equivalence(net, work)
+
+
+def test_invalid_candidate_rejected_by_simulation():
+    net = _chain_net()
+    eng = exhaustive_engine(net)
+    cand = Candidate(target="d", kind="OS2", sources=("c",))
+    assert not cand.holds_on(eng)

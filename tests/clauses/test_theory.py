@@ -1,0 +1,123 @@
+"""Tests for the clause theory layer (Sec. 2 of the paper)."""
+
+import pytest
+
+from repro.clauses import (
+    Clause, ObsLit, SigLit, c1_clauses, c2_clauses, c3_clauses,
+    circuit_characteristic_clauses, clause, gate_characteristic_clauses,
+    structural_observability_clauses,
+)
+from repro.netlist import Branch, Netlist
+from repro.sim import BitSimulator, ObservabilityEngine
+
+
+def fig1():
+    net = Netlist("fig1")
+    for pi in "abc":
+        net.add_pi(pi)
+    net.add_gate("d", "AND", ["a", "b"])
+    net.add_gate("e", "INV", ["c"])
+    net.add_gate("f", "OR", ["d", "e"])
+    net.set_pos(["f"])
+    return net
+
+
+def exhaustive_engine(net):
+    sim = BitSimulator(net)
+    return ObservabilityEngine(sim, sim.simulate_exhaustive())
+
+
+def test_clause_families_sizes():
+    assert len(c1_clauses("a")) == 2
+    assert len(c2_clauses("a", "b")) == 4
+    assert len(c3_clauses("a", "b", "c")) == 8
+    assert all(c.order == 1 for c in c1_clauses("a"))
+    assert all(c.order == 2 for c in c2_clauses("a", "b"))
+    assert all(c.order == 3 for c in c3_clauses("a", "b", "c"))
+
+
+def test_clause_describe():
+    c = clause(ObsLit("a", False), SigLit("a", False), SigLit("b", True))
+    assert c.describe() == "(~O[a] + ~a + b)"
+    br = clause(ObsLit(Branch("g", 1), False), SigLit("x", True))
+    assert "g/1" in br.describe()
+
+
+def test_empty_clause_rejected():
+    with pytest.raises(ValueError):
+        Clause([])
+
+
+def test_gate_characteristic_clauses_fig1():
+    """Sec. 2's example: AND gate d gives
+    (~d + a)(~d + b)(d + ~a + ~b)."""
+    net = fig1()
+    clauses = gate_characteristic_clauses(net, "d")
+    rendered = {c.describe() for c in clauses}
+    assert rendered == {"(~d + a)", "(~d + b)", "(d + ~a + ~b)"}
+    inv = {c.describe() for c in gate_characteristic_clauses(net, "e")}
+    assert inv == {"(~e + ~c)", "(e + c)"}
+    orc = {c.describe() for c in gate_characteristic_clauses(net, "f")}
+    assert orc == {"(f + ~d)", "(f + ~e)", "(~f + d + e)"}
+
+
+def test_circuit_characteristic_formula_valid_on_all_vectors():
+    """Every characteristic clause is a valid clause (Definition 1)."""
+    net = fig1()
+    eng = exhaustive_engine(net)
+    for c in circuit_characteristic_clauses(net):
+        assert c.holds_on(eng), c.describe()
+
+
+def test_structural_observability_clauses_fig1():
+    """Sec. 2: (~O_a + O_d), (~O_a + b), (~O_b + a) for the AND gate."""
+    net = fig1()
+    eng = exhaustive_engine(net)
+    clauses = structural_observability_clauses(net, "d")
+    for c in clauses:
+        assert c.holds_on(eng), c.describe()
+    rendered = {c.describe() for c in clauses}
+    assert "(~O[d/0] + O[d])" in rendered
+    assert "(~O[d/0] + b)" in rendered
+    assert "(~O[d/1] + a)" in rendered
+
+
+def test_or_gate_observability_clauses():
+    net = fig1()
+    eng = exhaustive_engine(net)
+    for c in structural_observability_clauses(net, "f"):
+        assert c.holds_on(eng), c.describe()
+
+
+def test_validity_by_simulation_stuck_at():
+    """A circuit with a redundant connection yields a valid C1-clause."""
+    net = Netlist("absorb")
+    for pi in "ab":
+        net.add_pi(pi)
+    net.add_gate("t", "AND", ["a", "b"])
+    net.add_gate("y", "OR", ["a", "t"])
+    net.set_pos(["y"])
+    eng = exhaustive_engine(net)
+    branch = Branch("y", 1)  # the t-input of the OR
+    # t stuck-at-0 is redundant: the clause (~Ot' + ~t) is valid.
+    valid_c1 = clause(ObsLit(branch, False), SigLit(branch, False))
+    assert valid_c1.holds_on(eng)
+    # but (~Ot' + t) is invalid (vector a=0,b=1 has t=0... observable?)
+    other = clause(ObsLit(branch, False), SigLit(branch, True))
+    # (~Oy...) y branch obs: t observable iff a=0; a=0 -> t=0: valid too?
+    # a=0 => t = 0. So (~O + t) is falsified whenever a=0 (obs) and t=0.
+    assert not other.holds_on(eng)
+
+
+def test_invalid_clause_discarded():
+    net = fig1()
+    eng = exhaustive_engine(net)
+    # (~Od + d): d stuck-at-1 is testable, so the clause is invalid.
+    assert clause(ObsLit("d", False), SigLit("d", True)).falsified_by(eng)
+
+
+def test_clause_words_shape():
+    net = fig1()
+    eng = exhaustive_engine(net)
+    c = clause(ObsLit("d", False), SigLit("d", True))
+    assert c.words(eng).shape == eng.value("d").shape

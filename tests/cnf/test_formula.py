@@ -1,0 +1,106 @@
+"""Tests for CNF encoding of netlists."""
+
+import itertools
+
+import pytest
+
+from repro.cnf import CNF, VarPool, encode_netlist, from_dimacs, to_dimacs
+from repro.netlist import Netlist
+from repro.sat import Solver, solve_cnf
+from repro.sim import truth_table_of
+
+
+def fig1():
+    net = Netlist("fig1")
+    for pi in "abc":
+        net.add_pi(pi)
+    net.add_gate("d", "AND", ["a", "b"])
+    net.add_gate("e", "INV", ["c"])
+    net.add_gate("f", "OR", ["d", "e"])
+    net.set_pos(["f"])
+    return net
+
+
+def test_var_pool():
+    pool = VarPool()
+    a = pool.var("a")
+    assert pool.var("a") == a
+    b = pool.var("b")
+    assert b != a
+    assert pool.fresh() == 3
+    assert pool.lookup("a") == a
+    assert pool.lookup("zz") is None
+    assert "a" in pool and "zz" not in pool
+
+
+def test_characteristic_function_counts_models():
+    """The characteristic formula has exactly 2^|PI| models."""
+    net = fig1()
+    cnf, varmap = encode_netlist(net)
+    count = 0
+    nv = cnf.n_vars
+    for bits in itertools.product((False, True), repeat=nv):
+        if cnf.evaluate({v: bits[v - 1] for v in range(1, nv + 1)}):
+            count += 1
+    assert count == 8
+
+
+def test_encoding_consistent_with_simulation():
+    net = fig1()
+    cnf, varmap = encode_netlist(net)
+    table = truth_table_of(net)
+    for v in range(8):
+        assumptions = []
+        for i, pi in enumerate(net.pis):
+            var = varmap[pi]
+            assumptions.append(var if (v >> i) & 1 else -var)
+        # Force f to the wrong value: must be UNSAT.
+        fvar = varmap["f"]
+        wrong = -fvar if table[v] else fvar
+        s = Solver()
+        s.add_cnf(cnf)
+        assert not s.solve(assumptions=assumptions + [wrong]).sat
+        right = fvar if table[v] else -fvar
+        assert s.solve(assumptions=assumptions + [right]).sat
+
+
+def test_strash_shares_identical_gates():
+    net = Netlist("dup")
+    for pi in "ab":
+        net.add_pi(pi)
+    net.add_gate("x1", "AND", ["a", "b"])
+    net.add_gate("x2", "AND", ["b", "a"])  # commutative duplicate
+    net.add_gate("y", "OR", ["x1", "x2"])
+    net.set_pos(["y"])
+    cnf, varmap = encode_netlist(net, strash={})
+    assert varmap["x1"] == varmap["x2"]
+
+
+def test_strash_shared_between_two_netlists():
+    left = fig1()
+    right = fig1().copy(name="copy")
+    cnf = CNF()
+    strash = {}
+    _, vl = encode_netlist(left, cnf, tag="L", strash=strash)
+    n_after_left = len(cnf.clauses)
+    _, vr = encode_netlist(right, cnf, tag="R", strash=strash)
+    # identical circuits: second encode adds no clauses at all
+    assert len(cnf.clauses) == n_after_left
+    assert vl["f"] == vr["f"]
+
+
+def test_dimacs_roundtrip():
+    net = fig1()
+    cnf, _ = encode_netlist(net)
+    text = to_dimacs(cnf, comment="fig1 characteristic formula")
+    assert text.startswith("c fig1")
+    again = from_dimacs(text)
+    assert len(again) == len(cnf)
+    assert again.n_vars == cnf.n_vars
+    assert solve_cnf(again).sat
+
+
+def test_empty_clause_rejected():
+    cnf = CNF()
+    with pytest.raises(ValueError):
+        cnf.add(())

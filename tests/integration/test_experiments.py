@@ -1,0 +1,48 @@
+"""Tests for the experiments harness itself."""
+
+import pytest
+
+from repro.experiments import TableRow, format_table, summarize
+
+
+def make_row(name="x", db=10.0, da=8.0, lb=100, la=90, m2=3, m3=1):
+    return TableRow(
+        circuit=name, gates_before=50, gates_after=45,
+        literals_before=lb, literals_after=la,
+        delay_before=db, delay_after=da, mods2=m2, mods3=m3,
+        cpu_seconds=1.5, equivalent=True,
+    )
+
+
+def test_delay_reduction_property():
+    assert make_row().delay_reduction == pytest.approx(0.2)
+    zero = make_row(db=0.0, da=0.0)
+    assert zero.delay_reduction == 0.0
+
+
+def test_summarize_aggregates():
+    rows = [make_row("a"), make_row("b", db=20.0, da=10.0, m2=7)]
+    agg = summarize(rows)
+    assert agg["delay_reduction"] == pytest.approx(1 - 18 / 30)
+    assert agg["literal_reduction"] == pytest.approx(1 - 180 / 200)
+    assert agg["mods2"] == 10
+    assert agg["mods3"] == 2
+    assert agg["cpu_seconds"] == pytest.approx(3.0)
+
+
+def test_summarize_empty_safe():
+    agg = summarize([])
+    assert agg["delay_reduction"] == 0.0
+    assert agg["gate_reduction"] == 0.0
+
+
+def test_format_table_layout():
+    rows = [make_row("alpha"), make_row("beta")]
+    text = format_table(rows, title="Demo")
+    lines = text.splitlines()
+    assert lines[0] == "Demo"
+    assert any(line.startswith("alpha") for line in lines)
+    assert any(line.startswith("SUM") for line in lines)
+    assert any(line.startswith("red.") for line in lines)
+    # reduction percentages present
+    assert "%" in text

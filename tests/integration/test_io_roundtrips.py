@@ -1,0 +1,84 @@
+"""Property-based I/O round-trips: BLIF, .bench, genlib."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.io import parse_bench, parse_blif, write_bench, write_blif
+from repro.library import Cell, PinTiming, TechLibrary, parse_genlib, write_genlib
+from repro.netlist import Netlist
+from repro.netlist.gatefunc import AND, INV, NAND, NOR, OR, XNOR, XOR
+from repro.verify import check_equivalence
+
+_settings = settings(
+    max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+FUNCS = ["AND", "OR", "NAND", "NOR", "XOR", "XNOR", "INV", "BUF"]
+
+
+@st.composite
+def bench_netlists(draw):
+    n_pi = draw(st.integers(2, 5))
+    n_gates = draw(st.integers(1, 12))
+    net = Netlist("hyp")
+    sigs = [net.add_pi(f"i{k}") for k in range(n_pi)]
+    for k in range(n_gates):
+        func = draw(st.sampled_from(FUNCS))
+        nin = 1 if func in ("INV", "BUF") else 2
+        ins = [sigs[draw(st.integers(0, len(sigs) - 1))] for _ in range(nin)]
+        sigs.append(net.add_gate(f"g{k}", func, ins))
+    net.set_pos([sigs[-1]])
+    return net
+
+
+@given(bench_netlists())
+@_settings
+def test_bench_roundtrip_equivalence(net):
+    again = parse_bench(write_bench(net))
+    assert check_equivalence(net, again)
+
+
+@given(bench_netlists())
+@_settings
+def test_blif_roundtrip_equivalence(net):
+    again = parse_blif(write_blif(net))
+    assert set(again.pis) == set(net.pis)
+    assert check_equivalence(net, again)
+
+
+@st.composite
+def libraries(draw):
+    funcs = [
+        (AND, 2), (OR, 2), (NAND, 2), (NOR, 3), (XOR, 2), (XNOR, 2),
+        (INV, 1), (AND, 3), (OR, 4),
+    ]
+    n = draw(st.integers(1, len(funcs)))
+    cells = []
+    for k in range(n):
+        func, nin = funcs[k]
+        area = draw(st.floats(0.5, 9.5))
+        block = draw(st.floats(0.1, 4.0))
+        drive = draw(st.floats(0.0, 1.0))
+        load = draw(st.floats(0.5, 3.0))
+        cells.append(Cell(
+            f"c{k}", round(area, 3), func, nin, input_load=round(load, 3),
+            pins=[PinTiming(round(block, 3), round(drive, 3))] * nin,
+        ))
+    return TechLibrary("hyp", cells)
+
+
+@given(libraries())
+@_settings
+def test_genlib_roundtrip(lib):
+    again = parse_genlib(write_genlib(lib))
+    assert set(again.cells) == set(lib.cells)
+    for name, cell in lib.cells.items():
+        dup = again[name]
+        assert dup.func is cell.func
+        assert dup.nin == cell.nin
+        assert dup.area == pytest.approx(cell.area)
+        assert dup.input_load == pytest.approx(cell.input_load)
+        for p1, p2 in zip(cell.pins, dup.pins):
+            assert p2.block == pytest.approx(p1.block)
+            assert p2.drive == pytest.approx(p1.drive)

@@ -1,0 +1,77 @@
+"""End-to-end pipeline integration tests: generator -> synthesis ->
+mapping -> GDO -> verification, plus the experiment harness."""
+
+import pytest
+
+from repro.circuits import build
+from repro.experiments import (
+    TableRow, format_table, run_circuit, run_table1, run_table2, summarize,
+)
+from repro.library import mcnc_like
+from repro.opt import GdoConfig, gdo_optimize
+from repro.synth import script_delay, script_rugged
+from repro.timing import Sta
+from repro.verify import check_equivalence
+
+
+FAST = GdoConfig(n_words=4, verify_words=8, max_rounds=4,
+                 max_targets_per_pass=12, max_proofs_per_pass=24,
+                 max_trials_per_pass=48)
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return mcnc_like()
+
+
+@pytest.mark.parametrize("name", ["Z5xp1", "9sym", "C432"])
+def test_full_pipeline_preserves_function(name, lib):
+    src = build(name, small=True)
+    mapped = script_rugged(src, lib)
+    result = gdo_optimize(mapped, lib, FAST)
+    assert result.stats.equivalent is True
+    assert check_equivalence(src, result.net)
+    assert result.stats.delay_after <= result.stats.delay_before + 1e-6
+
+
+def test_run_circuit_row(lib):
+    row = run_circuit("9sym", library=lib, small=True, config=FAST)
+    assert isinstance(row, TableRow)
+    assert row.circuit == "9sym"
+    assert row.gates_before > 0
+    assert row.equivalent is True
+    assert 0.0 <= row.delay_reduction < 1.0
+
+
+def test_run_table_subsets_and_format(lib):
+    rows = run_table1(names=["9sym"], small=True, config=FAST, library=lib)
+    assert len(rows) == 1
+    rows2 = run_table2(names=["9sym"], small=True, config=FAST, library=lib)
+    assert len(rows2) == 1
+    text = format_table(rows + rows2, title="mini")
+    assert "9sym" in text and "SUM" in text and "red." in text
+    agg = summarize(rows)
+    assert set(agg) == {
+        "gate_reduction", "literal_reduction", "delay_reduction",
+        "mods2", "mods3", "cpu_seconds",
+    }
+
+
+def test_delay_script_produces_faster_start(lib):
+    """Table 2 precondition: the delay script's mapped netlist is
+    (usually) faster than the area script's."""
+    src = build("9sym", small=True)
+    d_area = Sta(script_rugged(src, lib), lib).delay
+    d_delay = Sta(script_delay(src, lib), lib).delay
+    assert d_delay <= d_area * 1.25  # allow mild noise, forbid blowups
+
+
+def test_gdo_after_delay_script_keeps_gains(lib):
+    """Table 2 behaviour: GDO still finds area recovery after the delay
+    script, without degrading delay."""
+    src = build("term1", small=True)
+    mapped = script_delay(src, lib)
+    result = gdo_optimize(mapped, lib, FAST)
+    s = result.stats
+    assert s.equivalent is True
+    assert s.delay_after <= s.delay_before + 1e-6

@@ -1,0 +1,85 @@
+"""Tests for the .bench reader/writer."""
+
+import pytest
+
+from repro.io import BenchError, parse_bench, write_bench
+from repro.sim import truth_table_of
+from repro.verify import check_equivalence
+
+C17 = """
+# c17 (ISCAS-85 smallest benchmark)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+"""
+
+
+def test_parse_c17():
+    net = parse_bench(C17)
+    assert len(net.pis) == 5
+    assert len(net.pos) == 2
+    assert net.num_gates == 6
+    assert all(g.func.name == "NAND" for g in net.gates.values())
+
+
+def test_c17_function():
+    net = parse_bench(C17)
+    # spot-check: all inputs 0 -> NAND trees give 22=23=1? compute row 0
+    table22 = truth_table_of(net, "22")
+    # vector 0: 1=0,3=0 -> 10=1; 2=0,11=1 -> 16=1; 22 = NAND(1,1)=0
+    assert table22[0] == 0
+
+
+def test_roundtrip():
+    net = parse_bench(C17)
+    text = write_bench(net)
+    again = parse_bench(text)
+    assert check_equivalence(net, again)
+
+
+def test_out_of_order_definitions():
+    net = parse_bench(
+        "INPUT(a)\nOUTPUT(y)\ny = NOT(m)\nm = AND(a, a)\n"
+    )
+    assert truth_table_of(net) == [1, 0]
+
+
+def test_wide_xor_expansion():
+    net = parse_bench(
+        "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\n"
+        "y = XOR(a, b, c, d)\n"
+    )
+    table = truth_table_of(net)
+    for row in range(16):
+        assert table[row] == bin(row).count("1") % 2
+
+
+def test_parse_errors():
+    with pytest.raises(BenchError):
+        parse_bench("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n")
+    with pytest.raises(BenchError):
+        parse_bench("garbage line\n")
+    with pytest.raises(BenchError):
+        parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n")
+
+
+def test_write_rejects_complex_cells():
+    from repro.netlist import Netlist
+
+    net = Netlist("m")
+    for pi in "abc":
+        net.add_pi(pi)
+    net.add_gate("y", "MUX21", ["a", "b", "c"])
+    net.set_pos(["y"])
+    with pytest.raises(BenchError):
+        write_bench(net)

@@ -1,0 +1,111 @@
+"""Tests for the BLIF reader/writer."""
+
+import pytest
+
+from repro.io import BlifError, parse_blif, write_blif
+from repro.library import mcnc_like
+from repro.netlist import Netlist
+from repro.sim import truth_table_of
+from repro.verify import check_equivalence
+
+SIMPLE = """
+.model simple
+.inputs a b c
+.outputs y
+.names a b t
+11 1
+.names t c y
+1- 1
+-1 1
+.end
+"""
+
+
+def test_parse_names():
+    net = parse_blif(SIMPLE)
+    assert net.name == "simple"
+    # y = (a & b) | c
+    table = truth_table_of(net)
+    for row in range(8):
+        a, b, c = row & 1, (row >> 1) & 1, (row >> 2) & 1
+        assert table[row] == ((a & b) | c)
+
+
+def test_parse_offset_cover():
+    net = parse_blif(
+        ".model off\n.inputs a b\n.outputs y\n"
+        ".names a b y\n11 0\n.end\n"
+    )
+    assert truth_table_of(net) == [1, 1, 1, 0]  # NAND
+
+
+def test_parse_constants():
+    net = parse_blif(
+        ".model k\n.inputs a\n.outputs one zero\n"
+        ".names one\n1\n.names zero\n.end\n"
+    )
+    assert truth_table_of(net, "one") == [1, 1]
+    assert truth_table_of(net, "zero") == [0, 0]
+
+
+def test_inverted_literals_in_cube():
+    net = parse_blif(
+        ".model n\n.inputs a b\n.outputs y\n.names a b y\n01 1\n.end\n"
+    )
+    # y = ~a & b
+    assert truth_table_of(net) == [0, 0, 1, 0]
+
+
+def test_line_continuation():
+    net = parse_blif(
+        ".model c\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n"
+    )
+    assert len(net.pis) == 2
+
+
+def test_gate_lines_with_library():
+    lib = mcnc_like()
+    text = (
+        ".model mapped\n.inputs x0 x1\n.outputs f\n"
+        ".gate nand2 a=x0 b=x1 o=t\n"
+        ".gate inv1 a=t o=f\n"
+        ".end\n"
+    )
+    net = parse_blif(text, library=lib)
+    assert net.gates["t"].cell == "nand2"
+    assert truth_table_of(net) == [0, 0, 0, 1]  # f = x0 & x1
+
+
+def test_gate_requires_library():
+    with pytest.raises(BlifError):
+        parse_blif(".model m\n.inputs a\n.outputs y\n.gate inv1 a=a o=y\n.end")
+
+
+def test_roundtrip_names():
+    net = parse_blif(SIMPLE)
+    again = parse_blif(write_blif(net))
+    assert check_equivalence(net, again)
+
+
+def test_roundtrip_mapped():
+    lib = mcnc_like()
+    net = Netlist("m")
+    for pi in "ab":
+        net.add_pi(pi)
+    net.add_gate("t", "NAND", ["a", "b"])
+    net.add_gate("y", "INV", ["t"])
+    net.set_pos(["y"])
+    lib.rebind(net)
+    text = write_blif(net, mapped=True, library=lib)
+    assert ".gate nand2" in text
+    again = parse_blif(text, library=lib)
+    assert check_equivalence(net, again)
+    assert again.gates["t"].cell == "nand2"
+
+
+def test_mixed_polarity_cover_rejected():
+    with pytest.raises(BlifError):
+        parse_blif(
+            ".model m\n.inputs a b\n.outputs y\n"
+            ".names a b y\n11 1\n00 0\n.end\n"
+        )

@@ -1,0 +1,75 @@
+"""Tests for the structural Verilog writer."""
+
+import re
+
+import pytest
+
+from repro.io import VerilogError, write_verilog
+from repro.library import mcnc_like
+from repro.netlist import Netlist
+
+
+def sample_net():
+    net = Netlist("sample")
+    for pi in "abc":
+        net.add_pi(pi)
+    net.add_gate("d", "AND", ["a", "b"])
+    net.add_gate("e", "INV", ["c"])
+    net.add_gate("f", "OR", ["d", "e"])
+    net.set_pos(["f"])
+    return net
+
+
+def test_primitive_output():
+    text = write_verilog(sample_net())
+    assert text.startswith("module sample (")
+    assert "and u" in text and "not u" in text and "or u" in text
+    assert "assign po0 = f;" in text
+    assert text.rstrip().endswith("endmodule")
+
+
+def test_port_structure():
+    text = write_verilog(sample_net())
+    assert "input  a" in text
+    assert "output po0" in text
+    assert "wire d, e, f;" in text
+
+
+def test_mapped_output():
+    lib = mcnc_like()
+    net = sample_net()
+    lib.rebind(net)
+    text = write_verilog(net, mapped=True, library=lib)
+    assert "and2 u" in text
+    assert ".a(a), .b(b), .o(d)" in text.replace("  ", " ")
+
+
+def test_complex_cells_as_assigns():
+    net = Netlist("cx")
+    for pi in "abcd":
+        net.add_pi(pi)
+    net.add_gate("y", "AOI22", ["a", "b", "c", "d"])
+    net.add_gate("m", "MUX21", ["a", "b", "c"])
+    net.add_gate("k", "CONST1", [])
+    net.set_pos(["y", "m", "k"])
+    text = write_verilog(net)
+    assert "assign y = ~((a & b) | (c & d));" in text
+    assert "assign m = c ? b : a;" in text
+    assert "assign k = 1'b1;" in text
+
+
+def test_identifier_escaping():
+    net = Netlist("esc")
+    net.add_pi("in[0]")
+    net.add_gate("out.x", "INV", ["in[0]"])
+    net.set_pos(["out.x"])
+    text = write_verilog(net)
+    assert "\\in[0] " in text
+    assert "\\out.x " in text
+
+
+def test_module_name_sanitized():
+    net = sample_net()
+    net.name = "weird name!"
+    text = write_verilog(net)
+    assert re.search(r"module \w+ \(", text)

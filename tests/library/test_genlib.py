@@ -1,0 +1,139 @@
+"""Tests for genlib parsing/writing and the built-in libraries."""
+
+import pytest
+
+from repro.library import (
+    Cell, GenlibError, PinTiming, TechLibrary, cell_formula, mcnc_like,
+    parse_genlib, unit_delay_library, write_genlib,
+)
+from repro.netlist import AND, INV, MUX21, NAND, Netlist, XOR
+
+
+def test_parse_simple_cell():
+    lib = parse_genlib(
+        "GATE my_nand 2.5 o=!(a*b);\n"
+        "  PIN * INV 1.3 999 0.9 0.3 1.1 0.4\n"
+    )
+    cell = lib["my_nand"]
+    assert cell.area == 2.5
+    assert cell.func is NAND
+    assert cell.nin == 2
+    assert cell.input_load == 1.3
+    # max of rise/fall arcs
+    assert cell.pins[0].block == 1.1
+    assert cell.pins[0].drive == 0.4
+
+
+def test_parse_named_pins():
+    lib = parse_genlib(
+        "GATE g 1 o=a*b;\n"
+        "  PIN a NONINV 1 999 1.0 0.1 1.0 0.1\n"
+        "  PIN b NONINV 2 999 2.0 0.2 2.0 0.2\n"
+    )
+    cell = lib["g"]
+    assert cell.pins[0].block == 1.0
+    assert cell.pins[1].block == 2.0
+    assert cell.input_load == 2  # max of pin loads
+
+
+def test_parse_postfix_negation_and_comments():
+    lib = parse_genlib(
+        "# comment line\n"
+        "GATE inv 1 o=a'; PIN * INV 1 999 1 0.1 1 0.1\n"
+    )
+    assert lib["inv"].func is INV
+
+
+def test_parse_mux_with_permuted_pins():
+    lib = parse_genlib(
+        "GATE mx 3 o=(a*!s)+(b*s); PIN * UNKNOWN 1 999 1 0.1 1 0.1"
+    )
+    assert lib["mx"].func is MUX21
+
+
+def test_unknown_function_raises_or_skips():
+    # A 3-input function outside the primitive set (2-of-3 exactly).
+    src = ("GATE weird 1 o=(a*b*!c)+(a*!b*c)+(!a*b*c);"
+           " PIN * UNKNOWN 1 999 1 0.1 1 0.1")
+    with pytest.raises(GenlibError):
+        parse_genlib(src)
+    assert len(parse_genlib(src, skip_unknown=True)) == 0
+
+
+def test_bad_expression():
+    with pytest.raises(GenlibError):
+        parse_genlib("GATE g 1 o=a*(b; PIN * INV 1 999 1 0.1 1 0.1")
+
+
+def test_roundtrip_builtin():
+    lib = mcnc_like()
+    text = write_genlib(lib)
+    again = parse_genlib(text)
+    assert set(again.cells) == set(lib.cells)
+    for name, cell in lib.cells.items():
+        dup = again[name]
+        assert dup.func is cell.func
+        assert dup.area == pytest.approx(cell.area)
+        assert dup.nin == cell.nin
+
+
+def test_mcnc_like_contents():
+    lib = mcnc_like()
+    assert lib.cell_for(AND, 2).name == "and2"
+    assert lib.cell_for(NAND, 3) is not None
+    assert lib.cell_for(XOR, 2) is not None
+    assert lib.cell_for(INV, 1).area <= min(c.area for c in lib)
+    assert lib.has_func(AND, 4)
+    assert not lib.has_func(AND, 9)
+
+
+def test_unit_library_delays():
+    lib = unit_delay_library()
+    for cell in lib:
+        assert cell.area == 1.0
+        for pin in cell.pins:
+            assert pin.delay(10.0) == 1.0
+
+
+def test_rebind_and_area():
+    lib = mcnc_like()
+    net = Netlist("t")
+    net.add_pi("a")
+    net.add_pi("b")
+    net.add_gate("x", "AND", ["a", "b"])
+    net.add_gate("y", "INV", ["x"])
+    net.set_pos(["y"])
+    assert lib.rebind(net) == 0
+    assert net.gates["x"].cell == "and2"
+    area = lib.netlist_area(net)
+    assert area == pytest.approx(lib["and2"].area + lib["inv1"].area)
+
+
+def test_gate_fallbacks_for_unbound():
+    lib = mcnc_like()
+    net = Netlist("t")
+    net.add_pi("a")
+    for k in range(9):
+        net.add_pi(f"p{k}")
+    net.add_gate("wide", "AND", [f"p{k}" for k in range(9)])
+    net.set_pos(["wide"])
+    assert lib.rebind(net) == 1  # no and9 cell
+    gate = net.gates["wide"]
+    assert lib.gate_area(gate) > 0
+    assert lib.gate_pin_timing(gate, 0).delay(1.0) > 0
+
+
+def test_duplicate_cell_rejected():
+    cell = Cell("x", 1.0, AND, 2)
+    with pytest.raises(ValueError):
+        TechLibrary("dup", [cell, Cell("x", 2.0, AND, 2)])
+
+
+def test_pin_timing_mismatch_rejected():
+    with pytest.raises(ValueError):
+        Cell("bad", 1.0, AND, 3, pins=[PinTiming(1, 0.1), PinTiming(1, 0.1)])
+
+
+def test_cell_formula_all_supported():
+    for cell in mcnc_like():
+        assert cell_formula(cell).startswith("o=")

@@ -1,0 +1,141 @@
+"""Unit tests for netlist editing primitives."""
+
+import pytest
+
+from repro.netlist import (
+    Branch, Netlist, NetlistError, find_inverted, insert_gate,
+    insert_inverter, propagate_constants, prune_dangling, remove_gate,
+    replace_input, set_branch_constant, substitute_stem, would_create_cycle,
+)
+from repro.sim import truth_table_of
+
+
+def chain():
+    net = Netlist("chain")
+    for pi in "ab":
+        net.add_pi(pi)
+    net.add_gate("x", "AND", ["a", "b"])
+    net.add_gate("y", "OR", ["x", "a"])
+    net.add_gate("z", "INV", ["y"])
+    net.set_pos(["z"])
+    return net
+
+
+def test_replace_input():
+    net = chain()
+    old = replace_input(net, Branch("y", 0), "b")
+    assert old == "x"
+    assert net.gates["y"].inputs == ["b", "a"]
+    net.validate()
+
+
+def test_replace_input_bad_pin():
+    net = chain()
+    with pytest.raises(NetlistError):
+        replace_input(net, Branch("y", 5), "b")
+    with pytest.raises(NetlistError):
+        replace_input(net, Branch("y", 0), "ghost")
+
+
+def test_substitute_stem_redirects_everything():
+    net = chain()
+    net.add_po("y")  # y is now also a PO
+    count = substitute_stem(net, "y", "x")
+    assert count == 2  # the INV pin and the PO slot
+    assert net.gates["z"].inputs == ["x"]
+    assert net.pos == ["z", "x"]
+
+
+def test_substitute_stem_self_rejected():
+    net = chain()
+    with pytest.raises(NetlistError):
+        substitute_stem(net, "y", "y")
+
+
+def test_prune_dangling_removes_mffc():
+    net = chain()
+    substitute_stem(net, "y", "a")
+    removed = prune_dangling(net, roots=["y"])
+    names = {g.output for g in removed}
+    assert names == {"y", "x"}  # x fed only y
+    net.validate()
+
+
+def test_prune_keeps_pos():
+    net = chain()
+    removed = prune_dangling(net)
+    assert removed == []
+
+
+def test_remove_gate_requires_no_fanout():
+    net = chain()
+    with pytest.raises(NetlistError):
+        remove_gate(net, "x")
+
+
+def test_insert_gate_and_inverter():
+    net = chain()
+    sig = insert_gate(net, "AND", ["a", "b"], hint="extra")
+    assert net.gates[sig].func.name == "AND"
+    inv = insert_inverter(net, "a")
+    assert net.gates[inv].func.name == "INV"
+    assert find_inverted(net, "a") == inv
+    # the inverter's complement is its own input
+    assert find_inverted(net, inv) == "a"
+
+
+def test_would_create_cycle():
+    net = chain()
+    assert would_create_cycle(net, "x", "z")
+    assert would_create_cycle(net, "x", "y")
+    assert not would_create_cycle(net, "z", "a")
+    assert would_create_cycle(net, "x", "x")
+
+
+def test_set_branch_constant_and_simplify():
+    net = chain()
+    before = truth_table_of(net)  # z = ~(ab | a) = ~a
+    # Tie pin 1 ('a') of gate y to 0: y = x|0 = x -> z = ~(ab)
+    set_branch_constant(net, Branch("y", 1), 0)
+    assert net.gates["y"].func.name == "BUF"
+    propagate_constants(net)
+    net.validate()
+    after = truth_table_of(net)
+    # z = ~(a&b): rows a=1,b=1 -> 0 else 1
+    assert after == [1, 1, 1, 0]
+
+
+def test_constant_propagation_through_xor():
+    net = Netlist("x")
+    net.add_pi("a")
+    net.add_gate("c1", "CONST1", [])
+    net.add_gate("y", "XOR", ["a", "c1"])
+    net.set_pos(["y"])
+    propagate_constants(net)
+    net.validate()
+    assert truth_table_of(net) == [1, 0]  # y = ~a
+
+
+def test_constant_propagation_collapses_and():
+    net = Netlist("c")
+    net.add_pi("a")
+    net.add_pi("b")
+    net.add_gate("c0", "CONST0", [])
+    net.add_gate("m", "AND", ["a", "c0"])
+    net.add_gate("y", "OR", ["m", "b"])
+    net.set_pos(["y"])
+    propagate_constants(net)
+    net.validate()
+    assert truth_table_of(net) == [0, 0, 1, 1]  # y = b
+
+
+def test_propagate_constants_nand_nor():
+    net = Netlist("nn")
+    net.add_pi("a")
+    net.add_gate("c1", "CONST1", [])
+    net.add_gate("n", "NAND", ["a", "c1"])  # = ~a
+    net.add_gate("r", "NOR", ["n", "c1"])   # = 0
+    net.set_pos(["r"])
+    propagate_constants(net)
+    net.validate()
+    assert truth_table_of(net) == [0, 0]

@@ -1,0 +1,117 @@
+"""Unit tests for primitive gate functions."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.netlist.gatefunc import (
+    ALL_FUNCS, AND, ANDN, AOI21, AOI22, BUF, CONST0, CONST1, FUNC_BY_NAME,
+    INV, MAJ3, MUX21, NAND, NOR, OAI21, OAI22, OR, ORN, XNOR, XOR,
+    func_from_name, two_input_forms,
+)
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _words(bits):
+    return [np.array([_ALL_ONES if b else 0], dtype=np.uint64) for b in bits]
+
+
+@pytest.mark.parametrize("func", [f for f in ALL_FUNCS if f.arity not in (0,)])
+def test_eval_words_matches_eval_bits(func):
+    nin = func.arity if func.arity is not None else 3
+    for bits in itertools.product((0, 1), repeat=nin):
+        word = func.eval_words(_words(bits))[0]
+        expected = func.eval_bits(bits)
+        assert int(word & np.uint64(1)) == expected
+        # words must be all-0 or all-1 for constant inputs
+        assert word in (np.uint64(0), _ALL_ONES)
+
+
+@pytest.mark.parametrize("func", [f for f in ALL_FUNCS])
+def test_cnf_characterizes_truth_table(func):
+    nin = func.arity if func.arity is not None else 2
+    ins = list(range(1, nin + 1))
+    out = nin + 1
+    clauses = func.cnf(out, ins)
+    for bits in itertools.product((0, 1), repeat=nin + 1):
+        assign = {v: bool(bits[v - 1]) for v in range(1, nin + 2)}
+        satisfied = all(
+            any(assign[abs(l)] == (l > 0) for l in cl) for cl in clauses
+        )
+        consistent = bits[nin] == func.eval_bits(bits[:nin])
+        assert satisfied == consistent, (func.name, bits)
+
+
+def test_nary_and_or_cnf():
+    for func, nin in ((AND, 4), (OR, 3), (NAND, 4), (NOR, 3)):
+        ins = list(range(1, nin + 1))
+        clauses = func.cnf(nin + 1, ins)
+        assert len(clauses) == nin + 1
+
+
+def test_truth_tables_expected():
+    assert AND.truth_table(2) == [0, 0, 0, 1]
+    assert OR.truth_table(2) == [0, 1, 1, 1]
+    assert XOR.truth_table(2) == [0, 1, 1, 0]
+    assert XNOR.truth_table(2) == [1, 0, 0, 1]
+    assert INV.truth_table(1) == [1, 0]
+    assert MUX21.truth_table(3) == [0, 1, 0, 1, 0, 0, 1, 1]
+    assert MAJ3.truth_table(3) == [0, 0, 0, 1, 0, 1, 1, 1]
+
+
+def test_aoi_oai():
+    for a, b, c in itertools.product((0, 1), repeat=3):
+        assert AOI21.eval_bits([a, b, c]) == 1 - ((a & b) | c)
+        assert OAI21.eval_bits([a, b, c]) == 1 - ((a | b) & c)
+    for a, b, c, d in itertools.product((0, 1), repeat=4):
+        assert AOI22.eval_bits([a, b, c, d]) == 1 - ((a & b) | (c & d))
+        assert OAI22.eval_bits([a, b, c, d]) == 1 - ((a | b) & (c | d))
+
+
+def test_func_from_name():
+    assert func_from_name("and") is AND
+    assert func_from_name("XNOR") is XNOR
+    with pytest.raises(KeyError):
+        func_from_name("FOO")
+
+
+def test_arity_checks():
+    with pytest.raises(ValueError):
+        XOR._check_arity(3)
+    with pytest.raises(ValueError):
+        INV._check_arity(2)
+    AND._check_arity(7)  # n-ary: fine
+
+
+def test_constants():
+    assert CONST0.eval_bits([]) == 0
+    assert CONST1.eval_bits([]) == 1
+    assert CONST0.cnf(5, []) == [(-5,)]
+    assert CONST1.cnf(5, []) == [(5,)]
+
+
+def test_two_input_forms_complete_and_distinct():
+    forms = two_input_forms(include_xor=True)
+    assert len(forms) == 10
+    tables = set()
+    for form in forms:
+        table = tuple(
+            form.eval_bits(b, c) for b, c in itertools.product((0, 1), repeat=2)
+        )
+        tables.add(table)
+    # All 10 forms compute distinct, non-degenerate 2-input functions.
+    assert len(tables) == 10
+    no_xor = two_input_forms(include_xor=False)
+    assert len(no_xor) == 8
+    assert all(f.base.name in ("AND", "OR") for f in no_xor)
+
+
+def test_two_input_form_words_match_bits():
+    for form in two_input_forms():
+        for b, c in itertools.product((0, 1), repeat=2):
+            wb = np.array([_ALL_ONES if b else 0], dtype=np.uint64)
+            wc = np.array([_ALL_ONES if c else 0], dtype=np.uint64)
+            got = int(form.eval_words(wb, wc)[0] & np.uint64(1))
+            assert got == form.eval_bits(b, c)

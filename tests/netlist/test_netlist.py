@@ -1,0 +1,125 @@
+"""Unit tests for the netlist data structure."""
+
+import pytest
+
+from repro.netlist import (
+    AND, Branch, Netlist, NetlistError, constant_signal,
+)
+
+
+def fig1():
+    """The paper's Figure 1: d = AND(a,b), e = INV(c), f = OR(d,e)."""
+    net = Netlist("fig1")
+    for pi in "abc":
+        net.add_pi(pi)
+    net.add_gate("d", "AND", ["a", "b"])
+    net.add_gate("e", "INV", ["c"])
+    net.add_gate("f", "OR", ["d", "e"])
+    net.set_pos(["f"])
+    return net
+
+
+def test_basic_structure():
+    net = fig1()
+    net.validate()
+    assert net.num_gates == 3
+    assert net.num_literals == 5
+    assert net.is_pi("a") and not net.is_pi("d")
+    assert net.is_po("f") and not net.is_po("d")
+    assert sorted(net.signals()) == ["a", "b", "c", "d", "e", "f"]
+
+
+def test_duplicate_signal_rejected():
+    net = fig1()
+    with pytest.raises(NetlistError):
+        net.add_pi("a")
+    with pytest.raises(NetlistError):
+        net.add_gate("d", "AND", ["a", "b"])
+
+
+def test_fanouts_and_branches():
+    net = fig1()
+    assert net.fanouts("d") == [Branch("f", 0)]
+    assert net.fanouts("a") == [Branch("d", 0)]
+    assert net.fanout_count("f") == 1  # PO only
+    assert net.fanout_count("d") == 1
+
+
+def test_topo_order_and_levels():
+    net = fig1()
+    order = net.topo_order()
+    assert order.index("d") < order.index("f")
+    assert order.index("e") < order.index("f")
+    levels = net.levels()
+    assert levels["a"] == 0 and levels["d"] == 1 and levels["f"] == 2
+    assert net.depth() == 2
+
+
+def test_cycle_detection():
+    net = Netlist("cyc")
+    net.add_pi("a")
+    net.add_gate("x", "AND", ["a", "y"])
+    net.add_gate("y", "AND", ["a", "x"])
+    net.set_pos(["y"])
+    with pytest.raises(NetlistError):
+        net.topo_order()
+
+
+def test_validate_catches_dangling_input():
+    net = Netlist("bad")
+    net.add_pi("a")
+    net.add_gate("x", "AND", ["a", "ghost"])
+    net.set_pos(["x"])
+    with pytest.raises(NetlistError):
+        net.validate()
+
+
+def test_validate_catches_undriven_po():
+    net = Netlist("bad")
+    net.add_pi("a")
+    net.set_pos(["nope"])
+    with pytest.raises(NetlistError):
+        net.validate()
+
+
+def test_transitive_cones():
+    net = fig1()
+    assert net.transitive_fanout("a") == {"d", "f"}
+    assert net.transitive_fanout("d") == {"d", "f"}
+    assert net.transitive_fanin("f") == {"a", "b", "c", "d", "e", "f"}
+    assert net.support("f") == {"a", "b", "c"}
+    assert net.support("d") == {"a", "b"}
+
+
+def test_copy_is_independent():
+    net = fig1()
+    dup = net.copy()
+    dup.add_gate("z", AND, ["a", "f"])
+    dup.add_po("z")
+    assert "z" not in net.gates
+    assert net.pos == ["f"]
+    net.validate()
+    dup.validate()
+
+
+def test_fresh_name_unique():
+    net = fig1()
+    names = {net.fresh_name("t") for _ in range(100)}
+    assert len(names) == 100
+    assert all(not net.has_signal(n) for n in names)
+
+
+def test_constant_signal_shared():
+    net = fig1()
+    c0 = constant_signal(net, 0)
+    assert constant_signal(net, 0) == c0
+    c1 = constant_signal(net, 1)
+    assert c1 != c0
+    assert net.gates[c0].func.name == "CONST0"
+    assert net.gates[c1].func.name == "CONST1"
+
+
+def test_stats():
+    stats = fig1().stats()
+    assert stats == {"pis": 3, "pos": 1, "gates": 3, "literals": 5,
+                     "depth": 2}

@@ -1,0 +1,150 @@
+"""Tests for the companion optimizations: RAR, fanout buffering, and
+reporting."""
+
+import pytest
+
+from repro.library import mcnc_like
+from repro.netlist import Netlist
+from repro.opt import (
+    GdoConfig, gdo_optimize, optimize_fanout, rar_optimize,
+    compare_report, critical_path_report, format_result,
+)
+from repro.timing import Sta
+from repro.verify import check_equivalence
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return mcnc_like()
+
+
+def redundant_net():
+    """Bridging candidates exist and absorption makes logic removable."""
+    net = Netlist("rar")
+    for pi in "abcd":
+        net.add_pi(pi)
+    net.add_gate("t", "AND", ["a", "b"])
+    net.add_gate("u", "OR", ["a", "t"])       # u == a (t-branch redundant)
+    net.add_gate("v", "AND", ["u", "c"])
+    net.add_gate("w", "OR", ["v", "d"])
+    net.set_pos(["w", "u"])
+    return net
+
+
+# ----------------------------------------------------------------------
+# RAR
+# ----------------------------------------------------------------------
+def test_rar_removes_existing_redundancy(lib):
+    net = redundant_net()
+    stats = rar_optimize(net, library=lib, max_iterations=3)
+    assert stats.equivalent is True
+    assert stats.removals >= 1
+    assert stats.literals_after < stats.literals_before
+    assert check_equivalence(net, stats.net)
+
+
+def test_rar_input_untouched(lib):
+    net = redundant_net()
+    before = net.copy()
+    rar_optimize(net, library=lib, max_iterations=2)
+    assert net.num_gates == before.num_gates
+    assert check_equivalence(net, before)
+
+
+def test_rar_on_irredundant_net(lib):
+    net = Netlist("clean")
+    for pi in "ab":
+        net.add_pi(pi)
+    net.add_gate("y", "XOR", ["a", "b"])
+    net.set_pos(["y"])
+    stats = rar_optimize(net, library=lib, max_iterations=2)
+    assert stats.equivalent is True
+    assert stats.literals_after == stats.literals_before
+
+
+def test_rar_stats_fields(lib):
+    stats = rar_optimize(redundant_net(), library=lib, max_iterations=1)
+    assert stats.gates_before > 0
+    assert 0.0 <= stats.literal_reduction <= 1.0
+    assert stats.cpu_seconds >= 0.0
+
+
+# ----------------------------------------------------------------------
+# fanout optimization
+# ----------------------------------------------------------------------
+def high_fanout_net(n_sinks=10):
+    """One slow driver feeding many sinks, only one of them critical."""
+    net = Netlist("fan")
+    for pi in "ab":
+        net.add_pi(pi)
+    net.add_gate("hub", "AND", ["a", "b"])
+    # critical sink: a long inverter chain
+    prev = "hub"
+    for k in range(5):
+        prev = net.add_gate(f"c{k}", "INV", [prev])
+    net.add_po(prev)
+    # many non-critical sinks
+    for k in range(n_sinks):
+        net.add_gate(f"s{k}", "INV", ["hub"])
+        net.add_po(f"s{k}")
+    return net
+
+
+def test_fanout_buffering_reduces_delay(lib):
+    net = high_fanout_net()
+    lib.rebind(net)
+    stats = optimize_fanout(net, lib)
+    assert stats.buffers_added >= 1
+    assert stats.delay_after < stats.delay_before
+    assert check_equivalence(net, stats.net)
+
+
+def test_fanout_noop_on_low_fanout(lib):
+    net = Netlist("low")
+    net.add_pi("a")
+    net.add_gate("y", "INV", ["a"])
+    net.set_pos(["y"])
+    lib.rebind(net)
+    stats = optimize_fanout(net, lib)
+    assert stats.buffers_added == 0
+    assert stats.delay_after == pytest.approx(stats.delay_before)
+
+
+def test_fanout_composes_with_gdo(lib):
+    """The deferred extension composes: GDO then fanout buffering."""
+    net = high_fanout_net(8)
+    lib.rebind(net)
+    gdo = gdo_optimize(net, lib, GdoConfig(n_words=4, verify_words=8,
+                                           max_rounds=3))
+    stats = optimize_fanout(gdo.net, lib)
+    assert stats.delay_after <= gdo.stats.delay_after + 1e-6
+    assert check_equivalence(net, stats.net)
+
+
+# ----------------------------------------------------------------------
+# reports
+# ----------------------------------------------------------------------
+def test_format_result_contains_metrics(lib):
+    net = high_fanout_net(4)
+    lib.rebind(net)
+    result = gdo_optimize(net, lib, GdoConfig(n_words=4, verify_words=8,
+                                              max_rounds=2))
+    text = format_result(result, lib)
+    assert "delay" in text and "literals" in text
+    assert "proofs" in text
+
+
+def test_critical_path_report(lib):
+    net = high_fanout_net(4)
+    lib.rebind(net)
+    text = critical_path_report(net, lib)
+    assert "critical path" in text
+    assert "hub" in text
+
+
+def test_compare_report(lib):
+    net = high_fanout_net(4)
+    lib.rebind(net)
+    other = net.copy()
+    text = compare_report(net, other, lib)
+    assert "metric" in text and "delay" in text

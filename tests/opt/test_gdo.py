@@ -1,0 +1,147 @@
+"""Tests for the GDO optimizer."""
+
+import random
+
+import pytest
+
+from repro.library import mcnc_like
+from repro.netlist import Netlist
+from repro.opt import GdoConfig, GdoStats, gdo_optimize
+from repro.synth import script_rugged
+from repro.timing import Sta
+from repro.verify import check_equivalence
+
+
+def random_net(seed, n_pi=8, n_gates=50, n_po=4):
+    rnd = random.Random(seed)
+    funcs = ["AND", "OR", "NAND", "NOR", "XOR", "XNOR"]
+    net = Netlist(f"r{seed}")
+    sigs = [net.add_pi(f"i{k}") for k in range(n_pi)]
+    for k in range(n_gates):
+        f = rnd.choice(funcs + ["INV"])
+        ins = [rnd.choice(sigs)] if f == "INV" else rnd.sample(sigs, 2)
+        sigs.append(net.add_gate(f"g{k}", f, ins))
+    net.set_pos(sigs[-n_po:])
+    return net
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return mcnc_like()
+
+
+def small_cfg(**kw):
+    base = dict(n_words=8, verify_words=16, max_rounds=8)
+    base.update(kw)
+    return GdoConfig(**base)
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_gdo_reduces_delay_and_stays_equivalent(seed, lib):
+    net = random_net(seed)
+    lib.rebind(net)
+    result = gdo_optimize(net, lib, small_cfg())
+    s = result.stats
+    assert s.equivalent is True
+    assert s.delay_after <= s.delay_before + 1e-6
+    assert s.delay_after < s.delay_before  # random nets always improve
+    assert s.mods2 + s.mods3 > 0
+    # the input netlist is untouched
+    assert net.num_gates == s.gates_before
+
+
+def test_gdo_input_not_mutated(lib):
+    net = random_net(4)
+    lib.rebind(net)
+    snapshot = net.copy()
+    gdo_optimize(net, lib, small_cfg())
+    assert check_equivalence(net, snapshot)
+    assert net.num_gates == snapshot.num_gates
+
+
+def test_gdo_history_records(lib):
+    net = random_net(1)
+    lib.rebind(net)
+    result = gdo_optimize(net, lib, small_cfg())
+    hist = result.stats.history
+    assert len(hist) == result.stats.mods2 + result.stats.mods3
+    for rec in hist:
+        assert rec.phase in ("delay", "area")
+        assert rec.kind in ("OS2", "IS2", "OS3", "IS3")
+        assert rec.delay_after <= rec.delay_before + 1e-6
+
+
+def test_gdo_no_area_phase(lib):
+    net = random_net(2)
+    lib.rebind(net)
+    result = gdo_optimize(net, lib, small_cfg(area_phase=False))
+    assert all(r.phase == "delay" for r in result.stats.history)
+    assert result.stats.equivalent is True
+
+
+def test_gdo_c2_only(lib):
+    """Restricting to C2 means no 3-substitutions get applied."""
+    net = random_net(3)
+    lib.rebind(net)
+    cfg = small_cfg()
+    cfg.include_xor = False
+    cfg.max_candidates_per_target = 8
+
+    result = gdo_optimize(net, lib, cfg)
+    assert result.stats.equivalent is True
+
+
+@pytest.mark.parametrize("proof", ["sat", "bdd", "auto"])
+def test_gdo_proof_backends(proof, lib):
+    net = random_net(5, n_gates=30)
+    lib.rebind(net)
+    result = gdo_optimize(net, lib, small_cfg(proof=proof))
+    assert result.stats.equivalent is True
+    assert result.stats.delay_after <= result.stats.delay_before + 1e-6
+
+
+def test_gdo_on_mapped_pipeline(lib):
+    """Full pipeline: synthesize, map, GDO (a mini Table-1 row)."""
+    from repro.circuits import nsym
+
+    src = nsym(7, 2, 5)
+    mapped = script_rugged(src, lib)
+    result = gdo_optimize(mapped, lib, small_cfg())
+    s = result.stats
+    assert s.equivalent is True
+    assert s.delay_after < s.delay_before
+    assert check_equivalence(src, result.net)
+
+
+def test_gdo_area_not_exploded(lib):
+    """Concurrent area behaviour: on the random suite, literals go
+    down, not up (the paper's Table-1 observation)."""
+    worse = 0
+    for seed in (1, 2, 3):
+        net = random_net(seed)
+        lib.rebind(net)
+        s = gdo_optimize(net, lib, small_cfg()).stats
+        if s.literals_after > s.literals_before:
+            worse += 1
+    assert worse <= 1
+
+
+def test_gdo_stats_reductions():
+    s = GdoStats(delay_before=10.0, delay_after=8.0,
+                 literals_before=100, literals_after=90)
+    assert s.delay_reduction == pytest.approx(0.2)
+    assert s.literal_reduction == pytest.approx(0.1)
+    empty = GdoStats()
+    assert empty.delay_reduction == 0.0
+    assert empty.literal_reduction == 0.0
+
+
+def test_gdo_trivial_net(lib):
+    net = Netlist("tiny")
+    net.add_pi("a")
+    net.add_gate("y", "INV", ["a"])
+    net.set_pos(["y"])
+    lib.rebind(net)
+    result = gdo_optimize(net, lib, small_cfg())
+    assert result.stats.equivalent is True
+    assert result.stats.mods2 + result.stats.mods3 == 0

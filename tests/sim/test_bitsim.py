@@ -1,0 +1,137 @@
+"""Tests for the bit-parallel simulator."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.netlist import Branch, Netlist
+from repro.sim import (
+    BitSimulator, exhaustive_words, random_words, truth_table_of,
+    vectors_to_words, word_mask_for,
+)
+
+
+def fig1():
+    net = Netlist("fig1")
+    for pi in "abc":
+        net.add_pi(pi)
+    net.add_gate("d", "AND", ["a", "b"])
+    net.add_gate("e", "INV", ["c"])
+    net.add_gate("f", "OR", ["d", "e"])
+    net.set_pos(["f"])
+    return net
+
+
+def test_exhaustive_words_patterns():
+    words = exhaustive_words(["a", "b", "c"])
+    # 8 vectors fit one word; PI i value at vector v is bit i of v.
+    for v in range(8):
+        for i, pi in enumerate(["a", "b", "c"]):
+            bit = int((words[pi][0] >> np.uint64(v)) & np.uint64(1))
+            assert bit == (v >> i) & 1
+
+
+def test_exhaustive_words_many_inputs():
+    pis = [f"x{k}" for k in range(8)]
+    words = exhaustive_words(pis)
+    assert len(words["x0"]) == 256 // 64
+    # cross-check vector 200
+    v = 200
+    for i, pi in enumerate(pis):
+        w, b = divmod(v, 64)
+        assert int((words[pi][w] >> np.uint64(b)) & np.uint64(1)) == (v >> i) & 1
+
+
+def test_exhaustive_limit():
+    with pytest.raises(ValueError):
+        exhaustive_words([f"x{k}" for k in range(23)])
+
+
+def test_truth_table_fig1():
+    table = truth_table_of(fig1())
+    for v in range(8):
+        a, b, c = v & 1, (v >> 1) & 1, (v >> 2) & 1
+        assert table[v] == ((a & b) | (1 - c))
+
+
+def test_simulate_explicit_vectors():
+    net = fig1()
+    sim = BitSimulator(net)
+    state = sim.simulate(vectors_to_words(
+        net.pis, [{"a": 1, "b": 1, "c": 1}, {"a": 0, "b": 0, "c": 0}]
+    ))
+    assert state.bit("f", 0) == 1
+    assert state.bit("f", 1) == 1
+    assert state.bit("d", 0) == 1
+    assert state.bit("d", 1) == 0
+
+
+def test_random_words_deterministic():
+    w1 = random_words(["a", "b"], 4, seed=42)
+    w2 = random_words(["a", "b"], 4, seed=42)
+    assert all(np.array_equal(w1[k], w2[k]) for k in w1)
+    w3 = random_words(["a", "b"], 4, seed=43)
+    assert any(not np.array_equal(w1[k], w3[k]) for k in w1)
+
+
+def test_word_mask():
+    assert word_mask_for(64)[0] == np.uint64(0xFFFFFFFFFFFFFFFF)
+    assert word_mask_for(3)[0] == np.uint64(0b111)
+    assert len(word_mask_for(65)) == 2
+    assert word_mask_for(65)[1] == np.uint64(1)
+
+
+def test_resimulate_cone_stem():
+    net = fig1()
+    sim = BitSimulator(net)
+    state = sim.simulate_exhaustive()
+    base_f = state.word("f").copy()
+    overrides = sim.resimulate_cone(state, "d", ~state.word("d"))
+    f_idx = sim.index_of["f"]
+    # base state untouched
+    assert np.array_equal(state.word("f"), base_f)
+    # flipped d changes f on vectors where e = 0 (c = 1)
+    new_f = overrides[f_idx]
+    diff = new_f ^ base_f
+    for v in range(8):
+        c = (v >> 2) & 1
+        expected = 1 if c == 1 else 0
+        assert int((diff[0] >> np.uint64(v)) & np.uint64(1)) == expected
+
+
+def test_resimulate_cone_branch_no_change():
+    # A branch flip that does not change the sink output yields {}.
+    net = Netlist("absorb")
+    net.add_pi("a")
+    net.add_pi("b")
+    net.add_gate("z", "AND", ["a", "b"])
+    net.set_pos(["z"])
+    sim = BitSimulator(net)
+    # Drive b = 0 everywhere: flipping pin 'a' never changes z.
+    state = sim.simulate(vectors_to_words(net.pis, [{"a": 1, "b": 0}]))
+    sink = (sim.index_of["z"], 0)
+    overrides = sim.resimulate_cone(state, "a", ~state.word("a"),
+                                    sink_filter=sink)
+    assert overrides == {}
+
+
+def test_constants_simulate():
+    net = Netlist("k")
+    net.add_pi("a")
+    net.add_gate("c1", "CONST1", [])
+    net.add_gate("y", "AND", ["a", "c1"])
+    net.set_pos(["y"])
+    assert truth_table_of(net) == [0, 1]
+
+
+def test_complex_cells_simulate():
+    net = Netlist("cx")
+    for pi in "abcd":
+        net.add_pi(pi)
+    net.add_gate("y", "AOI22", ["a", "b", "c", "d"])
+    net.set_pos(["y"])
+    table = truth_table_of(net)
+    for v in range(16):
+        a, b, c, d = (v & 1), (v >> 1) & 1, (v >> 2) & 1, (v >> 3) & 1
+        assert table[v] == 1 - ((a & b) | (c & d))

@@ -1,0 +1,111 @@
+"""Tests for word-parallel observability (the BPFS engine)."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import Branch, Netlist
+from repro.sim import BitSimulator, ObservabilityEngine
+
+
+def fig1():
+    net = Netlist("fig1")
+    for pi in "abc":
+        net.add_pi(pi)
+    net.add_gate("d", "AND", ["a", "b"])
+    net.add_gate("e", "INV", ["c"])
+    net.add_gate("f", "OR", ["d", "e"])
+    net.set_pos(["f"])
+    return net
+
+
+def engine():
+    net = fig1()
+    sim = BitSimulator(net)
+    return ObservabilityEngine(sim, sim.simulate_exhaustive())
+
+
+def test_branch_observability_fig1():
+    eng = engine()
+    # Input a of the AND is observable iff b=1 (AND side) and e=0 (c=1).
+    for v in range(8):
+        b, c = (v >> 1) & 1, (v >> 2) & 1
+        expected = 1 if (b == 1 and c == 1) else 0
+        assert eng.observability_bit(Branch("d", 0), v) == expected
+
+
+def test_stem_observability_fig1():
+    eng = engine()
+    for v in range(8):
+        c = (v >> 2) & 1
+        assert eng.observability_bit("d", v) == (1 if c == 1 else 0)
+    # e observable iff d = 0
+    for v in range(8):
+        a, b = v & 1, (v >> 1) & 1
+        assert eng.observability_bit("e", v) == (0 if (a and b) else 1)
+
+
+def test_po_always_observable():
+    eng = engine()
+    obs = eng.stem_observability("f")
+    # A PO stem is observable on every simulated vector (the word may
+    # carry more than the 8 distinct vectors; all bits must be set).
+    assert np.all(obs == np.uint64(0xFFFFFFFFFFFFFFFF))
+
+
+def test_pi_observability():
+    eng = engine()
+    # PI c observable iff d = 0 (through the inverter and OR).
+    for v in range(8):
+        a, b = v & 1, (v >> 1) & 1
+        assert eng.observability_bit("c", v) == (0 if (a and b) else 1)
+
+
+def test_stem_vs_branch_multifanout():
+    # y0 = AND(s, a), y1 = AND(s_n, b) with s_n = INV(s): flipping the
+    # stem s affects both cones; flipping one branch affects one.
+    net = Netlist("mf")
+    for pi in "sab":
+        net.add_pi(pi)
+    net.add_gate("sn", "INV", ["s"])
+    net.add_gate("y0", "AND", ["s", "a"])
+    net.add_gate("y1", "AND", ["sn", "b"])
+    net.set_pos(["y0", "y1"])
+    sim = BitSimulator(net)
+    eng = ObservabilityEngine(sim, sim.simulate_exhaustive())
+    for v in range(8):
+        a, b = (v >> 1) & 1, (v >> 2) & 1
+        # branch into y0 observable iff a=1
+        assert eng.observability_bit(Branch("y0", 0), v) == a
+        # branch into sn (stem fault on that pin) observable iff b=1
+        assert eng.observability_bit(Branch("sn", 0), v) == b
+        # stem observable iff a or b
+        assert eng.observability_bit("s", v) == (1 if (a or b) else 0)
+
+
+def test_unobservable_signal():
+    net = Netlist("dead")
+    net.add_pi("a")
+    net.add_pi("b")
+    net.add_gate("x", "AND", ["a", "b"])
+    net.add_gate("y", "OR", ["x", "a"])   # y = a: x is partially dead
+    net.add_gate("z", "BUF", ["a"])
+    net.set_pos(["z"])  # only z is a PO: x and y unobservable
+    sim = BitSimulator(net)
+    eng = ObservabilityEngine(sim, sim.simulate_exhaustive())
+    assert not eng.stem_observability("x").any()
+    assert not eng.stem_observability("y").any()
+
+
+def test_caching_returns_same_array():
+    eng = engine()
+    first = eng.stem_observability("d")
+    second = eng.stem_observability("d")
+    assert first is second
+    b1 = eng.branch_observability(Branch("d", 0))
+    b2 = eng.branch_observability(Branch("d", 0))
+    assert b1 is b2
+
+
+def test_from_netlist_constructor():
+    eng = ObservabilityEngine.from_netlist(fig1(), n_words=4, seed=9)
+    assert eng.state.n_words == 4

@@ -1,0 +1,194 @@
+"""Tests for the synthesis substrate: AIG, rewriting, balancing,
+mapping, scripts."""
+
+import random
+
+import pytest
+
+from repro.library import mcnc_like, parse_genlib, unit_delay_library
+from repro.netlist import Netlist
+from repro.synth import (
+    Aig, MappingError, aig_from_netlist, balance, compress, live_ands,
+    map_aig, map_netlist, netlist_from_aig, script_delay, script_rugged,
+)
+from repro.synth.aig import FALSE_LIT, TRUE_LIT, lit_not
+from repro.timing import Sta
+from repro.verify import check_equivalence
+
+
+def random_net(seed, n_pi=6, n_gates=30, n_po=3):
+    rnd = random.Random(seed)
+    funcs = ["AND", "OR", "NAND", "NOR", "XOR", "XNOR", "INV", "AOI21",
+             "MUX21"]
+    net = Netlist(f"r{seed}")
+    sigs = [net.add_pi(f"i{k}") for k in range(n_pi)]
+    for k in range(n_gates):
+        f = rnd.choice(funcs)
+        nin = {"INV": 1, "AOI21": 3, "MUX21": 3}.get(f, 2)
+        sigs.append(net.add_gate(f"g{k}", f, [rnd.choice(sigs)
+                                              for _ in range(nin)]))
+    net.set_pos(sigs[-n_po:])
+    return net
+
+
+def test_aig_constant_rules():
+    aig = Aig(["a", "b"])
+    a, b = aig.pi_lit(0), aig.pi_lit(1)
+    assert aig.lit_and(a, FALSE_LIT) == FALSE_LIT
+    assert aig.lit_and(a, TRUE_LIT) == a
+    assert aig.lit_and(a, a) == a
+    assert aig.lit_and(a, lit_not(a)) == FALSE_LIT
+
+
+def test_aig_strash():
+    aig = Aig(["a", "b"])
+    a, b = aig.pi_lit(0), aig.pi_lit(1)
+    x1 = aig.lit_and(a, b)
+    x2 = aig.lit_and(b, a)
+    assert x1 == x2
+    assert aig.n_ands == 1
+
+
+def test_aig_absorption_rules():
+    aig = Aig(["a", "b"])
+    a, b = aig.pi_lit(0), aig.pi_lit(1)
+    ab = aig.lit_and(a, b)
+    # a & (a & b) == a & b
+    assert aig.lit_and(a, ab) == ab
+    # a & ~(a & b) == a & ~b
+    got = aig.lit_and(a, lit_not(ab))
+    expected = aig.lit_and(a, lit_not(b))
+    assert got == expected
+    # a | (a & b) == a  (via De Morgan in the AIG)
+    assert aig.lit_or(a, ab) == a
+
+
+def test_aig_rules_disabled():
+    aig = Aig(["a", "b"], rules=False)
+    a, b = aig.pi_lit(0), aig.pi_lit(1)
+    ab = aig.lit_and(a, b)
+    # without rules the containment case builds a new node
+    assert aig.lit_and(a, ab) != ab
+    # but plain strash still fires
+    assert aig.lit_and(b, a) == ab
+
+
+def test_xor_mux_builders():
+    aig = Aig(["a", "b", "s"])
+    a, b, s = (aig.pi_lit(k) for k in range(3))
+    aig.add_po(aig.lit_xor(a, b), "x")
+    aig.add_po(aig.lit_mux(s, b, a), "m")
+    net = netlist_from_aig(aig)
+    from repro.sim import truth_table_of
+
+    tx = truth_table_of(net, net.pos[0])
+    tm = truth_table_of(net, net.pos[1])
+    for v in range(8):
+        va, vb, vs = v & 1, (v >> 1) & 1, (v >> 2) & 1
+        assert tx[v] == va ^ vb
+        assert tm[v] == (vb if vs else va)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_aig_roundtrip_equivalence(seed):
+    net = random_net(seed)
+    aig = aig_from_netlist(net)
+    again = netlist_from_aig(aig, name="rt")
+    assert check_equivalence(net, again)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_compress_preserves_function(seed):
+    net = random_net(seed)
+    aig = aig_from_netlist(net)
+    small = compress(aig)
+    assert live_ands(small) <= live_ands(aig)
+    assert check_equivalence(net, netlist_from_aig(small, name="c"))
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_balance_preserves_function_and_depth(seed):
+    net = random_net(seed)
+    aig = compress(aig_from_netlist(net))
+    bal = balance(aig)
+    assert bal.depth() <= aig.depth()
+    assert check_equivalence(net, netlist_from_aig(bal, name="b"))
+
+
+def test_balance_flattens_chain():
+    # A linear AND chain of 8 inputs balances to depth 3.
+    aig = Aig([f"x{k}" for k in range(8)])
+    acc = aig.pi_lit(0)
+    for k in range(1, 8):
+        acc = aig.lit_and(acc, aig.pi_lit(k))
+    aig.add_po(acc, "y")
+    assert aig.depth() == 7
+    assert balance(aig).depth() == 3
+
+
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("mode", ["area", "delay"])
+def test_mapping_preserves_function(seed, mode):
+    net = random_net(seed)
+    lib = mcnc_like()
+    mapped = map_netlist(net, lib, mode=mode)
+    mapped.validate()
+    assert check_equivalence(net, mapped)
+    # everything is bound to a cell
+    for gate in mapped.gates.values():
+        if gate.func.name not in ("CONST0", "CONST1"):
+            assert gate.cell in lib.cells
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_tree_mapping_preserves_function(seed):
+    net = random_net(seed)
+    lib = mcnc_like()
+    mapped = map_netlist(net, lib, mode="area", tree=True)
+    assert check_equivalence(net, mapped)
+
+
+def test_delay_mode_not_slower_than_area_mode():
+    lib = mcnc_like()
+    worse = 0
+    for seed in range(6):
+        net = random_net(seed, n_gates=40)
+        d_area = Sta(map_netlist(net, lib, mode="area"), lib).delay
+        d_delay = Sta(map_netlist(net, lib, mode="delay"), lib).delay
+        if d_delay > d_area + 1e-6:
+            worse += 1
+    # the delay mapper may lose individual cases (load effects are
+    # estimated), but not systematically
+    assert worse <= 2
+
+
+def test_mapper_needs_inverter():
+    lib = parse_genlib(
+        "GATE and2 1 o=a*b; PIN * NONINV 1 999 1 0.1 1 0.1"
+    )
+    with pytest.raises(MappingError):
+        map_netlist(random_net(0), lib)
+
+
+@pytest.mark.parametrize("era", ["1995", "modern"])
+def test_scripts_equivalence(era):
+    lib = mcnc_like()
+    for seed in range(2):
+        net = random_net(seed)
+        assert check_equivalence(net, script_rugged(net, lib, era=era))
+        assert check_equivalence(net, script_delay(net, lib, era=era))
+
+
+def test_script_bad_era():
+    with pytest.raises(ValueError):
+        script_rugged(random_net(0), mcnc_like(), era="1885")
+
+
+def test_constant_po_mapping():
+    net = Netlist("k")
+    net.add_pi("a")
+    net.add_gate("y", "XNOR", ["a", "a"])  # constant 1
+    net.set_pos(["y"])
+    lib = mcnc_like()
+    mapped = map_netlist(net, lib)
+    assert check_equivalence(net, mapped)

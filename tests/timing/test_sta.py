@@ -1,0 +1,136 @@
+"""Tests for static timing analysis."""
+
+import pytest
+
+from repro.library import mcnc_like, unit_delay_library
+from repro.netlist import Branch, Netlist
+from repro.timing import Sta, enumerate_critical_paths, longest_path, path_delay
+
+
+def chain_net():
+    """PI -> inv chain of length 4 -> PO, plus a short side path."""
+    net = Netlist("chain")
+    net.add_pi("a")
+    net.add_pi("b")
+    prev = "a"
+    for k in range(4):
+        prev = net.add_gate(f"n{k}", "INV", [prev])
+    net.add_gate("y", "AND", [prev, "b"])
+    net.set_pos(["y"])
+    return net
+
+
+def test_unit_delay_arrival_levels():
+    net = chain_net()
+    lib = unit_delay_library()
+    lib.rebind(net)
+    sta = Sta(net, lib)
+    assert sta.arrival["a"] == 0.0
+    assert sta.arrival["n0"] == pytest.approx(1.0)
+    assert sta.arrival["n3"] == pytest.approx(4.0)
+    assert sta.arrival["y"] == pytest.approx(5.0)
+    assert sta.delay == pytest.approx(5.0)
+
+
+def test_slack_and_critical():
+    net = chain_net()
+    lib = unit_delay_library()
+    lib.rebind(net)
+    sta = Sta(net, lib)
+    # the inverter chain and y are critical; b has slack 4
+    assert sta.slack["y"] == pytest.approx(0.0)
+    assert sta.slack["n2"] == pytest.approx(0.0)
+    assert sta.slack["b"] == pytest.approx(4.0)
+    assert sta.is_critical("n0") and not sta.is_critical("b")
+    crit = sta.critical_gates()
+    assert "y" in crit and "n1" in crit
+
+
+def test_critical_edges():
+    net = chain_net()
+    lib = unit_delay_library()
+    lib.rebind(net)
+    sta = Sta(net, lib)
+    assert sta.is_critical_edge(Branch("y", 0))       # from n3
+    assert not sta.is_critical_edge(Branch("y", 1))   # from b
+
+
+def test_ncp_counts():
+    # Two parallel critical paths reconverging.
+    net = Netlist("par")
+    net.add_pi("a")
+    net.add_gate("p", "INV", ["a"])
+    net.add_gate("q", "INV", ["a"])
+    net.add_gate("y", "AND", ["p", "q"])
+    net.set_pos(["y"])
+    lib = unit_delay_library()
+    lib.rebind(net)
+    sta = Sta(net, lib)
+    assert sta.ncp("y") == 2
+    assert sta.ncp("p") == 1
+    assert sta.ncp("a") == 2
+    assert sta.ncp_of(Branch("y", 0)) == 1
+    assert sta.ncp_edge(Branch("y", 1)) == 1
+
+
+def test_load_dependent_delay():
+    # The same gate driving more sinks gets slower under mcnc_like.
+    lib = mcnc_like()
+    light = Netlist("light")
+    light.add_pi("a")
+    light.add_pi("b")
+    light.add_gate("x", "AND", ["a", "b"])
+    light.add_gate("y", "INV", ["x"])
+    light.set_pos(["y"])
+    lib.rebind(light)
+    heavy = light.copy("heavy")
+    for k in range(4):
+        heavy.add_gate(f"s{k}", "INV", ["x"])
+        heavy.add_po(f"s{k}")
+    lib.rebind(heavy)
+    arr_light = Sta(light, lib).arrival["x"]
+    arr_heavy = Sta(heavy, lib).arrival["x"]
+    assert arr_heavy > arr_light
+
+
+def test_input_arrival_offsets():
+    net = chain_net()
+    lib = unit_delay_library()
+    lib.rebind(net)
+    sta = Sta(net, lib, input_arrival={"b": 10.0})
+    assert sta.delay == pytest.approx(11.0)
+    assert sta.is_critical("b")
+
+
+def test_longest_path_extraction():
+    net = chain_net()
+    lib = unit_delay_library()
+    lib.rebind(net)
+    sta = Sta(net, lib)
+    path = longest_path(sta)
+    assert path == ["a", "n0", "n1", "n2", "n3", "y"]
+    assert path_delay(sta, path) == pytest.approx(sta.delay)
+
+
+def test_enumerate_critical_paths():
+    net = Netlist("par")
+    net.add_pi("a")
+    net.add_gate("p", "INV", ["a"])
+    net.add_gate("q", "INV", ["a"])
+    net.add_gate("y", "AND", ["p", "q"])
+    net.set_pos(["y"])
+    lib = unit_delay_library()
+    lib.rebind(net)
+    sta = Sta(net, lib)
+    paths = enumerate_critical_paths(sta)
+    assert len(paths) == 2
+    assert ["a", "p", "y"] in paths and ["a", "q", "y"] in paths
+    assert enumerate_critical_paths(sta, limit=1) == [["a", "p", "y"]]
+
+
+def test_report_smoke():
+    net = chain_net()
+    lib = unit_delay_library()
+    lib.rebind(net)
+    text = Sta(net, lib).report()
+    assert "delay" in text and "critical" in text

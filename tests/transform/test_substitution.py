@@ -1,0 +1,171 @@
+"""Tests for applying and proving substitutions (Figs. 3 and 4)."""
+
+import pytest
+
+from repro.clauses import Candidate
+from repro.library import mcnc_like
+from repro.netlist import Branch, Netlist, TwoInputForm
+from repro.netlist.gatefunc import AND, OR, XOR
+from repro.transform import (
+    TransformError, affected_outputs, apply_candidate, prove_candidate,
+)
+from repro.verify import check_equivalence
+
+
+def dup_net():
+    """d1 and d2 compute the same function a&b; e uses d2."""
+    net = Netlist("dup")
+    for pi in "abc":
+        net.add_pi(pi)
+    net.add_gate("d1", "AND", ["a", "b"])
+    net.add_gate("d2", "AND", ["b", "a"])
+    net.add_gate("e", "OR", ["d2", "c"])
+    net.set_pos(["d1", "e"])
+    return net
+
+
+def test_os2_application_prunes(capsys=None):
+    """Fig. 3b: output substitution redirects readers and prunes the
+    freed logic."""
+    net = dup_net()
+    cand = Candidate(target="d2", kind="OS2", sources=("d1",))
+    rec = apply_candidate(net, cand)
+    assert rec.replacement == "d1"
+    assert net.gates["e"].inputs == ["d1", "c"]
+    assert "d2" not in net.gates
+    assert [g.output for g in rec.removed_gates] == ["d2"]
+    net.validate()
+    assert check_equivalence(dup_net(), net)
+
+
+def test_is2_application():
+    net = dup_net()
+    cand = Candidate(target=Branch("e", 0), kind="IS2", sources=("d1",))
+    apply_candidate(net, cand)
+    assert net.gates["e"].inputs == ["d1", "c"]
+    assert "d2" not in net.gates  # freed by pruning
+    assert check_equivalence(dup_net(), net)
+
+
+def test_os2_inverted_uses_existing_inverter():
+    net = Netlist("inv")
+    net.add_pi("a")
+    net.add_pi("b")
+    net.add_gate("na", "INV", ["a"])
+    net.add_gate("x", "NAND", ["a", "a"])  # x == ~a
+    net.add_gate("y", "OR", ["x", "b"])
+    net.set_pos(["y", "na"])
+    cand = Candidate(target="x", kind="OS2", sources=("a",), inverted=True)
+    rec = apply_candidate(net, cand)
+    assert rec.replacement == "na"       # reused, no new gate
+    assert rec.added_gates == []
+    assert check_equivalence(
+        net, net.copy()
+    )
+
+
+def test_os2_inverted_inserts_inverter_when_needed():
+    net = Netlist("inv2")
+    net.add_pi("a")
+    net.add_pi("b")
+    net.add_gate("x", "NAND", ["a", "a"])
+    net.add_gate("y", "OR", ["x", "b"])
+    net.set_pos(["y"])
+    before = net.copy()
+    cand = Candidate(target="x", kind="OS2", sources=("a",), inverted=True)
+    rec = apply_candidate(net, cand, library=mcnc_like())
+    assert len(rec.added_gates) == 1
+    new_gate = net.gates[rec.added_gates[0]]
+    assert new_gate.func.name == "INV"
+    assert new_gate.cell == "inv1"
+    assert check_equivalence(before, net)
+
+
+def test_os3_application_fig4():
+    """Fig. 4: substitute a stem by a new AND gate."""
+    net = Netlist("os3")
+    for pi in "ab":
+        net.add_pi(pi)
+    net.add_gate("n1", "INV", ["a"])
+    net.add_gate("n2", "NOR", ["n1", "b"])   # == a & ~b... (~(~a | b))
+    net.add_gate("y", "OR", ["n2", "b"])
+    net.set_pos(["y"])
+    before = net.copy()
+    # replace n2 by ANDN(a, b) == a & ~b, same function
+    from repro.netlist.gatefunc import ANDN
+
+    cand = Candidate(target="n2", kind="OS3", sources=("a", "b"),
+                     form=TwoInputForm(AND, False, True))
+    rec = apply_candidate(net, cand, library=mcnc_like())
+    assert len(rec.added_gates) == 1
+    assert net.gates[rec.added_gates[0]].func is ANDN
+    assert check_equivalence(before, net)
+
+
+def test_cycle_rejected():
+    net = dup_net()
+    # e is in the fanout of d2: substituting d2 <- e is a cycle
+    cand = Candidate(target="d2", kind="OS2", sources=("e",))
+    with pytest.raises(TransformError):
+        apply_candidate(net, cand)
+    net.validate()  # netlist must be intact after the failed attempt
+    assert check_equivalence(net, dup_net())
+
+
+def test_missing_source_rejected():
+    net = dup_net()
+    cand = Candidate(target="d2", kind="OS2", sources=("ghost",))
+    with pytest.raises(TransformError):
+        apply_candidate(net, cand)
+
+
+def test_stale_branch_rejected():
+    net = dup_net()
+    cand = Candidate(target=Branch("nonexistent", 0), kind="IS2",
+                     sources=("d1",))
+    with pytest.raises(TransformError):
+        apply_candidate(net, cand)
+
+
+def test_affected_outputs():
+    net = dup_net()
+    cand = Candidate(target="d2", kind="OS2", sources=("d1",))
+    assert affected_outputs(net, cand) == [1]   # only 'e'
+    cand_d1 = Candidate(target="d1", kind="OS2", sources=("d2",))
+    assert affected_outputs(net, cand_d1) == [0]
+
+
+@pytest.mark.parametrize("proof", ["sat", "bdd", "auto"])
+def test_prove_valid_candidate(proof):
+    net = dup_net()
+    cand = Candidate(target="d2", kind="OS2", sources=("d1",))
+    assert prove_candidate(net, cand, proof=proof)
+
+
+@pytest.mark.parametrize("proof", ["sat", "bdd", "auto"])
+def test_prove_invalid_candidate(proof):
+    net = dup_net()
+    cand = Candidate(target="d2", kind="OS2", sources=("c",))
+    assert not prove_candidate(net, cand, proof=proof)
+
+
+def test_prove_none_trusts_simulation():
+    net = dup_net()
+    cand = Candidate(target="d2", kind="OS2", sources=("c",))
+    assert prove_candidate(net, cand, proof="none")
+
+
+def test_prove_unknown_backend():
+    net = dup_net()
+    cand = Candidate(target="d2", kind="OS2", sources=("d1",))
+    with pytest.raises(ValueError):
+        prove_candidate(net, cand, proof="quantum")
+
+
+def test_area_delta():
+    lib = mcnc_like()
+    net = dup_net()
+    lib.rebind(net)
+    cand = Candidate(target="d2", kind="OS2", sources=("d1",))
+    rec = apply_candidate(net, cand, library=lib)
+    assert rec.area_delta(lib, net) == pytest.approx(-lib["and2"].area)
