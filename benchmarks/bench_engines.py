@@ -2,13 +2,20 @@
 
 Not a paper table — these keep the performance-critical kernels honest:
 bit-parallel simulation (the BPFS engine), word-parallel observability,
-the CDCL miter, BDD construction, STA, and technology mapping.
+the CDCL miter, BDD construction, STA, technology mapping, and the
+end-to-end gain of the incremental timing/simulation engines inside GDO.
 """
+
+import time
 
 import pytest
 
+from conftest import register_report
+
 from repro.bdd import BddManager, build_signal_bdds
-from repro.circuits.registry import SMALL_SUITE
+from repro.circuits.registry import SMALL_SUITE, build
+from repro.opt import GdoConfig, gdo_optimize
+from repro.opt.report import format_result
 from repro.sat import miter_equivalent
 from repro.sim import BitSimulator, ObservabilityEngine
 from repro.synth import map_netlist, script_rugged
@@ -80,3 +87,67 @@ def test_mapping_throughput(benchmark, lib):
 
     mapped = benchmark(run)
     assert mapped.num_gates > 0
+
+
+# The GDO end-to-end comparison: `GdoConfig.incremental` swaps the
+# maintained STA / dirty-cone simulation / retained observability rows
+# for full rebuilds, with bitwise-identical results by construction
+# (tests/opt/test_gdo_determinism.py).  SAT proofs are disabled because
+# their cost is engine-independent and would only dilute the ratio;
+# the modification sequence is still checked identical between modes.
+_GDO_BENCH = [
+    # (circuit, required end-to-end speedup; None = parity check only)
+    ("C1355", None),
+    ("C5315", 2.0),  # largest benchmarked circuit
+]
+
+
+def _fingerprint(result):
+    return (
+        [(h.phase, h.kind, h.description, h.delay_after, h.area_after)
+         for h in result.stats.history],
+        result.stats.delay_after,
+        result.stats.area_after,
+        sorted(result.net.gates),
+    )
+
+
+def test_gdo_incremental_speedup(lib):
+    """Both engine modes must adopt the same modifications; the
+    incremental mode must be >=2x faster end-to-end on the largest
+    circuit, with its engine counters visible in the report."""
+    rows = ["circuit   gates   scratch[s]   incremental[s]   speedup"]
+    flagship = None
+    for name, required in _GDO_BENCH:
+        net = build(name)
+        runs = {}
+        for incremental in (False, True):
+            cfg = GdoConfig(incremental=incremental, n_words=16,
+                            max_rounds=2, proof="none", verify_final=False)
+            work = net.copy()
+            t0 = time.perf_counter()
+            result = gdo_optimize(work, lib, cfg)
+            runs[incremental] = (time.perf_counter() - t0, result)
+        t_scratch, r_scratch = runs[False]
+        t_inc, r_inc = runs[True]
+        assert _fingerprint(r_scratch) == _fingerprint(r_inc)
+        counters = r_inc.stats.engine
+        assert counters.sta_incremental > 0
+        assert counters.sim_incremental > 0
+        assert r_scratch.stats.engine.sta_incremental == 0
+        assert r_scratch.stats.engine.sim_incremental == 0
+        speedup = t_scratch / t_inc
+        rows.append(
+            f"{name:8} {net.num_gates:6d} {t_scratch:11.2f} "
+            f"{t_inc:15.2f} {speedup:8.2f}x"
+        )
+        if required is not None:
+            assert speedup >= required, (
+                f"{name}: incremental GDO only {speedup:.2f}x faster "
+                f"(needs >= {required}x)"
+            )
+            flagship = r_inc
+    report = "\n".join(rows)
+    if flagship is not None:
+        report += "\n\n" + format_result(flagship, lib)
+    register_report("GDO incremental vs from-scratch engines", report)

@@ -80,13 +80,35 @@ class CandidateEnumerator:
         self.max_pool = max_pool
         self.level_skew = level_skew
         self.eps = eps
-        self._levels = net.levels() if level_skew is not None else None
         self.stats = EnumerationStats()
+        self._sync()
+
+    def _sync(self) -> None:
+        net = self.net
+        self._levels = net.levels() if self.level_skew is not None else None
         # Signals never used as sources: constants and buffers of them.
         self._banned_sources = {
             g.output for g in net.gates.values()
             if g.func.name in ("CONST0", "CONST1")
         }
+        # Per-view caches: the netlist is fixed between rebinds (trial
+        # edits are undone before enumeration resumes), so forbidden sets
+        # and the arrival-ranked source list can be computed once.
+        self._forb_cache: Dict[object, Set[str]] = {}
+        arr = self.sta.arrival
+        self._sources_by_arrival = sorted(
+            ((sig, arr[sig]) for sig in net.signals()),
+            key=lambda t: -t[1],
+        )
+
+    def rebind(self, sta: Sta, engine: ObservabilityEngine) -> None:
+        """Point the enumerator at refreshed timing/simulation views of
+        the (possibly edited) netlist; enumeration statistics keep
+        accumulating across rebinds."""
+        self.sta = sta
+        self.engine = engine
+        self.net = engine.sim.net
+        self._sync()
 
     # ------------------------------------------------------------------
     # target selection
@@ -116,6 +138,10 @@ class CandidateEnumerator:
     # source pools
     # ------------------------------------------------------------------
     def _forbidden(self, ref: SignalRef) -> Set[str]:
+        key = ref if isinstance(ref, str) else (ref.gate, ref.pin)
+        cached = self._forb_cache.get(key)
+        if cached is not None:
+            return cached
         if isinstance(ref, Branch):
             root = ref.gate
             current = self.net.gates[ref.gate].inputs[ref.pin]
@@ -123,36 +149,42 @@ class CandidateEnumerator:
             forb.add(current)
         else:
             forb = self.net.transitive_fanout(ref, include_self=True)
+        self._forb_cache[key] = forb
         return forb
 
     def source_pool(
         self, ref: SignalRef, arrival_limit: float,
         forbidden: Optional[Set[str]] = None,
     ) -> List[str]:
-        """Arrival/cycle/structure-filtered b/c-source signals."""
+        """Arrival/cycle/structure-filtered b/c-source signals.
+
+        Latest arrivals first: sources arriving just under the limit are
+        the ones logically correlated with a deep target (a signal near
+        the PIs is almost never equivalent to one deep in the cone), and
+        any pool member already guarantees the gain bound.  Walking the
+        pre-ranked signal list lets the scan stop at ``max_pool``.
+        """
         if forbidden is None:
             forbidden = self._forbidden(ref)
         a_sig = self.point_signal(ref)
+        limit = arrival_limit + self.eps
+        banned = self._banned_sources
+        levels = self._levels
+        a_level = levels.get(a_sig, 0) if levels is not None else 0
+        cap = self.max_pool
         pool: List[str] = []
-        for sig in self.net.signals():
-            if sig in forbidden or sig == a_sig:
+        for sig, arrival in self._sources_by_arrival:
+            if arrival > limit:
                 continue
-            if sig in self._banned_sources:
+            if sig in forbidden or sig == a_sig or sig in banned:
                 continue
-            if self.sta.arrival[sig] > arrival_limit + self.eps:
-                continue
-            if self._levels is not None and abs(
-                self._levels.get(sig, 0) - self._levels.get(a_sig, 0)
+            if levels is not None and abs(
+                levels.get(sig, 0) - a_level
             ) > self.level_skew:
                 continue
             pool.append(sig)
-        # Latest arrivals first: sources arriving just under the limit
-        # are the ones logically correlated with a deep target (a signal
-        # near the PIs is almost never equivalent to one deep in the
-        # cone), and any pool member already guarantees the gain bound.
-        pool.sort(key=lambda s: -self.sta.arrival[s])
-        if self.max_pool is not None and len(pool) > self.max_pool:
-            pool = pool[: self.max_pool]
+            if cap is not None and len(pool) >= cap:
+                break
         return pool
 
     # ------------------------------------------------------------------

@@ -7,9 +7,9 @@ from .gatefunc import (
 )
 from .netlist import Branch, Gate, Netlist, NetlistError, constant_signal
 from .edit import (
-    find_inverted, insert_gate, insert_inverter, propagate_constants,
-    prune_dangling, remove_gate, replace_input, set_branch_constant,
-    substitute_stem, would_create_cycle,
+    dirty_between, find_inverted, insert_gate, insert_inverter,
+    propagate_constants, prune_dangling, remove_gate, replace_input,
+    set_branch_constant, substitute_stem, would_create_cycle,
 )
 from .traverse import cone_area, extract_cone, gates_between, mffc
 
@@ -19,8 +19,8 @@ __all__ = [
     "OAI21", "OAI22", "OR", "ORN", "TwoInputForm", "XNOR", "XOR",
     "func_from_name", "two_input_forms",
     "Branch", "Gate", "Netlist", "NetlistError", "constant_signal",
-    "find_inverted", "insert_gate", "insert_inverter", "propagate_constants",
-    "prune_dangling", "remove_gate", "replace_input", "set_branch_constant",
-    "substitute_stem", "would_create_cycle",
+    "dirty_between", "find_inverted", "insert_gate", "insert_inverter",
+    "propagate_constants", "prune_dangling", "remove_gate", "replace_input",
+    "set_branch_constant", "substitute_stem", "would_create_cycle",
     "cone_area", "extract_cone", "gates_between", "mffc",
 ]

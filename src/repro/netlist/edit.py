@@ -9,7 +9,8 @@ the netlist in place and keep it structurally valid; none of them checks
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from collections import Counter
+from typing import List, Optional, Sequence, Set, Tuple
 
 from .gatefunc import (
     AND, BUF, CONST0, CONST1, GateFunc, INV, NAND, NOR, OR, XNOR, XOR,
@@ -100,16 +101,39 @@ def remove_gate(net: Netlist, signal: str) -> Gate:
     return gate
 
 
-def prune_dangling(net: Netlist, roots: Optional[Sequence[str]] = None) -> List[Gate]:
+def prune_dangling(
+    net: Netlist,
+    roots: Optional[Sequence[str]] = None,
+    fanout_basis: Optional[Tuple[dict, dict]] = None,
+) -> List[Gate]:
     """Iteratively remove gates whose output is unread and not a PO.
 
     ``roots`` optionally seeds the worklist (signals whose fanout may
     have just disappeared); with ``None`` the whole netlist is swept.
+    ``fanout_basis`` optionally supplies ``(fan_map, delta)`` — a fanout
+    map of an earlier netlist state plus per-signal reader-count
+    adjustments describing the edits since — so an in-place editor can
+    avoid the O(netlist) fanout-map rebuild its own mutations forced.
     Returns the removed gates — their area is the reclamation gain of an
     output substitution (Fig. 3b of the paper).
     """
     removed: List[Gate] = []
-    po_set = set(net.pos)
+    po_count = Counter(net.pos)
+    if fanout_basis is None:
+        fan, delta = net.fanout_map(), {}
+    else:
+        fan, delta = fanout_basis
+    # Live reader counts, maintained locally so each removal is O(pins)
+    # instead of invalidating and rebuilding the whole fanout map.
+    counts: dict = {}
+
+    def live_fanout(sig: str) -> int:
+        c = counts.get(sig)
+        if c is None:
+            c = len(fan.get(sig, ())) + po_count[sig] + delta.get(sig, 0)
+            counts[sig] = c
+        return c
+
     if roots is None:
         work = [s for s in net.gates]
     else:
@@ -117,13 +141,57 @@ def prune_dangling(net: Netlist, roots: Optional[Sequence[str]] = None) -> List[
     while work:
         batch, work = work, []
         for sig in batch:
-            if sig not in net.gates or sig in po_set:
+            if sig not in net.gates or po_count[sig]:
                 continue
-            if net.fanout_count(sig) == 0:
-                gate = remove_gate(net, sig)
+            if live_fanout(sig) == 0:
+                gate = net.gates.pop(sig)
                 removed.append(gate)
-                work.extend(s for s in gate.inputs if s in net.gates)
+                for s in gate.inputs:
+                    counts[s] = live_fanout(s) - 1
+                    if s in net.gates:
+                        work.append(s)
+    if removed:
+        net.invalidate()
     return removed
+
+
+def dirty_between(before: Netlist, after: Netlist) -> Tuple[Set[str], Set[str]]:
+    """Describe the edit from ``before`` to ``after`` as dirty sets.
+
+    Returns ``(dirty, removed)`` in the form the incremental engines
+    (:meth:`repro.timing.incremental.IncrementalSta.refresh`,
+    :meth:`repro.sim.bitsim.BitSimulator.incremental`) expect: ``dirty``
+    holds every signal whose driving gate changed, every new signal, and
+    every signal whose fanout set (gate pins or PO multiplicity)
+    changed; ``removed`` every signal that disappeared.
+    """
+    dirty: Set[str] = set()
+    removed: Set[str] = set()
+    b_gates, a_gates = before.gates, after.gates
+    for out, gate in a_gates.items():
+        old = b_gates.get(out)
+        if old is None:
+            dirty.add(out)
+            dirty.update(gate.inputs)
+        elif old.func.name != gate.func.name or old.inputs != gate.inputs:
+            dirty.add(out)
+            dirty.update(gate.inputs)
+            dirty.update(old.inputs)
+    for out, gate in b_gates.items():
+        if out not in a_gates:
+            removed.add(out)
+            dirty.update(gate.inputs)
+    if before.pos != after.pos:
+        delta = Counter(before.pos)
+        delta.subtract(after.pos)
+        dirty.update(s for s, k in delta.items() if k != 0)
+    if before.pis != after.pis:
+        dirty.update(set(before.pis) ^ set(after.pis))
+        removed.update(
+            s for s in set(before.pis) - set(after.pis)
+            if not after.has_signal(s)
+        )
+    return {s for s in dirty if after.has_signal(s)}, removed
 
 
 def would_create_cycle(net: Netlist, reader: str, new_input: str) -> bool:

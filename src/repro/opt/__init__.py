@@ -1,13 +1,15 @@
 """The GDO optimizer and companion optimizations."""
 
-from .config import GdoConfig, GdoStats, ModRecord
+from .config import EngineCounters, GdoConfig, GdoStats, ModRecord
+from .engine import EngineContext, make_sta
 from .fanout import FanoutStats, optimize_fanout
 from .gdo import GdoResult, gdo_optimize
 from .rar import RarStats, rar_optimize
 from .report import compare_report, critical_path_report, format_result
 
 __all__ = [
-    "GdoConfig", "GdoStats", "ModRecord", "FanoutStats", "optimize_fanout",
+    "EngineCounters", "GdoConfig", "GdoStats", "ModRecord",
+    "EngineContext", "make_sta", "FanoutStats", "optimize_fanout",
     "GdoResult", "gdo_optimize", "RarStats", "rar_optimize",
     "compare_report", "critical_path_report", "format_result",
 ]

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional
 
 
 @dataclass
@@ -19,6 +19,13 @@ class GdoConfig:
     # --- simulation (BPFS) ---
     n_words: int = 16          # 64 vectors per word
     seed: int = 0
+
+    # --- engine ---
+    # Maintain timing/simulation state across modifications with
+    # dirty-cone refreshes instead of from-scratch rebuilds.  Both
+    # settings compute identical results (same mod sequence, same final
+    # delay/area); see DESIGN.md "Incremental engine".
+    incremental: bool = True
 
     # --- candidate enumeration ---
     include_xor: bool = True
@@ -70,6 +77,20 @@ class ModRecord:
 
 
 @dataclass
+class EngineCounters:
+    """Scratch vs. incremental update counts of the GDO engine layer."""
+
+    sta_scratch: int = 0           # full timing recomputes
+    sta_incremental: int = 0       # dirty-cone timing refreshes
+    sta_signals_touched: int = 0   # signals visited by those refreshes
+    sim_scratch: int = 0           # full word-parallel simulations
+    sim_incremental: int = 0       # dirty-cone state carry-overs
+    sim_signals_changed: int = 0   # word rows rewritten by carry-overs
+    obs_rows_computed: int = 0     # observability rows resimulated
+    obs_rows_reused: int = 0       # rows carried across engine refreshes
+
+
+@dataclass
 class GdoStats:
     """Aggregate statistics of one GDO run (the Table 1/2 columns)."""
 
@@ -89,6 +110,8 @@ class GdoStats:
     cpu_seconds: float = 0.0
     equivalent: Optional[bool] = None
     history: list = field(default_factory=list)
+    engine: EngineCounters = field(default_factory=EngineCounters)
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def delay_reduction(self) -> float:

@@ -1,0 +1,261 @@
+"""Engine plumbing for GDO: from-scratch vs. incremental updates.
+
+The paper's inner loop re-anchors timing and simulation "after every
+accepted modification" (Sec. 5).  :class:`EngineContext` centralizes
+that re-anchoring behind one interface with two implementations selected
+by ``GdoConfig.incremental``:
+
+* **from scratch** — every checkout rebuilds ``Sta``, the compiled
+  simulator, and the observability engine, and every trial edit is
+  timed by a fresh ``Sta`` and refuted by a full simulation;
+* **incremental** — one :class:`~repro.timing.incremental.IncrementalSta`
+  is maintained across modifications (in-place trial edits refresh it
+  undoably), trial refutation resimulates only the substitution cone of
+  the epoch's base sim, the checkout simulator state is carried over
+  with dirty-cone re-evaluation, and cached observability rows survive
+  refreshes when their cone is untouched.
+
+Both modes consume the same seed stream and compute bitwise-identical
+values, so they produce the same modification sequence — enforced by
+``tests/opt/test_gdo_determinism.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Tuple
+
+import numpy as np
+
+from ..clauses.candidates import CandidateEnumerator
+from ..clauses.pvcc import Candidate
+from ..library.cells import TechLibrary
+from ..netlist.netlist import Branch, Netlist
+from ..sim.bitsim import BitSimulator
+from ..sim.observability import ObservabilityEngine
+from ..sim.vectors import random_words
+from ..timing.incremental import IncrementalSta, StaTrialUndo
+from ..timing.sta import Sta
+from ..transform.realize import realize_form
+from ..transform.substitution import InplaceSubstitution
+from .config import GdoConfig, GdoStats
+
+
+def make_sta(net: Netlist, library: TechLibrary, cfg: GdoConfig) -> Sta:
+    """The single construction point for GDO timing snapshots — keeps
+    the po_load/eps conventions from drifting between call sites."""
+    return Sta(net, library, po_load=cfg.po_load, eps=cfg.eps)
+
+
+class EngineContext:
+    """Owns the timing and simulation state of one GDO run over ``net``.
+
+    The runner asks for snapshots (:meth:`timing`, :meth:`checkout`),
+    evaluates in-place trial edits (:meth:`begin_trial`, :meth:`refutes`),
+    and resolves them (:meth:`reject_trial` / :meth:`commit_trial`); the context
+    decides whether each answer is rebuilt or refreshed and counts both
+    in ``stats.engine``.
+    """
+
+    def __init__(self, net: Netlist, library: TechLibrary,
+                 cfg: GdoConfig, stats: GdoStats):
+        self.net = net
+        self.library = library
+        self.cfg = cfg
+        self.stats = stats
+        self.incremental = cfg.incremental
+        self.seed_counter = cfg.seed
+        self._phase_seed = cfg.seed
+        self._sim: Optional[BitSimulator] = None
+        self._state = None
+        self._engine: Optional[ObservabilityEngine] = None
+        self._enum: Optional[CandidateEnumerator] = None
+        self._pending: Set[str] = set()
+        self._pending_removed: Set[str] = set()
+        self._refute_base: Optional[Tuple[BitSimulator, object]] = None
+        self._trial_undo: Optional[StaTrialUndo] = None
+        self._sta: Optional[IncrementalSta] = None
+        if self.incremental:
+            self._sta = IncrementalSta(net, library,
+                                       po_load=cfg.po_load, eps=cfg.eps)
+            self._drain_sta(self._sta)
+
+    # ------------------------------------------------------------------
+    # timing
+    # ------------------------------------------------------------------
+    def timing(self) -> Sta:
+        """Timing snapshot of the current net (maintained or rebuilt)."""
+        if not self.incremental:
+            self.stats.engine.sta_scratch += 1
+            return make_sta(self.net, self.library, self.cfg)
+        return self._sta
+
+    def begin_trial(self, dirty: Set[str], removed: Set[str]) -> Sta:
+        """Timing of the net after an in-place trial edit.
+
+        Incremental mode refreshes the maintained annotation undoably
+        (forward sweep over the dirty cone, required times deferred);
+        from-scratch mode builds a fresh :class:`Sta` of the edited net.
+        The caller must follow up with :meth:`reject_trial` (undo) or
+        :meth:`commit_trial` (keep) before the next trial.
+        """
+        if not self.incremental:
+            self.stats.engine.sta_scratch += 1
+            return make_sta(self.net, self.library, self.cfg)
+        assert self._trial_undo is None, "unfinished trial"
+        self._trial_undo = self._sta.refresh_trial(dirty, removed)
+        self._drain_sta(self._sta)
+        return self._sta
+
+    def reject_trial(self) -> None:
+        """Restore the pre-trial timing annotation (incremental mode)."""
+        if self._trial_undo is not None:
+            self._trial_undo.apply()
+            self._trial_undo = None
+
+    def _drain_sta(self, sta: IncrementalSta) -> None:
+        e = self.stats.engine
+        e.sta_scratch += sta.scratch_updates
+        e.sta_incremental += sta.incremental_updates
+        e.sta_signals_touched += sta.signals_touched
+        sta.scratch_updates = sta.incremental_updates = 0
+        sta.signals_touched = 0
+
+    # ------------------------------------------------------------------
+    # simulation / observability
+    # ------------------------------------------------------------------
+    def begin_phase(self) -> None:
+        """Fresh BPFS vectors for one delay/area phase invocation."""
+        self.seed_counter += 1
+        self._phase_seed = self.seed_counter
+        self._retire_engine()
+        self._sim = self._state = None
+        self._pending.clear()
+        self._pending_removed.clear()
+
+    def checkout(self) -> Tuple[Sta, ObservabilityEngine, CandidateEnumerator]:
+        """Per-pass snapshot ``(sta, engine, enumerator)`` synchronized
+        to the current net and the current phase's vectors."""
+        cfg = self.cfg
+        counters = self.stats.engine
+        if self.incremental and self._engine is not None:
+            if self._pending or self._pending_removed:
+                dirty = set(self._pending)
+                sim, state, changed = BitSimulator.incremental(
+                    self.net, self._sim, self._state, dirty)
+                affected = dirty | changed | self._pending_removed
+                engine = self._engine.refreshed(sim, state, affected)
+                self._retire_engine()
+                self._sim, self._state, self._engine = sim, state, engine
+                counters.sim_incremental += 1
+                counters.sim_signals_changed += len(changed)
+                self._pending.clear()
+                self._pending_removed.clear()
+        else:
+            self._retire_engine()
+            sim = BitSimulator(self.net)
+            state = sim.simulate_random(n_words=cfg.n_words,
+                                        seed=self._phase_seed)
+            self._sim, self._state = sim, state
+            self._engine = ObservabilityEngine(sim, state)
+            counters.sim_scratch += 1
+            self._pending.clear()
+            self._pending_removed.clear()
+        sta = self.timing()
+        if self._enum is None:
+            self._enum = CandidateEnumerator(
+                self.net, sta, self._engine, self.library,
+                include_xor=cfg.include_xor,
+                use_c2_reduction=cfg.use_c2_reduction,
+                allow_inverted=cfg.allow_inverted,
+                max_pool=cfg.max_pool,
+                level_skew=cfg.level_skew,
+            )
+        else:
+            self._enum.rebind(sta, self._engine)
+        return sta, self._engine, self._enum
+
+    def _retire_engine(self) -> None:
+        if self._engine is not None:
+            self.stats.engine.obs_rows_computed += self._engine.computed
+            self.stats.engine.obs_rows_reused += self._engine.reused
+            self._engine = None
+
+    # ------------------------------------------------------------------
+    # refutation (the pre-proof random-word filter)
+    # ------------------------------------------------------------------
+    def prepare_refutation(self) -> None:
+        """Simulate the base netlist for this adoption epoch, if not done.
+
+        Must run *before* the trial edit mutates the net — the base sim
+        is the reference both modes compare trials against.
+        """
+        if self._refute_base is not None:
+            return
+        self.seed_counter += 1
+        sim = BitSimulator(self.net)
+        state = sim.simulate(
+            random_words(self.net.pis, self.cfg.n_words, self.seed_counter))
+        self._refute_base = (sim, state)
+        self.stats.engine.sim_scratch += 1
+
+    def refutes(self, cand: Candidate, edit: InplaceSubstitution) -> bool:
+        """True if the epoch's random vectors distinguish the applied
+        trial edit from the base netlist.
+
+        Incremental mode resimulates only the substitution's fanout cone
+        of the *base* sim with the replacement's word value overriding
+        the target — the edited net is never compiled.  From-scratch
+        mode compiles and fully simulates the edited net on the same
+        words.  Both compute the trial's exact PO words, so the verdicts
+        are identical.
+        """
+        sim, state = self._refute_base
+        counters = self.stats.engine
+        if self.incremental:
+            word = self._replacement_word(state, cand)
+            if isinstance(cand.target, Branch):
+                sink = (sim.index_of[cand.target.gate], cand.target.pin)
+                overrides = sim.resimulate_cone(
+                    state, edit.old_branch_signal, word, sink_filter=sink)
+            else:
+                overrides = sim.resimulate_cone(state, cand.target, word)
+            counters.sim_incremental += 1
+            counters.sim_signals_changed += len(overrides)
+            return bool(np.any(sim.po_difference(state, overrides)))
+        words = {pi: state.word(pi) for pi in self.net.pis}
+        t_state = BitSimulator(self.net).simulate(words)
+        counters.sim_scratch += 1
+        for l_po, r_po in zip(sim.pos, self.net.pos):
+            if np.any(state.word(l_po) ^ t_state.word(r_po)):
+                return True
+        return False
+
+    @staticmethod
+    def _replacement_word(state, cand: Candidate) -> np.ndarray:
+        """Base-sim word of the replacement signal, mirroring the exact
+        bit operations of the gate :func:`apply_candidate` builds."""
+        if cand.kind in ("OS2", "IS2"):
+            w = state.word(cand.sources[0])
+            return ~w if cand.inverted else w
+        func, swap = realize_form(cand.form)
+        b, c = cand.sources
+        if swap:
+            b, c = c, b
+        return func.eval_words([state.word(b), state.word(c)])
+
+    # ------------------------------------------------------------------
+    # adoption
+    # ------------------------------------------------------------------
+    def commit_trial(self, dirty: Set[str], removed: Set[str]) -> None:
+        """Keep the current trial edit: the maintained annotation already
+        reflects it; queue the dirty sets for the next sim checkout."""
+        self._trial_undo = None
+        self._pending |= dirty
+        self._pending_removed |= removed
+        self._refute_base = None
+
+    def finish(self) -> None:
+        """Flush per-object counters into ``stats.engine``."""
+        self._retire_engine()
+        if self._sta is not None:
+            self._drain_sta(self._sta)

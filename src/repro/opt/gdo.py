@@ -22,19 +22,18 @@ random-simulation + SAT-miter verification is run as a safety net.
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Tuple
+from typing import List, Optional, Set, Tuple
 
-from ..clauses.candidates import CandidateEnumerator
 from ..clauses.pvcc import Candidate
 from ..library.cells import TechLibrary
 from ..netlist.netlist import Branch, Netlist
-from ..sim.bitsim import BitSimulator
-from ..sim.observability import ObservabilityEngine
 from ..timing.sta import Sta
 from ..transform.substitution import (
-    TransformError, apply_candidate, prove_candidate,
+    InplaceSubstitution, TransformError, apply_candidate_inplace,
+    prove_modified,
 )
 from .config import GdoConfig, GdoStats, ModRecord
+from .engine import EngineContext
 
 
 class GdoResult:
@@ -64,25 +63,28 @@ def gdo_optimize(
     library.rebind(work)
     stats = GdoStats()
     start = time.perf_counter()
-    sta = Sta(work, library, po_load=cfg.po_load, eps=cfg.eps)
+    ctx = EngineContext(work, library, cfg, stats)
+    sta = ctx.timing()
     stats.gates_before = work.num_gates
     stats.literals_before = work.num_literals
     stats.area_before = library.netlist_area(work)
     stats.delay_before = sta.delay
 
-    runner = _GdoRunner(work, library, cfg, stats)
+    runner = _GdoRunner(work, library, cfg, stats, ctx)
     runner.run()
 
-    sta = Sta(work, library, po_load=cfg.po_load, eps=cfg.eps)
+    sta = ctx.timing()
     stats.gates_after = work.num_gates
     stats.literals_after = work.num_literals
     stats.area_after = library.netlist_area(work)
     stats.delay_after = sta.delay
+    ctx.finish()
     stats.cpu_seconds = time.perf_counter() - start
     if cfg.verify_final:
         from ..sat.solver import SolverBudgetExceeded
         from ..verify.equiv import check_equivalence
 
+        t0 = time.perf_counter()
         try:
             stats.equivalent = check_equivalence(
                 net, work, n_words=cfg.verify_words, seed=cfg.seed,
@@ -92,6 +94,7 @@ def gdo_optimize(
             # Refutation already failed on verify_words * 64 random
             # vectors; the formal proof ran out of budget: unknown.
             stats.equivalent = None
+        stats.phase_seconds["verify"] = time.perf_counter() - t0
     return GdoResult(work, stats)
 
 
@@ -99,12 +102,16 @@ class _GdoRunner:
     """Holds the mutable optimization state for one run."""
 
     def __init__(self, net: Netlist, library: TechLibrary,
-                 cfg: GdoConfig, stats: GdoStats):
+                 cfg: GdoConfig, stats: GdoStats, ctx: EngineContext):
         self.net = net
         self.library = library
         self.cfg = cfg
         self.stats = stats
-        self.seed_counter = cfg.seed
+        self.ctx = ctx
+        # Candidates that failed trial/refutation/proof since the last
+        # adoption: nothing they depend on has changed, so re-evaluating
+        # them in a later pass of the same epoch must fail identically.
+        self._rejected: Set[Tuple[str, bool, str]] = set()
         self.deadline = (
             time.perf_counter() + cfg.max_seconds
             if cfg.max_seconds is not None else None
@@ -135,7 +142,7 @@ class _GdoRunner:
 
     def _progress_metric(self):
         cfg = self.cfg
-        sta = Sta(self.net, self.library, po_load=cfg.po_load, eps=cfg.eps)
+        sta = self.ctx.timing()
         arrival_sum = sum(sta.arrival.get(po, 0.0) for po in self.net.pos)
         grain = max(cfg.secondary_gain, cfg.eps)
         return (
@@ -145,31 +152,13 @@ class _GdoRunner:
         )
 
     # ------------------------------------------------------------------
-    def _fresh_engine(self) -> ObservabilityEngine:
-        self.seed_counter += 1
-        sim = BitSimulator(self.net)
-        state = sim.simulate_random(
-            n_words=self.cfg.n_words, seed=self.seed_counter
-        )
-        return ObservabilityEngine(sim, state)
-
-    def _enumerator(self, sta: Sta, engine: ObservabilityEngine
-                    ) -> CandidateEnumerator:
-        cfg = self.cfg
-        return CandidateEnumerator(
-            self.net, sta, engine, self.library,
-            include_xor=cfg.include_xor,
-            use_c2_reduction=cfg.use_c2_reduction,
-            allow_inverted=cfg.allow_inverted,
-            max_pool=cfg.max_pool,
-            level_skew=cfg.level_skew,
-        )
-
-    # ------------------------------------------------------------------
     # delay reduction phase
     # ------------------------------------------------------------------
     def _delay_phase(self) -> bool:
         """Repeated delay passes; C2 first, then C3 (Sec. 5)."""
+        t0 = time.perf_counter()
+        self.ctx.begin_phase()
+        self._rejected.clear()
         made_any = False
         for _ in range(self.cfg.max_passes_per_phase):
             if self._out_of_time():
@@ -181,13 +170,15 @@ class _GdoRunner:
                 made_any = True
                 continue
             break
+        self.stats.phase_seconds["delay"] = (
+            self.stats.phase_seconds.get("delay", 0.0)
+            + time.perf_counter() - t0
+        )
         return made_any
 
     def _delay_pass(self, with_three: bool) -> bool:
         cfg = self.cfg
-        sta = Sta(self.net, self.library, po_load=cfg.po_load, eps=cfg.eps)
-        engine = self._fresh_engine()
-        enum = self._enumerator(sta, engine)
+        sta, _engine, enum = self.ctx.checkout()
         targets = enum.delay_targets()[: cfg.max_targets_per_pass]
         candidates: List[Candidate] = []
         for ref in targets:
@@ -205,6 +196,9 @@ class _GdoRunner:
     # area optimization phase
     # ------------------------------------------------------------------
     def _area_phase(self) -> bool:
+        t0 = time.perf_counter()
+        self.ctx.begin_phase()
+        self._rejected.clear()
         made_any = False
         mods = 0
         while mods < self.cfg.area_mods_before_retry and \
@@ -216,13 +210,15 @@ class _GdoRunner:
                 break
             mods += got
             made_any = True
+        self.stats.phase_seconds["area"] = (
+            self.stats.phase_seconds.get("area", 0.0)
+            + time.perf_counter() - t0
+        )
         return made_any
 
     def _area_pass(self, with_three: bool) -> int:
         cfg = self.cfg
-        sta = Sta(self.net, self.library, po_load=cfg.po_load, eps=cfg.eps)
-        engine = self._fresh_engine()
-        enum = self._enumerator(sta, engine)
+        sta, _engine, enum = self.ctx.checkout()
         # Non-critical stems ranked by reclaimable logic (Fig. 3b gain).
         targets = [
             out for out in self.net.topo_order()
@@ -252,10 +248,12 @@ class _GdoRunner:
                     phase: str) -> int:
         """Prove and apply the ranked candidates; returns #applied.
 
-        Each accepted modification is validated against a trial copy:
-        LDS is only an upper bound on the gain (other paths may become
-        critical, fanout loads shift), so the overall delay/area is
-        re-measured and the modification rolled back if it regressed.
+        Each candidate is applied to the live netlist *in place* and
+        validated there: LDS is only an upper bound on the gain (other
+        paths may become critical, fanout loads shift), so the overall
+        delay/area is re-measured and the edit undone if it regressed,
+        was refuted, or failed its proof.  This keeps a trial O(cone)
+        instead of O(netlist) — no trial copy, no netlist diff.
         """
         cfg = self.cfg
         applied = 0
@@ -264,6 +262,9 @@ class _GdoRunner:
         delay_now = sta.delay
         arrival_sum_now = sum(sta.arrival.get(po, 0.0) for po in self.net.pos)
         area_now = self.library.netlist_area(self.net)
+        # Critical-path breadth at pass begin: the tie-break baseline for
+        # equal-delay moves (captured now — trial edits mutate the net).
+        crit_now = len(sta.critical_gates()) if phase == "delay" else 0
         touched: set = set()
         for cand in candidates:
             if applied >= cfg.max_mods_per_pass:
@@ -274,25 +275,28 @@ class _GdoRunner:
                 break
             if self._out_of_time():
                 break
-            trials += 1
             point = (
                 cand.target if not isinstance(cand.target, Branch)
                 else cand.target.gate
             )
             if point in touched or any(s in touched for s in cand.sources):
                 continue  # stale bookkeeping after earlier mods this pass
-            trial = self.net.copy()
+            key = (cand.kind, cand.inverted, cand.describe())
+            if key in self._rejected:
+                continue  # deterministic re-failure: net unchanged
+            trials += 1
+            self.ctx.prepare_refutation()
             try:
-                applied_rec = apply_candidate(
-                    trial, cand, library=self.library, prune=True
+                edit = apply_candidate_inplace(
+                    self.net, cand, library=self.library
                 )
             except TransformError:
+                self._rejected.add(key)
                 continue
-            trial_sta = Sta(trial, self.library,
-                            po_load=cfg.po_load, eps=cfg.eps)
-            trial_area = self.library.netlist_area(trial)
+            trial_sta = self.ctx.begin_trial(edit.dirty, edit.removed)
+            trial_area = area_now + edit.area_delta
             trial_arrival_sum = sum(
-                trial_sta.arrival.get(po, 0.0) for po in trial.pos
+                trial_sta.arrival.get(po, 0.0) for po in self.net.pos
             )
             if phase == "delay":
                 # LDS is local (Sec. 5): a permissible modification that
@@ -304,33 +308,37 @@ class _GdoRunner:
                 ok = trial_sta.delay < delay_now - cfg.eps or (
                     trial_sta.delay <= delay_now + cfg.eps
                     and (trial_arrival_sum < arrival_sum_now - secondary
-                         or self._critical_shrunk(trial_sta, sta))
+                         or len(trial_sta.critical_gates()) < crit_now)
                 )
             else:
                 ok = (trial_area < area_now - cfg.eps
                       and trial_sta.delay <= delay_now + cfg.eps)
             if not ok:
+                self._revert(edit, key)
                 continue
             # Cheap refutation on fresh random vectors before the formal
             # proof: the BPFS filter used one vector batch; most false
             # positives die on a second, different batch.
-            from ..verify.equiv import random_sim_refutes
-
-            self.seed_counter += 1
-            if random_sim_refutes(self.net, trial, n_words=cfg.n_words,
-                                  seed=self.seed_counter):
+            if self.ctx.refutes(cand, edit):
+                self._revert(edit, key)
                 continue
             proofs += 1
             self.stats.proofs_attempted += 1
-            if not prove_candidate(
-                self.net, cand, library=self.library, proof=cfg.proof,
+            # Reconstruct the pre-edit circuit for the miter by undoing
+            # the edit on a copy — one O(net) copy per proof, not per trial.
+            original = self.net.copy()
+            edit.undo(original)
+            if not prove_modified(
+                original, self.net, cand, proof=cfg.proof,
                 max_conflicts=cfg.max_conflicts,
                 bdd_max_nodes=cfg.bdd_max_nodes,
             ):
+                self._revert(edit, key)
                 continue
             self.stats.proofs_passed += 1
-            # Adopt the trial netlist.
-            self._adopt(trial)
+            # Adopt: the edit stays in; flush the dirty sets downstream.
+            self.ctx.commit_trial(edit.dirty, edit.removed)
+            self._rejected.clear()
             touched.add(point)
             touched.update(cand.sources)
             if cand.kind in ("OS2", "IS2"):
@@ -348,14 +356,8 @@ class _GdoRunner:
             applied += 1
         return applied
 
-    def _critical_shrunk(self, new_sta: Sta, old_sta: Sta) -> bool:
-        """Accept equal-delay moves that reduce critical-path breadth."""
-        return len(new_sta.critical_gates()) < len(old_sta.critical_gates())
-
-    def _adopt(self, trial: Netlist) -> None:
-        self.net.gates = trial.gates
-        self.net.pos = trial.pos
-        self.net.pis = trial.pis
-        self.net._pi_set = trial._pi_set
-        self.net._name_counter = trial._name_counter
-        self.net.invalidate()
+    def _revert(self, edit: InplaceSubstitution, key) -> None:
+        """Undo a rejected in-place trial (netlist and timing)."""
+        self.ctx.reject_trial()
+        edit.undo(self.net)
+        self._rejected.add(key)

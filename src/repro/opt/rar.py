@@ -23,9 +23,11 @@ from typing import List, Optional
 
 from ..atpg.redundancy import remove_all_redundancies
 from ..library.cells import TechLibrary
+from ..netlist.edit import dirty_between
 from ..netlist.netlist import Branch, Netlist
 from ..sim.bitsim import BitSimulator
 from ..sim.observability import ObservabilityEngine
+from ..sim.vectors import random_words
 from ..transform.insertion import (
     Insertion, apply_insertion, candidate_insertions,
 )
@@ -81,8 +83,14 @@ def rar_optimize(
     max_trials_per_iteration: int = 12,
     max_conflicts: Optional[int] = 50_000,
     verify_final: bool = True,
+    incremental: bool = True,
 ) -> RarStats:
     """Run RAR on a netlist; the input is not modified.
+
+    With ``incremental=True`` the bit-parallel simulation state and the
+    observability cache are carried across iterations by dirty-cone
+    refresh instead of rebuilt from scratch; both settings see the same
+    vectors and adopt the same bridges.
 
     Returns the statistics; the optimized netlist is ``stats.net``.
     """
@@ -95,12 +103,28 @@ def rar_optimize(
     stats.removals += remove_all_redundancies(
         work, n_words=n_words, seed=seed, max_conflicts=max_conflicts,
     )
+    # One vector batch for the whole run: iteration k simulates the
+    # current netlist on the same PI words, which is what makes state
+    # carry-over across adoptions possible.
+    sim = BitSimulator(work)
+    state = sim.simulate(random_words(work.pis, n_words, seed))
+    engine = ObservabilityEngine(sim, state)
     for iteration in range(max_iterations):
         stats.iterations = iteration + 1
-        if not _rar_iteration(work, stats, n_words, seed + iteration,
-                              max_targets, max_pool,
-                              max_trials_per_iteration, max_conflicts):
+        delta = _rar_iteration(work, engine, stats, n_words, seed,
+                               max_targets, max_pool,
+                               max_trials_per_iteration, max_conflicts)
+        if delta is None:
             break
+        dirty, removed = delta
+        if incremental and set(work.pis) == set(engine.sim.net.pis):
+            sim, state, changed = BitSimulator.incremental(
+                work, engine.sim, engine.state, dirty)
+            engine = engine.refreshed(sim, state, dirty | changed | removed)
+        else:
+            sim = BitSimulator(work)
+            state = sim.simulate(random_words(work.pis, n_words, seed))
+            engine = ObservabilityEngine(sim, state)
     stats.literals_after = work.num_literals
     stats.gates_after = work.num_gates
     stats.cpu_seconds = time.perf_counter() - start
@@ -112,11 +136,13 @@ def rar_optimize(
     return stats
 
 
-def _rar_iteration(work, stats, n_words, seed, max_targets, max_pool,
-                   max_trials, max_conflicts) -> bool:
-    sim = BitSimulator(work)
-    state = sim.simulate_random(n_words=n_words, seed=seed)
-    engine = ObservabilityEngine(sim, state)
+def _rar_iteration(work, engine, stats, n_words, seed, max_targets,
+                   max_pool, max_trials, max_conflicts):
+    """One insertion attempt over ``engine``'s view of ``work``.
+
+    Returns ``(dirty, removed)`` signal sets of the adopted edit, or
+    ``None`` when no profitable bridge was found.
+    """
     # Prefer targets deep in the netlist (richer observability DC sets).
     order = work.topo_order()
     targets: List[Branch] = []
@@ -157,9 +183,10 @@ def _rar_iteration(work, stats, n_words, seed, max_targets, max_pool,
                         f"{target.gate}/{target.pin}: literals "
                         f"{work.num_literals} -> {trial.num_literals}"
                     )
+                    delta = dirty_between(work, trial)
                     _adopt(work, trial)
-                    return True
-    return False
+                    return delta
+    return None
 
 
 def _adopt(work: Netlist, trial: Netlist) -> None:

@@ -48,6 +48,21 @@ def format_result(result: GdoResult, library: TechLibrary,
     area_mods = len(s.history) - delay_mods
     lines.append(f"  phases: {delay_mods} delay-phase mods, "
                  f"{area_mods} area-phase mods")
+    if s.phase_seconds:
+        lines.append("  phase wall time: " + ", ".join(
+            f"{name} {sec:.2f}s" for name, sec in s.phase_seconds.items()
+        ))
+    e = s.engine
+    lines.append(
+        f"  engine: sta {e.sta_incremental} incremental / "
+        f"{e.sta_scratch} scratch ({e.sta_signals_touched} signals), "
+        f"sim {e.sim_incremental} incremental / {e.sim_scratch} scratch "
+        f"({e.sim_signals_changed} signals)"
+    )
+    lines.append(
+        f"  observability rows: {e.obs_rows_reused} reused, "
+        f"{e.obs_rows_computed} computed"
+    )
     if s.history:
         lines.append("  modification log" +
                      ("" if len(s.history) <= max_history

@@ -39,7 +39,7 @@ class SimState:
         return self.values[self.sim.index_of[signal]]
 
     def po_words(self) -> List[np.ndarray]:
-        return [self.word(po) for po in self.sim.net.pos]
+        return [self.word(po) for po in self.sim.pos]
 
     def bit(self, signal: str, vector: int) -> int:
         word, bit = divmod(vector, 64)
@@ -55,6 +55,8 @@ class BitSimulator:
 
     def __init__(self, net: Netlist):
         self.net = net
+        # PO list at compile time; net.pos may be edited in place later.
+        self.pos: List[str] = list(net.pos)
         self.index_of: Dict[str, int] = {}
         for sig in net.pis:
             self.index_of[sig] = len(self.index_of)
@@ -72,6 +74,7 @@ class BitSimulator:
             )
         self._gate_pos = {op[0]: k for k, op in enumerate(self._ops)}
         self._cone_cache: Dict[str, List[int]] = {}
+        self._readers: Optional[List[List[int]]] = None
 
     # ------------------------------------------------------------------
     def simulate(self, pi_words: Dict[str, np.ndarray]) -> SimState:
@@ -94,6 +97,59 @@ class BitSimulator:
     def simulate_random(self, n_words: int = 16, seed: int = 0) -> SimState:
         return self.simulate(random_words(self.net.pis, n_words, seed))
 
+    @classmethod
+    def incremental(
+        cls,
+        net: Netlist,
+        prev_sim: "BitSimulator",
+        prev_state: SimState,
+        dirty: Sequence[str] | set,
+    ) -> Tuple["BitSimulator", SimState, set]:
+        """Compile ``net`` and derive its state from ``prev_state`` by
+        re-evaluating only the dirty fanout cone.
+
+        ``net`` is an edited version of ``prev_sim.net`` with the same
+        primary inputs (vectors are carried over, not regenerated);
+        ``dirty`` must name every signal whose driving gate changed plus
+        every new signal — see :func:`repro.netlist.edit.dirty_between`.
+        Same-named signals outside the dirty cone keep their word rows.
+
+        Returns ``(sim, state, changed)`` where ``changed`` is the set
+        of signal names whose word rows differ from ``prev_state``.
+        """
+        sim = cls(net)
+        n_words = prev_state.n_words
+        values = np.zeros((sim.n_signals, n_words), dtype=np.uint64)
+        prev_index = prev_sim.index_of
+        src, dst = [], []
+        fresh = set()
+        for name, idx in sim.index_of.items():
+            j = prev_index.get(name)
+            if j is None:
+                fresh.add(idx)
+            else:
+                dst.append(idx)
+                src.append(j)
+        if dst:
+            values[np.array(dst)] = prev_state.values[np.array(src)]
+        pending = {sim.index_of[s] for s in dirty if s in sim.index_of}
+        pending |= fresh
+        changed: set = set()
+        for out_idx, func, in_idx in sim._ops:
+            if out_idx not in pending and not any(i in changed for i in in_idx):
+                continue
+            if func is CONST0:
+                new = np.zeros(n_words, dtype=np.uint64)
+            elif func is CONST1:
+                new = np.full(n_words, _ALL_ONES, dtype=np.uint64)
+            else:
+                new = func.eval_words([values[i] for i in in_idx])
+            if out_idx in fresh or not np.array_equal(new, values[out_idx]):
+                values[out_idx] = new
+                changed.add(out_idx)
+        state = SimState(sim, values)
+        return sim, state, {sim._signal_name(i) for i in changed}
+
     def simulate_exhaustive(self) -> SimState:
         return self.simulate(exhaustive_words(self.net.pis))
 
@@ -105,14 +161,27 @@ class BitSimulator:
         cached = self._cone_cache.get(signal)
         if cached is not None:
             return cached
+        readers = self._readers
+        if readers is None:
+            readers = [[] for _ in range(self.n_signals)]
+            for k, (_out_idx, _func, in_idx) in enumerate(self._ops):
+                for i in in_idx:
+                    readers[i].append(k)
+            self._readers = readers
+        # Worklist over the reader index: O(cone) instead of a scan of
+        # the whole op list; sorting restores topological op order.
         affected = {self.index_of[signal]}
         ops: List[int] = []
-        for k, (out_idx, _func, in_idx) in enumerate(self._ops):
-            if out_idx in affected:
-                continue
-            if any(i in affected for i in in_idx):
-                affected.add(out_idx)
-                ops.append(k)
+        work = [self.index_of[signal]]
+        while work:
+            i = work.pop()
+            for k in readers[i]:
+                out_idx = self._ops[k][0]
+                if out_idx not in affected:
+                    affected.add(out_idx)
+                    ops.append(k)
+                    work.append(out_idx)
+        ops.sort()
         self._cone_cache[signal] = ops
         return ops
 
@@ -179,7 +248,7 @@ class BitSimulator:
     ) -> np.ndarray:
         """Word row marking the vectors on which any PO changed."""
         diff = np.zeros(state.n_words, dtype=np.uint64)
-        for po in self.net.pos:
+        for po in self.pos:
             idx = self.index_of[po]
             if idx in overrides:
                 diff |= overrides[idx] ^ state.values[idx]

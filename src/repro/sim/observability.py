@@ -29,6 +29,11 @@ class ObservabilityEngine:
         self.state = state
         self._stem_cache: Dict[str, np.ndarray] = {}
         self._branch_cache: Dict[Tuple[str, int], np.ndarray] = {}
+        # PO list snapshot: netlists are edited in place, so net.pos at
+        # refresh time may not be what this engine's rows were based on.
+        self._pos_snapshot = tuple(sim.pos)
+        self.computed = 0  # rows derived by cone resimulation
+        self.reused = 0    # rows carried over by refreshed()
 
     @classmethod
     def from_netlist(
@@ -63,6 +68,7 @@ class ObservabilityEngine:
         overrides = self.sim.resimulate_cone(self.state, signal, ~base)
         obs = self.sim.po_difference(self.state, overrides)
         self._stem_cache[signal] = obs
+        self.computed += 1
         return obs
 
     def branch_observability(self, branch: Branch) -> np.ndarray:
@@ -80,7 +86,65 @@ class ObservabilityEngine:
         )
         obs = self.sim.po_difference(self.state, overrides)
         self._branch_cache[key] = obs
+        self.computed += 1
         return obs
+
+    # ------------------------------------------------------------------
+    # incremental refresh
+    # ------------------------------------------------------------------
+    def refreshed(
+        self, sim: BitSimulator, state: SimState, affected: set
+    ) -> "ObservabilityEngine":
+        """New engine over a refreshed ``(sim, state)`` of an edited
+        netlist, retaining every cached observability row the edit
+        provably could not change.
+
+        ``affected`` must contain every signal whose word row, driving
+        gate, or fanout set changed, plus removed signals — i.e. the
+        union of the ``dirty`` input and ``changed`` output of
+        :meth:`BitSimulator.incremental`.  A cached row survives only if
+        the perturbation site and its fanout cone (gates *and* their
+        side inputs, in both the old and the new structure) are disjoint
+        from ``affected``; anything else is recomputed on demand.
+        """
+        eng = ObservabilityEngine(sim, state)
+        if self._pos_snapshot != eng._pos_snapshot:
+            return eng  # observation points moved: every row is suspect
+        for sig, row in self._stem_cache.items():
+            if sig in affected or sig not in sim.index_of:
+                continue
+            if self._cone_untouched(self.sim, sig, affected) and \
+                    self._cone_untouched(sim, sig, affected):
+                eng._stem_cache[sig] = row
+                eng.reused += 1
+        new_gates = sim.net.gates
+        for (gate, pin), row in self._branch_cache.items():
+            g = new_gates.get(gate)
+            if g is None or pin >= g.nin or gate in affected:
+                continue
+            if any(s in affected for s in g.inputs):
+                continue
+            if self._cone_untouched(self.sim, gate, affected) and \
+                    self._cone_untouched(sim, gate, affected):
+                eng._branch_cache[(gate, pin)] = row
+                eng.reused += 1
+        return eng
+
+    @staticmethod
+    def _cone_untouched(sim: BitSimulator, signal: str, affected: set) -> bool:
+        """True if no cone gate of ``signal`` (or side input of one) in
+        ``sim``'s structure is in ``affected``."""
+        if signal not in sim.index_of:
+            return False
+        name = sim._signal_name
+        for k in sim.cone_ops(signal):
+            out_idx, _func, in_idx = sim._ops[k]
+            if name(out_idx) in affected:
+                return False
+            for i in in_idx:
+                if name(i) in affected:
+                    return False
+        return True
 
     # ------------------------------------------------------------------
     # scalar helpers used by the clause-theory layer and tests

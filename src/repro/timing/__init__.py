@@ -1,6 +1,8 @@
 """Static timing analysis with library delays."""
 
+from .incremental import IncrementalSta
 from .paths import enumerate_critical_paths, longest_path, path_delay
 from .sta import Sta
 
-__all__ = ["Sta", "enumerate_critical_paths", "longest_path", "path_delay"]
+__all__ = ["IncrementalSta", "Sta", "enumerate_critical_paths",
+           "longest_path", "path_delay"]

@@ -5,14 +5,16 @@ from .insertion import Insertion, apply_insertion, candidate_insertions
 from .realize import form_cell, form_cell_delay, realize_form
 from .redremoval import c1_fault, prove_and_remove_c1, valid_c1_candidates
 from .substitution import (
-    AppliedSubstitution, TransformError, affected_outputs, apply_candidate,
-    prove_candidate,
+    AppliedSubstitution, InplaceSubstitution, TransformError,
+    affected_outputs, apply_candidate, apply_candidate_inplace,
+    prove_candidate, prove_modified,
 )
 
 __all__ = [
     "Insertion", "apply_insertion", "candidate_insertions",
     "form_cell", "form_cell_delay", "realize_form",
     "c1_fault", "prove_and_remove_c1", "valid_c1_candidates",
-    "AppliedSubstitution", "TransformError", "affected_outputs",
-    "apply_candidate", "prove_candidate",
+    "AppliedSubstitution", "InplaceSubstitution", "TransformError",
+    "affected_outputs", "apply_candidate", "apply_candidate_inplace",
+    "prove_candidate", "prove_modified",
 ]
