@@ -1,0 +1,121 @@
+"""Proof broker benchmarks: batching, caching, parallel fan-out.
+
+Not a paper table — these pin the performance claims of the proof
+subsystem (DESIGN.md §6): batched parallel proving with a warm verdict
+cache must beat serial prove-on-demand end-to-end, while committing the
+bitwise-identical modification sequence.
+"""
+
+import time
+
+import pytest
+
+from conftest import register_report
+
+from repro.circuits.registry import build
+from repro.clauses.pvcc import Candidate
+from repro.netlist.netlist import Netlist
+from repro.opt import GdoConfig, gdo_optimize
+from repro.opt.report import format_result
+from repro.proof import ProofBroker, build_obligation
+
+
+def _proof_cfg(workers: int) -> GdoConfig:
+    return GdoConfig(n_words=8, proof="sat", proof_workers=workers,
+                     verify_final=False, max_rounds=4, max_seconds=60.0)
+
+
+def _fingerprint(result):
+    return (
+        [(h.phase, h.kind, h.description, h.delay_after, h.area_after)
+         for h in result.stats.history],
+        result.stats.delay_after,
+        result.stats.area_after,
+        sorted(result.net.gates),
+    )
+
+
+def _and_tree(name: str, width: int) -> Netlist:
+    net = Netlist(name)
+    prev = net.add_pi("a0")
+    for i in range(1, width):
+        pi = net.add_pi(f"a{i}")
+        out = f"{name}_g{i}"
+        net.add_gate(out, "AND", [prev, pi])
+        prev = out
+    net.set_pos([prev])
+    return net
+
+
+def test_broker_batch_throughput(benchmark, lib):
+    """Dedupe + cache-hit bookkeeping on an already-proven batch."""
+    broker = ProofBroker(mode="sat", workers=1)
+    obs = [build_obligation(_and_tree("l", w), _and_tree("r", w),
+                            Candidate(target="t", kind="OS2",
+                                      sources=("s",)))
+           for w in range(2, 18)]
+    broker.prove_batch(obs)          # populate the cache
+
+    def run():
+        return broker.prove_batch(obs)
+
+    verdicts = benchmark(run)
+    assert len(verdicts) == len(obs)
+    assert broker.counters.cache_hits > 0
+    broker.close()
+
+
+def test_gdo_parallel_warm_cache_speedup(lib):
+    """The tentpole claim: batched parallel proving with a warm verdict
+    cache is >=1.3x faster end-to-end than serial uncached proving on an
+    ISCAS-style circuit, with the identical modification sequence."""
+    net = build("C880")
+    lib.rebind(net)
+
+    t0 = time.perf_counter()
+    serial = gdo_optimize(net.copy(), lib, _proof_cfg(workers=1))
+    t_serial = time.perf_counter() - t0
+    assert serial.stats.proofs_attempted > 0
+    assert serial.stats.proof.cache_hits == 0  # fresh broker, cold cache
+
+    par_cfg = _proof_cfg(workers=4)
+    broker = par_cfg.make_broker()
+    try:
+        gdo_optimize(net.copy(), lib, par_cfg, broker=broker)  # warm-up
+        t0 = time.perf_counter()
+        warm = gdo_optimize(net.copy(), lib, par_cfg, broker=broker)
+        t_warm = time.perf_counter() - t0
+    finally:
+        broker.close()
+
+    assert _fingerprint(serial) == _fingerprint(warm)
+    p = warm.stats.proof
+    assert p.cache_hits > 0 and p.hit_rate > 0.9, (
+        f"warm rerun should be cache-served (hit rate {p.hit_rate:.2f})"
+    )
+    speedup = t_serial / t_warm
+    assert speedup >= 1.3, (
+        f"parallel+warm GDO only {speedup:.2f}x faster (needs >= 1.3x)"
+    )
+
+    s = serial.stats.proof
+    rows = [
+        "run              time[s]   proofs   dispatched   hits   hit-rate",
+        f"serial cold     {t_serial:8.2f} {serial.stats.proofs_attempted:8d} "
+        f"{s.dispatched:12d} {s.cache_hits:6d} {100 * s.hit_rate:7.1f}%",
+        f"parallel warm   {t_warm:8.2f} {warm.stats.proofs_attempted:8d} "
+        f"{p.dispatched:12d} {p.cache_hits:6d} {100 * p.hit_rate:7.1f}%",
+        f"speedup         {speedup:8.2f}x",
+    ]
+    report = "\n".join(rows) + "\n\n" + format_result(warm, lib)
+    register_report("Proof broker: parallel + warm cache vs serial", report)
+
+
+def test_parallel_cold_matches_serial_verdicts(lib):
+    """Cold parallel batching changes scheduling, never verdicts."""
+    net = build("9sym", small=True)
+    lib.rebind(net)
+    serial = gdo_optimize(net.copy(), lib, _proof_cfg(workers=1))
+    parallel = gdo_optimize(net.copy(), lib, _proof_cfg(workers=4))
+    assert _fingerprint(serial) == _fingerprint(parallel)
+    assert parallel.stats.proof.parallel_batches > 0

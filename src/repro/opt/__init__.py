@@ -1,5 +1,6 @@
 """The GDO optimizer and companion optimizations."""
 
+from ..proof.broker import ProofBroker, ProofCounters
 from .config import EngineCounters, GdoConfig, GdoStats, ModRecord
 from .engine import EngineContext, make_sta
 from .fanout import FanoutStats, optimize_fanout
@@ -8,6 +9,7 @@ from .rar import RarStats, rar_optimize
 from .report import compare_report, critical_path_report, format_result
 
 __all__ = [
+    "ProofBroker", "ProofCounters",
     "EngineCounters", "GdoConfig", "GdoStats", "ModRecord",
     "EngineContext", "make_sta", "FanoutStats", "optimize_fanout",
     "GdoResult", "gdo_optimize", "RarStats", "rar_optimize",

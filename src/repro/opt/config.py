@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..proof.broker import ProofCounters
+
 
 @dataclass
 class GdoConfig:
@@ -40,9 +42,29 @@ class GdoConfig:
 
     # --- proof backend ---
     proof: str = "sat"         # "sat" | "bdd" | "auto" | "none"
-    max_conflicts: int = 30_000  # per-proof CDCL budget; abort = reject
+    max_conflicts: int = 30_000  # per-proof CDCL budget; abort = UNKNOWN
     bdd_max_nodes: int = 200_000
     max_proofs_per_pass: int = 64
+
+    # --- proof broker (see repro.proof and DESIGN.md §6) ---
+    # Worker processes for batched proving; None = os.cpu_count().
+    # Verdicts are pure functions of the obligation, so any worker
+    # count commits the identical modification sequence.
+    proof_workers: Optional[int] = None
+    # Top-ranked candidates whose obligations are proven in one batch
+    # before the trial loop (only when workers > 1); None = twice
+    # max_mods_per_pass.
+    proof_prefetch: Optional[int] = None
+    # Escalated-budget multiplier for the retry rung of the ladder.
+    proof_retry_factor: int = 4
+    # Per-attempt wall-clock timeout in seconds.  None (the default)
+    # keeps proving fully deterministic; a finite timeout trades that
+    # determinism for bounded latency on pathological obligations.
+    proof_timeout: Optional[float] = None
+    # Verdict LRU entries, and an optional JSON file persisting the
+    # definitive (valid/invalid) verdicts across runs.
+    proof_cache_size: int = 4096
+    proof_cache_path: Optional[str] = None
 
     # --- phases ---
     area_phase: bool = True
@@ -61,6 +83,30 @@ class GdoConfig:
     # --- safety ---
     verify_final: bool = True
     verify_words: int = 32
+
+    def make_broker(self):
+        """A :class:`~repro.proof.broker.ProofBroker` for this config
+        (``None`` in ``proof="none"`` mode — nothing is ever proven)."""
+        if self.proof == "none":
+            return None
+        from ..proof.broker import ProofBroker
+
+        return ProofBroker(
+            mode=self.proof,
+            workers=self.proof_workers,
+            max_conflicts=self.max_conflicts,
+            bdd_max_nodes=self.bdd_max_nodes,
+            retry_factor=self.proof_retry_factor,
+            timeout=self.proof_timeout,
+            cache_size=self.proof_cache_size,
+            cache_path=self.proof_cache_path,
+        )
+
+    @property
+    def prefetch_limit(self) -> int:
+        if self.proof_prefetch is not None:
+            return self.proof_prefetch
+        return 2 * self.max_mods_per_pass
 
 
 @dataclass
@@ -111,6 +157,7 @@ class GdoStats:
     equivalent: Optional[bool] = None
     history: list = field(default_factory=list)
     engine: EngineCounters = field(default_factory=EngineCounters)
+    proof: ProofCounters = field(default_factory=ProofCounters)
     phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property

@@ -30,6 +30,7 @@ from ..clauses.candidates import CandidateEnumerator
 from ..clauses.pvcc import Candidate
 from ..library.cells import TechLibrary
 from ..netlist.netlist import Branch, Netlist
+from ..proof.broker import ProofBroker
 from ..sim.bitsim import BitSimulator
 from ..sim.observability import ObservabilityEngine
 from ..sim.vectors import random_words
@@ -57,12 +58,21 @@ class EngineContext:
     """
 
     def __init__(self, net: Netlist, library: TechLibrary,
-                 cfg: GdoConfig, stats: GdoStats):
+                 cfg: GdoConfig, stats: GdoStats,
+                 broker: Optional[ProofBroker] = None):
         self.net = net
         self.library = library
         self.cfg = cfg
         self.stats = stats
         self.incremental = cfg.incremental
+        # The proof broker may be caller-owned and outlive this run
+        # (warm verdict cache across gdo_optimize invocations); its
+        # counters are per-run, so reset them here and drain them into
+        # this run's stats in finish().
+        self._owns_broker = broker is None
+        self.broker = broker if broker is not None else cfg.make_broker()
+        if self.broker is not None:
+            self.broker.begin_run()
         self.seed_counter = cfg.seed
         self._phase_seed = cfg.seed
         self._sim: Optional[BitSimulator] = None
@@ -255,7 +265,13 @@ class EngineContext:
         self._refute_base = None
 
     def finish(self) -> None:
-        """Flush per-object counters into ``stats.engine``."""
+        """Flush per-object counters into ``stats``; release the broker."""
         self._retire_engine()
         if self._sta is not None:
             self._drain_sta(self._sta)
+        if self.broker is not None:
+            self.stats.proof.merge(self.broker.take_counters())
+            if self._owns_broker:
+                self.broker.close()
+            else:
+                self.broker.flush()

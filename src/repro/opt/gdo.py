@@ -27,10 +27,14 @@ from typing import List, Optional, Set, Tuple
 from ..clauses.pvcc import Candidate
 from ..library.cells import TechLibrary
 from ..netlist.netlist import Branch, Netlist
+from ..netlist.traverse import extract_cone
+from ..proof.backends import VALID
+from ..proof.broker import ProofBroker
+from ..proof.obligation import align_interfaces, build_obligation
 from ..timing.sta import Sta
 from ..transform.substitution import (
-    InplaceSubstitution, TransformError, apply_candidate_inplace,
-    prove_modified,
+    InplaceSubstitution, TransformError, affected_outputs,
+    apply_candidate_inplace,
 )
 from .config import GdoConfig, GdoStats, ModRecord
 from .engine import EngineContext
@@ -56,14 +60,21 @@ def gdo_optimize(
     net: Netlist,
     library: TechLibrary,
     config: Optional[GdoConfig] = None,
+    broker: Optional[ProofBroker] = None,
 ) -> GdoResult:
-    """Run GDO on a mapped netlist; the input is not modified."""
+    """Run GDO on a mapped netlist; the input is not modified.
+
+    ``broker`` optionally supplies a caller-owned
+    :class:`~repro.proof.broker.ProofBroker`, letting its verdict cache
+    (and worker pool) survive across runs; by default the run builds
+    and tears down its own per ``config``.
+    """
     cfg = config or GdoConfig()
     work = net.copy(name=net.name)
     library.rebind(work)
     stats = GdoStats()
     start = time.perf_counter()
-    ctx = EngineContext(work, library, cfg, stats)
+    ctx = EngineContext(work, library, cfg, stats, broker=broker)
     sta = ctx.timing()
     stats.gates_before = work.num_gates
     stats.literals_before = work.num_literals
@@ -81,19 +92,15 @@ def gdo_optimize(
     ctx.finish()
     stats.cpu_seconds = time.perf_counter() - start
     if cfg.verify_final:
-        from ..sat.solver import SolverBudgetExceeded
         from ..verify.equiv import check_equivalence
 
         t0 = time.perf_counter()
-        try:
-            stats.equivalent = check_equivalence(
-                net, work, n_words=cfg.verify_words, seed=cfg.seed,
-                max_conflicts=cfg.max_conflicts,
-            )
-        except SolverBudgetExceeded:
-            # Refutation already failed on verify_words * 64 random
-            # vectors; the formal proof ran out of budget: unknown.
-            stats.equivalent = None
+        # None when refutation already failed on verify_words * 64
+        # random vectors and the formal proof ran out of budget.
+        stats.equivalent = check_equivalence(
+            net, work, n_words=cfg.verify_words, seed=cfg.seed,
+            max_conflicts=cfg.max_conflicts,
+        )
         stats.phase_seconds["verify"] = time.perf_counter() - t0
     return GdoResult(work, stats)
 
@@ -259,6 +266,7 @@ class _GdoRunner:
         applied = 0
         proofs = 0
         trials = 0
+        self._prefetch_proofs(candidates)
         delay_now = sta.delay
         arrival_sum_now = sum(sta.arrival.get(po, 0.0) for po in self.net.pos)
         area_now = self.library.netlist_area(self.net)
@@ -324,15 +332,7 @@ class _GdoRunner:
                 continue
             proofs += 1
             self.stats.proofs_attempted += 1
-            # Reconstruct the pre-edit circuit for the miter by undoing
-            # the edit on a copy — one O(net) copy per proof, not per trial.
-            original = self.net.copy()
-            edit.undo(original)
-            if not prove_modified(
-                original, self.net, cand, proof=cfg.proof,
-                max_conflicts=cfg.max_conflicts,
-                bdd_max_nodes=cfg.bdd_max_nodes,
-            ):
+            if not self._prove(cand, edit):
                 self._revert(edit, key)
                 continue
             self.stats.proofs_passed += 1
@@ -361,3 +361,76 @@ class _GdoRunner:
         self.ctx.reject_trial()
         edit.undo(self.net)
         self._rejected.add(key)
+
+    # ------------------------------------------------------------------
+    # proving (through the broker)
+    # ------------------------------------------------------------------
+    def _prove(self, cand: Candidate, edit: InplaceSubstitution) -> bool:
+        """Prove the applied trial edit permissible.
+
+        The live netlist *is* the modified circuit; the original is
+        reconstructed by undoing the edit on a copy — one O(net) copy
+        per proof, not per trial.  The broker answers from its verdict
+        cache when the obligation was prefetched (or proven in an
+        earlier pass and the cone is unchanged); UNKNOWN drops the
+        candidate, it never raises.
+        """
+        if self.cfg.proof == "none":
+            return True
+        original = self.net.copy()
+        edit.undo(original)
+        broker = self.ctx.broker
+        return broker.prove(original, self.net, cand) == VALID
+
+    def _prefetch_proofs(self, candidates: List[Candidate]) -> None:
+        """Batch-prove the top-ranked candidates' obligations up front.
+
+        Runs against the pass-begin netlist, before any trial edit, so
+        each obligation is extracted O(cone) by applying the candidate
+        in place and undoing it.  Only warms the broker's cache —
+        verdicts are pure functions of the obligation, so the trial
+        loop commits the same modifications with or without prefetch
+        (and with any worker count); a batch merely computes them in
+        parallel.  Obligations whose cone is later invalidated by an
+        earlier adoption in the same pass miss the cache and are
+        re-proven on demand.
+        """
+        broker = self.ctx.broker
+        if broker is None or broker.workers <= 1 or \
+                self.cfg.proof == "none":
+            return
+        obligations = []
+        budget = self.cfg.prefetch_limit
+        # Trial-applies below consume fresh names; restore the counter
+        # so prefetch leaves the net bit-identical to a run without it
+        # (workers=1 skips prefetch entirely and must stay in lockstep).
+        name_counter = self.net._name_counter
+        try:
+            for cand in candidates:
+                if len(obligations) >= budget:
+                    break
+                if (cand.kind, cand.inverted,
+                        cand.describe()) in self._rejected:
+                    continue
+                po_idx = affected_outputs(self.net, cand)
+                if not po_idx:
+                    continue
+                try:
+                    edit = apply_candidate_inplace(
+                        self.net, cand, library=self.library
+                    )
+                except TransformError:
+                    continue
+                try:
+                    r_cone = extract_cone(
+                        self.net,
+                        [self.net.pos[i] for i in po_idx], "right")
+                finally:
+                    edit.undo(self.net)
+                l_cone = extract_cone(
+                    self.net, [self.net.pos[i] for i in po_idx], "left")
+                align_interfaces(l_cone, r_cone, self.net.pis)
+                obligations.append(build_obligation(l_cone, r_cone, cand))
+        finally:
+            self.net._name_counter = name_counter
+        broker.prove_batch(obligations)

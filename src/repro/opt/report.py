@@ -63,6 +63,20 @@ def format_result(result: GdoResult, library: TechLibrary,
         f"  observability rows: {e.obs_rows_reused} reused, "
         f"{e.obs_rows_computed} computed"
     )
+    p = s.proof
+    lines.append(
+        f"  proof broker: {p.dispatched} dispatched "
+        f"({p.parallel_batches} parallel batches, {p.deduped} deduped), "
+        f"cache {p.cache_hits}/{p.cache_hits + p.cache_misses} hits "
+        f"({100 * p.hit_rate:.1f}%)"
+    )
+    lines.append(
+        f"  proof backends: sat {p.sat_valid}/{p.sat_invalid}/"
+        f"{p.sat_unknown} bdd {p.bdd_valid}/{p.bdd_invalid}/"
+        f"{p.bdd_unknown} (valid/invalid/unknown); "
+        f"{p.retries} retries, {p.fallbacks} fallbacks, "
+        f"{p.timeouts} timeouts, {p.unknown_final} undecided"
+    )
     if s.history:
         lines.append("  modification log" +
                      ("" if len(s.history) <= max_history

@@ -1,0 +1,153 @@
+"""Uniform proving backends over the SAT miter and the BDD engine.
+
+Every backend call returns one of three verdicts instead of raising:
+
+* ``VALID``   — the obligation's two cones are equivalent,
+* ``INVALID`` — a distinguishing vector exists (the PVCC is refuted),
+* ``UNKNOWN`` — the per-call budget (CDCL conflicts, BDD nodes, or the
+  optional wall-clock timeout) ran out before a verdict.
+
+``prove_serialized`` runs a whole *fallback ladder* for one obligation
+— primary backend at base budget, retry at an escalated budget, then
+the other backend — and is the unit of work shipped to pool workers.
+The cones are rebuilt from the obligation's canonical form, so the
+verdict (budget behaviour included, timeouts excluded) is a pure
+function of the obligation key: parallel and serial runs agree.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..bdd.bdd import BddBudgetExceeded
+from ..bdd.circuit_bdd import bdd_equivalent
+from ..netlist.netlist import Netlist
+from ..sat.miter import miter_equivalent
+from ..sat.solver import SolverBudgetExceeded
+
+VALID = "valid"
+INVALID = "invalid"
+UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class LadderSpec:
+    """Budgets and ordering of one proving ladder (picklable)."""
+
+    mode: str = "sat"              # "sat" | "bdd" | "auto"
+    max_conflicts: int = 30_000
+    bdd_max_nodes: int = 200_000
+    retry_factor: int = 4          # escalated-budget multiplier
+    timeout: Optional[float] = None  # per-attempt wall clock; None = off
+
+    def rungs(self) -> List[Tuple[str, int]]:
+        """The ``(backend, budget)`` attempts, in order."""
+        c, n, f = self.max_conflicts, self.bdd_max_nodes, self.retry_factor
+        if self.mode == "sat":
+            return [("sat", c), ("sat", c * f), ("bdd", n)]
+        if self.mode == "bdd":
+            return [("bdd", n), ("bdd", n * f), ("sat", c)]
+        if self.mode == "auto":
+            # The paper's observation: BDDs win on small/medium cones,
+            # ATPG-style SAT scales further — so BDD first, SAT after.
+            return [("bdd", n), ("sat", c), ("sat", c * f)]
+        raise ValueError(f"unknown proof mode {self.mode!r}")
+
+
+class ProofTimeout(Exception):
+    """The wall-clock budget of one attempt expired."""
+
+
+def _run_with_timeout(fn, seconds: Optional[float]):
+    """Run ``fn`` under SIGALRM when a timeout is set and usable.
+
+    Wall-clock timeouts are inherently nondeterministic; they default
+    to off and are only armed in a main thread on platforms with
+    ``SIGALRM`` (pool workers qualify — each child's ladder runs in its
+    main thread).
+    """
+    if not seconds or not hasattr(signal, "SIGALRM") or \
+            threading.current_thread() is not threading.main_thread():
+        return fn()
+
+    def _raise(signum, frame):
+        raise ProofTimeout()
+
+    old = signal.signal(signal.SIGALRM, _raise)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return fn()
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, old)
+
+
+def sat_verdict(left: Netlist, right: Netlist,
+                max_conflicts: Optional[int]) -> str:
+    """SAT-miter verdict with the conflict budget mapped to UNKNOWN."""
+    try:
+        equal = miter_equivalent(left, right, max_conflicts=max_conflicts)
+    except SolverBudgetExceeded:
+        return UNKNOWN
+    return VALID if equal else INVALID
+
+
+def bdd_verdict(left: Netlist, right: Netlist, max_nodes: int) -> str:
+    """BDD verdict with the node budget mapped to UNKNOWN."""
+    try:
+        equal = bdd_equivalent(left, right, max_nodes=max_nodes)
+    except BddBudgetExceeded:
+        return UNKNOWN
+    return VALID if equal else INVALID
+
+
+def prove_pair(left: Netlist, right: Netlist, backend: str,
+               budget: int) -> str:
+    if backend == "sat":
+        return sat_verdict(left, right, budget)
+    if backend == "bdd":
+        return bdd_verdict(left, right, budget)
+    raise ValueError(f"unknown proof backend {backend!r}")
+
+
+def prove_serialized(job) -> Tuple[str, str, Dict[str, int]]:
+    """Pool-worker entry point: run the ladder for one obligation.
+
+    ``job`` is ``(key, left, right, spec)`` with the serialized cones of
+    :class:`~repro.proof.obligation.ProofObligation`.  Returns the key,
+    the final verdict, and a tally of per-backend outcomes / retries /
+    fallbacks / timeouts for the broker's counters.
+    """
+    key, left_ser, right_ser, spec = job
+    from .obligation import ProofObligation
+
+    ob = ProofObligation(key=key, left=left_ser, right=right_ser)
+    left, right = ob.netlists()
+    tally: Dict[str, int] = {}
+
+    def bump(name: str) -> None:
+        tally[name] = tally.get(name, 0) + 1
+
+    rungs = spec.rungs()
+    for attempt, (backend, budget) in enumerate(rungs):
+        try:
+            verdict = _run_with_timeout(
+                lambda: prove_pair(left, right, backend, budget),
+                spec.timeout,
+            )
+        except ProofTimeout:
+            bump("timeouts")
+            verdict = UNKNOWN
+        bump(f"{backend}_{verdict}")
+        if verdict != UNKNOWN:
+            return key, verdict, tally
+        if attempt + 1 < len(rungs):
+            # Advance the ladder: same backend again is a retry with an
+            # escalated budget, a different backend is a fallback.
+            nxt = rungs[attempt + 1][0]
+            bump("retries" if nxt == backend else "fallbacks")
+    bump("unknown_final")
+    return key, UNKNOWN, tally

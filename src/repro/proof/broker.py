@@ -1,0 +1,246 @@
+"""The proof broker: batched, deduplicated, parallel, cached proving.
+
+GDO's wall-clock is dominated by PVCC validity proofs (the simulation
+and timing engines are incremental since PR 1).  The broker turns that
+serial prove-on-demand bottleneck into scheduled work:
+
+* **dedupe** — obligations are keyed by the structural hash of their
+  canonical cones; re-enumerated candidates and repeated passes never
+  prove the same obligation twice;
+* **cache** — verdicts live in an LRU (plus an optional persistent
+  store for definitive verdicts), so warm reruns skip proving entirely;
+* **batch + fan out** — a pass's top-ranked obligations are dispatched
+  in one batch over a ``multiprocessing`` fork pool (``proof_workers``);
+* **graceful degradation** — every attempt maps budget overflow to
+  ``UNKNOWN`` and walks a deterministic fallback ladder (see
+  :class:`~repro.proof.backends.LadderSpec`); an undecidable obligation
+  drops its candidate, it never raises.
+
+Verdicts are pure functions of the obligation key (the backends prove
+netlists rebuilt from the canonical form, and budgets are part of the
+broker's spec), so runs with ``workers=1`` and ``workers=N`` commit
+identical modification sequences — the batch only changes *when* a
+verdict is computed, never *what* it is.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, fields
+from typing import Dict, Iterable, List, Optional
+
+from ..clauses.pvcc import Candidate
+from ..netlist.netlist import Netlist
+from .backends import LadderSpec, VALID, prove_serialized
+from .cache import ProofCache
+from .obligation import ProofObligation, obligation_from_nets
+
+
+@dataclass
+class ProofCounters:
+    """Per-run accounting of the broker (surfaced by ``opt.report``)."""
+
+    obligations: int = 0       # prove/prove_batch requests seen
+    deduped: int = 0           # batch entries collapsed onto another key
+    cache_hits: int = 0
+    cache_misses: int = 0
+    dispatched: int = 0        # obligations actually sent to a ladder
+    parallel_batches: int = 0  # pool dispatches
+    sat_valid: int = 0
+    sat_invalid: int = 0
+    sat_unknown: int = 0
+    bdd_valid: int = 0
+    bdd_invalid: int = 0
+    bdd_unknown: int = 0
+    retries: int = 0           # same-backend escalated-budget attempts
+    fallbacks: int = 0         # cross-backend ladder steps
+    timeouts: int = 0          # wall-clock expiries (if enabled)
+    unknown_final: int = 0     # obligations the whole ladder left open
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def merge(self, other: "ProofCounters") -> None:
+        for f in fields(self):
+            setattr(self, f.name,
+                    getattr(self, f.name) + getattr(other, f.name))
+
+    def absorb_tally(self, tally: Dict[str, int]) -> None:
+        for name, count in tally.items():
+            setattr(self, name, getattr(self, name) + count)
+
+
+class ProofBroker:
+    """Schedules PVCC proofs over cache, pool, and fallback ladder.
+
+    A broker may outlive one optimizer run (that is how warm-cache
+    reruns work); counters are therefore per-run: :meth:`begin_run`
+    resets them and :meth:`take_counters` drains them into the run's
+    stats.
+    """
+
+    def __init__(
+        self,
+        mode: str = "sat",
+        workers: Optional[int] = None,
+        max_conflicts: int = 30_000,
+        bdd_max_nodes: int = 200_000,
+        retry_factor: int = 4,
+        timeout: Optional[float] = None,
+        cache_size: int = 4096,
+        cache_path: Optional[str] = None,
+    ):
+        if mode not in ("sat", "bdd", "auto", "none"):
+            raise ValueError(f"unknown proof mode {mode!r}")
+        self.mode = mode
+        self.workers = workers if workers else (os.cpu_count() or 1)
+        self.spec = LadderSpec(
+            mode=mode if mode != "none" else "sat",
+            max_conflicts=max_conflicts, bdd_max_nodes=bdd_max_nodes,
+            retry_factor=retry_factor, timeout=timeout,
+        )
+        self.cache = ProofCache(max_entries=cache_size, path=cache_path)
+        self.counters = ProofCounters()
+        self._pool = None
+        self._pool_broken = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def begin_run(self) -> None:
+        """Reset per-run counters (the cache survives across runs)."""
+        self.counters = ProofCounters()
+
+    def take_counters(self) -> ProofCounters:
+        """Drain the per-run counters into the caller's stats."""
+        counters = self.counters
+        self.counters = ProofCounters()
+        return counters
+
+    def flush(self) -> None:
+        self.cache.flush()
+
+    def close(self) -> None:
+        """Shut the worker pool down and persist the cache."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        self.flush()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown guard
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # proving
+    # ------------------------------------------------------------------
+    def prove(self, original: Netlist, modified: Netlist,
+              cand: Candidate) -> str:
+        """Verdict for one candidate against the current netlists.
+
+        Cache hit or in-process ladder — never raises; an undecided
+        obligation comes back ``UNKNOWN`` and the caller drops it.
+        """
+        self.counters.obligations += 1
+        if self.mode == "none":
+            return VALID
+        obligation = obligation_from_nets(original, modified, cand)
+        if obligation is None:
+            return VALID
+        cached = self.cache.get(obligation.key)
+        if cached is not None:
+            self.counters.cache_hits += 1
+            return cached
+        self.counters.cache_misses += 1
+        return self._prove_miss(obligation)
+
+    def prove_batch(
+        self, obligations: Iterable[Optional[ProofObligation]]
+    ) -> Dict[str, str]:
+        """Prove a batch: dedupe by key, fan misses out, fill the cache.
+
+        Returns the verdicts by key.  Order-insensitive by design — the
+        caller consumes verdicts in its own deterministic candidate
+        order via :meth:`prove` / the cache.
+        """
+        verdicts: Dict[str, str] = {}
+        if self.mode == "none":
+            return verdicts
+        misses: List[ProofObligation] = []
+        seen = set()
+        for ob in obligations:
+            if ob is None:
+                continue
+            self.counters.obligations += 1
+            if ob.key in seen:
+                self.counters.deduped += 1
+                continue
+            seen.add(ob.key)
+            cached = self.cache.get(ob.key)
+            if cached is not None:
+                self.counters.cache_hits += 1
+                verdicts[ob.key] = cached
+                continue
+            self.counters.cache_misses += 1
+            misses.append(ob)
+        if not misses:
+            return verdicts
+        results = self._dispatch(misses)
+        for key, verdict, tally in results:
+            self.counters.dispatched += 1
+            self.counters.absorb_tally(tally)
+            self.cache.put(key, verdict)
+            verdicts[key] = verdict
+        return verdicts
+
+    # ------------------------------------------------------------------
+    def _prove_miss(self, obligation: ProofObligation) -> str:
+        key, verdict, tally = prove_serialized(self._job(obligation))
+        self.counters.dispatched += 1
+        self.counters.absorb_tally(tally)
+        self.cache.put(key, verdict)
+        return verdict
+
+    def _job(self, ob: ProofObligation):
+        return (ob.key, ob.left, ob.right, self.spec)
+
+    def _dispatch(self, misses: List[ProofObligation]):
+        jobs = [self._job(ob) for ob in misses]
+        pool = self._ensure_pool() if len(jobs) > 1 else None
+        if pool is None:
+            return [prove_serialized(job) for job in jobs]
+        try:
+            chunk = max(1, len(jobs) // (self.workers * 4))
+            results = pool.map(prove_serialized, jobs, chunksize=chunk)
+            self.counters.parallel_batches += 1
+            return results
+        except Exception:
+            # A broken pool (pickling, interpreter teardown, resource
+            # limits) degrades to in-process proving, never to a crash.
+            self._pool_broken = True
+            try:
+                pool.terminate()
+                pool.join()
+            except Exception:
+                pass
+            self._pool = None
+            return [prove_serialized(job) for job in jobs]
+
+    def _ensure_pool(self):
+        if self.workers <= 1 or self._pool_broken:
+            return None
+        if self._pool is None:
+            try:
+                import multiprocessing
+
+                ctx = multiprocessing.get_context("fork")
+                self._pool = ctx.Pool(processes=self.workers)
+            except (ImportError, OSError, ValueError):
+                self._pool_broken = True
+                return None
+        return self._pool

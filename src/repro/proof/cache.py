@@ -1,0 +1,95 @@
+"""Verdict caches keyed by obligation structural hash.
+
+Two layers:
+
+* an in-memory LRU holding *all* verdicts of the current process —
+  within one process the ladder budgets are fixed, so even ``unknown``
+  is a sound memo;
+* an optional on-disk JSON store holding only the *definitive* verdicts
+  (``valid`` / ``invalid``).  Definitive verdicts are independent of
+  the budget ladder that produced them, so they transfer across runs
+  and across configurations; ``unknown`` does not (a later run with a
+  bigger budget may decide it) and is never persisted.
+
+Invalidation needs no bookkeeping: keys are content hashes of the
+canonical cones (see :mod:`repro.proof.obligation`), so a netlist edit
+that changes a cone changes the key, and stale entries simply stop
+being referenced until the LRU evicts them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from .backends import INVALID, VALID
+
+
+class ProofCache:
+    """LRU verdict memo with an optional persistent JSON mirror."""
+
+    def __init__(self, max_entries: int = 4096,
+                 path: Optional[str] = None):
+        self.max_entries = max(1, max_entries)
+        self.path = path
+        self._mem: "OrderedDict[str, str]" = OrderedDict()
+        self._disk: Dict[str, str] = {}
+        self._disk_dirty = False
+        if path is not None and os.path.exists(path):
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    data = json.load(fh)
+                self._disk = {
+                    k: v for k, v in data.items() if v in (VALID, INVALID)
+                }
+            except (OSError, ValueError):
+                self._disk = {}
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    def get(self, key: str) -> Optional[str]:
+        """The cached verdict, or ``None`` on a miss."""
+        verdict = self._mem.get(key)
+        if verdict is not None:
+            self._mem.move_to_end(key)
+            return verdict
+        verdict = self._disk.get(key)
+        if verdict is not None:
+            # Promote so later hits stay in memory.
+            self._put_mem(key, verdict)
+        return verdict
+
+    def put(self, key: str, verdict: str) -> None:
+        self._put_mem(key, verdict)
+        if self.path is not None and verdict in (VALID, INVALID) and \
+                self._disk.get(key) != verdict:
+            self._disk[key] = verdict
+            self._disk_dirty = True
+
+    def _put_mem(self, key: str, verdict: str) -> None:
+        self._mem[key] = verdict
+        self._mem.move_to_end(key)
+        while len(self._mem) > self.max_entries:
+            self._mem.popitem(last=False)
+
+    def flush(self) -> None:
+        """Write the persistent mirror atomically (tmp file + rename)."""
+        if self.path is None or not self._disk_dirty:
+            return
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(self._disk, fh)
+            os.replace(tmp, self.path)
+            self._disk_dirty = False
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

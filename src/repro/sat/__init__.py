@@ -1,12 +1,13 @@
 """CDCL SAT solving and miter-based equivalence checking."""
 
 from .miter import (
-    InterfaceMismatch, build_miter_cnf, miter_counterexample, miter_equivalent,
+    InterfaceMismatch, build_miter_cnf, miter_counterexample,
+    miter_equivalent, miter_verdict,
 )
 from .solver import SatResult, Solver, SolverBudgetExceeded, solve_cnf
 
 __all__ = [
     "InterfaceMismatch", "build_miter_cnf", "miter_counterexample",
-    "miter_equivalent", "SatResult", "Solver", "SolverBudgetExceeded",
-    "solve_cnf",
+    "miter_equivalent", "miter_verdict", "SatResult", "Solver",
+    "SolverBudgetExceeded", "solve_cnf",
 ]

@@ -76,12 +76,42 @@ def miter_equivalent(
 ) -> bool:
     """True iff the selected POs are functionally equivalent.
 
-    Raises :class:`SolverBudgetExceeded` when the budget runs out.
+    Raises :class:`SolverBudgetExceeded` when the budget runs out —
+    callers that want an explicit undecided verdict instead of an
+    exception use :func:`miter_verdict`.
     """
     cnf, _ = build_miter_cnf(left, right, po_indices=po_indices)
     solver = Solver()
     solver.add_cnf(cnf)
     return not solver.solve(max_conflicts=max_conflicts).sat
+
+
+#: Budget overflows observed by :func:`miter_verdict` since import —
+#: the explicit tally that replaces silently-propagating exceptions.
+budget_overflows = 0
+
+
+def miter_verdict(
+    left: Netlist,
+    right: Netlist,
+    po_indices: Optional[Sequence[int]] = None,
+    max_conflicts: Optional[int] = None,
+) -> Optional[bool]:
+    """Exception-free equivalence verdict.
+
+    ``True`` = equivalent, ``False`` = a distinguishing vector exists,
+    ``None`` = undecided within ``max_conflicts`` (counted in
+    :data:`budget_overflows`).
+    """
+    global budget_overflows
+    try:
+        return miter_equivalent(
+            left, right, po_indices=po_indices,
+            max_conflicts=max_conflicts,
+        )
+    except SolverBudgetExceeded:
+        budget_overflows += 1
+        return None
 
 
 def miter_counterexample(

@@ -15,6 +15,7 @@ from ..bdd.bdd import BddBudgetExceeded
 from ..bdd.circuit_bdd import bdd_equivalent
 from ..netlist.netlist import Netlist
 from ..sat.miter import miter_counterexample, miter_equivalent
+from ..sat.solver import SolverBudgetExceeded
 from ..sim.bitsim import BitSimulator
 from ..sim.vectors import random_words
 
@@ -42,22 +43,28 @@ def check_equivalence(
     method: str = "sat",
     max_conflicts: Optional[int] = 500_000,
     bdd_max_nodes: int = 1_000_000,
-) -> bool:
+) -> Optional[bool]:
     """Full equivalence check: simulate to refute, then prove.
 
     ``method`` is ``"sat"``, ``"bdd"``, or ``"auto"`` (BDD with SAT
-    fallback on budget exhaustion).
+    fallback on budget exhaustion).  Returns ``None`` — undecided —
+    when refutation failed but the formal proof exhausted its budget;
+    budget overflows never escape as exceptions.
     """
     if random_sim_refutes(left, right, n_words=n_words, seed=seed):
         return False
-    if method == "bdd":
-        return bdd_equivalent(left, right, max_nodes=bdd_max_nodes)
-    if method == "auto":
-        try:
+    try:
+        if method == "bdd":
             return bdd_equivalent(left, right, max_nodes=bdd_max_nodes)
-        except BddBudgetExceeded:
-            return miter_equivalent(left, right, max_conflicts=max_conflicts)
-    return miter_equivalent(left, right, max_conflicts=max_conflicts)
+        if method == "auto":
+            try:
+                return bdd_equivalent(left, right, max_nodes=bdd_max_nodes)
+            except BddBudgetExceeded:
+                return miter_equivalent(
+                    left, right, max_conflicts=max_conflicts)
+        return miter_equivalent(left, right, max_conflicts=max_conflicts)
+    except (BddBudgetExceeded, SolverBudgetExceeded):
+        return None
 
 
 def find_counterexample(

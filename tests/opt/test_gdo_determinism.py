@@ -59,6 +59,31 @@ def test_incremental_matches_scratch(lib, name):
     assert scratch.stats.engine.sta_scratch > 0
 
 
+@pytest.mark.parametrize("name", ["Z5xp1", "9sym"])
+def test_parallel_proving_matches_serial(lib, name):
+    """proof_workers only changes *when* verdicts are computed.
+
+    Workers=1 proves on demand; workers=4 batch-prefetches obligations
+    over a process pool.  Both must commit the bitwise-identical
+    modification sequence and final netlist (gate names included).
+    """
+    def run(workers):
+        net = build(name, small=True)
+        lib.rebind(net)
+        cfg = _cfg(incremental=True)
+        cfg.proof_workers = workers
+        return gdo_optimize(net, lib, cfg)
+
+    serial = run(1)
+    parallel = run(4)
+    assert _fingerprint(serial) == _fingerprint(parallel)
+    assert serial.stats.history, "run made no modifications; test is vacuous"
+    assert serial.stats.proofs_attempted > 0
+    # The parallel run must actually have exercised the batch path.
+    assert parallel.stats.proof.parallel_batches > 0
+    assert serial.stats.proof.parallel_batches == 0
+
+
 def test_engine_counters_and_phase_times_populated(lib):
     net = build("Z5xp1", small=True)
     lib.rebind(net)
@@ -81,3 +106,5 @@ def test_report_shows_engine_lines(lib):
     assert "engine:" in text
     assert "observability rows:" in text
     assert "phase wall time:" in text
+    assert "proof broker:" in text
+    assert "proof backends:" in text

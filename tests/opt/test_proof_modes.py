@@ -1,0 +1,95 @@
+"""GDO under every ``GdoConfig.proof`` mode.
+
+All four modes must complete on registry circuits; the proving modes
+must leave an equivalent netlist, ``"none"`` must never invoke a
+prover, and ``"auto"`` must fall back to SAT when the BDD budget is
+exhausted.
+"""
+
+import pytest
+
+from repro.bdd.bdd import BddBudgetExceeded
+from repro.circuits.registry import build
+from repro.library import mcnc_like
+from repro.opt import GdoConfig, gdo_optimize
+from repro.proof import backends as backends_mod
+from repro.verify.equiv import check_equivalence
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return mcnc_like()
+
+
+def _cfg(mode, **overrides):
+    kwargs = dict(
+        n_words=8,
+        proof=mode,
+        proof_workers=1,
+        verify_final=False,
+        max_rounds=1,
+        max_passes_per_phase=3,
+        max_trials_per_pass=24,
+        max_proofs_per_pass=16,
+    )
+    kwargs.update(overrides)
+    return GdoConfig(**kwargs)
+
+
+@pytest.mark.parametrize("name", ["Z5xp1", "9sym"])
+@pytest.mark.parametrize("mode", ["sat", "bdd", "auto"])
+def test_proving_modes_preserve_equivalence(lib, name, mode):
+    net = build(name, small=True)
+    lib.rebind(net)
+    golden = net.copy()
+    res = gdo_optimize(net, lib, _cfg(mode))
+    assert res.stats.history, "run made no modifications; test is vacuous"
+    assert res.stats.proofs_attempted > 0
+    assert check_equivalence(golden, res.net) is True
+    p = res.stats.proof
+    if mode == "sat":
+        assert p.sat_valid + p.sat_invalid + p.sat_unknown > 0
+    else:
+        assert p.bdd_valid + p.bdd_invalid + p.bdd_unknown > 0
+
+
+@pytest.mark.parametrize("name", ["Z5xp1", "9sym"])
+def test_none_mode_never_calls_a_prover(lib, name, monkeypatch):
+    def boom(*a, **k):
+        raise AssertionError("prover invoked in proof='none' mode")
+
+    monkeypatch.setattr(backends_mod, "prove_pair", boom)
+    monkeypatch.setattr(backends_mod, "prove_serialized", boom)
+    net = build(name, small=True)
+    lib.rebind(net)
+    res = gdo_optimize(net, lib, _cfg("none"))
+    assert res.stats.history
+    # Unproven substitutions count as attempted-and-accepted but the
+    # broker never dispatches anything.
+    assert res.stats.proof.dispatched == 0
+    assert res.stats.proof.cache_misses == 0
+
+
+def test_auto_mode_falls_back_on_bdd_budget(lib, monkeypatch):
+    def exhausted(*a, **k):
+        raise BddBudgetExceeded("node budget")
+
+    monkeypatch.setattr(backends_mod, "bdd_equivalent", exhausted)
+    net = build("Z5xp1", small=True)
+    lib.rebind(net)
+    golden = net.copy()
+    res = gdo_optimize(net, lib, _cfg("auto"))
+    assert res.stats.history
+    p = res.stats.proof
+    assert p.bdd_unknown > 0          # every BDD attempt hit the budget
+    assert p.fallbacks > 0            # ...and fell through to SAT
+    assert p.sat_valid > 0            # ...which decided the obligations
+    assert check_equivalence(golden, res.net) is True
+
+
+def test_none_mode_differs_from_unsound_only_in_proofs(lib):
+    # "none" is the unsound fast path: same machinery, zero proofs.
+    net = build("Z5xp1", small=True)
+    lib.rebind(net)
+    res = gdo_optimize(net, lib, _cfg("none"))
+    assert res.stats.proofs_attempted == res.stats.proofs_passed

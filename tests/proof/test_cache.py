@@ -1,0 +1,54 @@
+"""LRU behaviour and persistence policy of the verdict cache."""
+
+import json
+
+from repro.proof import ProofCache
+from repro.proof.backends import INVALID, UNKNOWN, VALID
+
+
+def test_lru_evicts_oldest():
+    cache = ProofCache(max_entries=2)
+    cache.put("k1", VALID)
+    cache.put("k2", INVALID)
+    cache.put("k3", VALID)
+    assert cache.get("k1") is None
+    assert cache.get("k2") == INVALID
+    assert cache.get("k3") == VALID
+
+
+def test_lru_get_refreshes_recency():
+    cache = ProofCache(max_entries=2)
+    cache.put("k1", VALID)
+    cache.put("k2", INVALID)
+    cache.get("k1")            # k2 is now least-recent
+    cache.put("k3", VALID)
+    assert cache.get("k2") is None
+    assert cache.get("k1") == VALID
+
+
+def test_persistence_roundtrip_definitive_only(tmp_path):
+    path = str(tmp_path / "verdicts.json")
+    cache = ProofCache(max_entries=8, path=path)
+    cache.put("kv", VALID)
+    cache.put("ki", INVALID)
+    cache.put("ku", UNKNOWN)   # budget-relative: must not persist
+    cache.flush()
+
+    with open(path, encoding="utf-8") as fh:
+        on_disk = json.load(fh)
+    assert on_disk == {"kv": VALID, "ki": INVALID}
+
+    reloaded = ProofCache(max_entries=8, path=path)
+    assert reloaded.get("kv") == VALID
+    assert reloaded.get("ki") == INVALID
+    assert reloaded.get("ku") is None
+
+
+def test_corrupt_store_is_ignored(tmp_path):
+    path = tmp_path / "verdicts.json"
+    path.write_text("{not json")
+    cache = ProofCache(path=str(path))
+    assert cache.get("anything") is None
+    cache.put("k", VALID)
+    cache.flush()
+    assert json.loads(path.read_text()) == {"k": VALID}

@@ -1,0 +1,106 @@
+"""Canonical obligation hashing: name-independence and soundness."""
+
+import pytest
+
+from repro.clauses.pvcc import Candidate
+from repro.netlist.netlist import Netlist
+from repro.proof import (
+    INVALID, VALID, align_interfaces, build_obligation, prove_serialized,
+)
+from repro.proof.backends import LadderSpec
+
+
+def _pair(prefix: str, equivalent: bool = True):
+    """A (left, right) cone pair over shared PIs a, b, c.
+
+    Left computes ``(a & b) | c``; right computes the same when
+    ``equivalent`` (via De Morgan'd structure) else ``(a | b) & c``.
+    """
+    left = Netlist(f"{prefix}_l")
+    for pi in ("a", "b", "c"):
+        left.add_pi(pi)
+    left.add_gate(f"{prefix}_and", "AND", ["a", "b"])
+    left.add_gate(f"{prefix}_or", "OR", [f"{prefix}_and", "c"])
+    left.set_pos([f"{prefix}_or"])
+
+    right = Netlist(f"{prefix}_r")
+    for pi in ("a", "b", "c"):
+        right.add_pi(pi)
+    if equivalent:
+        right.add_gate(f"{prefix}_na", "NAND", ["a", "b"])
+        right.add_gate(f"{prefix}_nc", "INV", ["c"])
+        right.add_gate(f"{prefix}_no", "NAND",
+                       [f"{prefix}_na", f"{prefix}_nc"])
+        right.set_pos([f"{prefix}_no"])
+    else:
+        right.add_gate(f"{prefix}_or", "OR", ["a", "b"])
+        right.add_gate(f"{prefix}_and", "AND", [f"{prefix}_or", "c"])
+        right.set_pos([f"{prefix}_and"])
+    return left, right
+
+
+def _cand(target: str = "t") -> Candidate:
+    return Candidate(target=target, kind="OS2", sources=("s",))
+
+
+def test_key_is_name_independent():
+    l1, r1 = _pair("x")
+    l2, r2 = _pair("completely_different_names")
+    ob1 = build_obligation(l1, r1, _cand())
+    ob2 = build_obligation(l2, r2, _cand())
+    assert ob1.key == ob2.key
+    assert ob1.left == ob2.left and ob1.right == ob2.right
+
+
+def test_key_differs_for_different_cones():
+    l1, r1 = _pair("x", equivalent=True)
+    l2, r2 = _pair("x2", equivalent=False)
+    assert build_obligation(l1, r1, _cand()).key != \
+        build_obligation(l2, r2, _cand()).key
+
+
+def test_key_folds_in_clause_signature():
+    l1, r1 = _pair("x")
+    l2, r2 = _pair("y")
+    same_cones_a = build_obligation(l1, r1, _cand())
+    same_cones_b = build_obligation(
+        l2, r2, Candidate(target="t", kind="OS2", sources=("s",),
+                          inverted=True))
+    assert same_cones_a.key != same_cones_b.key
+
+
+def test_rebuilt_netlists_prove_correctly():
+    spec = LadderSpec(mode="sat")
+    l_eq, r_eq = _pair("eq", equivalent=True)
+    ob = build_obligation(l_eq, r_eq, _cand())
+    _, verdict, _ = prove_serialized((ob.key, ob.left, ob.right, spec))
+    assert verdict == VALID
+
+    l_ne, r_ne = _pair("ne", equivalent=False)
+    ob = build_obligation(l_ne, r_ne, _cand())
+    _, verdict, _ = prove_serialized((ob.key, ob.left, ob.right, spec))
+    assert verdict == INVALID
+
+
+def test_obligation_is_picklable():
+    import pickle
+
+    l, r = _pair("p")
+    ob = build_obligation(l, r, _cand())
+    clone = pickle.loads(pickle.dumps(ob))
+    assert clone == ob
+    left, right = clone.netlists()
+    assert left.pis == right.pis  # interfaces aligned after rebuild
+
+
+def test_align_interfaces_unions_pis():
+    left = Netlist("l")
+    left.add_pi("a")
+    left.add_gate("g", "INV", ["a"])
+    left.set_pos(["g"])
+    right = Netlist("r")
+    right.add_pi("b")
+    right.add_gate("h", "INV", ["b"])
+    right.set_pos(["h"])
+    align_interfaces(left, right, ["a", "b"])
+    assert left.pis == ["a", "b"] == right.pis
