@@ -7,12 +7,14 @@ end-to-end gain of the incremental timing/simulation engines inside GDO.
 """
 
 import time
+from pathlib import Path
 
 import pytest
 
 from conftest import register_report
 
 from repro.bdd import BddManager, build_signal_bdds
+from repro.obs import append_bench, bench_entry, git_sha
 from repro.circuits.registry import SMALL_SUITE, build
 from repro.opt import GdoConfig, gdo_optimize
 from repro.opt.report import format_result
@@ -140,6 +142,19 @@ def test_gdo_incremental_speedup(lib):
         rows.append(
             f"{name:8} {net.num_gates:6d} {t_scratch:11.2f} "
             f"{t_inc:15.2f} {speedup:8.2f}x"
+        )
+        append_bench(
+            str(Path(__file__).resolve().parent.parent
+                / "BENCH_engines.json"),
+            bench_entry(
+                key=git_sha(), circuit=name, gates=net.num_gates,
+                scratch_seconds=round(t_scratch, 4),
+                incremental_seconds=round(t_inc, 4),
+                speedup=round(speedup, 3),
+                sta_incremental=counters.sta_incremental,
+                sim_incremental=counters.sim_incremental,
+            ),
+            key_fields=("key", "circuit"),
         )
         if required is not None:
             assert speedup >= required, (

@@ -7,12 +7,14 @@ bitwise-identical modification sequence.
 """
 
 import time
+from pathlib import Path
 
 import pytest
 
 from conftest import register_report
 
 from repro.circuits.registry import build
+from repro.obs import append_bench, bench_entry, git_sha
 from repro.clauses.pvcc import Candidate
 from repro.netlist.netlist import Netlist
 from repro.opt import GdoConfig, gdo_optimize
@@ -96,6 +98,18 @@ def test_gdo_parallel_warm_cache_speedup(lib):
     speedup = t_serial / t_warm
     assert speedup >= 1.3, (
         f"parallel+warm GDO only {speedup:.2f}x faster (needs >= 1.3x)"
+    )
+    append_bench(
+        str(Path(__file__).resolve().parent.parent / "BENCH_proof.json"),
+        bench_entry(
+            key=git_sha(), circuit="C880",
+            serial_seconds=round(t_serial, 4),
+            warm_seconds=round(t_warm, 4),
+            speedup=round(speedup, 3),
+            warm_hit_rate=round(p.hit_rate, 4),
+            dispatched=p.dispatched,
+        ),
+        key_fields=("key", "circuit"),
     )
 
     s = serial.stats.proof

@@ -5,33 +5,45 @@ The package implements GDO — post-technology-mapping delay optimization
 by clause analysis — together with every substrate the paper relies on:
 netlist + genlib library modelling, bit-parallel (fault) simulation,
 CNF/SAT and BDD engines, ATPG, static timing, a compact synthesis flow
-standing in for SIS, and generators for an ISCAS-85/MCNC-like benchmark
-suite.
+standing in for SIS, generators for an ISCAS-85/MCNC-like benchmark
+suite, and an observability layer (spans, metrics, run journals).
 
 Quickstart::
 
-    from repro import mcnc_like, script_rugged, gdo_optimize
+    from repro import mcnc_like, script_rugged, gdo_optimize, format_result
     from repro.circuits import array_multiplier
+    from repro.obs import export_gdo
 
     lib = mcnc_like()
     mapped = script_rugged(array_multiplier(8), lib)   # SIS stand-in
     result = gdo_optimize(mapped, lib)                 # the paper's GDO
-    print(result.stats.delay_before, "->", result.stats.delay_after)
+    report = format_result(result, lib)                # run report (funnel,
+                                                       # hot spans, broker)
+    entry = export_gdo(result, "BENCH_gdo.json")       # trajectory entry
+
+The library logs under the ``"repro"`` logger and installs only a
+:class:`logging.NullHandler` — consumers decide whether and where log
+output goes.
 """
+
+import logging
 
 from .library import TechLibrary, load_genlib, mcnc_like, parse_genlib, unit_delay_library
 from .netlist import Branch, Gate, Netlist, NetlistError
-from .opt import GdoConfig, GdoResult, GdoStats, gdo_optimize
+from .obs import ObsConfig
+from .opt import GdoConfig, GdoResult, GdoStats, format_result, gdo_optimize
 from .synth import map_netlist, script_delay, script_rugged
 from .timing import Sta
 from .verify import check_equivalence
 
-__version__ = "1.0.0"
+logging.getLogger("repro").addHandler(logging.NullHandler())
+
+__version__ = "1.1.0"
 
 __all__ = [
     "TechLibrary", "load_genlib", "mcnc_like", "parse_genlib",
     "unit_delay_library", "Branch", "Gate", "Netlist", "NetlistError",
-    "GdoConfig", "GdoResult", "GdoStats", "gdo_optimize",
-    "map_netlist", "script_delay", "script_rugged", "Sta",
-    "check_equivalence", "__version__",
+    "ObsConfig", "GdoConfig", "GdoResult", "GdoStats", "gdo_optimize",
+    "format_result", "map_netlist", "script_delay", "script_rugged",
+    "Sta", "check_equivalence", "__version__",
 ]

@@ -1,0 +1,150 @@
+"""Observability for the GDO pipeline: traces, metrics, run journals.
+
+Four standalone pieces (importable without the optimizer):
+
+* :mod:`repro.obs.trace` — nestable span tracer with per-name
+  aggregation and a no-op fast path when disabled;
+* :mod:`repro.obs.metrics` — process-local counters/gauges/histograms
+  with labels and *mergeable snapshots* (worker processes ship theirs
+  back through the proof broker's pool);
+* :mod:`repro.obs.journal` — append-only JSONL run journal: every
+  trial, refutation, proof verdict, and committed modification, with a
+  monotonic ``seq`` instead of timestamps so journals are deterministic
+  modulo :data:`~repro.obs.journal.VOLATILE_FIELDS`;
+* :mod:`repro.obs.export` — renders snapshots into the repo-root
+  ``BENCH_*.json`` trajectory files, keyed by git SHA.
+
+:class:`ObsConfig` is the ``GdoConfig.obs`` knob (default: metrics on,
+journal and tracing off) and :class:`Observability` is the per-run
+bundle the engine wires through the hot layers.  See DESIGN.md §7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .export import (
+    ExportSchemaError, append_bench, bench_entry, export_gdo, gdo_entry,
+    git_sha, load_bench, validate_bench_entry, validate_gdo_entry,
+)
+from .journal import (
+    NULL_JOURNAL, JournalSchemaError, NullJournal, RunJournal,
+    VOLATILE_FIELDS, load_journal, strip_volatile, validate_journal,
+    validate_record,
+)
+from .metrics import (
+    DEFAULT_BUCKETS, MetricsRegistry, NULL_REGISTRY, rendered_key,
+)
+from .trace import NULL_TRACER, Tracer, hot_spans
+
+
+@dataclass
+class ObsConfig:
+    """What to observe during a run (the ``GdoConfig.obs`` knob).
+
+    Metrics default on — counters/histograms are cheap and feed the
+    report's funnel line; span tracing and the journal default off and
+    are switched on for perf work and post-mortems.  Setting
+    ``journal_path`` implies ``journal`` and streams records to that
+    JSONL file; ``journal=True`` alone keeps them in memory (surfaced
+    on ``GdoStats.obs``).
+    """
+
+    metrics: bool = True
+    trace: bool = False
+    journal: bool = False
+    journal_path: Optional[str] = None
+
+    @classmethod
+    def off(cls) -> "ObsConfig":
+        return cls(metrics=False, trace=False, journal=False)
+
+    @classmethod
+    def full(cls, journal_path: Optional[str] = None) -> "ObsConfig":
+        return cls(metrics=True, trace=True, journal=True,
+                   journal_path=journal_path)
+
+
+@dataclass
+class ObsSnapshot:
+    """Immutable end-of-run observability state on ``GdoStats.obs``."""
+
+    spans: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    metrics: Dict[str, dict] = field(default_factory=dict)
+    journal_records: list = field(default_factory=list)
+    journal_path: Optional[str] = None
+
+    def counter(self, name: str, **labels) -> int:
+        return self.metrics.get("counters", {}).get(
+            rendered_key(name, **labels), 0)
+
+    def counter_sum(self, name: str) -> int:
+        """Total over every label combination of counter ``name``."""
+        return sum(
+            v for k, v in self.metrics.get("counters", {}).items()
+            if k == name or k.startswith(name + "{")
+        )
+
+
+class Observability:
+    """The per-run bundle: one tracer, one registry, one journal.
+
+    Disabled pieces are the shared null singletons, so an
+    ``Observability`` can be threaded through every layer
+    unconditionally — hot paths never branch on configuration.
+    """
+
+    def __init__(self, tracer: Tracer = NULL_TRACER,
+                 metrics: MetricsRegistry = NULL_REGISTRY,
+                 journal=NULL_JOURNAL):
+        self.tracer = tracer
+        self.metrics = metrics
+        self.journal = journal
+
+    @classmethod
+    def from_config(cls, cfg: Optional[ObsConfig]) -> "Observability":
+        if cfg is None:
+            return cls()
+        tracer = Tracer() if cfg.trace else NULL_TRACER
+        metrics = MetricsRegistry() if cfg.metrics else NULL_REGISTRY
+        if cfg.journal or cfg.journal_path is not None:
+            journal = RunJournal(cfg.journal_path)
+        else:
+            journal = NULL_JOURNAL
+        return cls(tracer, metrics, journal)
+
+    @property
+    def enabled(self) -> bool:
+        return (self.tracer.enabled or self.metrics.enabled
+                or self.journal.enabled)
+
+    def span(self, name: str, **attrs):
+        return self.tracer.span(name, **attrs)
+
+    def snapshot(self) -> Optional[ObsSnapshot]:
+        """The end-of-run snapshot, or ``None`` when fully disabled."""
+        if not self.enabled:
+            return None
+        return ObsSnapshot(
+            spans=self.tracer.aggregate(),
+            metrics=self.metrics.snapshot(),
+            journal_records=list(self.journal.records),
+            journal_path=self.journal.path,
+        )
+
+    def close(self) -> None:
+        self.journal.close()
+
+
+__all__ = [
+    "ObsConfig", "ObsSnapshot", "Observability",
+    "Tracer", "NULL_TRACER", "hot_spans",
+    "MetricsRegistry", "NULL_REGISTRY", "DEFAULT_BUCKETS", "rendered_key",
+    "RunJournal", "NullJournal", "NULL_JOURNAL", "JournalSchemaError",
+    "VOLATILE_FIELDS", "load_journal", "strip_volatile",
+    "validate_journal", "validate_record",
+    "ExportSchemaError", "append_bench", "bench_entry", "export_gdo",
+    "gdo_entry", "git_sha", "load_bench", "validate_bench_entry",
+    "validate_gdo_entry",
+]

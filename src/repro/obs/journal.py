@@ -1,0 +1,149 @@
+"""Append-only JSONL run journals for GDO.
+
+A :class:`RunJournal` records the complete decision trail of one
+optimizer run — every candidate trial, BPFS refutation, proof verdict
+(with obligation hash and cache hit/miss), and committed modification —
+one JSON object per line, enough to post-mortem or replay a run.
+
+Determinism contract (asserted by
+``tests/opt/test_obs_integration.py``): records carry **no timestamps**
+— ordering is the monotonic ``seq`` id — and every latency-ish field a
+record may carry is listed in :data:`VOLATILE_FIELDS`, so two runs that
+make the same decisions produce journals identical modulo those fields
+(``proof_workers=1`` vs ``N``, incremental vs scratch engines).
+
+Records are validated against :data:`RECORD_SCHEMA` both on write (in
+debug validation mode) and by :func:`validate_journal` after a load.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Dict, Iterable, List, Optional
+
+#: fields whose values may differ between byte-identical decision
+#: sequences (scheduling, caching, wall clock); comparisons strip them
+VOLATILE_FIELDS = frozenset({"wall_ms", "cache_hit", "batched"})
+
+#: required fields per record type (beyond the envelope ``seq``/``type``)
+RECORD_SCHEMA: Dict[str, frozenset] = {
+    "run_begin": frozenset({"circuit", "gates", "seed", "n_words"}),
+    "phase_begin": frozenset({"phase", "round"}),
+    "trial": frozenset({"phase", "kind", "desc"}),
+    "refute": frozenset({"desc", "refuted"}),
+    "verdict": frozenset({"obligation", "verdict"}),
+    "reject": frozenset({"desc", "reason"}),
+    "commit": frozenset({"phase", "kind", "desc",
+                         "delay_after", "area_after"}),
+    "run_end": frozenset({"delay_after", "area_after",
+                          "mods", "rounds"}),
+}
+
+
+class JournalSchemaError(ValueError):
+    """A record violates :data:`RECORD_SCHEMA` or the seq contract."""
+
+
+class RunJournal:
+    """Append-only journal; in-memory always, JSONL on disk if ``path``.
+
+    ``record`` assigns the next ``seq`` and validates the record against
+    the schema; disk writes are line-buffered JSON with sorted keys, so
+    journals are diffable and the file is valid JSONL even mid-run.
+    """
+
+    enabled = True
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self.records: List[dict] = []
+        self._fh: Optional[io.TextIOBase] = None
+        if path is not None:
+            self._fh = open(path, "w", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    def record(self, rectype: str, **fields) -> dict:
+        rec = {"seq": len(self.records), "type": rectype}
+        rec.update(fields)
+        validate_record(rec)
+        self.records.append(rec)
+        if self._fh is not None:
+            self._fh.write(json.dumps(rec, sort_keys=True) + "\n")
+        return rec
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+class NullJournal:
+    """No-op journal for disabled observability."""
+
+    enabled = False
+    path = None
+    records: List[dict] = []
+
+    def record(self, rectype: str, **fields) -> None:
+        return None
+
+    def close(self) -> None:
+        pass
+
+
+NULL_JOURNAL = NullJournal()
+
+
+# ----------------------------------------------------------------------
+# schema validation / loading / comparison
+# ----------------------------------------------------------------------
+def validate_record(rec: dict) -> None:
+    """Raise :class:`JournalSchemaError` unless ``rec`` is well-formed."""
+    if not isinstance(rec.get("seq"), int) or rec["seq"] < 0:
+        raise JournalSchemaError(f"bad seq in {rec!r}")
+    rectype = rec.get("type")
+    required = RECORD_SCHEMA.get(rectype)
+    if required is None:
+        raise JournalSchemaError(f"unknown record type {rectype!r}")
+    missing = required - rec.keys()
+    if missing:
+        raise JournalSchemaError(
+            f"{rectype} record missing fields {sorted(missing)}: {rec!r}")
+
+
+def validate_journal(records: Iterable[dict]) -> None:
+    """Validate every record and the monotonic-seq envelope."""
+    for i, rec in enumerate(records):
+        validate_record(rec)
+        if rec["seq"] != i:
+            raise JournalSchemaError(
+                f"seq gap: record {i} carries seq {rec['seq']}")
+
+
+def load_journal(path: str) -> List[dict]:
+    """Parse a JSONL journal file (no validation — see
+    :func:`validate_journal`)."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def strip_volatile(records: Iterable[dict]) -> List[dict]:
+    """Copies of ``records`` without :data:`VOLATILE_FIELDS` — the
+    comparable form for determinism regressions."""
+    return [
+        {k: v for k, v in rec.items() if k not in VOLATILE_FIELDS}
+        for rec in records
+    ]

@@ -1,0 +1,234 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+Instruments are created on demand and identified by ``(name, labels)``::
+
+    reg.counter("proof_verdicts", verdict="valid").inc()
+    reg.histogram("proof_latency", backend="sat").observe(0.013)
+
+Two properties matter to GDO:
+
+* **snapshots are plain dicts and mergeable** —
+  :meth:`MetricsRegistry.snapshot` returns JSON-able data and
+  :meth:`MetricsRegistry.merge_snapshot` folds another snapshot in
+  (counters add, gauges last-write, histograms add bucket-wise), which
+  is how proof-broker *worker processes* ship their per-backend latency
+  histograms back through the ``multiprocessing`` pool;
+* **disabled registries are no-ops** — every instrument accessor
+  returns one shared null instrument, so hot-loop instrumentation costs
+  a method call and nothing else when ``GdoConfig.obs.metrics`` is off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+#: latency-friendly default histogram buckets (seconds, upper bounds)
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_Key = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _key(name: str, labels: dict) -> _Key:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render(key: _Key) -> str:
+    name, labels = key
+    if not labels:
+        return name
+    return name + "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+
+
+def rendered_key(name: str, **labels) -> str:
+    """The snapshot key under which an instrument appears."""
+    return _render(_key(name, labels))
+
+
+def parse_key(rendered: str) -> _Key:
+    """Inverse of the snapshot key rendering (for merges)."""
+    if "{" not in rendered:
+        return rendered, ()
+    name, _, rest = rendered.partition("{")
+    body = rest.rstrip("}")
+    labels = tuple(
+        (k, v) for k, _, v in
+        (pair.partition("=") for pair in body.split(",") if pair)
+    )
+    return name, tuple(sorted(labels))
+
+
+class Counter:
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    __slots__ = ("buckets", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        self.buckets = tuple(buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # +inf overflow
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for i, le in enumerate(self.buckets):
+            if value <= le:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+
+class _NullInstrument:
+    """Accepts every instrument method and does nothing."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Registry of labelled counters/gauges/histograms."""
+
+    __slots__ = ("enabled", "_counters", "_gauges", "_histograms")
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._counters: Dict[_Key, Counter] = {}
+        self._gauges: Dict[_Key, Gauge] = {}
+        self._histograms: Dict[_Key, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels) -> Counter:
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        key = _key(name, labels)
+        inst = self._counters.get(key)
+        if inst is None:
+            inst = self._counters[key] = Counter()
+        return inst
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        key = _key(name, labels)
+        inst = self._gauges.get(key)
+        if inst is None:
+            inst = self._gauges[key] = Gauge()
+        return inst
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS,
+                  **labels) -> Histogram:
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        key = _key(name, labels)
+        inst = self._histograms.get(key)
+        if inst is None:
+            inst = self._histograms[key] = Histogram(buckets)
+        return inst
+
+    # ------------------------------------------------------------------
+    def counter_value(self, name: str, **labels) -> int:
+        inst = self._counters.get(_key(name, labels))
+        return inst.value if inst is not None else 0
+
+    def snapshot(self) -> Dict[str, dict]:
+        """JSON-able state: ``{counters, gauges, histograms}``."""
+        return {
+            "counters": {
+                _render(k): c.value for k, c in self._counters.items()
+            },
+            "gauges": {
+                _render(k): g.value for k, g in self._gauges.items()
+            },
+            "histograms": {
+                _render(k): {
+                    "buckets": list(h.buckets),
+                    "counts": list(h.counts),
+                    "count": h.count,
+                    "sum": h.sum,
+                    "min": h.min,
+                    "max": h.max,
+                } for k, h in self._histograms.items()
+            },
+        }
+
+    def merge_snapshot(self, snap: Optional[Dict[str, dict]]) -> None:
+        """Fold another registry's snapshot into this registry.
+
+        Counters and histograms accumulate; gauges take the incoming
+        value (last write wins).  Histograms merge bucket-wise only when
+        the bucket bounds agree — mismatched bounds fall back to
+        re-observing the incoming min/max/sum as summary-only data.
+        """
+        if not self.enabled or not snap:
+            return
+        for rendered, value in snap.get("counters", {}).items():
+            name, labels = parse_key(rendered)
+            self.counter(name, **dict(labels)).inc(value)
+        for rendered, value in snap.get("gauges", {}).items():
+            name, labels = parse_key(rendered)
+            self.gauge(name, **dict(labels)).set(value)
+        for rendered, data in snap.get("histograms", {}).items():
+            name, labels = parse_key(rendered)
+            hist = self.histogram(
+                name, buckets=tuple(data.get("buckets", DEFAULT_BUCKETS)),
+                **dict(labels))
+            if hist is NULL_INSTRUMENT:
+                continue
+            if tuple(data.get("buckets", ())) == hist.buckets:
+                for i, c in enumerate(data.get("counts", [])):
+                    hist.counts[i] += c
+                hist.count += data.get("count", 0)
+                hist.sum += data.get("sum", 0.0)
+                for bound, pick in (("min", min), ("max", max)):
+                    v = data.get(bound)
+                    if v is not None:
+                        cur = getattr(hist, bound)
+                        setattr(hist, bound,
+                                v if cur is None else pick(cur, v))
+            else:
+                for v in (data.get("min"), data.get("max")):
+                    if v is not None:
+                        hist.observe(v)
+
+
+#: process-wide disabled registry — the default wired into hot paths
+NULL_REGISTRY = MetricsRegistry(enabled=False)

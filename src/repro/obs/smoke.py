@@ -1,0 +1,72 @@
+"""CI smoke runner: one GDO run with full observability, validated.
+
+``python -m repro.obs.smoke --circuit C432 --out obs-artifacts`` runs
+GDO with journal + metrics + tracing enabled, writes the JSONL journal
+and the ``BENCH_gdo.json`` trajectory entry into ``--out``, validates
+both against their schemas, and exits non-zero on any violation — the
+CI job uploads the directory as workflow artifacts and fails with it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from . import (
+    ObsConfig, export_gdo, load_journal, validate_gdo_entry,
+    validate_journal,
+)
+
+
+def run_smoke(circuit: str, out_dir: str, small: bool = True,
+              max_rounds: int = 2, max_seconds: float = 120.0) -> int:
+    from ..circuits.registry import build
+    from ..library import mcnc_like
+    from ..opt import GdoConfig, gdo_optimize
+    from ..opt.report import format_result
+
+    os.makedirs(out_dir, exist_ok=True)
+    journal_path = os.path.join(out_dir, f"journal_{circuit}.jsonl")
+    bench_path = os.path.join(out_dir, "BENCH_gdo.json")
+
+    lib = mcnc_like()
+    net = build(circuit, small=small)
+    lib.rebind(net)
+    cfg = GdoConfig(
+        n_words=8, verify_final=False, max_rounds=max_rounds,
+        max_seconds=max_seconds,
+        obs=ObsConfig.full(journal_path=journal_path),
+    )
+    result = gdo_optimize(net, lib, cfg)
+    print(format_result(result, lib))
+
+    # Validate what actually landed on disk, not in-memory state.
+    records = load_journal(journal_path)
+    validate_journal(records)
+    if not any(r["type"] == "run_end" for r in records):
+        print("smoke: journal lacks a run_end record", file=sys.stderr)
+        return 1
+    entry = export_gdo(result, path=bench_path)
+    validate_gdo_entry(entry)
+    print(f"smoke: {len(records)} journal records and BENCH entry "
+          f"{entry['key']}/{entry['circuit']} validated -> {out_dir}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--circuit", default="C432")
+    parser.add_argument("--out", default="obs-artifacts")
+    parser.add_argument("--full-size", action="store_true",
+                        help="use the full-size generator suite")
+    parser.add_argument("--max-rounds", type=int, default=2)
+    parser.add_argument("--max-seconds", type=float, default=120.0)
+    args = parser.parse_args(argv)
+    return run_smoke(args.circuit, args.out, small=not args.full_size,
+                     max_rounds=args.max_rounds,
+                     max_seconds=args.max_seconds)
+
+
+if __name__ == "__main__":  # pragma: no cover - CI entry point
+    sys.exit(main())

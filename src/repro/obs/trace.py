@@ -1,0 +1,111 @@
+"""Nestable span tracer with per-span-name aggregation.
+
+A :class:`Tracer` hands out context-manager *spans*::
+
+    with tracer.span("prove", key=obligation.key):
+        ...
+
+Each closed span adds its wall-clock and CPU time to the per-name
+aggregate (count / wall seconds / CPU seconds); spans nest freely and
+the aggregate is by name only, so ``tracer.aggregate()`` is a flat,
+JSON-able dict ready for the "hot spans" report and the BENCH export.
+
+Disabled tracers are a hard no-op: :meth:`Tracer.span` returns one
+shared null context manager without allocating, so instrumented code
+paths stay within the <2 % overhead budget asserted by
+``tests/obs/test_trace.py`` — instrumentation can therefore be left in
+the hot loops permanently and switched by ``GdoConfig.obs``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+
+class _NullSpan:
+    """Shared no-op span for disabled tracers (and a safe default)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live span; closing it feeds the tracer's aggregate."""
+
+    __slots__ = ("tracer", "name", "attrs", "_wall0", "_cpu0")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Optional[dict]):
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        wall = time.perf_counter() - self._wall0
+        cpu = time.process_time() - self._cpu0
+        agg = self.tracer._agg
+        entry = agg.get(self.name)
+        if entry is None:
+            agg[self.name] = [1, wall, cpu]
+        else:
+            entry[0] += 1
+            entry[1] += wall
+            entry[2] += cpu
+        return False
+
+
+class Tracer:
+    """Aggregating span tracer; construct with ``enabled=False`` for the
+    no-op fast path (or use the shared :data:`NULL_TRACER`)."""
+
+    __slots__ = ("enabled", "_agg")
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._agg: Dict[str, List[float]] = {}
+
+    def span(self, name: str, **attrs):
+        if not self.enabled:
+            return NULL_SPAN
+        return _Span(self, name, attrs or None)
+
+    def reset(self) -> None:
+        self._agg.clear()
+
+    def aggregate(self) -> Dict[str, Dict[str, float]]:
+        """Per-name totals: ``{name: {count, wall_s, cpu_s}}``."""
+        return {
+            name: {"count": int(c), "wall_s": w, "cpu_s": u}
+            for name, (c, w, u) in self._agg.items()
+        }
+
+
+#: process-wide disabled tracer — the default wired into hot paths
+NULL_TRACER = Tracer(enabled=False)
+
+
+def hot_spans(
+    aggregate: Dict[str, Dict[str, float]], top: int = 8
+) -> List[Tuple[str, int, float, float]]:
+    """The ``top`` span names by cumulative wall time, as
+    ``(name, count, wall_s, cpu_s)`` rows sorted hottest-first."""
+    rows = [
+        (name, int(v.get("count", 0)),
+         float(v.get("wall_s", 0.0)), float(v.get("cpu_s", 0.0)))
+        for name, v in aggregate.items()
+    ]
+    rows.sort(key=lambda r: (-r[2], r[0]))
+    return rows[:top]

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..obs import ObsConfig, ObsSnapshot
 from ..proof.broker import ProofCounters
 
 
@@ -65,6 +66,14 @@ class GdoConfig:
     # definitive (valid/invalid) verdicts across runs.
     proof_cache_size: int = 4096
     proof_cache_path: Optional[str] = None
+
+    # --- observability (see repro.obs and DESIGN.md §7) ---
+    # Default: metrics on, span tracing and the JSONL journal off.
+    # Disabled pieces are hard no-ops (<2% overhead, asserted by
+    # tests/obs/test_trace.py); journal records are deterministic
+    # modulo repro.obs.journal.VOLATILE_FIELDS, so observability never
+    # perturbs the modification sequence.
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
     # --- phases ---
     area_phase: bool = True
@@ -159,6 +168,9 @@ class GdoStats:
     engine: EngineCounters = field(default_factory=EngineCounters)
     proof: ProofCounters = field(default_factory=ProofCounters)
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    # End-of-run observability snapshot (None when fully disabled);
+    # spans/metrics/journal records per GdoConfig.obs.
+    obs: Optional[ObsSnapshot] = None
 
     @property
     def delay_reduction(self) -> float:

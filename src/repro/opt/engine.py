@@ -30,6 +30,7 @@ from ..clauses.candidates import CandidateEnumerator
 from ..clauses.pvcc import Candidate
 from ..library.cells import TechLibrary
 from ..netlist.netlist import Branch, Netlist
+from ..obs import Observability
 from ..proof.broker import ProofBroker
 from ..sim.bitsim import BitSimulator
 from ..sim.observability import ObservabilityEngine
@@ -65,6 +66,9 @@ class EngineContext:
         self.cfg = cfg
         self.stats = stats
         self.incremental = cfg.incremental
+        # Per-run observability (tracer/metrics/journal per cfg.obs);
+        # threaded through every engine layer and detached in finish().
+        self.obs = Observability.from_config(cfg.obs)
         # The proof broker may be caller-owned and outlive this run
         # (warm verdict cache across gdo_optimize invocations); its
         # counters are per-run, so reset them here and drain them into
@@ -73,6 +77,8 @@ class EngineContext:
         self.broker = broker if broker is not None else cfg.make_broker()
         if self.broker is not None:
             self.broker.begin_run()
+            self.broker.attach_obs(self.obs.metrics, self.obs.tracer,
+                                   self.obs.journal)
         self.seed_counter = cfg.seed
         self._phase_seed = cfg.seed
         self._sim: Optional[BitSimulator] = None
@@ -87,6 +93,7 @@ class EngineContext:
         if self.incremental:
             self._sta = IncrementalSta(net, library,
                                        po_load=cfg.po_load, eps=cfg.eps)
+            self._sta.metrics = self.obs.metrics
             self._drain_sta(self._sta)
 
     # ------------------------------------------------------------------
@@ -151,7 +158,8 @@ class EngineContext:
             if self._pending or self._pending_removed:
                 dirty = set(self._pending)
                 sim, state, changed = BitSimulator.incremental(
-                    self.net, self._sim, self._state, dirty)
+                    self.net, self._sim, self._state, dirty,
+                    metrics=self.obs.metrics)
                 affected = dirty | changed | self._pending_removed
                 engine = self._engine.refreshed(sim, state, affected)
                 self._retire_engine()
@@ -162,12 +170,15 @@ class EngineContext:
                 self._pending_removed.clear()
         else:
             self._retire_engine()
-            sim = BitSimulator(self.net)
-            state = sim.simulate_random(n_words=cfg.n_words,
-                                        seed=self._phase_seed)
+            with self.obs.span("sim.scratch"):
+                sim = BitSimulator(self.net)
+                state = sim.simulate_random(n_words=cfg.n_words,
+                                            seed=self._phase_seed)
             self._sim, self._state = sim, state
             self._engine = ObservabilityEngine(sim, state)
             counters.sim_scratch += 1
+            self.obs.metrics.counter("sim_scratch_rebuilds",
+                                     site="checkout").inc()
             self._pending.clear()
             self._pending_removed.clear()
         sta = self.timing()
@@ -202,11 +213,15 @@ class EngineContext:
         if self._refute_base is not None:
             return
         self.seed_counter += 1
-        sim = BitSimulator(self.net)
-        state = sim.simulate(
-            random_words(self.net.pis, self.cfg.n_words, self.seed_counter))
+        with self.obs.span("sim.refute_base"):
+            sim = BitSimulator(self.net)
+            state = sim.simulate(
+                random_words(self.net.pis, self.cfg.n_words,
+                             self.seed_counter))
         self._refute_base = (sim, state)
         self.stats.engine.sim_scratch += 1
+        self.obs.metrics.counter("sim_scratch_rebuilds",
+                                 site="refute_base").inc()
 
     def refutes(self, cand: Candidate, edit: InplaceSubstitution) -> bool:
         """True if the epoch's random vectors distinguish the applied
@@ -235,6 +250,8 @@ class EngineContext:
         words = {pi: state.word(pi) for pi in self.net.pis}
         t_state = BitSimulator(self.net).simulate(words)
         counters.sim_scratch += 1
+        self.obs.metrics.counter("sim_scratch_rebuilds",
+                                 site="refute").inc()
         for l_po, r_po in zip(sim.pos, self.net.pos):
             if np.any(state.word(l_po) ^ t_state.word(r_po)):
                 return True
@@ -265,12 +282,20 @@ class EngineContext:
         self._refute_base = None
 
     def finish(self) -> None:
-        """Flush per-object counters into ``stats``; release the broker."""
+        """Flush per-object counters into ``stats``; release the broker.
+
+        The observability bundle stays open — ``gdo_optimize`` journals
+        the final verification and ``run_end`` after this, then
+        snapshots it onto ``stats.obs``.
+        """
         self._retire_engine()
         if self._sta is not None:
             self._drain_sta(self._sta)
         if self.broker is not None:
             self.stats.proof.merge(self.broker.take_counters())
+            # Detach this run's observability — the broker may be
+            # caller-owned and must not journal into a closed run.
+            self.broker.attach_obs()
             if self._owns_broker:
                 self.broker.close()
             else:

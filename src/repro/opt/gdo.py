@@ -75,14 +75,20 @@ def gdo_optimize(
     stats = GdoStats()
     start = time.perf_counter()
     ctx = EngineContext(work, library, cfg, stats, broker=broker)
+    obs = ctx.obs
     sta = ctx.timing()
     stats.gates_before = work.num_gates
     stats.literals_before = work.num_literals
     stats.area_before = library.netlist_area(work)
     stats.delay_before = sta.delay
+    obs.journal.record(
+        "run_begin", circuit=work.name, gates=stats.gates_before,
+        seed=cfg.seed, n_words=cfg.n_words,
+    )
 
     runner = _GdoRunner(work, library, cfg, stats, ctx)
-    runner.run()
+    with obs.span("gdo.optimize"):
+        runner.run()
 
     sta = ctx.timing()
     stats.gates_after = work.num_gates
@@ -97,11 +103,19 @@ def gdo_optimize(
         t0 = time.perf_counter()
         # None when refutation already failed on verify_words * 64
         # random vectors and the formal proof ran out of budget.
-        stats.equivalent = check_equivalence(
-            net, work, n_words=cfg.verify_words, seed=cfg.seed,
-            max_conflicts=cfg.max_conflicts,
-        )
+        with obs.span("gdo.verify"):
+            stats.equivalent = check_equivalence(
+                net, work, n_words=cfg.verify_words, seed=cfg.seed,
+                max_conflicts=cfg.max_conflicts,
+            )
         stats.phase_seconds["verify"] = time.perf_counter() - t0
+    obs.journal.record(
+        "run_end", delay_after=stats.delay_after,
+        area_after=stats.area_after, mods=len(stats.history),
+        rounds=stats.rounds,
+    )
+    stats.obs = obs.snapshot()
+    obs.close()
     return GdoResult(work, stats)
 
 
@@ -115,6 +129,8 @@ class _GdoRunner:
         self.cfg = cfg
         self.stats = stats
         self.ctx = ctx
+        self.obs = ctx.obs
+        self._round = 0
         # Candidates that failed trial/refutation/proof since the last
         # adoption: nothing they depend on has changed, so re-evaluating
         # them in a later pass of the same epoch must fail identically.
@@ -135,6 +151,7 @@ class _GdoRunner:
         previous = self._progress_metric()
         while rounds < cfg.max_rounds and not self._out_of_time():
             rounds += 1
+            self._round = rounds
             made_delay = self._delay_phase()
             made_area = self._area_phase() if cfg.area_phase else False
             if not made_delay and not made_area:
@@ -164,19 +181,22 @@ class _GdoRunner:
     def _delay_phase(self) -> bool:
         """Repeated delay passes; C2 first, then C3 (Sec. 5)."""
         t0 = time.perf_counter()
+        self.obs.journal.record("phase_begin", phase="delay",
+                                round=self._round)
         self.ctx.begin_phase()
         self._rejected.clear()
         made_any = False
-        for _ in range(self.cfg.max_passes_per_phase):
-            if self._out_of_time():
+        with self.obs.span("gdo.delay_phase"):
+            for _ in range(self.cfg.max_passes_per_phase):
+                if self._out_of_time():
+                    break
+                if self._delay_pass(with_three=False):
+                    made_any = True
+                    continue
+                if self._delay_pass(with_three=True):
+                    made_any = True
+                    continue
                 break
-            if self._delay_pass(with_three=False):
-                made_any = True
-                continue
-            if self._delay_pass(with_three=True):
-                made_any = True
-                continue
-            break
         self.stats.phase_seconds["delay"] = (
             self.stats.phase_seconds.get("delay", 0.0)
             + time.perf_counter() - t0
@@ -186,17 +206,20 @@ class _GdoRunner:
     def _delay_pass(self, with_three: bool) -> bool:
         cfg = self.cfg
         sta, _engine, enum = self.ctx.checkout()
-        targets = enum.delay_targets()[: cfg.max_targets_per_pass]
         candidates: List[Candidate] = []
-        for ref in targets:
-            limit = enum.point_arrival(ref) - cfg.eps
-            if with_three:
-                found = enum.three_subs(ref, limit)
-            else:
-                found = enum.two_subs(ref, limit)
-            found.sort(key=lambda c: -c.lds)
-            candidates.extend(found[: cfg.max_candidates_per_target])
+        with self.obs.span("gdo.enumerate", phase="delay"):
+            targets = enum.delay_targets()[: cfg.max_targets_per_pass]
+            for ref in targets:
+                limit = enum.point_arrival(ref) - cfg.eps
+                if with_three:
+                    found = enum.three_subs(ref, limit)
+                else:
+                    found = enum.two_subs(ref, limit)
+                found.sort(key=lambda c: -c.lds)
+                candidates.extend(found[: cfg.max_candidates_per_target])
         candidates.sort(key=lambda c: (-c.ncp, -c.lds))
+        self.obs.metrics.counter("gdo_candidates_generated",
+                                 phase="delay").inc(len(candidates))
         return self._apply_best(candidates, sta, phase="delay") > 0
 
     # ------------------------------------------------------------------
@@ -204,19 +227,22 @@ class _GdoRunner:
     # ------------------------------------------------------------------
     def _area_phase(self) -> bool:
         t0 = time.perf_counter()
+        self.obs.journal.record("phase_begin", phase="area",
+                                round=self._round)
         self.ctx.begin_phase()
         self._rejected.clear()
         made_any = False
         mods = 0
-        while mods < self.cfg.area_mods_before_retry and \
-                not self._out_of_time():
-            got = self._area_pass(with_three=False)
-            if not got:
-                got = self._area_pass(with_three=True)
-            if not got:
-                break
-            mods += got
-            made_any = True
+        with self.obs.span("gdo.area_phase"):
+            while mods < self.cfg.area_mods_before_retry and \
+                    not self._out_of_time():
+                got = self._area_pass(with_three=False)
+                if not got:
+                    got = self._area_pass(with_three=True)
+                if not got:
+                    break
+                mods += got
+                made_any = True
         self.stats.phase_seconds["area"] = (
             self.stats.phase_seconds.get("area", 0.0)
             + time.perf_counter() - t0
@@ -237,17 +263,20 @@ class _GdoRunner:
             key=lambda s: -len(mffc(self.net, s))
         )
         candidates: List[Candidate] = []
-        for out in targets[: cfg.max_targets_per_pass]:
-            limit = sta.required.get(out, float("inf"))
-            if limit == float("inf"):
-                limit = sta.delay
-            if with_three:
-                found = enum.three_subs(out, limit)
-            else:
-                found = enum.two_subs(out, limit)
-            found.sort(key=lambda c: -c.lds)
-            candidates.extend(found[: cfg.max_candidates_per_target])
+        with self.obs.span("gdo.enumerate", phase="area"):
+            for out in targets[: cfg.max_targets_per_pass]:
+                limit = sta.required.get(out, float("inf"))
+                if limit == float("inf"):
+                    limit = sta.delay
+                if with_three:
+                    found = enum.three_subs(out, limit)
+                else:
+                    found = enum.two_subs(out, limit)
+                found.sort(key=lambda c: -c.lds)
+                candidates.extend(found[: cfg.max_candidates_per_target])
         candidates.sort(key=lambda c: -c.lds)
+        self.obs.metrics.counter("gdo_candidates_generated",
+                                 phase="area").inc(len(candidates))
         return self._apply_best(candidates, sta, phase="area")
 
     # ------------------------------------------------------------------
@@ -293,6 +322,10 @@ class _GdoRunner:
             if key in self._rejected:
                 continue  # deterministic re-failure: net unchanged
             trials += 1
+            desc = cand.describe()
+            self.obs.journal.record("trial", phase=phase,
+                                    kind=cand.kind, desc=desc)
+            self.obs.metrics.counter("gdo_trials", phase=phase).inc()
             self.ctx.prepare_refutation()
             try:
                 edit = apply_candidate_inplace(
@@ -300,6 +333,8 @@ class _GdoRunner:
                 )
             except TransformError:
                 self._rejected.add(key)
+                self.obs.journal.record("reject", desc=desc,
+                                        reason="transform")
                 continue
             trial_sta = self.ctx.begin_trial(edit.dirty, edit.removed)
             trial_area = area_now + edit.area_delta
@@ -322,22 +357,35 @@ class _GdoRunner:
                 ok = (trial_area < area_now - cfg.eps
                       and trial_sta.delay <= delay_now + cfg.eps)
             if not ok:
-                self._revert(edit, key)
+                self._revert(edit, key, desc, reason="timing")
                 continue
             # Cheap refutation on fresh random vectors before the formal
             # proof: the BPFS filter used one vector batch; most false
             # positives die on a second, different batch.
-            if self.ctx.refutes(cand, edit):
-                self._revert(edit, key)
+            with self.obs.span("gdo.refute"):
+                refuted = self.ctx.refutes(cand, edit)
+            self.obs.journal.record("refute", desc=desc, refuted=refuted)
+            if refuted:
+                self._revert(edit, key, desc, reason="refuted")
                 continue
+            self.obs.metrics.counter("gdo_bpfs_survived",
+                                     phase=phase).inc()
             proofs += 1
             self.stats.proofs_attempted += 1
-            if not self._prove(cand, edit):
-                self._revert(edit, key)
+            with self.obs.span("gdo.prove"):
+                proven = self._prove(cand, edit)
+            if not proven:
+                self._revert(edit, key, desc, reason="proof")
                 continue
             self.stats.proofs_passed += 1
+            self.obs.metrics.counter("gdo_proved", phase=phase).inc()
             # Adopt: the edit stays in; flush the dirty sets downstream.
             self.ctx.commit_trial(edit.dirty, edit.removed)
+            self.obs.metrics.counter("gdo_committed", phase=phase).inc()
+            self.obs.journal.record(
+                "commit", phase=phase, kind=cand.kind, desc=desc,
+                delay_after=trial_sta.delay, area_after=trial_area,
+            )
             self._rejected.clear()
             touched.add(point)
             touched.update(cand.sources)
@@ -356,11 +404,14 @@ class _GdoRunner:
             applied += 1
         return applied
 
-    def _revert(self, edit: InplaceSubstitution, key) -> None:
+    def _revert(self, edit: InplaceSubstitution, key, desc: str,
+                reason: str) -> None:
         """Undo a rejected in-place trial (netlist and timing)."""
         self.ctx.reject_trial()
         edit.undo(self.net)
         self._rejected.add(key)
+        self.obs.journal.record("reject", desc=desc, reason=reason)
+        self.obs.metrics.counter("gdo_rejected", reason=reason).inc()
 
     # ------------------------------------------------------------------
     # proving (through the broker)
@@ -399,38 +450,42 @@ class _GdoRunner:
         if broker is None or broker.workers <= 1 or \
                 self.cfg.proof == "none":
             return
-        obligations = []
-        budget = self.cfg.prefetch_limit
-        # Trial-applies below consume fresh names; restore the counter
-        # so prefetch leaves the net bit-identical to a run without it
-        # (workers=1 skips prefetch entirely and must stay in lockstep).
-        name_counter = self.net._name_counter
-        try:
-            for cand in candidates:
-                if len(obligations) >= budget:
-                    break
-                if (cand.kind, cand.inverted,
-                        cand.describe()) in self._rejected:
-                    continue
-                po_idx = affected_outputs(self.net, cand)
-                if not po_idx:
-                    continue
-                try:
-                    edit = apply_candidate_inplace(
-                        self.net, cand, library=self.library
-                    )
-                except TransformError:
-                    continue
-                try:
-                    r_cone = extract_cone(
-                        self.net,
-                        [self.net.pos[i] for i in po_idx], "right")
-                finally:
-                    edit.undo(self.net)
-                l_cone = extract_cone(
-                    self.net, [self.net.pos[i] for i in po_idx], "left")
-                align_interfaces(l_cone, r_cone, self.net.pis)
-                obligations.append(build_obligation(l_cone, r_cone, cand))
-        finally:
-            self.net._name_counter = name_counter
-        broker.prove_batch(obligations)
+        with self.obs.span("gdo.prefetch"):
+            obligations = []
+            budget = self.cfg.prefetch_limit
+            # Trial-applies below consume fresh names; restore the
+            # counter so prefetch leaves the net bit-identical to a run
+            # without it (workers=1 skips prefetch entirely and must
+            # stay in lockstep).
+            name_counter = self.net._name_counter
+            try:
+                for cand in candidates:
+                    if len(obligations) >= budget:
+                        break
+                    if (cand.kind, cand.inverted,
+                            cand.describe()) in self._rejected:
+                        continue
+                    po_idx = affected_outputs(self.net, cand)
+                    if not po_idx:
+                        continue
+                    try:
+                        edit = apply_candidate_inplace(
+                            self.net, cand, library=self.library
+                        )
+                    except TransformError:
+                        continue
+                    try:
+                        r_cone = extract_cone(
+                            self.net,
+                            [self.net.pos[i] for i in po_idx], "right")
+                    finally:
+                        edit.undo(self.net)
+                    l_cone = extract_cone(
+                        self.net, [self.net.pos[i] for i in po_idx],
+                        "left")
+                    align_interfaces(l_cone, r_cone, self.net.pis)
+                    obligations.append(
+                        build_obligation(l_cone, r_cone, cand))
+            finally:
+                self.net._name_counter = name_counter
+            broker.prove_batch(obligations)

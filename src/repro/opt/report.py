@@ -6,6 +6,8 @@ from typing import List, Optional
 
 from ..library.cells import TechLibrary
 from ..netlist.netlist import Netlist
+from ..obs import hot_spans
+from ..obs.export import funnel_counts
 from ..timing.paths import longest_path
 from ..timing.sta import Sta
 from .config import GdoStats
@@ -77,6 +79,26 @@ def format_result(result: GdoResult, library: TechLibrary,
         f"{p.retries} retries, {p.fallbacks} fallbacks, "
         f"{p.timeouts} timeouts, {p.unknown_final} undecided"
     )
+    # Observability extras (metrics funnel, span table): every line is
+    # guarded so a run with observability disabled prints exactly the
+    # report of the pre-obs releases.
+    obs = s.obs
+    if obs is not None and obs.counter_sum("gdo_candidates_generated"):
+        f = funnel_counts(obs)
+        lines.append(
+            f"  candidate funnel: {f['generated']} generated -> "
+            f"{f['bpfs_survived']} BPFS-survived -> "
+            f"{f['proved']} proved -> {f['committed']} committed"
+        )
+    if obs is not None and obs.spans:
+        lines.append("  hot spans (top 8 by wall time):")
+        lines.append(
+            f"    {'span':24} {'count':>8} {'wall[s]':>10} {'cpu[s]':>10}"
+        )
+        for name, count, wall, cpu in hot_spans(obs.spans, top=8):
+            lines.append(
+                f"    {name:24} {count:>8d} {wall:>10.3f} {cpu:>10.3f}"
+            )
     if s.history:
         lines.append("  modification log" +
                      ("" if len(s.history) <= max_history

@@ -113,26 +113,36 @@ def prove_pair(left: Netlist, right: Netlist, backend: str,
     raise ValueError(f"unknown proof backend {backend!r}")
 
 
-def prove_serialized(job) -> Tuple[str, str, Dict[str, int]]:
+def prove_serialized(job) -> Tuple[str, str, Dict[str, int], dict]:
     """Pool-worker entry point: run the ladder for one obligation.
 
     ``job`` is ``(key, left, right, spec)`` with the serialized cones of
     :class:`~repro.proof.obligation.ProofObligation`.  Returns the key,
-    the final verdict, and a tally of per-backend outcomes / retries /
-    fallbacks / timeouts for the broker's counters.
+    the final verdict, a tally of per-backend outcomes / retries /
+    fallbacks / timeouts for the broker's counters, and a mergeable
+    metrics snapshot (per-backend attempt latency histograms) that the
+    broker folds into the run's registry — how worker processes ship
+    their observability back through the pool.
     """
+    import time
+
+    from ..obs.metrics import MetricsRegistry
+
     key, left_ser, right_ser, spec = job
     from .obligation import ProofObligation
 
     ob = ProofObligation(key=key, left=left_ser, right=right_ser)
     left, right = ob.netlists()
     tally: Dict[str, int] = {}
+    metrics = MetricsRegistry()
 
     def bump(name: str) -> None:
         tally[name] = tally.get(name, 0) + 1
 
     rungs = spec.rungs()
+    verdict = UNKNOWN
     for attempt, (backend, budget) in enumerate(rungs):
+        t0 = time.perf_counter()
         try:
             verdict = _run_with_timeout(
                 lambda: prove_pair(left, right, backend, budget),
@@ -141,13 +151,18 @@ def prove_serialized(job) -> Tuple[str, str, Dict[str, int]]:
         except ProofTimeout:
             bump("timeouts")
             verdict = UNKNOWN
+        metrics.histogram("proof_attempt_seconds", backend=backend) \
+            .observe(time.perf_counter() - t0)
+        metrics.counter("proof_attempts", backend=backend,
+                        verdict=verdict).inc()
         bump(f"{backend}_{verdict}")
         if verdict != UNKNOWN:
-            return key, verdict, tally
+            break
         if attempt + 1 < len(rungs):
             # Advance the ladder: same backend again is a retry with an
             # escalated budget, a different backend is a fallback.
             nxt = rungs[attempt + 1][0]
             bump("retries" if nxt == backend else "fallbacks")
-    bump("unknown_final")
-    return key, UNKNOWN, tally
+    else:
+        bump("unknown_final")
+    return key, verdict, tally, metrics.snapshot()

@@ -26,11 +26,13 @@ verdict is computed, never *what* it is.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, fields
 from typing import Dict, Iterable, List, Optional
 
 from ..clauses.pvcc import Candidate
 from ..netlist.netlist import Netlist
+from ..obs import NULL_JOURNAL, NULL_REGISTRY, NULL_TRACER
 from .backends import LadderSpec, VALID, prove_serialized
 from .cache import ProofCache
 from .obligation import ProofObligation, obligation_from_nets
@@ -105,6 +107,22 @@ class ProofBroker:
         self.counters = ProofCounters()
         self._pool = None
         self._pool_broken = False
+        # Per-run observability, attached by EngineContext; defaults
+        # are the shared no-op singletons so a bare broker stays silent.
+        self._metrics = NULL_REGISTRY
+        self._tracer = NULL_TRACER
+        self._journal = NULL_JOURNAL
+
+    def attach_obs(self, metrics=NULL_REGISTRY, tracer=NULL_TRACER,
+                   journal=NULL_JOURNAL) -> None:
+        """Point the broker at a run's observability (detach by calling
+        with no arguments).  Only on-demand :meth:`prove` verdicts are
+        journaled — the trial loop consumes them in deterministic
+        candidate order in every worker configuration, whereas batch
+        prefetches are a parallel-mode-only cache warmer."""
+        self._metrics = metrics
+        self._tracer = tracer
+        self._journal = journal
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -149,15 +167,31 @@ class ProofBroker:
         self.counters.obligations += 1
         if self.mode == "none":
             return VALID
-        obligation = obligation_from_nets(original, modified, cand)
-        if obligation is None:
-            return VALID
-        cached = self.cache.get(obligation.key)
-        if cached is not None:
-            self.counters.cache_hits += 1
-            return cached
-        self.counters.cache_misses += 1
-        return self._prove_miss(obligation)
+        t0 = time.perf_counter()
+        with self._tracer.span("proof.prove"):
+            obligation = obligation_from_nets(original, modified, cand)
+            if obligation is None:
+                self._journal.record(
+                    "verdict", obligation="", verdict=VALID,
+                    cache_hit=False, wall_ms=0.0)
+                return VALID
+            cached = self.cache.get(obligation.key)
+            if cached is not None:
+                self.counters.cache_hits += 1
+                self._metrics.counter("proof_verdicts",
+                                      verdict=cached).inc()
+                self._journal.record(
+                    "verdict", obligation=obligation.key,
+                    verdict=cached, cache_hit=True,
+                    wall_ms=1e3 * (time.perf_counter() - t0))
+                return cached
+            self.counters.cache_misses += 1
+            verdict = self._prove_miss(obligation)
+        self._metrics.counter("proof_verdicts", verdict=verdict).inc()
+        self._journal.record(
+            "verdict", obligation=obligation.key, verdict=verdict,
+            cache_hit=False, wall_ms=1e3 * (time.perf_counter() - t0))
+        return verdict
 
     def prove_batch(
         self, obligations: Iterable[Optional[ProofObligation]]
@@ -190,19 +224,32 @@ class ProofBroker:
             misses.append(ob)
         if not misses:
             return verdicts
-        results = self._dispatch(misses)
-        for key, verdict, tally in results:
+        self._metrics.histogram(
+            "proof_batch_size", buckets=(1, 2, 4, 8, 16, 32, 64, 128),
+        ).observe(len(misses))
+        t0 = time.perf_counter()
+        with self._tracer.span("proof.batch", size=len(misses)):
+            results = self._dispatch(misses)
+        # Queue wait ≈ batch wall over obligations: how long an average
+        # obligation sat in the dispatch before its verdict landed.
+        wall = time.perf_counter() - t0
+        self._metrics.histogram("proof_queue_wait_seconds") \
+            .observe(wall / max(1, len(misses)))
+        for key, verdict, tally, worker_metrics in results:
             self.counters.dispatched += 1
             self.counters.absorb_tally(tally)
+            self._metrics.merge_snapshot(worker_metrics)
             self.cache.put(key, verdict)
             verdicts[key] = verdict
         return verdicts
 
     # ------------------------------------------------------------------
     def _prove_miss(self, obligation: ProofObligation) -> str:
-        key, verdict, tally = prove_serialized(self._job(obligation))
+        key, verdict, tally, worker_metrics = prove_serialized(
+            self._job(obligation))
         self.counters.dispatched += 1
         self.counters.absorb_tally(tally)
+        self._metrics.merge_snapshot(worker_metrics)
         self.cache.put(key, verdict)
         return verdict
 

@@ -18,9 +18,13 @@ import numpy as np
 
 from ..netlist.gatefunc import CONST0, CONST1
 from ..netlist.netlist import Netlist
+from ..obs.metrics import NULL_REGISTRY
 from .vectors import exhaustive_words, random_words
 
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: histogram buckets for dirty-set sizes (signals)
+_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096)
 
 
 class SimState:
@@ -104,6 +108,7 @@ class BitSimulator:
         prev_sim: "BitSimulator",
         prev_state: SimState,
         dirty: Sequence[str] | set,
+        metrics=NULL_REGISTRY,
     ) -> Tuple["BitSimulator", SimState, set]:
         """Compile ``net`` and derive its state from ``prev_state`` by
         re-evaluating only the dirty fanout cone.
@@ -113,10 +118,13 @@ class BitSimulator:
         ``dirty`` must name every signal whose driving gate changed plus
         every new signal — see :func:`repro.netlist.edit.dirty_between`.
         Same-named signals outside the dirty cone keep their word rows.
+        ``metrics`` optionally receives the dirty/changed set sizes.
 
         Returns ``(sim, state, changed)`` where ``changed`` is the set
         of signal names whose word rows differ from ``prev_state``.
         """
+        metrics.histogram("sim_dirty_set",
+                          buckets=_SIZE_BUCKETS).observe(len(dirty))
         sim = cls(net)
         n_words = prev_state.n_words
         values = np.zeros((sim.n_signals, n_words), dtype=np.uint64)
@@ -147,6 +155,8 @@ class BitSimulator:
             if out_idx in fresh or not np.array_equal(new, values[out_idx]):
                 values[out_idx] = new
                 changed.add(out_idx)
+        metrics.histogram("sim_changed_set",
+                          buckets=_SIZE_BUCKETS).observe(len(changed))
         state = SimState(sim, values)
         return sim, state, {sim._signal_name(i) for i in changed}
 

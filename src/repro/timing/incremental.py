@@ -41,9 +41,13 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..library.cells import TechLibrary
 from ..netlist.netlist import Branch, Netlist
+from ..obs.metrics import NULL_REGISTRY
 from .sta import Sta
 
 INF = float("inf")
+
+#: histogram buckets for dirty-set sizes (signals)
+_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096)
 
 #: sentinel recorded by trial refreshes for keys that did not exist
 _MISSING = object()
@@ -108,6 +112,10 @@ class IncrementalSta(Sta):
 
     #: dirty fraction of the netlist above which a full rebuild is cheaper
     scratch_fraction = 0.5
+
+    #: observability hook (re-pointed per run by the GDO engine); the
+    #: shared null registry keeps standalone use silent and free
+    metrics = NULL_REGISTRY
 
     def __init__(
         self,
@@ -230,13 +238,19 @@ class IncrementalSta(Sta):
         """
         net = self.net
         if dirty is None:
+            self.metrics.counter("sta_scratch_trigger",
+                                 cause="unknown_edit").inc()
             self._compute()
             return
         dirty = {s for s in dirty if net.has_signal(s)}
         removed = [s for s in removed if not net.has_signal(s)]
         if not dirty and not removed:
             return
+        self.metrics.histogram("sta_dirty_set",
+                               buckets=_SIZE_BUCKETS).observe(len(dirty))
         if len(dirty) > self.scratch_fraction * (len(net.gates) or 1):
+            self.metrics.counter("sta_scratch_trigger",
+                                 cause="dirty_fraction").inc()
             self._compute()
             return
         self.incremental_updates += 1
@@ -257,6 +271,9 @@ class IncrementalSta(Sta):
         if stale or new_delay != self.delay:
             # Required times shift globally with the critical delay; the
             # cached pin delays keep the full backward pass cheap.
+            self.metrics.counter("sta_required_rebuild",
+                                 cause="stale" if stale
+                                 else "delay_shift").inc()
             self.delay = new_delay
             self._required_full()
             return
@@ -286,7 +303,11 @@ class IncrementalSta(Sta):
         self._ncp = None
         self._required = None
         self._slack = None
+        self.metrics.histogram("sta_dirty_set",
+                               buckets=_SIZE_BUCKETS).observe(len(dirty))
         if len(dirty) > self.scratch_fraction * (len(net.gates) or 1):
+            self.metrics.counter("sta_scratch_trigger",
+                                 cause="dirty_fraction").inc()
             undo.dict_refs = (
                 self.load, self.arrival, self._pin_delays, self._topo_pos
             )
@@ -444,6 +465,7 @@ class IncrementalSta(Sta):
         dup.scratch_updates = 0
         dup.incremental_updates = 0
         dup.signals_touched = 0
+        dup.metrics = self.metrics
         dup.refresh(dirty, removed)
         return dup
 

@@ -1,0 +1,107 @@
+"""Run journal: schema validation, JSONL round-trip, volatile strip."""
+
+import json
+
+import pytest
+
+from repro.obs.journal import (
+    NULL_JOURNAL, JournalSchemaError, RunJournal, VOLATILE_FIELDS,
+    load_journal, strip_volatile, validate_journal, validate_record,
+)
+
+
+def _write_demo(journal):
+    journal.record("run_begin", circuit="c", gates=10, seed=0, n_words=8)
+    journal.record("phase_begin", phase="delay", round=1)
+    journal.record("trial", phase="delay", kind="OS2", desc="g1<-g2")
+    journal.record("refute", desc="g1<-g2", refuted=False)
+    journal.record("verdict", obligation="ab12", verdict="valid",
+                   cache_hit=False, wall_ms=3.5)
+    journal.record("commit", phase="delay", kind="OS2", desc="g1<-g2",
+                   delay_after=4.2, area_after=17.0)
+    journal.record("reject", desc="g3<-g4", reason="timing")
+    journal.record("run_end", delay_after=4.2, area_after=17.0,
+                   mods=1, rounds=1)
+
+
+def test_journal_roundtrip_through_jsonl(tmp_path):
+    path = tmp_path / "run.jsonl"
+    journal = RunJournal(str(path))
+    _write_demo(journal)
+    journal.close()
+
+    loaded = load_journal(str(path))
+    validate_journal(loaded)
+    assert loaded == journal.records
+    # Disk form is one sorted-keys JSON object per line.
+    lines = path.read_text().splitlines()
+    assert len(lines) == len(loaded)
+    first = json.loads(lines[0])
+    assert list(first) == sorted(first)
+
+
+def test_seq_is_monotonic_from_zero():
+    journal = RunJournal()
+    _write_demo(journal)
+    assert [r["seq"] for r in journal.records] == list(range(8))
+    validate_journal(journal.records)
+
+
+def test_records_carry_no_timestamps():
+    journal = RunJournal()
+    _write_demo(journal)
+    for rec in journal.records:
+        for field in rec:
+            assert field not in ("time", "timestamp", "ts", "when")
+
+
+def test_unknown_record_type_rejected():
+    journal = RunJournal()
+    with pytest.raises(JournalSchemaError):
+        journal.record("made_up", foo=1)
+    assert journal.records == []
+
+
+def test_missing_required_field_rejected():
+    with pytest.raises(JournalSchemaError, match="missing"):
+        validate_record({"seq": 0, "type": "trial", "phase": "delay"})
+
+
+def test_bad_seq_rejected():
+    with pytest.raises(JournalSchemaError, match="seq"):
+        validate_record({"seq": -1, "type": "reject",
+                         "desc": "d", "reason": "r"})
+    with pytest.raises(JournalSchemaError, match="seq gap"):
+        validate_journal([
+            {"seq": 0, "type": "reject", "desc": "d", "reason": "r"},
+            {"seq": 5, "type": "reject", "desc": "d", "reason": "r"},
+        ])
+
+
+def test_strip_volatile_removes_only_volatile_fields():
+    journal = RunJournal()
+    _write_demo(journal)
+    stripped = strip_volatile(journal.records)
+    for rec in stripped:
+        assert not VOLATILE_FIELDS & rec.keys()
+    # Nothing else is lost, and the originals are untouched.
+    verdict = journal.records[4]
+    assert "cache_hit" in verdict and "wall_ms" in verdict
+    assert stripped[4] == {k: v for k, v in verdict.items()
+                           if k not in VOLATILE_FIELDS}
+
+
+def test_null_journal_is_inert():
+    assert not NULL_JOURNAL.enabled
+    assert NULL_JOURNAL.record("run_end", delay_after=1.0,
+                               area_after=1.0, mods=0, rounds=0) is None
+    assert NULL_JOURNAL.records == []
+    NULL_JOURNAL.close()
+
+
+def test_journal_context_manager_closes_file(tmp_path):
+    path = tmp_path / "cm.jsonl"
+    with RunJournal(str(path)) as journal:
+        journal.record("phase_begin", phase="delay", round=1)
+    assert journal._fh is None
+    assert load_journal(str(path)) == journal.records

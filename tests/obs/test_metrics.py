@@ -1,0 +1,114 @@
+"""Metrics registry: labels, snapshots, and worker-snapshot merging."""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS, MetricsRegistry, NULL_INSTRUMENT, NULL_REGISTRY,
+    parse_key, rendered_key,
+)
+
+
+def test_counter_labels_create_distinct_instruments():
+    reg = MetricsRegistry()
+    reg.counter("verdicts", verdict="valid").inc()
+    reg.counter("verdicts", verdict="valid").inc(2)
+    reg.counter("verdicts", verdict="invalid").inc()
+    snap = reg.snapshot()
+    assert snap["counters"]["verdicts{verdict=valid}"] == 3
+    assert snap["counters"]["verdicts{verdict=invalid}"] == 1
+
+
+def test_gauge_and_histogram_snapshot():
+    reg = MetricsRegistry()
+    reg.gauge("queue_depth").set(7)
+    hist = reg.histogram("latency", backend="sat")
+    for v in (0.0004, 0.003, 42.0):
+        hist.observe(v)
+    snap = reg.snapshot()
+    assert snap["gauges"]["queue_depth"] == 7
+    h = snap["histograms"]["latency{backend=sat}"]
+    assert h["count"] == 3
+    assert h["min"] == 0.0004 and h["max"] == 42.0
+    assert h["counts"][0] == 1          # 0.0004 <= first bucket bound
+    assert h["counts"][-1] == 1         # 42.0 overflows every bound
+    assert sum(h["counts"]) == h["count"]
+
+
+def test_rendered_key_roundtrip():
+    key = rendered_key("m", b="2", a="1")
+    assert key == "m{a=1,b=2}"          # labels sorted
+    assert parse_key(key) == ("m", (("a", "1"), ("b", "2")))
+    assert parse_key("bare") == ("bare", ())
+
+
+def test_merge_snapshot_simulated_workers():
+    # Each proof-broker worker process builds a local registry and ships
+    # its snapshot back through the pool; the parent folds them in.
+    parent = MetricsRegistry()
+    parent.counter("proof_attempts", backend="sat").inc(5)
+    parent.histogram("proof_seconds", backend="sat").observe(0.01)
+
+    worker_snaps = []
+    for latencies in ((0.002, 0.02), (0.5,)):
+        w = MetricsRegistry()
+        w.counter("proof_attempts", backend="sat").inc(len(latencies))
+        w.gauge("last_batch").set(len(latencies))
+        for v in latencies:
+            w.histogram("proof_seconds", backend="sat").observe(v)
+        worker_snaps.append(w.snapshot())
+
+    for snap in worker_snaps:
+        parent.merge_snapshot(snap)
+
+    snap = parent.snapshot()
+    assert snap["counters"]["proof_attempts{backend=sat}"] == 8
+    assert snap["gauges"]["last_batch"] == 1   # last write wins
+    h = snap["histograms"]["proof_seconds{backend=sat}"]
+    assert h["count"] == 4
+    assert h["min"] == 0.002 and h["max"] == 0.5
+    assert abs(h["sum"] - (0.01 + 0.002 + 0.02 + 0.5)) < 1e-12
+    assert sum(h["counts"]) == h["count"]
+
+
+def test_merge_snapshot_mismatched_buckets_keeps_extremes():
+    parent = MetricsRegistry()
+    parent.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+    other = MetricsRegistry()
+    other.histogram("h", buckets=(10.0,)).observe(3.0)
+    other.histogram("h", buckets=(10.0,)).observe(7.0)
+    # The existing instrument keeps its bounds, so the incoming data
+    # cannot merge bucket-wise; the fallback re-observes its min/max.
+    parent.merge_snapshot(other.snapshot())
+    snap = parent.snapshot()
+    assert snap["histograms"]["h"]["count"] == 3
+    assert snap["histograms"]["h"]["max"] == 7.0
+
+
+def test_merge_snapshot_none_and_empty_are_noops():
+    reg = MetricsRegistry()
+    reg.merge_snapshot(None)
+    reg.merge_snapshot({})
+    assert reg.snapshot() == {"counters": {}, "gauges": {},
+                              "histograms": {}}
+
+
+def test_disabled_registry_is_a_noop():
+    assert not NULL_REGISTRY.enabled
+    assert NULL_REGISTRY.counter("x") is NULL_INSTRUMENT
+    assert NULL_REGISTRY.gauge("x") is NULL_INSTRUMENT
+    assert NULL_REGISTRY.histogram("x") is NULL_INSTRUMENT
+    NULL_REGISTRY.counter("x", a=1).inc()
+    NULL_REGISTRY.histogram("x").observe(1.0)
+    NULL_REGISTRY.merge_snapshot({"counters": {"x": 5}})
+    snap = NULL_REGISTRY.snapshot()
+    assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def test_counter_value_accessor():
+    reg = MetricsRegistry()
+    assert reg.counter_value("missing") == 0
+    reg.counter("hits", site="a").inc(4)
+    assert reg.counter_value("hits", site="a") == 4
+    assert reg.counter_value("hits", site="b") == 0
+
+
+def test_default_buckets_are_sorted():
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)

@@ -1,0 +1,84 @@
+"""Span tracer: aggregation, nesting, and the disabled no-op path."""
+
+import time
+
+import pytest
+
+from repro.obs.trace import NULL_SPAN, NULL_TRACER, Tracer, hot_spans
+
+
+def test_span_aggregates_by_name():
+    tracer = Tracer()
+    for _ in range(3):
+        with tracer.span("prove"):
+            pass
+    with tracer.span("refute"):
+        pass
+    agg = tracer.aggregate()
+    assert agg["prove"]["count"] == 3
+    assert agg["refute"]["count"] == 1
+    assert agg["prove"]["wall_s"] >= 0.0
+    assert agg["prove"]["cpu_s"] >= 0.0
+
+
+def test_spans_nest_and_attrs_are_accepted():
+    tracer = Tracer()
+    with tracer.span("outer", key="abc"):
+        with tracer.span("inner"):
+            time.sleep(0.002)
+    agg = tracer.aggregate()
+    # The outer span covers the inner one — nesting never loses time.
+    assert agg["outer"]["wall_s"] >= agg["inner"]["wall_s"]
+    assert agg["inner"]["wall_s"] >= 0.002
+
+
+def test_disabled_tracer_hands_out_the_shared_null_span():
+    tracer = Tracer(enabled=False)
+    span = tracer.span("anything", key=1)
+    assert span is NULL_SPAN
+    assert NULL_TRACER.span("x") is NULL_SPAN
+    with span:
+        pass
+    assert tracer.aggregate() == {}
+
+
+def test_null_span_propagates_exceptions():
+    with pytest.raises(RuntimeError):
+        with NULL_TRACER.span("x"):
+            raise RuntimeError("boom")
+
+
+def test_enabled_span_records_even_on_exception():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("failing"):
+            raise RuntimeError("boom")
+    assert tracer.aggregate()["failing"]["count"] == 1
+
+
+def test_reset_clears_aggregate():
+    tracer = Tracer()
+    with tracer.span("x"):
+        pass
+    tracer.reset()
+    assert tracer.aggregate() == {}
+
+
+def test_hot_spans_sorted_by_wall_time_and_truncated():
+    agg = {
+        f"span{i}": {"count": 1, "wall_s": float(i), "cpu_s": 0.0}
+        for i in range(12)
+    }
+    rows = hot_spans(agg, top=8)
+    assert len(rows) == 8
+    walls = [w for _, _, w, _ in rows]
+    assert walls == sorted(walls, reverse=True)
+    assert rows[0][0] == "span11"
+
+
+def test_hot_spans_ties_break_by_name():
+    agg = {
+        "b": {"count": 1, "wall_s": 1.0, "cpu_s": 0.0},
+        "a": {"count": 1, "wall_s": 1.0, "cpu_s": 0.0},
+    }
+    assert [r[0] for r in hot_spans(agg)] == ["a", "b"]

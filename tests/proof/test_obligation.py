@@ -73,12 +73,12 @@ def test_rebuilt_netlists_prove_correctly():
     spec = LadderSpec(mode="sat")
     l_eq, r_eq = _pair("eq", equivalent=True)
     ob = build_obligation(l_eq, r_eq, _cand())
-    _, verdict, _ = prove_serialized((ob.key, ob.left, ob.right, spec))
+    _, verdict, _, _ = prove_serialized((ob.key, ob.left, ob.right, spec))
     assert verdict == VALID
 
     l_ne, r_ne = _pair("ne", equivalent=False)
     ob = build_obligation(l_ne, r_ne, _cand())
-    _, verdict, _ = prove_serialized((ob.key, ob.left, ob.right, spec))
+    _, verdict, _, _ = prove_serialized((ob.key, ob.left, ob.right, spec))
     assert verdict == INVALID
 
 
