@@ -18,7 +18,7 @@ import pytest
 
 from conftest import register_report
 from repro.bdd import BddBudgetExceeded, bdd_equivalent
-from repro.circuits import array_multiplier, nsym
+from repro.circuits import array_multiplier
 from repro.circuits.registry import SMALL_SUITE
 from repro.clauses import CandidateEnumerator
 from repro.sim import BitSimulator, ObservabilityEngine

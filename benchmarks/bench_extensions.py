@@ -7,7 +7,6 @@ without fanout optimization"), and the §4 remark that global
 implications are an alternative way to compute C2-clauses.
 """
 
-import pytest
 
 from conftest import register_report
 from repro.circuits import array_multiplier, priority_controller
@@ -16,7 +15,6 @@ from repro.clauses.implications import count_implications
 from repro.netlist import Netlist
 from repro.opt import optimize_fanout, rar_optimize
 from repro.synth import script_rugged
-from repro.timing import Sta
 from repro.verify import check_equivalence
 
 

@@ -8,7 +8,6 @@ a new AND gate.  Each benchmark measures the core operation and asserts
 its semantic claim.
 """
 
-import pytest
 
 from repro.clauses import Candidate, circuit_characteristic_clauses
 from repro.netlist import Branch, Netlist, TwoInputForm

@@ -18,7 +18,6 @@ from conftest import register_report
 from repro.circuits import array_multiplier
 from repro.opt import gdo_optimize
 from repro.synth import script_rugged
-from repro.timing import Sta
 
 
 @pytest.fixture(scope="module")

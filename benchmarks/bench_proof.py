@@ -9,7 +9,6 @@ bitwise-identical modification sequence.
 import time
 from pathlib import Path
 
-import pytest
 
 from conftest import register_report
 
@@ -23,8 +22,12 @@ from repro.proof import ProofBroker, build_obligation
 
 
 def _proof_cfg(workers: int) -> GdoConfig:
+    # static_funnel off: these benchmarks measure the broker itself, so
+    # every obligation must actually reach it (the static refuter stage
+    # would otherwise discharge most of them before dispatch).
     return GdoConfig(n_words=8, proof="sat", proof_workers=workers,
-                     verify_final=False, max_rounds=4, max_seconds=60.0)
+                     verify_final=False, max_rounds=4, max_seconds=60.0,
+                     static_funnel=False)
 
 
 def _fingerprint(result):

@@ -14,10 +14,8 @@ assert the direction of every claim.
 import pytest
 
 from conftest import register_report
-from repro.circuits import nsym
 from repro.circuits.registry import SMALL_SUITE
 from repro.clauses import CandidateEnumerator
-from repro.library import mcnc_like
 from repro.sim import BitSimulator, ObservabilityEngine
 from repro.synth import script_rugged
 from repro.timing import Sta

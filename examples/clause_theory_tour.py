@@ -4,7 +4,7 @@ theorem correspondences, BPFS filtering, and proof backends.
 Run:  python examples/clause_theory_tour.py
 """
 
-from repro.atpg import Fault, generate_test, is_redundant
+from repro.atpg import Fault, is_redundant
 from repro.clauses import (
     Candidate, CandidateEnumerator, c1_clauses, c2_clauses, c3_clauses,
 )

@@ -1,0 +1,30 @@
+"""Static analysis: netlist invariant checking and PVCC discharge.
+
+Two cooperating passes (DESIGN.md §8):
+
+* the **invariant checker** (:mod:`.invariants`, :mod:`.diagnostics`)
+  validates structural invariants of a :class:`Netlist` — full-netlist
+  for the lint CLI, dirty-region scoped behind ``GdoConfig.check`` for
+  the GDO trial/commit hooks;
+* the **static refuter** (:mod:`.static_refuter`, :mod:`.dominators`)
+  proves or refutes candidate clause combinations from structure alone,
+  discharging proof obligations before BPFS and the proof broker.
+
+Run the lint CLI with ``python -m repro.analysis circuit.bench``.
+"""
+
+from .diagnostics import (
+    ERROR, WARNING, Diagnostic, DiagnosticReport, InvariantViolation,
+)
+from .dominators import Dominators, forced_side_literals
+from .invariants import (
+    RULES, InvariantChecker, RuleSpec, assert_clean, check_netlist,
+)
+from .static_refuter import PROVED, REFUTED, UNKNOWN, StaticRefuter
+
+__all__ = [
+    "ERROR", "WARNING", "Diagnostic", "DiagnosticReport",
+    "InvariantViolation", "Dominators", "forced_side_literals",
+    "RULES", "RuleSpec", "InvariantChecker", "assert_clean",
+    "check_netlist", "PROVED", "REFUTED", "UNKNOWN", "StaticRefuter",
+]

@@ -1,0 +1,92 @@
+"""Standalone netlist lint CLI.
+
+Usage::
+
+    python -m repro.analysis circuit.bench [circuit2.blif ...]
+
+Parses each circuit (.bench or .blif), runs the full invariant-rule
+catalog, prints every diagnostic, and exits nonzero when any
+error-severity diagnostic (or a parse failure) was found.  ``--strict``
+also fails on warnings; ``--rules`` restricts the rule set;
+``--list-rules`` prints the catalog.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..io.bench import BenchError, load_bench
+from ..io.blif import BlifError, load_blif
+from ..library import mcnc_like
+from ..library.cells import TechLibrary
+from ..netlist.netlist import Netlist
+from .invariants import RULES, check_netlist
+
+
+def _load(path: str, library: TechLibrary) -> Netlist:
+    if path.endswith(".blif"):
+        return load_blif(path, library)
+    if path.endswith(".bench"):
+        return load_bench(path)
+    raise ValueError(f"unsupported circuit format: {path!r} "
+                     "(expected .bench or .blif)")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Lint gate-level netlists against the invariant "
+                    "rule catalog.",
+    )
+    parser.add_argument("circuits", nargs="*",
+                        help=".bench or .blif files to check")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated rule ids (default: all)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit nonzero on warnings too")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for spec in RULES.values():
+            mode = "scoped" if spec.scoped else "full-only"
+            print(f"{spec.id:20s} {spec.severity:8s} [{mode}] "
+                  f"{spec.description}")
+        return 0
+    if not args.circuits:
+        parser.error("no circuits given (or use --list-rules)")
+
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = [r for r in rules if r not in RULES]
+        if unknown:
+            parser.error(f"unknown rule id(s): {', '.join(unknown)}")
+
+    library = mcnc_like()
+    failed = False
+    for path in args.circuits:
+        try:
+            net = _load(path, library)
+        except (OSError, ValueError, BenchError, BlifError) as exc:
+            print(f"{path}: parse error: {exc}", file=sys.stderr)
+            failed = True
+            continue
+        report = check_netlist(net, library, rules=rules)
+        status = "clean" if not report.diagnostics else (
+            f"{len(report.errors)} error(s), "
+            f"{len(report.warnings)} warning(s)"
+        )
+        print(f"{path}: {net.num_gates} gates, {status}")
+        for diag in report.diagnostics:
+            print(f"  {diag.format()}")
+        if report.errors or (args.strict and report.warnings):
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

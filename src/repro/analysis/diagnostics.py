@@ -1,0 +1,87 @@
+"""Structured diagnostics emitted by the invariant checker.
+
+Every violation is a :class:`Diagnostic` — rule id, severity, the
+offending signals, a human message and a repro hint — so callers (the
+GDO check hooks, the lint CLI, tests) can dispatch on rule ids instead
+of parsing prose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+ERROR = "error"
+WARNING = "warning"
+
+SEVERITIES = (ERROR, WARNING)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One invariant violation.
+
+    ``rule``     stable kebab-case rule id (see ``invariants.RULES``)
+    ``severity`` ``"error"`` (structure unusable / caches poisoned) or
+                 ``"warning"`` (suspicious but simulable)
+    ``signals``  offending signal names, sorted, possibly empty
+    ``message``  one-line description of what is wrong
+    ``hint``     how to reproduce / where to look
+    """
+
+    rule: str
+    severity: str
+    signals: Tuple[str, ...]
+    message: str
+    hint: str = ""
+
+    def format(self) -> str:
+        sigs = f" [{', '.join(self.signals)}]" if self.signals else ""
+        hint = f"  ({self.hint})" if self.hint else ""
+        return f"{self.severity}: {self.rule}{sigs}: {self.message}{hint}"
+
+
+@dataclass
+class DiagnosticReport:
+    """Ordered collection of diagnostics from one checker run."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(self, diag: Diagnostic) -> None:
+        self.diagnostics.append(diag)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == WARNING]
+
+    def ok(self) -> bool:
+        return not self.errors
+
+    def rule_ids(self) -> List[str]:
+        return sorted({d.rule for d in self.diagnostics})
+
+    def format(self) -> str:
+        if not self.diagnostics:
+            return "clean: no diagnostics"
+        lines = [d.format() for d in self.diagnostics]
+        lines.append(
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        )
+        return "\n".join(lines)
+
+
+class InvariantViolation(Exception):
+    """Raised by ``assert_clean`` when error-severity diagnostics exist."""
+
+    def __init__(self, diagnostics: Sequence[Diagnostic], context: str = ""):
+        self.diagnostics = list(diagnostics)
+        self.context = context
+        where = f" after {context}" if context else ""
+        detail = "\n".join(d.format() for d in self.diagnostics)
+        super().__init__(
+            f"netlist invariants violated{where}:\n{detail}"
+        )

@@ -1,0 +1,141 @@
+"""Structural single-vertex dominators toward the primary outputs.
+
+A gate output ``d`` dominates signal ``s`` when every path from ``s``
+to *any* primary output passes through ``d``.  Dominators matter for
+clause analysis because they localise observability: under ``Os = 1``
+(a change of ``s`` is visible at some PO for the current vector), the
+output of every dominator of ``s`` must change too — so if the change
+enters a dominator gate through exactly one pin, the gate's *other*
+pins are forced to their non-controlling values.  Those forced literals
+(``side = 1`` for AND/NAND, ``side = 0`` for OR/NOR) are free
+assumptions for the static refuter: they hold on every vector where the
+candidate's observability literal holds.
+
+Computed with the classic Cooper/Harvey/Kennedy iterative idom
+intersection over the fanout DAG extended with a virtual sink that
+collects all POs; one reverse-topological sweep suffices on a DAG.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..netlist.netlist import Netlist
+
+Lit = Tuple[str, int]
+
+_SINK = "<po-sink>"
+
+# Pin values that let a change propagate through the gate: the
+# non-controlling side-input value per function family.
+_NONCONTROLLING = {
+    "AND": 1, "NAND": 1,
+    "OR": 0, "NOR": 0,
+}
+
+
+class Dominators:
+    """Immediate dominators of every signal toward the PO sink."""
+
+    def __init__(self, net: Netlist):
+        self.net = net
+        self._idom: Dict[str, Optional[str]] = {}
+        self._rank: Dict[str, int] = {_SINK: 0}
+        self._compute()
+
+    def _compute(self) -> None:
+        net = self.net
+        fan = net.fanout_map()
+        po_set = set(net.pos)
+        idom: Dict[str, str] = {_SINK: _SINK}
+        rank = self._rank
+        # Reverse topological order visits every signal after all of
+        # its readers (gate outputs are later in topo than the inputs
+        # they read), so successor idoms are final when needed.  PIs go
+        # at the *front* so the reversed sweep reaches them last, after
+        # every gate that reads them.
+        order = [
+            pi for pi in net.pis if pi not in net.gates
+        ] + list(net.topo_order())
+        for signal in reversed(order):
+            succs = [br.gate for br in fan.get(signal, [])]
+            if signal in po_set:
+                succs.append(_SINK)
+            known = [s for s in succs if s in idom]
+            if not known:
+                self._idom[signal] = None  # no path to any PO
+                continue
+            new = known[0]
+            for other in known[1:]:
+                new = self._intersect(new, other, idom, rank)
+            idom[signal] = new
+            rank[signal] = rank[new] + 1
+            self._idom[signal] = new
+
+    @staticmethod
+    def _intersect(a: str, b: str, idom: Dict[str, str],
+                   rank: Dict[str, int]) -> str:
+        while a != b:
+            if rank[a] > rank[b]:
+                a = idom[a]
+            else:
+                b = idom[b]
+        return a
+
+    # ------------------------------------------------------------------
+    def idom(self, signal: str) -> Optional[str]:
+        """Immediate dominator gate output (``None`` for POs whose only
+        dominator is the virtual sink, and for dead signals)."""
+        d = self._idom.get(signal)
+        return None if d == _SINK else d
+
+    def chain(self, signal: str) -> Iterator[str]:
+        """All single-vertex dominator gate outputs of ``signal``,
+        nearest first (excluding the signal itself and the sink)."""
+        cur = self._idom.get(signal)
+        while cur is not None and cur != _SINK:
+            yield cur
+            cur = self._idom.get(cur)
+
+    def dominates(self, dom: str, signal: str) -> bool:
+        return dom == signal or dom in self.chain(signal)
+
+
+def forced_side_literals(
+    net: Netlist,
+    root: str,
+    doms: Optional[Dominators] = None,
+    max_doms: int = 16,
+) -> List[Lit]:
+    """Literals forced on every vector where a change at ``root`` is
+    observable at some PO.
+
+    For each single-vertex dominator gate ``d`` of ``root``: if exactly
+    one of ``d``'s pins lies inside the fanout cone of ``root``, the
+    change reaches ``d`` only through that pin, and for ``d``'s output
+    to change (it must — all PO paths run through ``d``) the remaining
+    side pins must sit at the function's non-controlling value.  Only
+    the AND/OR families force values; XOR-like and complex cells
+    propagate unconditionally and contribute nothing.
+    """
+    if doms is None:
+        doms = Dominators(net)
+    cone: Set[str] = net.transitive_fanout(root, include_self=True)
+    cone.add(root)
+    forced: List[Lit] = []
+    for i, dom in enumerate(doms.chain(root)):
+        if i >= max_doms:
+            break
+        gate = net.gates.get(dom)
+        if gate is None:
+            continue
+        value = _NONCONTROLLING.get(gate.func.name)
+        if value is None:
+            continue
+        inside = [sig for sig in gate.inputs if sig in cone]
+        if len(inside) != 1:
+            continue
+        for sig in gate.inputs:
+            if sig not in cone:
+                forced.append((sig, value))
+    return forced

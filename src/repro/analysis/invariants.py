@@ -1,0 +1,498 @@
+"""Pluggable structural-invariant checker for :class:`Netlist`.
+
+The checker validates the invariants the rest of the system silently
+relies on — the DAG property, the hand-patched fanout map of in-place
+trial edits, cached topological orders, library bindings — and reports
+violations as structured :class:`Diagnostic` objects instead of
+exploding later inside ``topo_order`` or the simulator.
+
+Two modes:
+
+* **full** (``scope=None``): every rule over the whole netlist, used by
+  the lint CLI and by tests;
+* **dirty-region** (``scope={signals}``): only facts touching the
+  scoped signals are re-checked, O(|scope| * fanin-cone) instead of
+  O(net), cheap enough to run after every trial edit, undo and commit
+  (the ``GdoConfig.check`` hooks).
+
+Rules never trust the caches they are checking: reader information is
+recomputed from ``gate.inputs`` (the ground truth) wherever the cached
+fanout map is itself under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import (
+    Callable, Dict, Iterable, List, Optional, Set, Tuple, TypeVar,
+)
+
+from ..library.cells import TechLibrary
+from ..netlist.netlist import Netlist
+from .diagnostics import (
+    ERROR, WARNING, Diagnostic, DiagnosticReport, InvariantViolation,
+)
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """Catalog entry for one invariant rule."""
+
+    id: str
+    severity: str
+    description: str
+    scoped: bool  # participates in dirty-region mode
+
+
+RULES: Dict[str, RuleSpec] = {}
+
+
+_F = TypeVar("_F", bound=Callable[..., None])
+
+
+def _rule(id: str, severity: str, description: str,
+          scoped: bool = True) -> Callable[[_F], _F]:
+    """Register a rule in the catalog; the decorated method is found by
+    naming convention (``_check_<id>`` with dashes as underscores)."""
+    RULES[id] = RuleSpec(id, severity, description, scoped)
+
+    def wrap(fn: _F) -> _F:
+        return fn
+
+    return wrap
+
+
+class InvariantChecker:
+    """Runs the rule catalog over a netlist (full or scoped)."""
+
+    def __init__(self, net: Netlist, library: Optional[TechLibrary] = None):
+        self.net = net
+        self.library = library
+        self._fresh_readers: Optional[Dict[str, List[Tuple[str, int]]]] = None
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+    def check(
+        self,
+        scope: Optional[Iterable[str]] = None,
+        rules: Optional[Iterable[str]] = None,
+    ) -> DiagnosticReport:
+        """Run ``rules`` (default: all) and collect diagnostics.
+
+        ``scope`` switches to dirty-region mode: only the given signals
+        (and edges incident to them) are examined, and whole-net rules
+        that cannot be regionalised are skipped.
+        """
+        self._fresh_readers = None
+        report = DiagnosticReport()
+        scope_set = None if scope is None else set(scope)
+        wanted = set(rules) if rules is not None else None
+        for spec in RULES.values():
+            if wanted is not None and spec.id not in wanted:
+                continue
+            if scope_set is not None and not spec.scoped:
+                continue
+            getattr(self, "_check_" + spec.id.replace("-", "_"))(
+                report, scope_set
+            )
+        return report
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _emit(
+        self,
+        report: DiagnosticReport,
+        rule: str,
+        signals: Iterable[str],
+        message: str,
+        hint: str = "",
+    ) -> None:
+        report.add(Diagnostic(
+            rule=rule,
+            severity=RULES[rule].severity,
+            signals=tuple(sorted(set(signals))),
+            message=message,
+            hint=hint,
+        ))
+
+    def _readers(self) -> Dict[str, List[Tuple[str, int]]]:
+        """Ground-truth reader map rebuilt from ``gate.inputs`` — never
+        the (possibly corrupt) ``_fanouts`` cache."""
+        if self._fresh_readers is None:
+            readers: Dict[str, List[Tuple[str, int]]] = {}
+            for gate in self.net.gates.values():
+                for pin, sig in enumerate(gate.inputs):
+                    readers.setdefault(sig, []).append((gate.output, pin))
+            self._fresh_readers = readers
+        return self._fresh_readers
+
+    def _scoped_gates(self, scope: Optional[Set[str]]) -> Iterable[str]:
+        if scope is None:
+            return self.net.gates.keys()
+        return [s for s in scope if s in self.net.gates]
+
+    # ------------------------------------------------------------------
+    # rules
+    # ------------------------------------------------------------------
+    @_rule("cycle", ERROR,
+           "the gate graph must be acyclic (combinational)")
+    def _check_cycle(self, report: DiagnosticReport,
+                     scope: Optional[Set[str]]) -> None:
+        net = self.net
+        if scope is not None:
+            # A cycle through s exists iff s is in its own transitive
+            # fanin; walk gate.inputs backward (cache-free, O(cone)).
+            for s in self._scoped_gates(scope):
+                stack = list(net.gates[s].inputs)
+                seen: Set[str] = set()
+                while stack:
+                    cur = stack.pop()
+                    if cur == s:
+                        self._emit(
+                            report, "cycle", [s],
+                            f"signal {s!r} lies on a combinational cycle",
+                            "walk gate.inputs back from the signal",
+                        )
+                        stack = []
+                        break
+                    if cur in seen or cur not in net.gates:
+                        continue
+                    seen.add(cur)
+                    stack.extend(net.gates[cur].inputs)
+            return
+        # Full mode: Kahn's algorithm on raw structures; leftovers with
+        # nonzero in-degree are exactly the signals on/behind cycles.
+        indeg = {
+            out: sum(1 for s in g.inputs if s in net.gates)
+            for out, g in net.gates.items()
+        }
+        ready = [out for out, d in indeg.items() if d == 0]
+        readers = self._readers()
+        done = 0
+        while ready:
+            sig = ready.pop()
+            done += 1
+            for gate_out, _pin in readers.get(sig, []):
+                indeg[gate_out] -= 1
+                if indeg[gate_out] == 0:
+                    ready.append(gate_out)
+        if done != len(net.gates):
+            cyclic = sorted(out for out, d in indeg.items() if d > 0)
+            self._emit(
+                report, "cycle", cyclic,
+                f"{len(cyclic)} gate(s) on or behind a combinational cycle",
+                "Kahn's algorithm could not order these gates",
+            )
+
+    @_rule("dangling-input", ERROR,
+           "every gate input must be a PI or a driven signal")
+    def _check_dangling_input(self, report: DiagnosticReport,
+                              scope: Optional[Set[str]]) -> None:
+        net = self.net
+        for out in self._scoped_gates(scope):
+            gate = net.gates[out]
+            for pin, sig in enumerate(gate.inputs):
+                if not net.has_signal(sig):
+                    self._emit(
+                        report, "dangling-input", [out, sig],
+                        f"gate {out!r} pin {pin} reads undriven "
+                        f"signal {sig!r}",
+                        "the driver was removed without rewiring readers",
+                    )
+
+    @_rule("undriven-po", ERROR,
+           "every primary output must name an existing signal")
+    def _check_undriven_po(self, report: DiagnosticReport,
+                           scope: Optional[Set[str]]) -> None:
+        net = self.net
+        for po in net.pos:
+            if scope is not None and po not in scope:
+                continue
+            if not net.has_signal(po):
+                self._emit(
+                    report, "undriven-po", [po],
+                    f"primary output {po!r} has no driver",
+                    "a stem substitution must retarget POs it removes",
+                )
+
+    @_rule("arity", ERROR,
+           "gate input count must satisfy the function's arity")
+    def _check_arity(self, report: DiagnosticReport,
+                     scope: Optional[Set[str]]) -> None:
+        net = self.net
+        for out in self._scoped_gates(scope):
+            gate = net.gates[out]
+            try:
+                gate.func._check_arity(gate.nin)
+            except ValueError as exc:
+                self._emit(
+                    report, "arity", [out],
+                    f"gate {out!r}: {exc}",
+                    "Netlist.add_gate rejects this; the gate was mutated "
+                    "in place",
+                )
+
+    @_rule("cell-binding", ERROR,
+           "bound cells must exist in the library")
+    def _check_cell_binding(self, report: DiagnosticReport,
+                            scope: Optional[Set[str]]) -> None:
+        if self.library is None:
+            return
+        for out in self._scoped_gates(scope):
+            gate = self.net.gates[out]
+            if gate.cell is not None and gate.cell not in self.library:
+                self._emit(
+                    report, "cell-binding", [out],
+                    f"gate {out!r} bound to unknown cell {gate.cell!r}",
+                    f"library {self.library.name!r} has no such cell",
+                )
+
+    @_rule("cell-arity", ERROR,
+           "bound cell pin count must match the gate input count")
+    def _check_cell_arity(self, report: DiagnosticReport,
+                          scope: Optional[Set[str]]) -> None:
+        if self.library is None:
+            return
+        for out in self._scoped_gates(scope):
+            gate = self.net.gates[out]
+            if gate.cell is None or gate.cell not in self.library:
+                continue
+            cell = self.library[gate.cell]
+            if cell.nin != gate.nin:
+                self._emit(
+                    report, "cell-arity", [out],
+                    f"gate {out!r} has {gate.nin} inputs but cell "
+                    f"{cell.name!r} has {cell.nin} pins",
+                    "rebind after changing gate arity",
+                )
+
+    @_rule("cell-function", ERROR,
+           "bound cell truth table must match the gate function")
+    def _check_cell_function(self, report: DiagnosticReport,
+                             scope: Optional[Set[str]]) -> None:
+        if self.library is None:
+            return
+        for out in self._scoped_gates(scope):
+            gate = self.net.gates[out]
+            if gate.cell is None or gate.cell not in self.library:
+                continue
+            cell = self.library[gate.cell]
+            if cell.nin != gate.nin:
+                continue  # reported by cell-arity
+            if cell.func.name == gate.func.name:
+                continue
+            same = gate.nin <= 4 and all(
+                cell.func.eval_bits(bits) == gate.func.eval_bits(bits)
+                for bits in product((0, 1), repeat=gate.nin)
+            )
+            if not same:
+                self._emit(
+                    report, "cell-function", [out],
+                    f"gate {out!r} computes {gate.func.name} but cell "
+                    f"{cell.name!r} implements {cell.func.name}",
+                    "the cell binding is stale; rebind the gate",
+                )
+
+    @_rule("pi-overlap", ERROR,
+           "PI bookkeeping must be duplicate-free and disjoint from gates")
+    def _check_pi_overlap(self, report: DiagnosticReport,
+                          scope: Optional[Set[str]]) -> None:
+        net = self.net
+        if scope is None:
+            if len(net.pis) != len(net._pi_set):
+                dups = sorted({s for s in net.pis if net.pis.count(s) > 1})
+                self._emit(
+                    report, "pi-overlap", dups,
+                    "duplicate primary input names",
+                    "pis list and _pi_set disagree in size",
+                )
+            if set(net.pis) != net._pi_set:
+                diff = set(net.pis) ^ net._pi_set
+                self._emit(
+                    report, "pi-overlap", diff,
+                    "pis list and _pi_set disagree",
+                    "PI mutations bypassed add_pi",
+                )
+            overlap = net._pi_set & set(net.gates)
+            signals: Iterable[str] = overlap
+        else:
+            signals = [s for s in scope
+                       if s in net._pi_set and s in net.gates]
+        for s in sorted(signals):
+            self._emit(
+                report, "pi-overlap", [s],
+                f"signal {s!r} is both a primary input and a gate output",
+                "add_gate/add_pi collision",
+            )
+
+    @_rule("fanout-consistency", ERROR,
+           "cached fanout map must mirror gate.inputs exactly")
+    def _check_fanout_consistency(self, report: DiagnosticReport,
+                                  scope: Optional[Set[str]]) -> None:
+        net = self.net
+        cached = net._fanouts
+        if cached is None:
+            return  # nothing cached, nothing to be stale
+        # Direction 1: every cached branch must be a real edge.
+        signals = cached.keys() if scope is None else \
+            [s for s in scope if s in cached]
+        for sig in signals:
+            seen: Set[Tuple[str, int]] = set()
+            for br in cached.get(sig, []):
+                gate = net.gates.get(br.gate)
+                if gate is None or br.pin >= gate.nin \
+                        or gate.inputs[br.pin] != sig:
+                    self._emit(
+                        report, "fanout-consistency", [sig, br.gate],
+                        f"cached branch ({br.gate!r}, pin {br.pin}) of "
+                        f"{sig!r} does not match gate.inputs",
+                        "an in-place edit patched the map incorrectly",
+                    )
+                elif (br.gate, br.pin) in seen:
+                    self._emit(
+                        report, "fanout-consistency", [sig, br.gate],
+                        f"cached branch ({br.gate!r}, pin {br.pin}) of "
+                        f"{sig!r} is duplicated",
+                        "a fanout patch appended an existing branch",
+                    )
+                seen.add((br.gate, br.pin))
+        # Direction 2: every real edge must be cached.
+        for out in self._scoped_gates(scope):
+            gate = net.gates[out]
+            for pin, sig in enumerate(gate.inputs):
+                if not any(br.gate == out and br.pin == pin
+                           for br in cached.get(sig, [])):
+                    self._emit(
+                        report, "fanout-consistency", [sig, out],
+                        f"edge {sig!r} -> ({out!r}, pin {pin}) missing "
+                        f"from the cached fanout map",
+                        "an in-place edit dropped a branch",
+                    )
+
+    @_rule("topo-coherence", ERROR,
+           "cached topological order must cover all gates in dependency "
+           "order")
+    def _check_topo_coherence(self, report: DiagnosticReport,
+                              scope: Optional[Set[str]]) -> None:
+        net = self.net
+        topo = net._topo
+        if topo is None:
+            return
+        pos = {s: i for i, s in enumerate(topo)}
+        if scope is None:
+            if len(pos) != len(topo):
+                dups = sorted({s for s in topo if topo.count(s) > 1})
+                self._emit(
+                    report, "topo-coherence", dups,
+                    "cached topo order contains duplicates", "",
+                )
+            missing = set(net.gates) - set(pos)
+            extra = set(pos) - set(net.gates)
+            if missing or extra:
+                self._emit(
+                    report, "topo-coherence", missing | extra,
+                    f"cached topo order out of sync: {len(missing)} gate(s) "
+                    f"missing, {len(extra)} stale entr(ies)",
+                    "a structural edit forgot to invalidate _topo",
+                )
+        gates = self._scoped_gates(scope)
+        for out in gates:
+            if out not in pos:
+                if scope is not None:
+                    self._emit(
+                        report, "topo-coherence", [out],
+                        f"gate {out!r} missing from cached topo order",
+                        "a structural edit forgot to invalidate _topo",
+                    )
+                continue
+            for sig in net.gates[out].inputs:
+                if sig in pos and pos[sig] >= pos[out]:
+                    self._emit(
+                        report, "topo-coherence", [sig, out],
+                        f"cached topo order places {sig!r} at or after "
+                        f"its reader {out!r}",
+                        "order is stale relative to current edges",
+                    )
+
+    @_rule("floating-signal", WARNING,
+           "gate outputs should drive a pin or a PO")
+    def _check_floating_signal(self, report: DiagnosticReport,
+                               scope: Optional[Set[str]]) -> None:
+        net = self.net
+        po_set = set(net.pos)
+        if scope is None:
+            readers = self._readers()
+            candidates: Iterable[str] = net.gates.keys()
+        else:
+            cached = net._fanouts
+            if cached is None:
+                return  # no cheap reader info in scoped mode
+            readers = {
+                s: [(b.gate, b.pin) for b in cached.get(s, [])]
+                for s in scope
+            }
+            candidates = self._scoped_gates(scope)
+        for out in candidates:
+            if out in po_set or readers.get(out):
+                continue
+            if net.gates[out].func.name in ("CONST0", "CONST1"):
+                continue  # shared constants may be temporarily unused
+            self._emit(
+                report, "floating-signal", [out],
+                f"gate {out!r} drives no pin and no PO",
+                "dead logic; prune_dangling should have removed it",
+            )
+
+    @_rule("po-unreachable", WARNING,
+           "every gate should reach at least one primary output",
+           scoped=False)
+    def _check_po_unreachable(self, report: DiagnosticReport,
+                              scope: Optional[Set[str]]) -> None:
+        net = self.net
+        live: Set[str] = set()
+        stack = [po for po in net.pos if po in net.gates]
+        while stack:
+            sig = stack.pop()
+            if sig in live:
+                continue
+            live.add(sig)
+            stack.extend(s for s in net.gates[sig].inputs
+                         if s in net.gates)
+        dead = sorted(set(net.gates) - live)
+        # Floating gates are already reported individually; this rule
+        # flags the transitively dead region as one diagnostic.
+        if dead:
+            self._emit(
+                report, "po-unreachable", dead,
+                f"{len(dead)} gate(s) reach no primary output",
+                "dead cone upstream of floating signals",
+            )
+
+
+# ----------------------------------------------------------------------
+# convenience wrappers
+# ----------------------------------------------------------------------
+def check_netlist(
+    net: Netlist,
+    library: Optional[TechLibrary] = None,
+    scope: Optional[Iterable[str]] = None,
+    rules: Optional[Iterable[str]] = None,
+) -> DiagnosticReport:
+    """Run the invariant rules and return the diagnostic report."""
+    return InvariantChecker(net, library).check(scope=scope, rules=rules)
+
+
+def assert_clean(
+    net: Netlist,
+    library: Optional[TechLibrary] = None,
+    scope: Optional[Iterable[str]] = None,
+    context: str = "",
+) -> DiagnosticReport:
+    """Check and raise :class:`InvariantViolation` on any error."""
+    report = check_netlist(net, library, scope=scope)
+    if not report.ok():
+        raise InvariantViolation(report.errors, context=context)
+    return report

@@ -1,0 +1,235 @@
+"""Static prove/refute funnel stage for PVCC candidates (Sec. 4's
+"other method": global implications instead of BPFS + ATPG).
+
+Given a :class:`~repro.clauses.pvcc.Candidate`, the refuter decides
+statically — from circuit structure only, no simulation vectors and no
+SAT/BDD call — one of three verdicts:
+
+``proved``
+    every clause of the candidate's combination is valid on all input
+    vectors.  Established from (a) literals forced by observability
+    through single-vertex dominators (``dominators.py``), (b) the
+    transitive implication closure (``clauses/implications.py``), and
+    (c) joint assumption propagation over a bounded region around the
+    clause support.  A proved candidate would be answered ``VALID`` by
+    the proof broker, so the broker call is skipped.
+
+``refuted``
+    some clause's signal literals are all structurally constant at
+    their falsifying values, so the clause reduces to ``~O_target`` and
+    the combination fails on any vector observing the target.  Sound
+    under the *observable-target* premise (``assume_observable``): GDO
+    candidates are only enumerated after the observability engine saw
+    at least one observing vector, which is exactly such a witness.
+
+``unknown``
+    neither applies; the candidate proceeds to BPFS and the broker.
+
+The stage is a pure function of the netlist: verdicts are deterministic
+and identical across serial and parallel runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..clauses.implications import (
+    Conflict, ImplicationGraph, Lit, negate, propagate_assumptions,
+)
+from ..clauses.pvcc import Candidate
+from ..clauses.theory import Clause, SigLit
+from ..netlist.netlist import Branch, Netlist
+from ..sim.observability import SignalRef
+from .dominators import _NONCONTROLLING, Dominators, forced_side_literals
+
+PROVED = "proved"
+REFUTED = "refuted"
+UNKNOWN = "unknown"
+
+
+class StaticRefuter:
+    """Classifies candidates against one (frozen) netlist state.
+
+    Build once per netlist state; the implication graph, dominator
+    tree, forced-literal sets and verdicts are all memoized.  After a
+    committed modification the instance must be discarded — the
+    :class:`~repro.opt.engine.EngineContext` does exactly that.
+    """
+
+    def __init__(
+        self,
+        net: Netlist,
+        max_doms: int = 16,
+        region_depth: int = 4,
+        region_cap: int = 80,
+    ):
+        self.net = net
+        self.max_doms = max_doms
+        self.region_depth = region_depth
+        self.region_cap = region_cap
+        self.graph = ImplicationGraph(net)
+        self.doms = Dominators(net)
+        self._topo_pos: Dict[str, int] = {
+            s: i for i, s in enumerate(net.topo_order())
+        }
+        self._forced: Dict[SignalRef, Optional[Tuple[Lit, ...]]] = {}
+        self._memo: Dict[str, str] = {}
+        self.counts: Dict[str, int] = {PROVED: 0, REFUTED: 0, UNKNOWN: 0}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def classify(self, cand: Candidate,
+                 assume_observable: bool = True) -> str:
+        """Verdict for one candidate (memoized by description)."""
+        key = cand.describe()
+        verdict = self._memo.get(key)
+        if verdict is None:
+            verdict = self._classify(cand, assume_observable)
+            self._memo[key] = verdict
+            self.counts[verdict] += 1
+        return verdict
+
+    # ------------------------------------------------------------------
+    # verdict computation
+    # ------------------------------------------------------------------
+    def _classify(self, cand: Candidate, assume_observable: bool) -> str:
+        try:
+            clauses = cand.clause_combination()
+            forced = self._forced_literals(cand.target)
+        except (KeyError, ValueError):
+            return UNKNOWN  # candidate refers to signals no longer present
+        if forced is None:
+            # Forced literals contradict each other: the target is
+            # structurally unobservable, every ~O_target clause holds.
+            return PROVED
+        sig_clauses = [self._signal_lits(cl) for cl in clauses]
+        if assume_observable and any(
+            self._statically_false(lits) for lits in sig_clauses
+        ):
+            return REFUTED
+        if all(self._clause_valid(lits, forced) for lits in sig_clauses):
+            return PROVED
+        return UNKNOWN
+
+    def _signal_lits(self, cl: Clause) -> List[Lit]:
+        lits: List[Lit] = []
+        for lit in cl.literals:
+            if isinstance(lit, SigLit):
+                name = self._signal_name(lit.ref)
+                lits.append((name, 1 if lit.positive else 0))
+        return lits
+
+    def _signal_name(self, ref: SignalRef) -> str:
+        if isinstance(ref, Branch):
+            return self.net.gates[ref.gate].inputs[ref.pin]
+        return ref
+
+    # ------------------------------------------------------------------
+    # observability-forced literals
+    # ------------------------------------------------------------------
+    def _forced_literals(
+        self, target: SignalRef,
+    ) -> Optional[Tuple[Lit, ...]]:
+        """Literals holding on every vector with ``O_target = 1``;
+        ``None`` when they conflict (target never observable)."""
+        key = target
+        if key in self._forced:
+            return self._forced[key]
+        lits: List[Lit] = []
+        if isinstance(target, Branch):
+            gate = self.net.gates[target.gate]
+            value = _NONCONTROLLING.get(gate.func.name)
+            if value is not None:
+                for pin, sig in enumerate(gate.inputs):
+                    if pin != target.pin:
+                        lits.append((sig, value))
+            lits.extend(forced_side_literals(
+                self.net, gate.output, self.doms, self.max_doms
+            ))
+        else:
+            lits.extend(forced_side_literals(
+                self.net, target, self.doms, self.max_doms
+            ))
+        values: Dict[str, int] = {}
+        result: Optional[Tuple[Lit, ...]] = tuple()
+        for sig, val in lits:
+            if values.get(sig, val) != val:
+                result = None
+                break
+            values[sig] = val
+        if result is not None:
+            result = tuple(sorted(values.items()))
+        self._forced[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # clause-level rules
+    # ------------------------------------------------------------------
+    def _statically_false(self, sig_lits: Sequence[Lit]) -> bool:
+        """Every signal literal is provably constant at its falsifying
+        value, so the clause reduces to ``~O_target``."""
+        return bool(sig_lits) and all(
+            self.graph.contradiction(lit) for lit in sig_lits
+        )
+
+    def _clause_valid(self, sig_lits: Sequence[Lit],
+                      forced: Tuple[Lit, ...]) -> bool:
+        """``O_target = 1  =>  (l1 + l2 + ...)`` on all vectors."""
+        forced_set = set(forced)
+        for lit in sig_lits:
+            if lit in forced_set:
+                return True
+            if self.graph.contradiction(negate(lit)):
+                return True  # literal is constant-true
+        for li in sig_lits:
+            impl = self.graph.implications(negate(li))
+            for lj in sig_lits:
+                if lj != li and lj in impl:
+                    return True
+        for m in forced:
+            impl = self.graph.implications(m)
+            for lj in sig_lits:
+                if lj in impl:
+                    return True
+        # Joint propagation: assume every literal false plus the forced
+        # context; a conflict proves the clause valid.  Region-limited
+        # (sound — restriction only loses consequences).
+        assumptions = [negate(lit) for lit in sig_lits] + list(forced)
+        region = self._region(sig for sig, _ in assumptions)
+        if region:
+            try:
+                propagate_assumptions(self.net, assumptions, gates=region)
+            except Conflict:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def _region(self, signals: Iterable[str]) -> List[str]:
+        """Bounded structural neighbourhood of ``signals`` in topological
+        order, for region-limited propagation."""
+        net = self.net
+        fan = net.fanout_map()
+        gates: Set[str] = set()
+        for root in signals:
+            frontier = [root]
+            for _ in range(self.region_depth):
+                if len(gates) >= self.region_cap:
+                    break
+                nxt: List[str] = []
+                for sig in frontier:
+                    g = net.gates.get(sig)
+                    if g is not None and sig not in gates:
+                        gates.add(sig)
+                        nxt.extend(g.inputs)
+                    for br in fan.get(sig, []):
+                        if br.gate not in gates:
+                            gates.add(br.gate)
+                            nxt.append(br.gate)
+                frontier = nxt
+                if not frontier:
+                    break
+        return sorted(
+            (g for g in gates if g in self._topo_pos),
+            key=self._topo_pos.__getitem__,
+        )

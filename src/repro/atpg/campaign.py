@@ -18,9 +18,8 @@ import numpy as np
 
 from ..netlist.netlist import Branch, Netlist
 from ..sim.bitsim import BitSimulator
-from ..sim.observability import ObservabilityEngine
 from ..sim.vectors import vectors_to_words, word_mask_for
-from .faults import Fault, full_fault_list, inject_fault
+from .faults import Fault, full_fault_list
 from .satatpg import generate_test
 
 

@@ -14,7 +14,7 @@ techniques the paper builds on, and as a cross-check in the test suite.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple
 
 from ..netlist.gatefunc import GateFunc
 from ..netlist.netlist import Branch, Netlist

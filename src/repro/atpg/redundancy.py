@@ -10,7 +10,7 @@ remove one redundancy, repeat (removals can create new redundancies).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
 
 import numpy as np
 

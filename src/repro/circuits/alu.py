@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import List
 
 from ..netlist.netlist import Netlist
-from .builders import g, invert, mux2, tree, vector_input
+from .builders import g, invert, tree, vector_input
 
 
 def alu181(width: int = 8, name: str | None = None) -> Netlist:

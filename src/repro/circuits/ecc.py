@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import List
 
 from ..netlist.netlist import Netlist
-from .builders import equals_const, g, invert, tree, vector_input
+from .builders import equals_const, g, tree, vector_input
 
 
 def _parity_positions(n_data: int) -> List[List[int]]:

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import List
 
 from ..netlist.netlist import Netlist, constant_signal
-from .builders import full_adder, g, half_adder, ripple_add, vector_input
+from .builders import full_adder, g, half_adder, vector_input
 
 
 def _nor_xor(net: Netlist, a: str, b: str):

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import List
 
 from ..netlist.netlist import Netlist
 from .builders import g, mux2, ripple_add, tree, vector_input

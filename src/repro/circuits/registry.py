@@ -4,19 +4,19 @@ substitution rationale)."""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from ..netlist.netlist import Netlist
 from .alu import alu4_like, alu181, priority_controller
-from .arith import c880_like, carry_select_adder, comparator, ripple_carry_adder, z5xp1_like
+from .arith import c880_like, z5xp1_like
 from .control import (
     apex6_like, c5315_like, frg2_like, pair_like, random_control, rot_like,
     term1_like, vda_like, x3_like,
 )
 from .ecc import c1355_like, sec_corrector
-from .multipliers import array_multiplier, squarer
-from .parity import c1908_like, parity_tree
-from .symmetric import majority, nsym, nsym9
+from .multipliers import array_multiplier
+from .parity import c1908_like
+from .symmetric import nsym, nsym9
 
 Generator = Callable[[], Netlist]
 

@@ -18,9 +18,8 @@ the proof backends in :mod:`repro.transform.substitution`.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
 
 import numpy as np
 

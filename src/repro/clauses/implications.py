@@ -23,7 +23,9 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import (
+    Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple,
+)
 
 from ..netlist.netlist import Netlist
 from .theory import Clause, SigLit
@@ -48,13 +50,41 @@ def propagate_assumption(net: Netlist, lit: Lit) -> Dict[str, int]:
     :class:`Conflict` if the assumption is infeasible (the literal is
     structurally constant at the opposite value).
     """
-    values: Dict[str, int] = {lit[0]: lit[1]}
+    return propagate_assumptions(net, [lit])
+
+
+def propagate_assumptions(
+    net: Netlist,
+    lits: Iterable[Lit],
+    gates: Optional[Sequence[str]] = None,
+) -> Dict[str, int]:
+    """Joint fixpoint propagation of several assumed literals.
+
+    Same evaluation as :func:`propagate_assumption` but with all
+    assumptions asserted together, so multi-antecedent consequences
+    (``b=1 => {i1=1, i2=1} => a=1`` through a re-converging gate) are
+    derived.  ``gates`` optionally restricts the sweep to a sub-region
+    (in topological order): consequences escaping the region are lost,
+    which only weakens the result — restriction is always sound.
+
+    Raises :class:`Conflict` when the assumption set is jointly
+    infeasible (this is how the static refuter proves a clause valid:
+    assume every literal false and derive a contradiction).
+    """
+    values: Dict[str, int] = {}
+    for sig, val in lits:
+        if values.get(sig, val) != val:
+            raise Conflict((sig, val))
+        values[sig] = val
+    assumed = list(values.items())
     changed = True
-    order = net.topo_order()
+    order = net.topo_order() if gates is None else list(gates)
     while changed:
         changed = False
         for out in order:
-            gate = net.gates[out]
+            gate = net.gates.get(out)
+            if gate is None:
+                continue
             if gate.nin == 0 or gate.nin > 4:
                 if gate.func.name in ("CONST0", "CONST1"):
                     val = 1 if gate.func.name == "CONST1" else 0
@@ -72,7 +102,7 @@ def propagate_assumption(net: Netlist, lit: Lit) -> Dict[str, int]:
                     continue
                 feasible.append(bits + (o,))
             if not feasible:
-                raise Conflict(lit)
+                raise Conflict(assumed[0] if assumed else (out, 0))
             for pin, sig in enumerate(list(gate.inputs) + [out]):
                 forced = {row[pin] for row in feasible}
                 if len(forced) == 1:

@@ -16,7 +16,7 @@ performs the word-parallel check of that condition on simulated vectors.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -83,8 +83,11 @@ class Candidate:
             ]
         b, c = self.sources
         form = self.form
-        lb = lambda positive: SigLit(b, positive != form.inv_b)
-        lc = lambda positive: SigLit(c, positive != form.inv_c)
+        def lb(positive):
+            return SigLit(b, positive != form.inv_b)
+
+        def lc(positive):
+            return SigLit(c, positive != form.inv_c)
         base = form.base.name
         if base == "AND":
             # a == b~ & c~ :  two C2-clauses and one C3-clause (Thm. 2)

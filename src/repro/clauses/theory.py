@@ -19,7 +19,7 @@ structural observability clauses shown for Figure 1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Sequence, Tuple, Union
+from typing import Iterable, List, Tuple, Union
 
 import numpy as np
 

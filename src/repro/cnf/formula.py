@@ -11,7 +11,7 @@ negation is arithmetic negation.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..netlist.netlist import Netlist
 

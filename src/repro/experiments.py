@@ -15,16 +15,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
-from .circuits.registry import SMALL_SUITE, SUITE, TABLE2_NAMES, build
+from .circuits.registry import SUITE, TABLE2_NAMES, build
 from .library.builtin import mcnc_like
 from .library.cells import TechLibrary
-from .netlist.netlist import Netlist
 from .opt.config import GdoConfig
 from .opt.gdo import gdo_optimize
 from .synth.scripts import script_delay, script_rugged
-from .timing.sta import Sta
 
 
 @dataclass
@@ -137,7 +135,8 @@ def format_table(rows: List[TableRow], title: str) -> str:
         f"{'SUM':10} {tot['gb']:6d} {tot['ga']:6d} {tot['lb']:6d} "
         f"{tot['la']:6d} {tot['db']:7.1f} {tot['da']:7.1f}"
     )
-    red = lambda b, a: 0.0 if b == 0 else 100.0 * (1 - a / b)
+    def red(b, a):
+        return 0.0 if b == 0 else 100.0 * (1 - a / b)
     lines.append(
         f"{'red.':10} {'':6} {red(tot['gb'], tot['ga']):5.1f}% "
         f"{'':6} {red(tot['lb'], tot['la']):5.1f}% "

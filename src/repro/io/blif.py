@@ -15,9 +15,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..library.cells import TechLibrary
-from ..library.genlib import cell_formula
 from ..netlist.gatefunc import AND, BUF, CONST0, CONST1, INV, OR
-from ..netlist.netlist import Netlist, NetlistError
+from ..netlist.netlist import Netlist
 
 
 class BlifError(Exception):

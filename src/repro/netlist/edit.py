@@ -315,3 +315,23 @@ def propagate_constants(net: Netlist) -> int:
                     changed = True
     prune_dangling(net)
     return folds
+
+
+def structural_signature(net: Netlist) -> Tuple:
+    """Hashable fingerprint of the netlist's observable structure.
+
+    Two netlists compare equal under this signature iff they have the
+    same PIs, POs, and gates (function, cell binding, and exact input
+    wiring).  Caches (fanout map, topo order) and the fresh-name counter
+    are deliberately excluded: a trial edit followed by its undo must
+    round-trip to the *same* signature even though it churned both —
+    the contract ``tests/analysis/test_edit_roundtrip.py`` asserts.
+    """
+    return (
+        tuple(net.pis),
+        tuple(net.pos),
+        tuple(sorted(
+            (out, g.func.name, g.cell, tuple(g.inputs))
+            for out, g in net.gates.items()
+        )),
+    )

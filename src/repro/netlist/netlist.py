@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
 
 from .gatefunc import CONST0, CONST1, GateFunc, func_from_name
 
@@ -94,12 +94,29 @@ class Netlist:
         cell: Optional[str] = None,
     ) -> str:
         """Add a gate driving ``output``; inputs may be added before their
-        drivers exist (checked in :meth:`validate`)."""
+        drivers exist (checked in :meth:`validate`).
+
+        Arity violations and self-loops are rejected here with a precise
+        :class:`NetlistError` instead of surfacing later as an opaque
+        cycle/arity failure in ``topo_order`` or simulation.
+        """
         if isinstance(func, str):
             func = func_from_name(func)
         if output in self._pi_set or output in self.gates:
             raise NetlistError(f"signal {output!r} already exists")
-        self.gates[output] = Gate(output, func, list(inputs), cell)
+        inputs = list(inputs)
+        if output in inputs:
+            raise NetlistError(
+                f"gate {output!r} reads its own output "
+                f"(combinational self-loop)"
+            )
+        try:
+            gate = Gate(output, func, inputs, cell)
+        except ValueError as exc:
+            raise NetlistError(
+                f"gate {output!r} ({func.name}): {exc}"
+            ) from None
+        self.gates[output] = gate
         self.invalidate()
         return output
 

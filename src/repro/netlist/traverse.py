@@ -6,7 +6,7 @@ computations of the transformations (Sec. 5).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, Optional, Sequence, Set
 
 from .netlist import Netlist
 

@@ -20,8 +20,9 @@ GDO entry schema (validated by :func:`validate_gdo_entry`)::
       "hot_spans": [{"name": s, "count": n, "wall_s": f}, ...],
       "broker": {"dispatched": n, "cache_hits": n,
                  "cache_misses": n, "hit_rate": f},
-      "funnel": {"generated": n, "bpfs_survived": n,
-                 "proved": n, "committed": n}
+      "funnel": {"generated": n, "static_proved": n,
+                 "static_refuted": n, "to_bpfs": n,
+                 "bpfs_survived": n, "proved": n, "committed": n}
     }
 """
 
@@ -30,7 +31,7 @@ from __future__ import annotations
 import json
 import os
 import subprocess
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .trace import hot_spans
 
@@ -65,10 +66,14 @@ def funnel_counts(snapshot) -> Dict[str, int]:
     """The candidate funnel of one run from its obs snapshot (zeros
     when metrics were disabled)."""
     if snapshot is None:
-        return {"generated": 0, "bpfs_survived": 0,
+        return {"generated": 0, "static_proved": 0, "static_refuted": 0,
+                "to_bpfs": 0, "bpfs_survived": 0,
                 "proved": 0, "committed": 0}
     return {
         "generated": snapshot.counter_sum("gdo_candidates_generated"),
+        "static_proved": snapshot.counter_sum("gdo_static_proved"),
+        "static_refuted": snapshot.counter_sum("gdo_static_refuted"),
+        "to_bpfs": snapshot.counter_sum("gdo_to_bpfs"),
         "bpfs_survived": snapshot.counter_sum("gdo_bpfs_survived"),
         "proved": snapshot.counter_sum("gdo_proved"),
         "committed": snapshot.counter_sum("gdo_committed"),
@@ -129,7 +134,8 @@ _GDO_FIELDS = {
     "broker": dict, "funnel": dict,
 }
 _BROKER_FIELDS = ("dispatched", "cache_hits", "cache_misses", "hit_rate")
-_FUNNEL_FIELDS = ("generated", "bpfs_survived", "proved", "committed")
+_FUNNEL_FIELDS = ("generated", "static_proved", "static_refuted",
+                  "to_bpfs", "bpfs_survived", "proved", "committed")
 
 
 def validate_bench_entry(entry: dict) -> None:

@@ -31,6 +31,7 @@ RECORD_SCHEMA: Dict[str, frozenset] = {
     "run_begin": frozenset({"circuit", "gates", "seed", "n_words"}),
     "phase_begin": frozenset({"phase", "round"}),
     "trial": frozenset({"phase", "kind", "desc"}),
+    "static": frozenset({"desc", "verdict"}),
     "refute": frozenset({"desc", "refuted"}),
     "verdict": frozenset({"obligation", "verdict"}),
     "reject": frozenset({"desc", "reason"}),

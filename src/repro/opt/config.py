@@ -67,6 +67,24 @@ class GdoConfig:
     proof_cache_size: int = 4096
     proof_cache_path: Optional[str] = None
 
+    # --- static analysis (see repro.analysis and DESIGN.md §8) ---
+    # Invariant checking of the live netlist during the run:
+    #   "off"      — never check (hard no-op fast path);
+    #   "commits"  — dirty-region check after every committed
+    #                modification (<5% overhead);
+    #   "paranoid" — additionally after every trial edit and undo.
+    # Violations raise repro.analysis.InvariantViolation immediately.
+    check: str = "off"
+    # Check every Nth eligible event (1 = all); sampling keeps paranoid
+    # mode affordable on long runs while still catching drift.
+    check_sample: int = 1
+    # Static prove/refute funnel stage before BPFS: candidates whose
+    # clause combination is implication-covered skip the proof broker,
+    # statically refuted candidates skip the trial entirely.  Pure
+    # function of the netlist, so serial == parallel determinism holds.
+    # Inactive when proof == "none" (nothing to discharge).
+    static_funnel: bool = True
+
     # --- observability (see repro.obs and DESIGN.md §7) ---
     # Default: metrics on, span tracing and the JSONL journal off.
     # Disabled pieces are hard no-ops (<2% overhead, asserted by
@@ -161,6 +179,11 @@ class GdoStats:
     mods3: int = 0             # OS3 + IS3 count
     proofs_attempted: int = 0
     proofs_passed: int = 0
+    # Static funnel stage (repro.analysis): candidates discharged
+    # before BPFS/broker, and invariant checks executed.
+    static_proved: int = 0
+    static_refuted: int = 0
+    checks_run: int = 0
     rounds: int = 0
     cpu_seconds: float = 0.0
     equivalent: Optional[bool] = None

@@ -26,6 +26,8 @@ from typing import Optional, Set, Tuple
 
 import numpy as np
 
+from ..analysis.invariants import InvariantViolation, check_netlist
+from ..analysis.static_refuter import UNKNOWN, StaticRefuter
 from ..clauses.candidates import CandidateEnumerator
 from ..clauses.pvcc import Candidate
 from ..library.cells import TechLibrary
@@ -90,6 +92,12 @@ class EngineContext:
         self._refute_base: Optional[Tuple[BitSimulator, object]] = None
         self._trial_undo: Optional[StaTrialUndo] = None
         self._sta: Optional[IncrementalSta] = None
+        # Static funnel stage (repro.analysis): rebuilt lazily per
+        # netlist state, discarded on commit.  Inactive with
+        # proof="none" — there is no broker work to discharge.
+        self._static: Optional[StaticRefuter] = None
+        self._static_enabled = cfg.static_funnel and cfg.proof != "none"
+        self._check_counter = 0
         if self.incremental:
             self._sta = IncrementalSta(net, library,
                                        po_load=cfg.po_load, eps=cfg.eps)
@@ -280,6 +288,55 @@ class EngineContext:
         self._pending |= dirty
         self._pending_removed |= removed
         self._refute_base = None
+        self._static = None  # verdicts were against the pre-commit net
+
+    # ------------------------------------------------------------------
+    # static analysis (repro.analysis; DESIGN.md §8)
+    # ------------------------------------------------------------------
+    def static_classify(self, cand: Candidate) -> str:
+        """Static funnel verdict for ``cand`` against the current net:
+        ``proved`` / ``refuted`` / ``unknown`` (memoized per net state;
+        always ``unknown`` when the stage is disabled).
+
+        Pure — no journal or metrics side effects, so it is safe to call
+        from the prefetch path without perturbing serial == parallel
+        journal determinism.
+        """
+        if not self._static_enabled:
+            return UNKNOWN
+        if self._static is None:
+            with self.obs.span("gdo.static_build"):
+                self._static = StaticRefuter(self.net)
+        return self._static.classify(cand)
+
+    def check_invariants(self, event: str,
+                         scope: Optional[Set[str]] = None) -> None:
+        """Dirty-region invariant check hook (``GdoConfig.check``).
+
+        ``event`` is ``"trial"``, ``"undo"`` or ``"commit"``; the mode
+        decides which events check, ``check_sample`` thins them.  Any
+        error-severity diagnostic raises :class:`InvariantViolation` —
+        a corrupted netlist must stop the run, not optimize garbage.
+        """
+        mode = self.cfg.check
+        if mode == "off":
+            return
+        if mode == "commits" and event != "commit":
+            return
+        self._check_counter += 1
+        sample = self.cfg.check_sample
+        if sample > 1 and self._check_counter % sample:
+            return
+        live_scope = None
+        if scope is not None:
+            live_scope = {s for s in scope if self.net.has_signal(s)}
+        with self.obs.span("gdo.check", event=event):
+            report = check_netlist(self.net, self.library,
+                                   scope=live_scope)
+        self.stats.checks_run += 1
+        self.obs.metrics.counter("gdo_checks", event=event).inc()
+        if not report.ok():
+            raise InvariantViolation(report.errors, context=event)
 
     def finish(self) -> None:
         """Flush per-object counters into ``stats``; release the broker.

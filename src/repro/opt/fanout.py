@@ -15,12 +15,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from ..library.cells import TechLibrary
 from ..netlist.edit import insert_gate, replace_input
 from ..netlist.gatefunc import BUF
-from ..netlist.netlist import Branch, Netlist
+from ..netlist.netlist import Netlist
 from ..timing.sta import Sta
 
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 import time
 from typing import List, Optional, Set, Tuple
 
+from ..analysis.static_refuter import PROVED, REFUTED, UNKNOWN
 from ..clauses.pvcc import Candidate
 from ..library.cells import TechLibrary
 from ..netlist.netlist import Branch, Netlist
@@ -321,12 +322,29 @@ class _GdoRunner:
             key = (cand.kind, cand.inverted, cand.describe())
             if key in self._rejected:
                 continue  # deterministic re-failure: net unchanged
-            trials += 1
             desc = cand.describe()
+            # Static funnel stage (repro.analysis): refuted candidates
+            # skip the trial entirely, proved ones will skip BPFS and
+            # the broker below.  Pure — identical under any worker
+            # count, so the journal stays deterministic.
+            verdict = self.ctx.static_classify(cand)
+            if verdict == REFUTED:
+                self._rejected.add(key)
+                self.stats.static_refuted += 1
+                self.obs.journal.record("static", desc=desc,
+                                        verdict="refuted")
+                self.obs.metrics.counter("gdo_static_refuted",
+                                         phase=phase).inc()
+                continue
+            if verdict == PROVED:
+                self.obs.journal.record("static", desc=desc,
+                                        verdict="proved")
+            trials += 1
             self.obs.journal.record("trial", phase=phase,
                                     kind=cand.kind, desc=desc)
             self.obs.metrics.counter("gdo_trials", phase=phase).inc()
-            self.ctx.prepare_refutation()
+            if verdict != PROVED:
+                self.ctx.prepare_refutation()
             try:
                 edit = apply_candidate_inplace(
                     self.net, cand, library=self.library
@@ -336,6 +354,7 @@ class _GdoRunner:
                 self.obs.journal.record("reject", desc=desc,
                                         reason="transform")
                 continue
+            self.ctx.check_invariants("trial", edit.dirty | edit.removed)
             trial_sta = self.ctx.begin_trial(edit.dirty, edit.removed)
             trial_area = area_now + edit.area_delta
             trial_arrival_sum = sum(
@@ -359,28 +378,44 @@ class _GdoRunner:
             if not ok:
                 self._revert(edit, key, desc, reason="timing")
                 continue
-            # Cheap refutation on fresh random vectors before the formal
-            # proof: the BPFS filter used one vector batch; most false
-            # positives die on a second, different batch.
-            with self.obs.span("gdo.refute"):
-                refuted = self.ctx.refutes(cand, edit)
-            self.obs.journal.record("refute", desc=desc, refuted=refuted)
-            if refuted:
-                self._revert(edit, key, desc, reason="refuted")
-                continue
-            self.obs.metrics.counter("gdo_bpfs_survived",
-                                     phase=phase).inc()
-            proofs += 1
-            self.stats.proofs_attempted += 1
-            with self.obs.span("gdo.prove"):
-                proven = self._prove(cand, edit)
-            if not proven:
-                self._revert(edit, key, desc, reason="proof")
-                continue
-            self.stats.proofs_passed += 1
+            if verdict == PROVED:
+                # Statically proved: no falsifying vector exists, so
+                # BPFS cannot refute it and the broker would answer
+                # VALID — discharge both.
+                self.stats.static_proved += 1
+                self.obs.metrics.counter("gdo_static_proved",
+                                         phase=phase).inc()
+                self.obs.metrics.counter("gdo_bpfs_survived",
+                                         phase=phase).inc()
+                if self.ctx.broker is not None:
+                    self.ctx.broker.count_static_skip()
+            else:
+                # Cheap refutation on fresh random vectors before the
+                # formal proof: the BPFS filter used one vector batch;
+                # most false positives die on a second, different batch.
+                self.obs.metrics.counter("gdo_to_bpfs",
+                                         phase=phase).inc()
+                with self.obs.span("gdo.refute"):
+                    refuted = self.ctx.refutes(cand, edit)
+                self.obs.journal.record("refute", desc=desc,
+                                        refuted=refuted)
+                if refuted:
+                    self._revert(edit, key, desc, reason="refuted")
+                    continue
+                self.obs.metrics.counter("gdo_bpfs_survived",
+                                         phase=phase).inc()
+                proofs += 1
+                self.stats.proofs_attempted += 1
+                with self.obs.span("gdo.prove"):
+                    proven = self._prove(cand, edit)
+                if not proven:
+                    self._revert(edit, key, desc, reason="proof")
+                    continue
+                self.stats.proofs_passed += 1
             self.obs.metrics.counter("gdo_proved", phase=phase).inc()
             # Adopt: the edit stays in; flush the dirty sets downstream.
             self.ctx.commit_trial(edit.dirty, edit.removed)
+            self.ctx.check_invariants("commit", edit.dirty | edit.removed)
             self.obs.metrics.counter("gdo_committed", phase=phase).inc()
             self.obs.journal.record(
                 "commit", phase=phase, kind=cand.kind, desc=desc,
@@ -409,6 +444,7 @@ class _GdoRunner:
         """Undo a rejected in-place trial (netlist and timing)."""
         self.ctx.reject_trial()
         edit.undo(self.net)
+        self.ctx.check_invariants("undo", edit.dirty | edit.removed)
         self._rejected.add(key)
         self.obs.journal.record("reject", desc=desc, reason=reason)
         self.obs.metrics.counter("gdo_rejected", reason=reason).inc()
@@ -464,6 +500,11 @@ class _GdoRunner:
                         break
                     if (cand.kind, cand.inverted,
                             cand.describe()) in self._rejected:
+                        continue
+                    # Statically discharged candidates never reach the
+                    # broker — don't burn prefetch slots on them (the
+                    # verdict is memoized for the trial loop).
+                    if self.ctx.static_classify(cand) != UNKNOWN:
                         continue
                     po_idx = affected_outputs(self.net, cand)
                     if not po_idx:

@@ -10,7 +10,6 @@ from ..obs import hot_spans
 from ..obs.export import funnel_counts
 from ..timing.paths import longest_path
 from ..timing.sta import Sta
-from .config import GdoStats
 from .gdo import GdoResult
 
 
@@ -70,7 +69,7 @@ def format_result(result: GdoResult, library: TechLibrary,
         f"  proof broker: {p.dispatched} dispatched "
         f"({p.parallel_batches} parallel batches, {p.deduped} deduped), "
         f"cache {p.cache_hits}/{p.cache_hits + p.cache_misses} hits "
-        f"({100 * p.hit_rate:.1f}%)"
+        f"({100 * p.hit_rate:.1f}%), {p.static_skips} static skips"
     )
     lines.append(
         f"  proof backends: sat {p.sat_valid}/{p.sat_invalid}/"
@@ -87,6 +86,9 @@ def format_result(result: GdoResult, library: TechLibrary,
         f = funnel_counts(obs)
         lines.append(
             f"  candidate funnel: {f['generated']} generated -> "
+            f"{f['static_proved']} static_proved / "
+            f"{f['static_refuted']} static_refuted / "
+            f"{f['to_bpfs']} to_bpfs -> "
             f"{f['bpfs_survived']} BPFS-survived -> "
             f"{f['proved']} proved -> {f['committed']} committed"
         )

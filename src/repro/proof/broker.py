@@ -58,6 +58,8 @@ class ProofCounters:
     fallbacks: int = 0         # cross-backend ladder steps
     timeouts: int = 0          # wall-clock expiries (if enabled)
     unknown_final: int = 0     # obligations the whole ladder left open
+    static_skips: int = 0      # obligations discharged by the static
+    #                            refuter before ever reaching the broker
 
     @property
     def hit_rate(self) -> float:
@@ -136,6 +138,12 @@ class ProofBroker:
         counters = self.counters
         self.counters = ProofCounters()
         return counters
+
+    def count_static_skip(self) -> None:
+        """Record an obligation the static refuter discharged — the
+        skip path: the broker never sees it, but its absence from
+        ``obligations`` should be auditable, not silent."""
+        self.counters.static_skips += 1
 
     def flush(self) -> None:
         self.cache.flush()

@@ -12,7 +12,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cnf.formula import CNF, encode_netlist
 from ..netlist.netlist import Netlist
-from .solver import SatResult, Solver, SolverBudgetExceeded
+from .solver import Solver, SolverBudgetExceeded
 
 
 class InterfaceMismatch(Exception):

@@ -11,7 +11,7 @@ site, for both *stem* faults (the signal everywhere) and *branch* faults
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Tuple, Union
 
 import numpy as np
 

@@ -16,12 +16,12 @@ phases, so NAND/NOR/AOI-style negative-phase cells are used naturally.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..library.cells import Cell, TechLibrary
 from ..netlist.gatefunc import INV
 from ..netlist.netlist import Netlist
-from .aig import Aig, FALSE_LIT, lit_compl, lit_node
+from .aig import Aig, lit_compl, lit_node
 
 MAX_CUT_LEAVES = 4
 MAX_CUTS_PER_NODE = 8

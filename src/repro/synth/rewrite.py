@@ -9,9 +9,9 @@ simplification passes of ``script.rugged`` in our SIS stand-in.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
-from .aig import Aig, lit_compl, lit_node, make_lit
+from .aig import Aig, lit_compl, lit_node
 
 
 def _rebuild(aig: Aig) -> Aig:

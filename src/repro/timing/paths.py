@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
-from ..netlist.netlist import Branch, Netlist
+from ..netlist.netlist import Branch
 from .sta import Sta
 
 

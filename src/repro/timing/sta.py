@@ -10,7 +10,7 @@ the sum of the input loads of its fanout pins (the paper maps with
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from ..library.cells import TechLibrary
 from ..netlist.netlist import Branch, Netlist

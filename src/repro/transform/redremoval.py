@@ -16,7 +16,7 @@ from ..atpg.redundancy import remove_redundancy
 from ..atpg.satatpg import is_redundant
 from ..netlist.netlist import Branch, Netlist
 from ..sim.observability import ObservabilityEngine
-from ..clauses.theory import Clause, SigLit, c1_clauses
+from ..clauses.theory import Clause, SigLit
 
 
 def c1_fault(clause: Clause) -> Fault:

@@ -23,7 +23,7 @@ from ..netlist.edit import (
     substitute_stem, would_create_cycle,
 )
 from ..netlist.gatefunc import INV
-from ..netlist.netlist import Branch, Gate, Netlist
+from ..netlist.netlist import Branch, Gate, Netlist, NetlistError
 from ..netlist.traverse import extract_cone
 from ..sat.miter import miter_equivalent
 from ..sat.solver import SolverBudgetExceeded
@@ -122,9 +122,14 @@ def _build_replacement(
         if existing is not None:
             return existing
         inv_cell = library.cell_for(INV, 1) if library is not None else None
-        name = insert_gate(net, INV, [sig],
-                           cell=inv_cell.name if inv_cell else None,
-                           hint="gdo_inv")
+        try:
+            name = insert_gate(net, INV, [sig],
+                               cell=inv_cell.name if inv_cell else None,
+                               hint="gdo_inv")
+        except NetlistError as exc:
+            # add_gate now validates arity/self-loops eagerly; surface
+            # the rejection in the transform layer's own vocabulary.
+            raise TransformError(str(exc)) from None
         added.append(name)
         return name
     func, swap = realize_form(cand.form)
@@ -132,8 +137,11 @@ def _build_replacement(
     if swap:
         b, c = c, b
     cell = library.cell_for(func, 2) if library is not None else None
-    name = insert_gate(net, func, [b, c],
-                       cell=cell.name if cell else None, hint="gdo")
+    try:
+        name = insert_gate(net, func, [b, c],
+                           cell=cell.name if cell else None, hint="gdo")
+    except NetlistError as exc:
+        raise TransformError(str(exc)) from None
     added.append(name)
     return name
 

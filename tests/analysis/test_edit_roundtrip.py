@@ -1,0 +1,157 @@
+"""Trial-edit round-trip property: apply -> undo leaves the netlist
+checker-clean and structurally identical.
+
+This is the contract ``GdoConfig.check="paranoid"`` enforces at runtime;
+here it is exercised directly over many candidate substitutions on the
+C432/C880 circuits, including the failure path (a rejected candidate
+must leave the netlist untouched).
+"""
+
+import pytest
+
+from repro.analysis import check_netlist
+from repro.circuits.registry import build
+from repro.clauses.pvcc import Candidate
+from repro.library import mcnc_like
+from repro.netlist.edit import prune_dangling, structural_signature
+from repro.opt import GdoConfig, gdo_optimize
+from repro.transform.substitution import (
+    TransformError, apply_candidate_inplace,
+)
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return mcnc_like()
+
+
+def _circuit(name, lib):
+    net = build(name, small=True)
+    prune_dangling(net)
+    lib.rebind(net)
+    return net
+
+
+def _os2_candidates(net, limit=40):
+    """Structurally plausible OS2 candidates (not permissibility-checked:
+    the round-trip property must hold for *any* trial the optimizer may
+    attempt, permissible or not)."""
+    sigs = sorted(net.gates)
+    out = []
+    for i, tgt in enumerate(sigs):
+        src = sigs[(i * 7 + 3) % len(sigs)]
+        if src == tgt:
+            continue
+        out.append(Candidate(target=tgt, kind="OS2", sources=(src,)))
+        out.append(Candidate(target=tgt, kind="OS2", sources=(src,),
+                             inverted=True))
+        if len(out) >= limit:
+            break
+    return out
+
+
+def _is2_candidates(net, limit=20):
+    fan = net.fanout_map()
+    sigs = sorted(net.gates)
+    out = []
+    for i, stem in enumerate(sigs):
+        branches = fan.get(stem, [])
+        if len(branches) < 2:
+            continue  # IS on a single-fanout branch is an OS move
+        src = sigs[(i * 5 + 1) % len(sigs)]
+        if src == stem:
+            continue
+        out.append(Candidate(target=branches[0], kind="IS2",
+                             sources=(src,)))
+        if len(out) >= limit:
+            break
+    return out
+
+
+def _cyclic_candidates(net, limit=5):
+    """Candidates whose source lies in the target's fanout cone — the
+    transform must reject them (cycle) and leave the net untouched."""
+    out = []
+    for tgt in sorted(net.gates):
+        cone = net.transitive_fanout(tgt, include_self=False)
+        downstream = sorted(s for s in cone if s != tgt)
+        if not downstream:
+            continue
+        out.append(Candidate(target=tgt, kind="OS2",
+                             sources=(downstream[-1],)))
+        if len(out) >= limit:
+            break
+    return out
+
+
+@pytest.mark.parametrize("name", ["C432", "C880"])
+def test_trial_undo_roundtrip_is_clean_and_identical(name, lib):
+    net = _circuit(name, lib)
+    baseline = structural_signature(net)
+    assert check_netlist(net, lib).ok()
+
+    applied = rejected = 0
+    for cand in (_os2_candidates(net) + _is2_candidates(net)
+                 + _cyclic_candidates(net)):
+        try:
+            edit = apply_candidate_inplace(net, cand, lib)
+        except TransformError:
+            rejected += 1
+            assert structural_signature(net) == baseline, (
+                f"rejected candidate {cand.describe()} mutated the net")
+            continue
+        applied += 1
+        # Mid-trial: the scoped dirty-region check must hold.
+        scope = (edit.dirty | edit.removed) & set(net.gates)
+        assert check_netlist(net, lib, scope=scope).ok(), cand.describe()
+        edit.undo(net)
+        assert structural_signature(net) == baseline, (
+            f"undo of {cand.describe()} did not round-trip")
+    assert applied > 0, "no candidate applied; round-trip test is vacuous"
+    assert rejected > 0, "no candidate rejected; failure path untested"
+    # After the full battery: still checker-clean in full mode.
+    report = check_netlist(net, lib)
+    assert report.ok() and not report.warnings, report.format()
+
+
+def test_paranoid_gdo_run_is_checker_clean(lib):
+    """A whole GDO run on C880 with check="paranoid" raises nothing:
+    every trial, undo, and commit leaves a clean netlist."""
+    net = _circuit("C880", lib)
+    cfg = GdoConfig(
+        n_words=8, verify_final=False, max_rounds=2,
+        max_passes_per_phase=6, max_trials_per_pass=48,
+        max_proofs_per_pass=32, check="paranoid",
+    )
+    result = gdo_optimize(net, lib, cfg)
+    assert result.stats.checks_run > 0
+    report = check_netlist(result.net, lib)
+    assert report.ok(), report.format()
+
+
+def test_check_sample_thins_paranoid_checks(lib):
+    net = _circuit("C880", lib)
+    cfg = GdoConfig(
+        n_words=8, verify_final=False, max_rounds=1,
+        max_passes_per_phase=4, max_trials_per_pass=32,
+        max_proofs_per_pass=16, check="paranoid", check_sample=4,
+    )
+    sampled = gdo_optimize(net.copy(), lib, cfg)
+    cfg_full = GdoConfig(
+        n_words=8, verify_final=False, max_rounds=1,
+        max_passes_per_phase=4, max_trials_per_pass=32,
+        max_proofs_per_pass=16, check="paranoid",
+    )
+    full = gdo_optimize(net.copy(), lib, cfg_full)
+    assert 0 < sampled.stats.checks_run < full.stats.checks_run
+
+
+def test_check_off_runs_no_checks(lib):
+    net = _circuit("C432", lib)
+    cfg = GdoConfig(
+        n_words=8, verify_final=False, max_rounds=1,
+        max_passes_per_phase=4, max_trials_per_pass=32,
+        max_proofs_per_pass=16,
+    )
+    result = gdo_optimize(net, lib, cfg)
+    assert result.stats.checks_run == 0

@@ -1,0 +1,138 @@
+"""Acceptance tests for the static funnel stage and check-mode cost.
+
+From the issue: on C880 the static stage must discharge a nonzero
+number of candidates before BPFS, the broker must receive strictly
+fewer obligations than with the stage disabled, the final netlist must
+be functionally identical with the stage on vs off and with 1 vs 4
+proof workers, and ``check="off"`` must cost under 2% of a run (a
+computed guard, like the disabled-observability one).
+"""
+
+import time
+
+import pytest
+
+from repro.circuits.registry import build
+from repro.library import mcnc_like
+from repro.obs import ObsConfig, strip_volatile
+from repro.obs.export import funnel_counts
+from repro.opt import GdoConfig, GdoStats, gdo_optimize
+from repro.opt.engine import EngineContext
+from repro.verify.equiv import check_equivalence
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return mcnc_like()
+
+
+def _cfg(**kw):
+    base = dict(
+        n_words=8, verify_final=False, max_rounds=2,
+        max_passes_per_phase=6, max_trials_per_pass=48,
+        max_proofs_per_pass=32, proof_workers=1,
+    )
+    base.update(kw)
+    return GdoConfig(**base)
+
+
+def _run(lib, **kw):
+    net = build("C880", small=True)
+    lib.rebind(net)
+    return gdo_optimize(net, lib, _cfg(**kw))
+
+
+@pytest.fixture(scope="module")
+def runs(lib):
+    on = _run(lib, static_funnel=True, obs=ObsConfig.full())
+    off = _run(lib, static_funnel=False, obs=ObsConfig.full())
+    par = _run(lib, static_funnel=True, obs=ObsConfig.full(),
+               proof_workers=4)
+    return on, off, par
+
+
+def test_static_stage_discharges_candidates(runs):
+    on, off, _ = runs
+    f_on = funnel_counts(on.stats.obs)
+    f_off = funnel_counts(off.stats.obs)
+    assert f_on["static_proved"] + f_on["static_refuted"] > 0, (
+        f"static stage discharged nothing: {f_on}")
+    assert f_on["static_proved"] == on.stats.static_proved
+    assert f_on["static_refuted"] == on.stats.static_refuted
+    # Funnel stays monotone and consistent.
+    assert (f_on["static_proved"] + f_on["to_bpfs"]
+            >= f_on["bpfs_survived"] >= f_on["proved"]
+            >= f_on["committed"])
+    # With the stage off the counters are hard zeros.
+    assert f_off["static_proved"] == f_off["static_refuted"] == 0
+    assert f_off["to_bpfs"] == f_off["bpfs_survived"]
+
+
+def test_broker_receives_strictly_fewer_obligations(runs):
+    on, off, _ = runs
+    assert on.stats.proof.dispatched < off.stats.proof.dispatched, (
+        f"stage on dispatched {on.stats.proof.dispatched}, "
+        f"off dispatched {off.stats.proof.dispatched}")
+    assert on.stats.proof.static_skips == on.stats.static_proved > 0
+    assert off.stats.proof.static_skips == 0
+
+
+def test_final_netlists_equivalent_stage_on_off(runs):
+    on, off, _ = runs
+    assert check_equivalence(on.net, off.net) is True
+
+
+def test_workers_1_vs_4_identical_with_stage_on(runs):
+    on, _, par = runs
+    def fp(r):
+        return (
+            [(m.phase, m.kind, m.description) for m in r.stats.history],
+            r.stats.delay_after, r.stats.area_after, sorted(r.net.gates),
+        )
+    assert fp(on) == fp(par)
+    # Journal determinism: identical modulo volatile fields, including
+    # the new "static" records.
+    j_on = strip_volatile(on.stats.obs.journal_records)
+    j_par = strip_volatile(par.stats.obs.journal_records)
+    assert j_on == j_par
+    statics = [r for r in j_on if r["type"] == "static"]
+    assert statics and all(r["verdict"] in ("proved", "refuted")
+                           for r in statics)
+
+
+def test_check_off_overhead_under_two_percent(lib):
+    """Computed guard: the ``check="off"`` early-return, called once
+    per trial/undo/commit event, must cost <=2% of a run's wall time.
+    Timing two full runs diverges by more than 2% from machine noise,
+    so bound (events x per-call cost) against the measured run instead.
+    """
+    net = build("C880", small=True)
+    lib.rebind(net)
+
+    t0 = time.perf_counter()
+    result = gdo_optimize(net.copy(), lib, _cfg())
+    wall = time.perf_counter() - t0
+    assert result.stats.checks_run == 0
+
+    # Count the check sites an equivalent paranoid run would hit.
+    paranoid = gdo_optimize(net.copy(), lib, _cfg(check="paranoid"))
+    events = paranoid.stats.checks_run
+    assert events > 0
+
+    ctx = EngineContext(net.copy(), lib, _cfg(), GdoStats())
+    try:
+        reps = 100_000
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            ctx.check_invariants("trial", scope=None)
+        per_call = (time.perf_counter() - t0) / reps
+    finally:
+        if ctx.broker is not None:
+            ctx.broker.close()
+
+    overhead = per_call * events
+    assert overhead <= 0.02 * wall, (
+        f"check=off would cost {overhead:.5f}s of a {wall:.3f}s run "
+        f"({100 * overhead / wall:.2f}% > 2%): {events} events at "
+        f"{1e9 * per_call:.0f}ns each"
+    )

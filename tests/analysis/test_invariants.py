@@ -1,0 +1,259 @@
+"""Mutation tests for the invariant checker.
+
+Each test seeds one specific corruption into an otherwise-healthy
+netlist — bypassing the editing API, the way a buggy transform would —
+and asserts the checker reports exactly the expected rule id.  The
+clean-circuit tests pin the other direction: zero diagnostics on the
+bundled circuits, in both full and dirty-region mode.
+"""
+
+import pytest
+
+from repro.analysis import (
+    ERROR, RULES, InvariantChecker, InvariantViolation, WARNING,
+    assert_clean, check_netlist,
+)
+from repro.circuits.registry import build
+from repro.library import mcnc_like
+from repro.netlist.edit import prune_dangling
+from repro.netlist.netlist import Branch, Netlist, NetlistError
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return mcnc_like()
+
+
+def _adder() -> Netlist:
+    """A tiny healthy netlist with reconvergent fanout."""
+    net = Netlist("toy")
+    for pi in ("a", "b", "c"):
+        net.add_pi(pi)
+    net.add_gate("ab", "AND", ["a", "b"])
+    net.add_gate("bc", "OR", ["b", "c"])
+    net.add_gate("s", "XOR", ["ab", "bc"])
+    net.add_gate("t", "NAND", ["ab", "s"])
+    net.set_pos(["s", "t"])
+    return net
+
+
+# ----------------------------------------------------------------------
+# clean circuits produce no diagnostics
+# ----------------------------------------------------------------------
+def test_clean_toy_netlist_is_clean(lib):
+    report = check_netlist(_adder())
+    assert report.ok() and not report.warnings, report.format()
+
+
+@pytest.mark.parametrize("name", ["C432", "C880"])
+def test_clean_circuit_full_check_is_silent(name, lib):
+    net = build(name, small=True)
+    prune_dangling(net)  # the C432 generator leaves one dead inverter
+    lib.rebind(net)
+    net.fanout_map()
+    net.topo_order()  # populate caches so cache rules actually run
+    report = check_netlist(net, lib)
+    assert report.ok() and not report.warnings, report.format()
+
+
+def test_clean_circuit_scoped_check_is_silent(lib):
+    net = build("C880", small=True)
+    lib.rebind(net)
+    net.fanout_map()
+    net.topo_order()
+    scope = set(list(net.gates)[:10])
+    report = check_netlist(net, lib, scope=scope)
+    assert report.ok() and not report.warnings, report.format()
+
+
+def test_assert_clean_passes_and_returns_report():
+    report = assert_clean(_adder())
+    assert report.ok()
+
+
+# ----------------------------------------------------------------------
+# seeded corruptions -> exact rule ids
+# ----------------------------------------------------------------------
+def test_dropped_fanout_branch_is_caught():
+    net = _adder()
+    fan = net.fanout_map()
+    assert any(b == Branch("s", 0) for b in fan["ab"])
+    fan["ab"] = [b for b in fan["ab"] if b != Branch("s", 0)]
+    report = check_netlist(net)
+    assert "fanout-consistency" in report.rule_ids()
+
+
+def test_phantom_fanout_branch_is_caught():
+    net = _adder()
+    net.fanout_map()["c"].append(Branch("ab", 0))
+    report = check_netlist(net)
+    assert "fanout-consistency" in report.rule_ids()
+
+
+def test_spliced_cycle_is_caught_full_and_scoped():
+    net = _adder()
+    net.gates["ab"].inputs[0] = "t"  # ab -> s -> t -> ab
+    report = check_netlist(net)
+    assert "cycle" in report.rule_ids()
+    scoped = check_netlist(net, scope={"ab"})
+    assert "cycle" in scoped.rule_ids()
+
+
+def test_orphan_gate_input_is_caught():
+    net = _adder()
+    net.gates["bc"].inputs[1] = "ghost"
+    report = check_netlist(net)
+    assert "dangling-input" in report.rule_ids()
+    diag = [d for d in report.errors if d.rule == "dangling-input"][0]
+    assert "ghost" in diag.signals
+
+
+def test_undriven_po_is_caught():
+    net = _adder()
+    net.add_po("ghost_po")
+    report = check_netlist(net)
+    assert "undriven-po" in report.rule_ids()
+
+
+def test_stale_topo_cache_is_caught():
+    net = _adder()
+    stale = list(net.topo_order())
+    # Mutate behind the cache's back: retarget s's pin 1 from bc to c.
+    net.gates["s"].inputs[1] = "c"
+    net.gates["bc"].inputs[0] = "s"  # now bc depends on s: old order invalid
+    net._topo = stale
+    net._fanouts = None
+    report = check_netlist(net)
+    assert "topo-coherence" in report.rule_ids()
+
+
+def test_topo_cache_with_missing_entry_is_caught():
+    net = _adder()
+    net.topo_order()
+    net._topo = [s for s in net._topo if s != "bc"]
+    report = check_netlist(net)
+    assert "topo-coherence" in report.rule_ids()
+
+
+def test_arity_corruption_is_caught():
+    net = _adder()
+    net.gates["s"].inputs.append("c")  # XOR with 3 inputs
+    net.invalidate()
+    report = check_netlist(net)
+    assert "arity" in report.rule_ids()
+
+
+def test_floating_signal_is_warning_not_error():
+    net = _adder()
+    net.add_gate("dead", "AND", ["a", "b"])
+    report = check_netlist(net)
+    assert report.ok()  # warnings do not fail assert_clean
+    assert "floating-signal" in [d.rule for d in report.warnings]
+    assert "po-unreachable" in [d.rule for d in report.warnings]
+
+
+def test_pi_gate_overlap_is_caught():
+    net = _adder()
+    net._pi_set.add("ab")
+    net.pis.append("ab")
+    report = check_netlist(net)
+    assert "pi-overlap" in report.rule_ids()
+
+
+# ----------------------------------------------------------------------
+# library cell rules
+# ----------------------------------------------------------------------
+def test_unknown_cell_binding_is_caught(lib):
+    net = _adder()
+    net.gates["ab"].cell = "no_such_cell"
+    report = check_netlist(net, lib)
+    assert "cell-binding" in report.rule_ids()
+
+
+def test_cell_arity_mismatch_is_caught(lib):
+    net = _adder()
+    net.gates["ab"].cell = "nand3"  # 2-input gate bound to 3-input cell
+    report = check_netlist(net, lib)
+    assert "cell-arity" in report.rule_ids()
+
+
+def test_cell_function_mismatch_is_caught(lib):
+    net = _adder()
+    net.gates["ab"].cell = "or2"  # AND gate bound to an OR cell
+    report = check_netlist(net, lib)
+    assert "cell-function" in report.rule_ids()
+
+
+def test_cell_rules_skipped_without_library(lib):
+    net = _adder()
+    net.gates["ab"].cell = "no_such_cell"
+    assert check_netlist(net).ok()  # no library -> binding not checkable
+
+
+# ----------------------------------------------------------------------
+# diagnostics & rule registry plumbing
+# ----------------------------------------------------------------------
+def test_rule_registry_is_complete():
+    expected = {
+        "cycle", "dangling-input", "undriven-po", "arity",
+        "cell-binding", "cell-arity", "cell-function", "pi-overlap",
+        "fanout-consistency", "topo-coherence",
+        "floating-signal", "po-unreachable",
+    }
+    assert expected <= set(RULES)
+    for spec in RULES.values():
+        assert spec.severity in (ERROR, WARNING)
+        assert spec.description
+
+
+def test_rule_subset_selection():
+    net = _adder()
+    net.gates["bc"].inputs[1] = "ghost"
+    net.add_po("ghost_po")
+    report = check_netlist(net, rules={"undriven-po"})
+    assert report.rule_ids() == ["undriven-po"]
+
+
+def test_invariant_violation_formats_diagnostics():
+    net = _adder()
+    net.gates["bc"].inputs[1] = "ghost"
+    with pytest.raises(InvariantViolation) as exc:
+        assert_clean(net, context="unit-test")
+    msg = str(exc.value)
+    assert "dangling-input" in msg and "unit-test" in msg
+    assert exc.value.diagnostics
+
+
+def test_scoped_check_skips_whole_net_rules():
+    net = _adder()
+    checker = InvariantChecker(net)
+    # po-unreachable is full-net only; scoped mode must not crash on it
+    report = checker.check(scope={"ab"})
+    assert report.ok()
+
+
+# ----------------------------------------------------------------------
+# satellite (a): add_gate eager validation
+# ----------------------------------------------------------------------
+def test_add_gate_rejects_bad_arity():
+    net = Netlist()
+    net.add_pi("a")
+    with pytest.raises(NetlistError, match="'g'.*INV"):
+        net.add_gate("g", "INV", ["a", "a"])
+
+
+def test_add_gate_rejects_self_loop():
+    net = Netlist()
+    net.add_pi("a")
+    with pytest.raises(NetlistError, match="self-loop"):
+        net.add_gate("g", "AND", ["a", "g"])
+
+
+def test_add_gate_rejects_duplicate_signal():
+    net = Netlist()
+    net.add_pi("a")
+    net.add_gate("g", "AND", ["a", "a"])  # duplicate *inputs* stay legal
+    with pytest.raises(NetlistError, match="already exists"):
+        net.add_gate("g", "INV", ["a"])
+    with pytest.raises(NetlistError, match="already exists"):
+        net.add_pi("g")

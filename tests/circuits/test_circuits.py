@@ -11,7 +11,7 @@ from repro.circuits import (
     sec_corrector, squarer, suite_names, z5xp1_like,
 )
 from repro.circuits.ecc import _parity_positions
-from repro.sim import BitSimulator, truth_table_of, vectors_to_words
+from repro.sim import BitSimulator, vectors_to_words
 from repro.verify import check_equivalence
 
 

@@ -1,11 +1,10 @@
 """Tests for BPFS candidate enumeration and the Sec. 4 reduction
 filters."""
 
-import pytest
 
 from repro.clauses import CandidateEnumerator
-from repro.library import mcnc_like, unit_delay_library
-from repro.netlist import Branch, Netlist
+from repro.library import unit_delay_library
+from repro.netlist import Netlist
 from repro.sim import BitSimulator, ObservabilityEngine
 from repro.timing import Sta
 from repro.transform import apply_candidate

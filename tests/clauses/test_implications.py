@@ -1,6 +1,5 @@
 """Tests for the implication-graph route to valid clauses."""
 
-import itertools
 
 import pytest
 
@@ -51,7 +50,6 @@ def test_no_false_implications_exhaustive():
     net = chain_net()
     g = ImplicationGraph(net)
     sigs = list(net.signals())
-    tables = {s: truth_table_of(net, None) for s in []}
     # simulate all signals
     from repro.sim import BitSimulator
 

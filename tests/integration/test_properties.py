@@ -7,12 +7,11 @@ bugs surface.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.bdd import BddManager, build_signal_bdds
 from repro.cnf import encode_netlist
-from repro.netlist import Branch, Netlist, prune_dangling
+from repro.netlist import Netlist, prune_dangling
 from repro.sat import Solver
 from repro.sim import (
     BitSimulator, ObservabilityEngine, exhaustive_words, truth_table_of,

@@ -2,9 +2,8 @@
 
 import re
 
-import pytest
 
-from repro.io import VerilogError, write_verilog
+from repro.io import write_verilog
 from repro.library import mcnc_like
 from repro.netlist import Netlist
 

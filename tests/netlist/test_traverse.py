@@ -6,7 +6,6 @@ from repro.library import mcnc_like
 from repro.netlist import Netlist, cone_area, extract_cone, gates_between, mffc
 from repro.netlist.traverse import structural_distance_ok
 from repro.sim import truth_table_of
-from repro.verify import check_equivalence
 
 
 def tree_net():

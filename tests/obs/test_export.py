@@ -20,8 +20,9 @@ def _gdo_entry(key="abc123", circuit="C880"):
         "hot_spans": [{"name": "gdo.prove", "count": 40, "wall_s": 1.5}],
         "broker": {"dispatched": 40, "cache_hits": 5,
                    "cache_misses": 35, "hit_rate": 0.125},
-        "funnel": {"generated": 200, "bpfs_survived": 60,
-                   "proved": 40, "committed": 12},
+        "funnel": {"generated": 200, "static_proved": 3,
+                   "static_refuted": 1, "to_bpfs": 196,
+                   "bpfs_survived": 60, "proved": 40, "committed": 12},
     }
 
 
@@ -93,5 +94,6 @@ def test_load_bench_tolerates_absent_and_corrupt_files(tmp_path):
 
 def test_funnel_counts_none_snapshot_is_zeros():
     assert funnel_counts(None) == {
-        "generated": 0, "bpfs_survived": 0, "proved": 0, "committed": 0,
+        "generated": 0, "static_proved": 0, "static_refuted": 0,
+        "to_bpfs": 0, "bpfs_survived": 0, "proved": 0, "committed": 0,
     }

@@ -9,7 +9,6 @@ from repro.opt import (
     GdoConfig, gdo_optimize, optimize_fanout, rar_optimize,
     compare_report, critical_path_report, format_result,
 )
-from repro.timing import Sta
 from repro.verify import check_equivalence
 
 

@@ -1,6 +1,5 @@
 """Canonical obligation hashing: name-independence and soundness."""
 
-import pytest
 
 from repro.clauses.pvcc import Candidate
 from repro.netlist.netlist import Netlist

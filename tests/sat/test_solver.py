@@ -66,7 +66,9 @@ def test_random_3sat_vs_brute_force():
 def test_pigeonhole_unsat():
     def php(n_pigeons, n_holes):
         s = Solver()
-        var = lambda p, h: p * n_holes + h + 1
+
+        def var(p, h):
+            return p * n_holes + h + 1
         for p in range(n_pigeons):
             s.add_clause([var(p, h) for h in range(n_holes)])
         for h in range(n_holes):
@@ -102,7 +104,9 @@ def test_assumption_order_independent():
 def test_budget_exceeded():
     # A hard UNSAT instance with a 1-conflict budget must raise.
     s = Solver()
-    var = lambda p, h: p * 5 + h + 1
+
+    def var(p, h):
+        return p * 5 + h + 1
     for p in range(6):
         s.add_clause([var(p, h) for h in range(5)])
     for h in range(5):

@@ -1,11 +1,10 @@
 """Tests for the bit-parallel simulator."""
 
-import itertools
 
 import numpy as np
 import pytest
 
-from repro.netlist import Branch, Netlist
+from repro.netlist import Netlist
 from repro.sim import (
     BitSimulator, exhaustive_words, random_words, truth_table_of,
     vectors_to_words, word_mask_for,

@@ -1,7 +1,6 @@
 """Tests for word-parallel observability (the BPFS engine)."""
 
 import numpy as np
-import pytest
 
 from repro.netlist import Branch, Netlist
 from repro.sim import BitSimulator, ObservabilityEngine

@@ -5,7 +5,7 @@ import random
 
 import pytest
 
-from repro.library import mcnc_like, parse_genlib, unit_delay_library
+from repro.library import mcnc_like, parse_genlib
 from repro.netlist import Netlist
 from repro.synth import (
     Aig, MappingError, aig_from_netlist, balance, compress, live_ands,

@@ -111,6 +111,6 @@ def test_insertion_enables_redundancy_removal():
     assert ins.holds_on(eng)
     before = net.copy()
     apply_insertion(net, ins)
-    removed = remove_all_redundancies(net)
+    remove_all_redundancies(net)
     net.validate()
     assert check_equivalence(before, net)

@@ -5,7 +5,7 @@ import pytest
 from repro.clauses import Candidate
 from repro.library import mcnc_like
 from repro.netlist import Branch, Netlist, TwoInputForm
-from repro.netlist.gatefunc import AND, OR, XOR
+from repro.netlist.gatefunc import AND, OR
 from repro.transform import (
     TransformError, affected_outputs, apply_candidate, prove_candidate,
 )
