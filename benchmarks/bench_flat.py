@@ -1,0 +1,183 @@
+"""Flat-array kernel throughput: dict engine vs ``repro.flat``.
+
+One BPFS+STA "pass" per side, the unit of work the GDO engine repeats
+per optimization pass:
+
+* dict — ``BitSimulator.simulate`` + one ``ObservabilityEngine`` row
+  per fault site (cone-at-a-time resimulation) + a full ``Sta``;
+* flat — ``FlatView.build`` + ``flat_simulate`` + one
+  ``batch_observability`` call for the whole fault batch +
+  ``FlatTiming``.
+
+The comparison is differential as well as timed: every observability
+row and the critical-path delay must match bitwise before a timing is
+accepted.  The C5315 row asserts the >=3x end-to-end floor promised in
+DESIGN.md; a >10k-gate generated netlist records the first large-scale
+row.  Results append to ``BENCH_flat.json``.
+
+CI smoke mode (no pytest, single repetition, C5315 only)::
+
+    PYTHONPATH=src python benchmarks/bench_flat.py --smoke
+"""
+
+import random
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.circuits.registry import build, random_control
+from repro.flat.batchsim import batch_observability, flat_simulate
+from repro.flat.flatsta import FlatTiming
+from repro.flat.view import FlatView
+from repro.library import mcnc_like
+from repro.obs import append_bench, bench_entry, git_sha
+from repro.sim import BitSimulator, ObservabilityEngine
+from repro.sim.vectors import random_words
+from repro.timing import Sta
+
+_BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_flat.json"
+
+N_WORDS = 16
+
+#: C5315 floor asserted here and recorded in BENCH_flat.json
+REQUIRED_SPEEDUP = 3.0
+
+
+def _fault_batch(net, seed, n_stems, n_branches):
+    """A deterministic, duplicate-free stem/branch fault batch — the
+    shape of a GDO pass's prefetched target list."""
+    rnd = random.Random(seed)
+    stems = sorted(net.gates)
+    refs = rnd.sample(stems, min(n_stems, len(stems)))
+    fan = net.fanout_map()
+    multi = sorted(s for s, br in fan.items() if len(br) >= 2)
+    branches = {}
+    for _ in range(n_branches * 3):
+        if len(branches) >= n_branches or not multi:
+            break
+        br = rnd.choice(fan[rnd.choice(multi)])
+        branches[(br.gate, br.pin)] = br
+    return refs + list(branches.values())
+
+
+def _best_of(fn, reps):
+    best, out = float("inf"), None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best, out = elapsed, result
+    return best, out
+
+
+def measure(net, lib, seed=11, n_stems=256, n_branches=96, reps=3):
+    """Time one dict pass vs one flat pass; verify bitwise parity."""
+    words = random_words(net.pis, N_WORDS, seed)
+    refs = _fault_batch(net, seed, n_stems, n_branches)
+    sim = BitSimulator(net)
+
+    def dict_pass():
+        state = sim.simulate(dict(words))
+        eng = ObservabilityEngine(sim, state)
+        rows = [eng.observability(ref) for ref in refs]
+        return rows, Sta(net, lib).delay
+
+    def flat_pass():
+        view = FlatView.build(net, library=lib)
+        values = flat_simulate(view, words)
+        rows = batch_observability(view, values, refs)
+        return rows, FlatTiming(view).delay
+
+    t_dict, (dict_rows, dict_delay) = _best_of(dict_pass, reps)
+    t_flat, (flat_rows, flat_delay) = _best_of(flat_pass, reps)
+
+    assert flat_delay == dict_delay
+    assert len(flat_rows) == len(dict_rows) == len(refs)
+    for ref, flat_row, dict_row in zip(refs, flat_rows, dict_rows):
+        assert np.array_equal(flat_row, dict_row), ref
+
+    return {
+        "gates": net.num_gates,
+        "n_words": N_WORDS,
+        "n_faults": len(refs),
+        "dict_seconds": round(t_dict, 4),
+        "flat_seconds": round(t_flat, 4),
+        "speedup": round(t_dict / t_flat, 3),
+    }
+
+
+def _record(circuit, row):
+    append_bench(
+        str(_BENCH_PATH),
+        bench_entry(key=git_sha(), circuit=circuit, **row),
+        key_fields=("key", "circuit"),
+    )
+
+
+def _table(results):
+    lines = ["circuit    gates  faults  dict[s]  flat[s]  speedup"]
+    for circuit, row in results:
+        lines.append(
+            f"{circuit:9} {row['gates']:6d} {row['n_faults']:7d} "
+            f"{row['dict_seconds']:8.3f} {row['flat_seconds']:8.3f} "
+            f"{row['speedup']:7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def _run_c5315(lib, reps):
+    net = build("C5315")
+    lib.rebind(net)
+    row = measure(net, lib, reps=reps)
+    _record("C5315", row)
+    assert row["speedup"] >= REQUIRED_SPEEDUP, (
+        f"C5315 flat kernels only {row['speedup']:.2f}x faster "
+        f"(needs >= {REQUIRED_SPEEDUP}x)"
+    )
+    return row
+
+
+def test_flat_kernel_speedup_c5315(lib):
+    """BPFS+STA pass >=3x faster on the largest registry circuit."""
+    row = _run_c5315(lib, reps=3)
+    from conftest import register_report
+    register_report("Flat-array kernels vs dict engine (C5315)",
+                    _table([("C5315", row)]))
+
+
+def test_flat_kernel_scale_10k(lib):
+    """First >10k-gate row: the flat pass completes, stays bitwise
+    equal to the dict engine, and its timing is recorded."""
+    net = random_control(n_pi=96, n_gates=10_500, n_po=48, seed=13,
+                         locality=64, name="big13")
+    lib.rebind(net)
+    assert net.num_gates > 10_000
+    # reps=2: a single cold repetition is dominated by first-touch page
+    # faults on the ~90MB chunk buffers, not kernel throughput.
+    row = measure(net, lib, n_stems=96, n_branches=32, reps=2)
+    _record("big13", row)
+    assert row["speedup"] > 0
+    from conftest import register_report
+    register_report("Flat-array kernels at >10k gates",
+                    _table([("big13", row)]))
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="single-repetition C5315 run for CI")
+    args = parser.parse_args(argv)
+    reps = 1 if args.smoke else 3
+    lib = mcnc_like()
+    row = _run_c5315(lib, reps)
+    print(_table([("C5315", row)]))
+    print(f"OK: flat kernels {row['speedup']:.2f}x "
+          f">= {REQUIRED_SPEEDUP}x on C5315")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,182 @@
+"""Vectorized static timing analysis over a :class:`FlatView`.
+
+:class:`FlatTiming` runs the exact float recurrences of
+:class:`~repro.timing.sta.Sta` (genlib ``block + drive * load`` pin
+delays, arrival max-fold, required min-fold, slack) as per-level numpy
+passes.  Bitwise identity with the dict engine holds because every
+individual operation is reproduced on the same operands:
+
+* a pin delay is one multiply then one add (numpy does not fuse);
+* arrival is a fold of exact ``max`` — order-independent;
+* required is a fold of exact ``min`` via ``np.minimum.at``;
+* load sums are order-*dependent* float additions, so they accumulate
+  via ``np.add.at`` over the view's CSR fanout entries, which preserve
+  the dict engine's ``fanout_map`` construction order per signal.
+
+:class:`~repro.timing.incremental.IncrementalSta` uses the full sweep
+for its from-scratch recomputes (construction and scratch triggers);
+:meth:`FlatTiming.update_input_arrivals` is the vectorized dirty-cone
+path for boundary-condition changes on an unchanged structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .view import FlatView, FlatViewError
+
+INF = float("inf")
+
+
+class FlatTiming:
+    """One timing annotation of a :class:`FlatView` (needs the view to
+    be built with a library, for the per-pin delay columns)."""
+
+    def __init__(
+        self,
+        view: FlatView,
+        po_load: float = 1.0,
+        input_arrival: Optional[Dict[str, float]] = None,
+    ):
+        if view.pin_block is None:
+            raise FlatViewError(
+                "FlatTiming needs a view built with a library")
+        self.view = view
+        self.po_load = po_load
+        self.input_arrival = dict(input_arrival or {})
+        self.load: np.ndarray
+        self.arrival: np.ndarray
+        self.required: np.ndarray
+        self.slack: np.ndarray
+        self.pin_delay: np.ndarray
+        self.delay = 0.0
+        self.compute()
+
+    # ------------------------------------------------------------------
+    def compute(self) -> None:
+        view = self.view
+        n_pis = view.n_pis
+        # Loads: PO term is one multiply (as in Sta._compute), fanout
+        # pin loads accumulate sequentially in CSR order = dict order.
+        load = self.po_load * view.po_count
+        if len(view.fo_src):
+            entry_load = view.pin_load[view.fo_gate - n_pis, view.fo_pin]
+            np.add.at(load, view.fo_src, entry_load)
+        self.load = load
+
+        arrival = np.zeros(view.n_signals)
+        for i in range(n_pis):
+            arrival[i] = self.input_arrival.get(view.names[i], 0.0)
+        pin_delay = np.zeros_like(view.pin_block)
+        for lvl in range(1, view.n_levels + 1):
+            for _code, a, rows in view.schedule[lvl]:
+                out_rows = rows + n_pis
+                if a == 0:
+                    arrival[out_rows] = 0.0
+                    continue
+                pd = view.pin_block[rows, :a] + \
+                    view.pin_drive[rows, :a] * load[out_rows, np.newaxis]
+                pin_delay[rows, :a] = pd
+                t = arrival[view.fanin[rows, :a]] + pd
+                arrival[out_rows] = np.maximum(t.max(axis=1), 0.0)
+        self.arrival = arrival
+        self.pin_delay = pin_delay
+        self.delay = (
+            float(arrival[view.po_rows].max()) if len(view.po_rows) else 0.0
+        )
+        self._backward()
+
+    def _backward(self) -> None:
+        """Required/slack from the current arrival, delay, pin delays."""
+        view = self.view
+        n_pis = view.n_pis
+        required = np.full(view.n_signals, INF)
+        if len(view.po_rows):
+            np.minimum.at(required, view.po_rows, self.delay)
+        for lvl in range(view.n_levels, 0, -1):
+            for _code, a, rows in view.schedule[lvl]:
+                if a == 0:
+                    continue
+                out_rows = rows + n_pis
+                contrib = required[out_rows, np.newaxis] - \
+                    self.pin_delay[rows, :a]
+                np.minimum.at(
+                    required, view.fanin[rows, :a].ravel(), contrib.ravel())
+        self.required = required
+        self.slack = np.where(
+            required != INF, required - self.arrival, INF)
+
+    # ------------------------------------------------------------------
+    # dirty-cone recompute (unchanged structure, new boundary arrivals)
+    # ------------------------------------------------------------------
+    def update_input_arrivals(self, changes: Dict[str, float]) -> int:
+        """Re-anchor after changing some primary-input arrival times.
+
+        Propagates only through the changed PIs' fanout cone, level by
+        level; required/slack are rebuilt from the (unchanged) pin
+        delays.  Returns the number of signals whose arrival changed.
+        Results are identical to a fresh :meth:`compute` with the new
+        ``input_arrival`` because the per-signal expressions are the
+        same and untouched signals cannot differ.
+        """
+        view = self.view
+        n_pis = view.n_pis
+        arrival = self.arrival
+        dirty = np.zeros(view.n_signals, dtype=bool)
+        for pi, value in changes.items():
+            idx = view.index_of.get(pi)
+            if idx is None or idx >= n_pis:
+                raise FlatViewError(f"{pi!r} is not a primary input")
+            self.input_arrival[pi] = value
+            if arrival[idx] != value:
+                arrival[idx] = value
+                dirty[idx] = True
+        touched = int(dirty.sum())
+        for lvl in range(1, view.n_levels + 1):
+            for _code, a, rows in view.schedule[lvl]:
+                if a == 0:
+                    continue
+                hit = dirty[view.fanin[rows, :a]].any(axis=1)
+                if not hit.any():
+                    continue
+                r = rows[hit]
+                out_rows = r + n_pis
+                t = arrival[view.fanin[r, :a]] + self.pin_delay[r, :a]
+                new = np.maximum(t.max(axis=1), 0.0)
+                changed = new != arrival[out_rows]
+                arrival[out_rows] = new
+                dirty[out_rows[changed]] = True
+                touched += int(changed.sum())
+        self.delay = (
+            float(arrival[view.po_rows].max()) if len(view.po_rows) else 0.0
+        )
+        self._backward()
+        return touched
+
+    # ------------------------------------------------------------------
+    # dict-engine interchange
+    # ------------------------------------------------------------------
+    def arrival_dict(self) -> Dict[str, float]:
+        return dict(zip(self.view.names, self.arrival.tolist()))
+
+    def required_dict(self) -> Dict[str, float]:
+        return dict(zip(self.view.names, self.required.tolist()))
+
+    def slack_dict(self) -> Dict[str, float]:
+        return dict(zip(self.view.names, self.slack.tolist()))
+
+    def load_dict(self) -> Dict[str, float]:
+        return dict(zip(self.view.names, self.load.tolist()))
+
+    def pin_delay_lists(self) -> Dict[str, List[float]]:
+        """Per-gate pin-delay lists in ``IncrementalSta._pin_delays``
+        form (row sliced to the gate's arity)."""
+        view = self.view
+        table = self.pin_delay.tolist()
+        arity = view.arity.tolist()
+        return {
+            name: table[k][:arity[k]]
+            for k, name in enumerate(view.gate_names)
+        }

@@ -74,6 +74,11 @@ class Netlist:
         self._fanouts: Optional[Dict[str, List[Branch]]] = None
         self._topo: Optional[List[str]] = None
         self._name_counter = 0
+        # Monotonic structure version: bumped on every invalidate() and
+        # by editing paths that patch/restore the derived caches without
+        # invalidating (see repro.transform.substitution).  Flat-array
+        # views (repro.flat) snapshot it to detect staleness.
+        self._struct_version = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -174,6 +179,7 @@ class Netlist:
         """Drop cached fanout map and topological order."""
         self._fanouts = None
         self._topo = None
+        self._struct_version += 1
 
     def fanouts(self, signal: str) -> List[Branch]:
         return self.fanout_map().get(signal, [])

@@ -31,6 +31,13 @@ RECORD_SCHEMA: Dict[str, frozenset] = {
     "run_begin": frozenset({"circuit", "gates", "seed", "n_words"}),
     "phase_begin": frozenset({"phase", "round"}),
     "trial": frozenset({"phase", "kind", "desc"}),
+    # Trial edit forced a from-scratch timing recompute
+    # (dirty_fraction).  Classified from the edit's dirty set alone, so
+    # the record appears identically under every engine mode.
+    "sta_scratch": frozenset({"cause", "dirty"}),
+    # Trial edit touched a PI fanout cone root — handled in-cone by the
+    # incremental sweep, journaled so the trigger is no longer silent.
+    "sta_pi_root": frozenset({"dirty"}),
     "static": frozenset({"desc", "verdict"}),
     "refute": frozenset({"desc", "refuted"}),
     "verdict": frozenset({"obligation", "verdict"}),

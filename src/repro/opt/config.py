@@ -29,6 +29,12 @@ class GdoConfig:
     # settings compute identical results (same mod sequence, same final
     # delay/area); see DESIGN.md "Incremental engine".
     incremental: bool = True
+    # Run full simulations, BPFS observability batches, and from-scratch
+    # timing sweeps on the levelized flat-array kernels (repro.flat;
+    # DESIGN.md §9).  Bitwise-identical to the dict engine, so journals
+    # and commit sequences are unchanged; unsupported structures fall
+    # back to the dict path per call (counted in engine.flat_fallbacks).
+    flat: bool = True
 
     # --- candidate enumeration ---
     include_xor: bool = True
@@ -161,6 +167,9 @@ class EngineCounters:
     sim_signals_changed: int = 0   # word rows rewritten by carry-overs
     obs_rows_computed: int = 0     # observability rows resimulated
     obs_rows_reused: int = 0       # rows carried across engine refreshes
+    flat_hits: int = 0             # calls served by flat-array kernels
+    flat_fallbacks: int = 0        # flat calls that fell back to dicts
+    sta_pi_root: int = 0           # trial edits touching a PI fanout root
 
 
 @dataclass

@@ -22,7 +22,7 @@ values, so they produce the same modification sequence — enforced by
 
 from __future__ import annotations
 
-from typing import Optional, Set, Tuple
+from typing import Iterable, Optional, Set, Tuple
 
 import numpy as np
 
@@ -30,12 +30,14 @@ from ..analysis.invariants import InvariantViolation, check_netlist
 from ..analysis.static_refuter import UNKNOWN, StaticRefuter
 from ..clauses.candidates import CandidateEnumerator
 from ..clauses.pvcc import Candidate
+from ..flat.batchsim import FlatObservabilityEngine, flat_simulate
+from ..flat.view import FlatView, FlatViewError
 from ..library.cells import TechLibrary
 from ..netlist.netlist import Branch, Netlist
 from ..obs import Observability
 from ..proof.broker import ProofBroker
-from ..sim.bitsim import BitSimulator
-from ..sim.observability import ObservabilityEngine
+from ..sim.bitsim import BitSimulator, SimState
+from ..sim.observability import ObservabilityEngine, SignalRef
 from ..sim.vectors import random_words
 from ..timing.incremental import IncrementalSta, StaTrialUndo
 from ..timing.sta import Sta
@@ -100,7 +102,8 @@ class EngineContext:
         self._check_counter = 0
         if self.incremental:
             self._sta = IncrementalSta(net, library,
-                                       po_load=cfg.po_load, eps=cfg.eps)
+                                       po_load=cfg.po_load, eps=cfg.eps,
+                                       flat=cfg.flat)
             self._sta.metrics = self.obs.metrics
             self._drain_sta(self._sta)
 
@@ -122,7 +125,25 @@ class EngineContext:
         from-scratch mode builds a fresh :class:`Sta` of the edited net.
         The caller must follow up with :meth:`reject_trial` (undo) or
         :meth:`commit_trial` (keep) before the next trial.
+
+        Noteworthy trial edits are journaled here: dirty sets covering
+        too much of the net force a from-scratch timing recompute
+        (``sta_scratch`` records), and dirty sets touching a PI fanout
+        cone root — handled in-cone, previously indistinguishable from
+        a silent scratch fallback — are counted and journaled as
+        ``sta_pi_root`` records.  Both classifications are pure
+        functions of the edit, so the record sequence is identical
+        under scratch/incremental engines, flat on/off, and any worker
+        count.
         """
+        live = {s for s in dirty if self.net.has_signal(s)}
+        event = IncrementalSta.trial_event(self.net, live)
+        if event == "dirty_fraction":
+            self.obs.journal.record("sta_scratch", cause=event,
+                                    dirty=len(live))
+        elif event == "pi_root":
+            self.obs.journal.record("sta_pi_root", dirty=len(live))
+            self.stats.engine.sta_pi_root += 1
         if not self.incremental:
             self.stats.engine.sta_scratch += 1
             return make_sta(self.net, self.library, self.cfg)
@@ -142,8 +163,11 @@ class EngineContext:
         e.sta_scratch += sta.scratch_updates
         e.sta_incremental += sta.incremental_updates
         e.sta_signals_touched += sta.signals_touched
+        e.flat_hits += sta.flat_hits
+        e.flat_fallbacks += sta.flat_fallbacks
         sta.scratch_updates = sta.incremental_updates = 0
         sta.signals_touched = 0
+        sta.flat_hits = sta.flat_fallbacks = 0
 
     # ------------------------------------------------------------------
     # simulation / observability
@@ -180,10 +204,12 @@ class EngineContext:
             self._retire_engine()
             with self.obs.span("sim.scratch"):
                 sim = BitSimulator(self.net)
-                state = sim.simulate_random(n_words=cfg.n_words,
-                                            seed=self._phase_seed)
+                state = self._scratch_state(sim, self._phase_seed)
             self._sim, self._state = sim, state
-            self._engine = ObservabilityEngine(sim, state)
+            engine_cls = (
+                FlatObservabilityEngine if cfg.flat else ObservabilityEngine
+            )
+            self._engine = engine_cls(sim, state)
             counters.sim_scratch += 1
             self.obs.metrics.counter("sim_scratch_rebuilds",
                                      site="checkout").inc()
@@ -207,7 +233,39 @@ class EngineContext:
         if self._engine is not None:
             self.stats.engine.obs_rows_computed += self._engine.computed
             self.stats.engine.obs_rows_reused += self._engine.reused
+            self.stats.engine.flat_hits += getattr(
+                self._engine, "flat_hits", 0)
+            self.stats.engine.flat_fallbacks += getattr(
+                self._engine, "flat_fallbacks", 0)
             self._engine = None
+
+    def _scratch_state(self, sim: BitSimulator, seed: int) -> SimState:
+        """Full simulation of the current net on the seed's word batch —
+        one vectorized level sweep when the flat kernels are on (same
+        words, bitwise-identical values), the compiled gate loop
+        otherwise or on fallback."""
+        words = random_words(self.net.pis, self.cfg.n_words, seed)
+        if self.cfg.flat:
+            try:
+                view = FlatView.build(self.net)
+                values = flat_simulate(view, words)
+            except FlatViewError:
+                self.stats.engine.flat_fallbacks += 1
+            else:
+                self.stats.engine.flat_hits += 1
+                return SimState(sim, values)
+        return sim.simulate(words)
+
+    def prefetch_observability(self, refs: Iterable[SignalRef]) -> None:
+        """Batch-compute the observability rows of a pass's target refs
+        (flat engine only; a no-op otherwise).  Rows are bitwise what
+        the lazy per-cone path would derive, so enumeration decisions —
+        and journals — are unchanged; only the loop shape differs.
+        """
+        engine = self._engine
+        if engine is not None and hasattr(engine, "prefetch"):
+            with self.obs.span("sim.obs_prefetch"):
+                engine.prefetch(refs)
 
     # ------------------------------------------------------------------
     # refutation (the pre-proof random-word filter)
@@ -223,9 +281,7 @@ class EngineContext:
         self.seed_counter += 1
         with self.obs.span("sim.refute_base"):
             sim = BitSimulator(self.net)
-            state = sim.simulate(
-                random_words(self.net.pis, self.cfg.n_words,
-                             self.seed_counter))
+            state = self._scratch_state(sim, self.seed_counter)
         self._refute_base = (sim, state)
         self.stats.engine.sim_scratch += 1
         self.obs.metrics.counter("sim_scratch_rebuilds",

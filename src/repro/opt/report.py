@@ -64,6 +64,12 @@ def format_result(result: GdoResult, library: TechLibrary,
         f"  observability rows: {e.obs_rows_reused} reused, "
         f"{e.obs_rows_computed} computed"
     )
+    if e.flat_hits or e.flat_fallbacks:
+        lines.append(
+            f"  flat kernels: {e.flat_hits} hits, "
+            f"{e.flat_fallbacks} fallbacks, "
+            f"{e.sta_pi_root} PI-root trials"
+        )
     p = s.proof
     lines.append(
         f"  proof broker: {p.dispatched} dispatched "

@@ -107,7 +107,9 @@ class ObservabilityEngine:
         side inputs, in both the old and the new structure) are disjoint
         from ``affected``; anything else is recomputed on demand.
         """
-        eng = ObservabilityEngine(sim, state)
+        # type(self): a subclass (e.g. the flat-kernel engine) survives
+        # refreshes instead of silently degrading to the base engine.
+        eng = type(self)(sim, state)
         if self._pos_snapshot != eng._pos_snapshot:
             return eng  # observation points moved: every row is suspect
         for sig, row in self._stem_cache.items():

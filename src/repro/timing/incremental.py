@@ -28,6 +28,21 @@ Invariants (see DESIGN.md, "Incremental engine"):
   edit) or covers more than ``scratch_fraction`` of the gates, and when
   the critical delay changed (required times then shift globally; they
   are rebuilt from the cached per-pin delays, which stays cheap).
+* Trial edits whose dirty set touches a PI fanout cone root used to be
+  invisible: the sweep re-anchors dirty PIs from ``input_arrival`` (and
+  their loads feed no edge delay), which is exact but indistinguishable
+  from a silent scratch fallback in the counters.
+  :meth:`IncrementalSta.trial_event` is now the single classification
+  point — ``"pi_root"`` trials stay on the dirty-cone path but are
+  counted here and journaled by the GDO engine (``sta_pi_root``
+  records); ``"dirty_fraction"`` trials take the from-scratch path and
+  are journaled as ``sta_scratch``.
+* With ``flat=True`` the from-scratch recomputes run the vectorized
+  level-sweep of :mod:`repro.flat.flatsta` and convert the arrays back
+  into the annotation dicts; the arrays are bitwise-identical to the
+  dict recurrences, so everything downstream is unchanged.  Structures
+  the flat view cannot express fall back to the dict pass per call
+  (counted in ``flat_fallbacks``).
 * Required times and slacks are *lazy*: a refresh invalidates them and
   the first access recomputes them from the cached per-pin delays.  GDO
   trial evaluation reads only arrival/delay, so rejected trials never
@@ -124,10 +139,14 @@ class IncrementalSta(Sta):
         po_load: float = 1.0,
         input_arrival: Optional[Dict[str, float]] = None,
         eps: float = 1e-6,
+        flat: bool = False,
     ):
         self.scratch_updates = 0
         self.incremental_updates = 0
         self.signals_touched = 0
+        self.flat = flat
+        self.flat_hits = 0
+        self.flat_fallbacks = 0
         super().__init__(net, library, po_load=po_load,
                          input_arrival=input_arrival, eps=eps)
 
@@ -158,6 +177,8 @@ class IncrementalSta(Sta):
     # full computation (overrides Sta._compute to cache per-pin delays)
     # ------------------------------------------------------------------
     def _compute(self) -> None:
+        if self.flat and self._compute_flat():
+            return
         self.scratch_updates += 1
         net, lib = self.net, self.library
         load: Dict[str, float] = {}
@@ -193,6 +214,36 @@ class IncrementalSta(Sta):
         self._required_full()
         self._ncp = None
 
+    def _compute_flat(self) -> bool:
+        """Vectorized full recompute via :mod:`repro.flat.flatsta`.
+
+        Returns False (after counting the fallback) when the net has no
+        flat representation; the caller then runs the dict pass.  The
+        converted dicts are bitwise-identical to the dict pass, so the
+        two paths are interchangeable mid-run.
+        """
+        from ..flat.flatsta import FlatTiming
+        from ..flat.view import FlatView, FlatViewError
+
+        try:
+            view = FlatView.build(self.net, library=self.library)
+            ft = FlatTiming(view, po_load=self.po_load,
+                            input_arrival=self.input_arrival)
+        except FlatViewError:
+            self.flat_fallbacks += 1
+            return False
+        self.scratch_updates += 1
+        self.flat_hits += 1
+        self.load = ft.load_dict()
+        self.arrival = ft.arrival_dict()
+        self._pin_delays = ft.pin_delay_lists()
+        self._topo_pos = {s: k for k, s in enumerate(view.gate_names)}
+        self.delay = ft.delay
+        self._required = ft.required_dict()
+        self._slack = ft.slack_dict()
+        self._ncp = None
+        return True
+
     def _required_full(self) -> None:
         """Rebuild required/slack from cached pin delays (no library calls)."""
         net = self.net
@@ -226,6 +277,28 @@ class IncrementalSta(Sta):
     # ------------------------------------------------------------------
     # incremental refresh
     # ------------------------------------------------------------------
+    @classmethod
+    def trial_event(cls, net: Netlist,
+                    dirty: Set[str]) -> Optional[str]:
+        """Classify a trial refresh of ``dirty`` (pre-filtered to live
+        signals): ``"dirty_fraction"`` when the cone covers too much of
+        the net (forces a from-scratch rebuild), ``"pi_root"`` when the
+        edit touches a primary-input fanout cone root (handled in-cone
+        — PI arrivals re-anchor from ``input_arrival`` inside the sweep
+        — but counted and journaled), ``None`` for a plain cone
+        refresh.
+
+        Pure function of ``(net, dirty)``, so the GDO engine journals
+        the trigger identically under every engine mode and worker
+        count (see ``EngineContext.begin_trial``).
+        """
+        if len(dirty) > cls.scratch_fraction * (len(net.gates) or 1):
+            return "dirty_fraction"
+        for s in dirty:
+            if net.is_pi(s):
+                return "pi_root"
+        return None
+
     def refresh(
         self,
         dirty: Optional[Iterable[str]] = None,
@@ -305,14 +378,16 @@ class IncrementalSta(Sta):
         self._slack = None
         self.metrics.histogram("sta_dirty_set",
                                buckets=_SIZE_BUCKETS).observe(len(dirty))
-        if len(dirty) > self.scratch_fraction * (len(net.gates) or 1):
-            self.metrics.counter("sta_scratch_trigger",
-                                 cause="dirty_fraction").inc()
+        event = self.trial_event(net, dirty)
+        if event == "dirty_fraction":
+            self.metrics.counter("sta_scratch_trigger", cause=event).inc()
             undo.dict_refs = (
                 self.load, self.arrival, self._pin_delays, self._topo_pos
             )
             self._compute()
             return undo
+        if event == "pi_root":
+            self.metrics.counter("sta_pi_root_trials").inc()
         self.incremental_updates += 1
         load, arrival, pin_delays = self.load, self.arrival, self._pin_delays
         for s in removed:
@@ -465,6 +540,9 @@ class IncrementalSta(Sta):
         dup.scratch_updates = 0
         dup.incremental_updates = 0
         dup.signals_touched = 0
+        dup.flat = self.flat
+        dup.flat_hits = 0
+        dup.flat_fallbacks = 0
         dup.metrics = self.metrics
         dup.refresh(dirty, removed)
         return dup

@@ -217,6 +217,9 @@ class InplaceSubstitution:
             net.gates.pop(sig, None)
         if net is self._net:
             net._fanouts, net._topo = self._saved_caches
+            # The cache restore skips invalidate(); flat views key their
+            # staleness off the structure version, so bump it by hand.
+            net._struct_version += 1
         else:
             net.invalidate()
 

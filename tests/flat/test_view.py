@@ -1,0 +1,179 @@
+"""FlatView construction invariants.
+
+The view is the foundation the vectorized kernels stand on: these tests
+pin its index convention (shared with :class:`BitSimulator`), level
+structure, schedule coverage, CSR fanout order, staleness tracking, and
+the error paths that trigger dict-engine fallback.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.registry import build, random_control
+from repro.flat.view import CODE_NAMES, FUNC_CODES, FlatView, FlatViewError
+from repro.library import mcnc_like
+from repro.netlist.edit import structural_signature
+from repro.netlist.gatefunc import GateFunc
+from repro.netlist.netlist import Netlist
+from repro.sim import BitSimulator
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return mcnc_like()
+
+
+def _nets():
+    yield "C432", build("C432", small=True)
+    yield "C880", build("C880", small=True)
+    yield "ctrl", random_control(16, 120, 6, seed=11)
+
+
+@pytest.mark.parametrize("name,net", list(_nets()))
+def test_index_convention_matches_bitsim(name, net):
+    view = FlatView.build(net)
+    sim = BitSimulator(net)
+    assert view.names == list(sim.index_of)
+    assert all(view.index_of[s] == i for i, s in enumerate(view.names))
+    assert view.names[:view.n_pis] == list(net.pis)
+    assert view.gate_names == net.topo_order()
+
+
+@pytest.mark.parametrize("name,net", list(_nets()))
+def test_level_monotonicity(name, net):
+    view = FlatView.build(net)
+    level = view.level
+    assert (level[:view.n_pis] == 0).all()
+    for k in range(view.n_gates):
+        out = view.n_pis + k
+        a = int(view.arity[k])
+        if a == 0:
+            assert level[out] == 1
+            continue
+        fan_levels = level[view.fanin[k, :a]]
+        assert level[out] == fan_levels.max() + 1
+        assert (fan_levels < level[out]).all()
+    assert view.n_levels == int(level.max())
+
+
+@pytest.mark.parametrize("name,net", list(_nets()))
+def test_fanin_table_roundtrips_structural_signature(name, net):
+    """Reconstructing (output, func, cell, inputs) rows from the arrays
+    must reproduce the netlist's structural signature exactly."""
+    view = FlatView.build(net)
+    rebuilt_gates = tuple(sorted(
+        (
+            view.names[view.n_pis + k],
+            CODE_NAMES[int(view.code[k])],
+            view.cells[k],
+            tuple(view.names[int(view.fanin[k, pin])]
+                  for pin in range(int(view.arity[k]))),
+        )
+        for k in range(view.n_gates)
+    ))
+    rebuilt = (
+        tuple(view.names[:view.n_pis]),
+        tuple(view.names[i] for i in view.po_rows),
+        rebuilt_gates,
+    )
+    assert rebuilt == structural_signature(net)
+
+
+@pytest.mark.parametrize("name,net", list(_nets()))
+def test_schedule_covers_every_gate_once(name, net):
+    view = FlatView.build(net)
+    seen = []
+    for lvl, groups in enumerate(view.schedule):
+        for code, a, rows in groups:
+            assert (view.level[rows + view.n_pis] == lvl).all()
+            assert (view.code[rows] == code).all()
+            assert (view.arity[rows] == a).all()
+            assert (np.diff(rows) > 0).all()  # ascending topo positions
+            seen.extend(rows.tolist())
+    assert sorted(seen) == list(range(view.n_gates))
+
+
+@pytest.mark.parametrize("name,net", list(_nets()))
+def test_csr_fanout_matches_fanout_map(name, net):
+    view = FlatView.build(net)
+    fan = net.fanout_map()
+    for sig, idx in view.index_of.items():
+        lo, hi = view.fo_ptr[idx], view.fo_ptr[idx + 1]
+        entries = [
+            (view.names[int(g)], int(p))
+            for g, p in zip(view.fo_gate[lo:hi], view.fo_pin[lo:hi])
+        ]
+        expected = [(b.gate, b.pin) for b in fan.get(sig, [])]
+        assert entries == expected, sig
+
+
+def test_po_rows_keep_multiplicity(lib):
+    net = build("C432", small=True)
+    view = FlatView.build(net)
+    assert [view.names[i] for i in view.po_rows] == list(net.pos)
+    for sig, idx in view.index_of.items():
+        assert view.po_count[idx] == net.pos.count(sig)
+
+
+def test_staleness_tracks_struct_version():
+    net = build("C880", small=True)
+    view = FlatView.build(net)
+    assert view.is_current() and view.is_current(net)
+    net.add_gate(net.fresh_name("t"), "INV", [net.pis[0]])
+    net.invalidate()
+    assert not view.is_current()
+    assert not FlatView.build(net) is view
+    assert FlatView.build(net).is_current(net)
+    # A view never describes a different Netlist object, even a copy.
+    assert not view.is_current(net.copy())
+
+
+def test_library_columns_match_genlib(lib):
+    net = build("C432", small=True)
+    lib.rebind(net)
+    view = FlatView.build(net, library=lib)
+    for k, sig in enumerate(view.gate_names):
+        gate = net.gates[sig]
+        for pin in range(gate.nin):
+            t = lib.gate_pin_timing(gate, pin)
+            assert view.pin_block[k, pin] == t.block
+            assert view.pin_drive[k, pin] == t.drive
+            assert view.pin_load[k, pin] == lib.gate_input_load(gate, pin)
+    bare = FlatView.build(net)
+    assert bare.pin_block is None
+
+
+def test_non_singleton_func_raises():
+    net = build("C432", small=True)
+    sig = net.topo_order()[0]
+    gate = net.gates[sig]
+    rogue = GateFunc(gate.func.name, gate.func.arity)
+    original = gate.func
+    gate.func = rogue
+    try:
+        with pytest.raises(FlatViewError):
+            FlatView.build(net)
+    finally:
+        gate.func = original
+
+
+def test_undriven_input_raises():
+    net = Netlist("dangling")
+    net.add_pi("a")
+    net.add_gate("g", "INV", ["ghost"])
+    with pytest.raises(FlatViewError):
+        FlatView.build(net)
+
+
+def test_gate_row_maps_into_columns():
+    net = build("C880", small=True)
+    view = FlatView.build(net)
+    for sig in net.topo_order():
+        k = view.gate_row(sig)
+        assert view.names[view.n_pis + k] == sig
+        assert CODE_NAMES[int(view.code[k])] == net.gates[sig].func.name
+
+
+def test_func_codes_cover_all_singletons():
+    assert set(CODE_NAMES) == set(FUNC_CODES)
+    assert len(CODE_NAMES) == len(FUNC_CODES)
