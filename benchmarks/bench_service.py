@@ -1,0 +1,136 @@
+"""Optimization-service benchmark: shared warm store vs isolated clients.
+
+The service claim (DESIGN.md §10): concurrent clients sharing one
+sharded verdict store amortize each other's proof work.  Four clients
+whose jobs run against a warm shared store must beat four isolated
+cold clients (private stores) by >=1.5x aggregate jobs/sec, and the
+cross-client hit rate is reported to ``BENCH_service.json``.
+"""
+
+import time
+from pathlib import Path
+
+from conftest import register_report
+
+from repro.circuits.registry import build
+from repro.io import write_blif
+from repro.obs import append_bench, git_sha, validate_service_entry
+from repro.service import JobQueue, JobSpec
+from repro.service.server import service_stats
+from repro.service.worker import WorkerPool
+
+#: broker-heavy settings (funnel off so obligations reach the store);
+#: per-job proving is serial — the concurrency under test is the
+#: 4-worker fan-out and the shared store, not the proof pool.
+OVERRIDES = {"n_words": 4, "max_rounds": 2, "verify_final": False,
+             "static_funnel": False, "proof_workers": 1,
+             "max_seconds": 120.0}
+
+SPEEDUP_FLOOR = 1.5
+
+
+def _job_mix(lib):
+    jobs = []
+    for circuit in ("C880", "C432", "C880", "C432"):
+        net = build(circuit, small=True)
+        lib.rebind(net)
+        jobs.append((net.name, write_blif(net)))
+    return jobs
+
+
+def _submit_all(root, jobs):
+    queue = JobQueue(root)
+    for name, blif in jobs:
+        queue.submit(JobSpec(netlist=blif, fmt="blif", name=name,
+                             config=dict(OVERRIDES)))
+    return queue
+
+
+def _drain_timed(pools):
+    t0 = time.perf_counter()
+    for pool in pools:
+        pool.start(drain=True)
+    for pool in pools:
+        assert pool.join(timeout=600), "benchmark workers hung"
+    return time.perf_counter() - t0
+
+
+def test_shared_warm_store_beats_isolated_cold(lib, tmp_path):
+    jobs = _job_mix(lib)
+
+    # Baseline: four isolated clients — own spool, own store, no
+    # sharing — running concurrently (one worker each).
+    iso_roots = []
+    iso_pools = []
+    for i, job in enumerate(jobs):
+        root = str(tmp_path / f"iso{i}")
+        _submit_all(root, [job])
+        iso_roots.append(root)
+        iso_pools.append(WorkerPool(root, store_path=f"{root}/store",
+                                    workers=1))
+    t_isolated = _drain_timed(iso_pools)
+    for root in iso_roots:
+        stats = service_stats(root)
+        assert stats["jobs_done"] == 1, stats["jobs"]
+        assert stats["cross_client_hits"] == 0  # truly isolated
+
+    # Shared service: one spool, one store.  Warm it with one pass of
+    # the same mix (the long-lived daemon's steady state), then time
+    # the four concurrent clients.
+    shared_root = str(tmp_path / "shared")
+    store = f"{shared_root}/store"
+    _submit_all(shared_root, jobs)
+    _drain_timed([WorkerPool(shared_root, store_path=store, workers=4)])
+
+    queue = _submit_all(shared_root, jobs)
+    t_shared = _drain_timed(
+        [WorkerPool(shared_root, store_path=store, workers=4)])
+
+    stats = service_stats(shared_root)
+    assert stats["jobs_done"] == 2 * len(jobs), stats["jobs"]
+    assert stats["jobs_failed"] == 0
+    hit_rate = stats["cross_client_hit_rate"]
+    assert stats["cross_client_hits"] > 0, "store sharing inert"
+
+    jps_isolated = len(jobs) / t_isolated
+    jps_shared = len(jobs) / t_shared
+    speedup = jps_shared / jps_isolated
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"shared warm store only {speedup:.2f}x the isolated cold "
+        f"aggregate jobs/sec (needs >= {SPEEDUP_FLOOR}x)"
+    )
+
+    entry = {
+        "key": git_sha(),
+        "jobs": dict(stats["jobs"]),
+        "job_mix": sorted({name for name, _ in jobs}),
+        "isolated_seconds": round(t_isolated, 4),
+        "shared_seconds": round(t_shared, 4),
+        "jobs_per_sec_isolated": round(jps_isolated, 4),
+        "jobs_per_sec": round(jps_shared, 4),
+        "speedup": round(speedup, 3),
+        "queue_depth": stats["queue_depth"],
+        "cross_client_hit_rate": round(hit_rate, 4),
+        "cross_client_hits": stats["cross_client_hits"],
+        "store_misses": stats["store_misses"],
+        "resumed_jobs": stats["resumed_jobs"],
+        "replayed_verdicts": stats["replayed_verdicts"],
+    }
+    validate_service_entry(entry)
+    append_bench(
+        str(Path(__file__).resolve().parent.parent
+            / "BENCH_service.json"),
+        entry, key_fields=("key",),
+    )
+
+    del queue
+    rows = [
+        "clients            wall[s]   agg jobs/s   x-client hit rate",
+        f"4 isolated cold   {t_isolated:8.2f} {jps_isolated:12.2f}"
+        "                 --",
+        f"4 shared warm     {t_shared:8.2f} {jps_shared:12.2f}"
+        f"   {100 * hit_rate:15.1f}%",
+        f"speedup           {speedup:8.2f}x   (floor {SPEEDUP_FLOOR}x)",
+    ]
+    register_report("Service: shared warm store vs isolated clients",
+                    "\n".join(rows))

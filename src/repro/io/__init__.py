@@ -1,11 +1,93 @@
-"""Netlist I/O: BLIF and ISCAS .bench formats."""
+"""Netlist I/O: BLIF, ISCAS .bench, and structural Verilog.
 
+:func:`parse_netlist` / :func:`load_netlist` are the format-dispatching
+front door — the optimization service (``repro.service``) accepts job
+payloads in any of the three formats through them.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from ..library.cells import TechLibrary
+from ..netlist.netlist import Netlist
 from .bench import BenchError, load_bench, parse_bench, write_bench
 from .blif import BlifError, load_blif, parse_blif, write_blif
-from .verilog import VerilogError, write_verilog
+from .verilog import (
+    VerilogError, load_verilog, parse_verilog, write_verilog,
+)
+
+#: Formats understood by :func:`parse_netlist`, with the file
+#: extensions :func:`load_netlist` maps onto them.
+FORMATS = ("blif", "bench", "verilog")
+
+_EXTENSIONS = {
+    ".blif": "blif",
+    ".bench": "bench",
+    ".v": "verilog",
+    ".verilog": "verilog",
+}
+
+
+class FormatError(Exception):
+    """Unknown or undetectable netlist format."""
+
+
+def format_from_path(path: str) -> str:
+    """Infer a :data:`FORMATS` entry from a file extension."""
+    ext = os.path.splitext(path)[1].lower()
+    try:
+        return _EXTENSIONS[ext]
+    except KeyError:
+        raise FormatError(
+            f"cannot infer netlist format from {path!r} "
+            f"(known extensions: {sorted(_EXTENSIONS)})"
+        ) from None
+
+
+def parse_netlist(
+    text: str,
+    fmt: str,
+    library: Optional[TechLibrary] = None,
+    name: Optional[str] = None,
+) -> Netlist:
+    """Parse netlist source text in the named format.
+
+    ``library`` is consulted for mapped-cell constructs (BLIF ``.gate``
+    lines, Verilog cell instances) and ignored by ``.bench``.
+    """
+    if fmt == "blif":
+        net = parse_blif(text, library=library)
+        if name:
+            net.name = name
+        return net
+    if fmt == "bench":
+        return parse_bench(text, name=name or "bench")
+    if fmt == "verilog":
+        return parse_verilog(text, library=library, name=name)
+    raise FormatError(f"unknown netlist format {fmt!r} "
+                      f"(expected one of {FORMATS})")
+
+
+def load_netlist(
+    path: str,
+    fmt: Optional[str] = None,
+    library: Optional[TechLibrary] = None,
+) -> Netlist:
+    """Read a netlist file, inferring the format from the extension
+    unless ``fmt`` is given."""
+    fmt = fmt or format_from_path(path)
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    base = os.path.splitext(os.path.basename(path))[0]
+    return parse_netlist(text, fmt, library=library, name=base)
+
 
 __all__ = [
     "BenchError", "load_bench", "parse_bench", "write_bench",
     "BlifError", "load_blif", "parse_blif", "write_blif",
-    "VerilogError", "write_verilog",
+    "VerilogError", "load_verilog", "parse_verilog", "write_verilog",
+    "FormatError", "FORMATS", "format_from_path",
+    "parse_netlist", "load_netlist",
 ]

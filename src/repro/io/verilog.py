@@ -1,16 +1,18 @@
-"""Structural Verilog writer for mapped and unmapped netlists.
+"""Structural Verilog reader/writer for mapped and unmapped netlists.
 
 Mapped gates become cell instances (pins ``a, b, ... -> o``, matching
 the built-in genlib convention); unmapped gates become Verilog primitive
-instantiations (``and``, ``nand``, ``xor``, ``not``, ...).  There is no
-reader — BLIF/.bench are the interchange formats; the writer exists so
-optimized netlists can flow into downstream tools.
+instantiations (``and``, ``nand``, ``xor``, ``not``, ...).  The reader
+accepts the same structural subset the writer emits — primitive and
+cell instances, constant/ternary/AOI-form ``assign`` statements, and
+escaped identifiers — so netlists round-trip and the optimization
+service can accept Verilog submissions alongside BLIF/.bench.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..library.cells import TechLibrary
 from ..netlist.netlist import Netlist
@@ -115,3 +117,309 @@ def _complex_expr(fname: str, gate) -> str:
     if fname == "ORN":
         return f"({ins[0]} | ~{ins[1]})"
     raise VerilogError(fname)
+
+
+# ----------------------------------------------------------------------
+# Reader
+# ----------------------------------------------------------------------
+
+_PRIMITIVE_FUNC: Dict[str, str] = {v: k for k, v in _PRIMITIVE.items()}
+
+_TOKEN_RE = re.compile(
+    r"""\\(?P<esc>\S+)\s?        # escaped identifier
+      | (?P<num>1'b[01])         # constant literal
+      | (?P<id>[A-Za-z_][A-Za-z0-9_$]*)
+      | (?P<sym>[().,;=?:~&|])
+      | (?P<ws>\s+)
+      | (?P<bad>.)
+    """,
+    re.VERBOSE,
+)
+
+# assign-expression templates for the complex gate functions, as token
+# tuples; uppercase single letters are identifier placeholders and the
+# tuple order is the gate's input order.
+_EXPR_TEMPLATES: List[Tuple[str, Tuple[str, ...], Tuple[str, ...]]] = [
+    ("AOI21", ("~", "(", "(", "A", "&", "B", ")", "|", "C", ")"),
+     ("A", "B", "C")),
+    ("OAI21", ("~", "(", "(", "A", "|", "B", ")", "&", "C", ")"),
+     ("A", "B", "C")),
+    ("AOI22",
+     ("~", "(", "(", "A", "&", "B", ")", "|",
+      "(", "C", "&", "D", ")", ")"),
+     ("A", "B", "C", "D")),
+    ("OAI22",
+     ("~", "(", "(", "A", "|", "B", ")", "&",
+      "(", "C", "|", "D", ")", ")"),
+     ("A", "B", "C", "D")),
+    ("MAJ3",
+     ("(", "(", "A", "&", "B", ")", "|", "(", "A", "&", "C", ")",
+      "|", "(", "B", "&", "C", ")", ")"),
+     ("A", "B", "C")),
+    ("ANDN", ("(", "A", "&", "~", "B", ")"), ("A", "B")),
+    ("ORN", ("(", "A", "|", "~", "B", ")"), ("A", "B")),
+    # MUX21: writer emits "s ? b : a" for inputs (d0=a, d1=b, s).
+    ("MUX21", ("S", "?", "B", ":", "A"), ("A", "B", "S")),
+]
+
+_PLACEHOLDER = frozenset("ABCDS")
+
+_GATE_PINS = "abcdefgh"
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    """``(kind, value)`` tokens; kind is ``id``/``num``/``sym``.
+
+    Escaped identifiers (``\\name ``) become plain ``id`` tokens whose
+    value is the unescaped name, so downstream matching is uniform.
+    """
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.DOTALL)
+    out: List[Tuple[str, str]] = []
+    for m in _TOKEN_RE.finditer(text):
+        if m.lastgroup == "ws":
+            continue
+        if m.lastgroup == "bad":
+            raise VerilogError(
+                f"unexpected character {m.group()!r} in Verilog input")
+        if m.lastgroup == "esc":
+            out.append(("id", m.group("esc")))
+        else:
+            out.append((m.lastgroup or "", m.group()))
+    return out
+
+
+def _match_expr(tokens: Sequence[Tuple[str, str]]):
+    """Match an assign RHS against the writer's expression templates.
+
+    Returns ``(func_name, input_signals)`` or ``None``.
+    """
+    for fname, template, order in _EXPR_TEMPLATES:
+        if len(tokens) != len(template):
+            continue
+        binding: Dict[str, str] = {}
+        ok = True
+        for (kind, value), want in zip(tokens, template):
+            if want in _PLACEHOLDER:
+                if kind != "id":
+                    ok = False
+                    break
+                if want in binding:
+                    if binding[want] != value:  # MAJ3 repeats A/B/C
+                        ok = False
+                        break
+                else:
+                    binding[want] = value
+            elif kind != "sym" or value != want:
+                ok = False
+                break
+        if ok:
+            return fname, [binding[p] for p in order]
+    return None
+
+
+class _TokenStream:
+    def __init__(self, tokens: List[Tuple[str, str]]):
+        self._toks = tokens
+        self._pos = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self._pos < len(self._toks):
+            return self._toks[self._pos]
+        return None
+
+    def next(self) -> Tuple[str, str]:
+        tok = self.peek()
+        if tok is None:
+            raise VerilogError("unexpected end of Verilog input")
+        self._pos += 1
+        return tok
+
+    def expect(self, kind: str, value: Optional[str] = None) -> str:
+        k, v = self.next()
+        if k != kind or (value is not None and v != value):
+            raise VerilogError(
+                f"expected {value or kind!r}, got {v!r}")
+        return v
+
+    def until(self, sym: str) -> List[Tuple[str, str]]:
+        """Consume tokens up to (and including) the symbol ``sym`` at
+        paren depth zero; the terminator itself is not returned."""
+        out: List[Tuple[str, str]] = []
+        depth = 0
+        while True:
+            k, v = self.next()
+            if k == "sym" and v == sym and depth == 0:
+                return out
+            if k == "sym" and v == "(":
+                depth += 1
+            elif k == "sym" and v == ")":
+                depth -= 1
+            out.append((k, v))
+
+
+def parse_verilog(
+    text: str,
+    library: Optional[TechLibrary] = None,
+    name: Optional[str] = None,
+) -> Netlist:
+    """Parse the structural Verilog subset :func:`write_verilog` emits.
+
+    Handles primitive instantiations, named-pin cell instances (looked
+    up in ``library``), constant/alias/ternary/AOI-form ``assign``
+    statements, and escaped identifiers.  Output-port aliases
+    (``assign poN = sig;``) are folded back into the PO list, so a
+    written-then-parsed netlist keeps its original PO signals.
+    """
+    ts = _TokenStream(_tokenize(text))
+    ts.expect("id", "module")
+    module = ts.next()[1]
+    net = Netlist(name or module)
+
+    outputs: List[str] = []
+    ts.expect("sym", "(")
+    while True:
+        kind, value = ts.next()
+        if kind == "sym" and value == ")":
+            break
+        if kind == "sym" and value == ",":
+            continue
+        if kind != "id" or value not in ("input", "output"):
+            raise VerilogError(f"bad port declaration near {value!r}")
+        port = ts.next()
+        if port[0] != "id":
+            raise VerilogError(f"bad port name {port[1]!r}")
+        if value == "input":
+            net.add_pi(port[1])
+        else:
+            outputs.append(port[1])
+    ts.expect("sym", ";")
+
+    aliases: Dict[str, str] = {}
+    counter = 0
+    while True:
+        kind, value = ts.next()
+        if kind == "id" and value == "endmodule":
+            break
+        if kind == "id" and value == "wire":
+            ts.until(";")
+            continue
+        if kind == "id" and value == "assign":
+            lhs = ts.next()
+            if lhs[0] != "id":
+                raise VerilogError(f"bad assign target {lhs[1]!r}")
+            ts.expect("sym", "=")
+            rhs = ts.until(";")
+            _read_assign(net, lhs[1], rhs, aliases)
+            continue
+        if kind != "id":
+            raise VerilogError(f"unexpected token {value!r}")
+        counter += 1
+        _read_instance(net, value, ts, library)
+
+    pos = [aliases.get(p, p) for p in outputs]
+    net.set_pos(pos)
+    return net
+
+
+def _read_assign(
+    net: Netlist,
+    out: str,
+    rhs: Sequence[Tuple[str, str]],
+    aliases: Dict[str, str],
+) -> None:
+    if len(rhs) == 1:
+        kind, value = rhs[0]
+        if kind == "num":
+            net.add_gate(out, "CONST0" if value == "1'b0" else "CONST1",
+                         [])
+            return
+        if kind == "id":
+            # Writer-style PO alias (assign poN = sig) — resolve the
+            # port back to its driving signal rather than adding a BUF.
+            aliases[out] = value
+            return
+        raise VerilogError(f"bad assign RHS near {value!r}")
+    matched = _match_expr(rhs)
+    if matched is None:
+        raise VerilogError(
+            f"unrecognized assign expression for {out!r}")
+    fname, inputs = matched
+    net.add_gate(out, fname, inputs)
+
+
+def _read_instance(
+    net: Netlist,
+    head: str,
+    ts: _TokenStream,
+    library: Optional[TechLibrary],
+) -> None:
+    inst = ts.next()
+    if inst[0] == "sym" and inst[1] == "(":
+        # Anonymous instance: "and (out, a, b);" — tolerated.
+        pass
+    else:
+        if inst[0] != "id":
+            raise VerilogError(f"bad instance name {inst[1]!r}")
+        ts.expect("sym", "(")
+    body = ts.until(")")
+    ts.expect("sym", ";")
+
+    if body and body[0] == ("sym", "."):
+        # Named-pin mapped cell: .a(x), .b(y), .o(out)
+        if library is None or head not in library:
+            raise VerilogError(
+                f"cell {head!r} not in the provided library")
+        cell = library[head]
+        conns: Dict[str, str] = {}
+        i = 0
+        while i < len(body):
+            if body[i] == ("sym", ","):
+                i += 1
+                continue
+            if body[i] != ("sym", ".") or i + 4 > len(body):
+                raise VerilogError(
+                    f"bad pin connection in instance of {head!r}")
+            pin = body[i + 1]
+            if pin[0] != "id" or body[i + 2] != ("sym", "("):
+                raise VerilogError(
+                    f"bad pin connection in instance of {head!r}")
+            sig = body[i + 3]
+            if sig[0] != "id" or body[i + 4] != ("sym", ")"):
+                raise VerilogError(
+                    f"bad pin connection in instance of {head!r}")
+            conns[pin[1]] = sig[1]
+            i += 5
+        out_pin = next(
+            (p for p in ("o", "O", "out", "Y", "y") if p in conns), None)
+        if out_pin is None:
+            raise VerilogError(
+                f"instance of {head!r} has no output pin")
+        pins = _GATE_PINS[: cell.nin]
+        missing = [p for p in pins if p not in conns]
+        if missing:
+            raise VerilogError(
+                f"instance of {head!r} missing pins {missing}")
+        net.add_gate(conns[out_pin], cell.func,
+                     [conns[p] for p in pins], cell=cell.name)
+        return
+
+    # Positional primitive: "and u0 (out, a, b);"
+    func = _PRIMITIVE_FUNC.get(head)
+    if func is None:
+        raise VerilogError(f"unknown primitive or cell {head!r}")
+    signals = [v for k, v in body if k == "id"]
+    expected = sum(1 for t in body if t != ("sym", ","))
+    if len(signals) != expected or not signals:
+        raise VerilogError(f"bad operand list for {head!r}")
+    net.add_gate(signals[0], func, signals[1:])
+
+
+def load_verilog(
+    path: str,
+    library: Optional[TechLibrary] = None,
+    name: Optional[str] = None,
+) -> Netlist:
+    """Read a structural Verilog file (the writer's subset)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_verilog(fh.read(), library=library, name=name)

@@ -151,6 +151,36 @@ def validate_bench_entry(entry: dict) -> None:
         raise ExportSchemaError(f"entry lacks a string key: {entry!r}")
 
 
+_SERVICE_FIELDS = {
+    "key": str, "jobs": dict,
+    "jobs_per_sec": (int, float), "queue_depth": int,
+    "cross_client_hit_rate": (int, float),
+    "cross_client_hits": int, "store_misses": int,
+}
+
+
+def validate_service_entry(entry: dict) -> None:
+    """Raise :class:`ExportSchemaError` unless ``entry`` matches the
+    ``BENCH_service.json`` schema (service-level job/store metrics)."""
+    validate_bench_entry(entry)
+    for field, types in _SERVICE_FIELDS.items():
+        if field not in entry:
+            raise ExportSchemaError(f"service entry missing {field!r}")
+        if not isinstance(entry[field], types):
+            raise ExportSchemaError(
+                f"service entry field {field!r} has type "
+                f"{type(entry[field]).__name__}")
+    rate = entry["cross_client_hit_rate"]
+    if not 0.0 <= rate <= 1.0:
+        raise ExportSchemaError(
+            f"cross_client_hit_rate {rate!r} outside [0, 1]")
+    for state, count in entry["jobs"].items():
+        if not isinstance(state, str) or not isinstance(count, int):
+            raise ExportSchemaError(
+                f"service entry jobs has malformed item "
+                f"{state!r}: {count!r}")
+
+
 def validate_gdo_entry(entry: dict) -> None:
     """Raise :class:`ExportSchemaError` unless ``entry`` matches the
     GDO trajectory schema."""

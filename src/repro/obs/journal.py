@@ -20,7 +20,9 @@ from __future__ import annotations
 
 import io
 import json
-from typing import Dict, Iterable, List, Optional
+import os
+import signal
+from typing import Dict, Iterable, List, Optional, Tuple
 
 #: fields whose values may differ between byte-identical decision
 #: sequences (scheduling, caching, wall clock); comparisons strip them
@@ -53,12 +55,40 @@ class JournalSchemaError(ValueError):
     """A record violates :data:`RECORD_SCHEMA` or the seq contract."""
 
 
+#: record types whose on-disk line is fsync'd before ``record`` returns
+#: — crash recovery resumes from the last *committed* substitution, so
+#: commits (and the run envelope) must survive a SIGKILL.
+DURABLE_TYPES = frozenset({"commit", "run_begin", "run_end"})
+
+#: fault-injection hook (crash-recovery tests): ``"commit:2"`` SIGKILLs
+#: the process right after the 2nd commit record reaches disk;
+#: ``"commit:2:partial"`` first appends a torn half-record so the loader
+#: sees a mid-append crash.  Parsed once per journal; unset = disabled.
+CRASH_ENV = "REPRO_CRASH_AFTER"
+
+
+def _parse_crash_hook(value: Optional[str]):
+    if not value:
+        return None
+    parts = value.split(":")
+    if len(parts) < 2:
+        return None
+    try:
+        return parts[0], int(parts[1]), (len(parts) > 2 and
+                                         parts[2] == "partial")
+    except ValueError:
+        return None
+
+
 class RunJournal:
     """Append-only journal; in-memory always, JSONL on disk if ``path``.
 
     ``record`` assigns the next ``seq`` and validates the record against
     the schema; disk writes are line-buffered JSON with sorted keys, so
     journals are diffable and the file is valid JSONL even mid-run.
+    Records in :data:`DURABLE_TYPES` are additionally fsync'd — the
+    service's crash recovery depends on every committed modification
+    being on disk before the optimizer proceeds.
     """
 
     enabled = True
@@ -67,8 +97,10 @@ class RunJournal:
         self.path = path
         self.records: List[dict] = []
         self._fh: Optional[io.TextIOBase] = None
+        self._crash = _parse_crash_hook(os.environ.get(CRASH_ENV))
+        self._crash_seen = 0
         if path is not None:
-            self._fh = open(path, "w", encoding="utf-8")
+            self._fh = open(path, "w", encoding="utf-8", buffering=1)
 
     # ------------------------------------------------------------------
     def record(self, rectype: str, **fields) -> dict:
@@ -78,7 +110,28 @@ class RunJournal:
         self.records.append(rec)
         if self._fh is not None:
             self._fh.write(json.dumps(rec, sort_keys=True) + "\n")
+            if rectype in DURABLE_TYPES:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+        if self._crash is not None:
+            self._crash_tick(rectype)
         return rec
+
+    def _crash_tick(self, rectype: str) -> None:
+        """Fault injection: die by SIGKILL after the Nth ``rectype``."""
+        crash_type, crash_count, partial = self._crash
+        if rectype != crash_type:
+            return
+        self._crash_seen += 1
+        if self._crash_seen < crash_count:
+            return
+        if self._fh is not None:
+            if partial:
+                # A torn final line, as a crash mid-append would leave.
+                self._fh.write('{"seq": 999999, "type": "tri')
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        os.kill(os.getpid(), signal.SIGKILL)
 
     def close(self) -> None:
         if self._fh is not None:
@@ -146,6 +199,35 @@ def load_journal(path: str) -> List[dict]:
             if line:
                 records.append(json.loads(line))
     return records
+
+
+def load_journal_tolerant(path: str) -> Tuple[List[dict], int]:
+    """Parse a journal that may end in a torn line (crash mid-append).
+
+    Returns ``(records, dropped)`` where ``dropped`` counts unparseable
+    *trailing* lines discarded (0 for a clean journal).  Only the final
+    line may be torn — an unparseable line followed by a parseable one
+    means real corruption, which still raises, exactly like
+    :func:`load_journal`.  Crash recovery loads journals through this:
+    the valid prefix is the resumable decision trail.
+    """
+    raw: List[str] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                raw.append(line)
+    records: List[dict] = []
+    for i, line in enumerate(raw):
+        try:
+            records.append(json.loads(line))
+        except ValueError as exc:
+            if i == len(raw) - 1:
+                return records, 1
+            raise ValueError(
+                f"{path}: corrupt journal record at line {i + 1} "
+                f"(not a torn tail)") from exc
+    return records, 0
 
 
 def strip_volatile(records: Iterable[dict]) -> List[dict]:

@@ -72,6 +72,14 @@ class GdoConfig:
     # definitive (valid/invalid) verdicts across runs.
     proof_cache_size: int = 4096
     proof_cache_path: Optional[str] = None
+    # Root of a sharded verdict store (repro.service.store) shared by
+    # concurrent clients; takes precedence over proof_cache_path.  The
+    # optimization service sets this for every worker so proof work is
+    # shared across jobs, runs, and client processes.
+    proof_store_path: Optional[str] = None
+    # Re-tail the store's shard on a cache miss, picking up verdicts
+    # other clients appended since the last look (cross-client hits).
+    proof_store_refresh: bool = True
 
     # --- static analysis (see repro.analysis and DESIGN.md §8) ---
     # Invariant checking of the live netlist during the run:
@@ -124,6 +132,17 @@ class GdoConfig:
             return None
         from ..proof.broker import ProofBroker
 
+        cache = None
+        if self.proof_store_path is not None:
+            from ..service.store import (
+                ShardedProofCache, ShardedVerdictStore,
+            )
+
+            cache = ShardedProofCache(
+                ShardedVerdictStore(self.proof_store_path),
+                max_entries=self.proof_cache_size,
+                refresh_on_miss=self.proof_store_refresh,
+            )
         return ProofBroker(
             mode=self.proof,
             workers=self.proof_workers,
@@ -133,6 +152,7 @@ class GdoConfig:
             timeout=self.proof_timeout,
             cache_size=self.proof_cache_size,
             cache_path=self.proof_cache_path,
+            cache=cache,
         )
 
     @property
@@ -193,6 +213,11 @@ class GdoStats:
     static_proved: int = 0
     static_refuted: int = 0
     checks_run: int = 0
+    # Crash recovery (repro.service): True when the run replayed a
+    # journal prefix, and how many proof verdicts it took from the
+    # journal instead of the broker.
+    resumed: bool = False
+    replayed_verdicts: int = 0
     rounds: int = 0
     cpu_seconds: float = 0.0
     equivalent: Optional[bool] = None

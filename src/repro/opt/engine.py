@@ -92,6 +92,11 @@ class EngineContext:
         self._pending: Set[str] = set()
         self._pending_removed: Set[str] = set()
         self._refute_base: Optional[Tuple[BitSimulator, object]] = None
+        # Seed drawn for the current refutation epoch; set at the first
+        # prepare_refutation of the epoch even when the base simulation
+        # itself is skipped (journal replay), so the seed stream is
+        # identical with and without resume.
+        self._refute_seed: Optional[int] = None
         self._trial_undo: Optional[StaTrialUndo] = None
         self._sta: Optional[IncrementalSta] = None
         # Static funnel stage (repro.analysis): rebuilt lazily per
@@ -270,18 +275,29 @@ class EngineContext:
     # ------------------------------------------------------------------
     # refutation (the pre-proof random-word filter)
     # ------------------------------------------------------------------
-    def prepare_refutation(self) -> None:
+    def prepare_refutation(self, simulate: bool = True) -> None:
         """Simulate the base netlist for this adoption epoch, if not done.
 
         Must run *before* the trial edit mutates the net — the base sim
         is the reference both modes compare trials against.
+
+        ``simulate=False`` (journal replay: the refutation outcome will
+        come from the records) draws the epoch's seed without building
+        the base.  If a later candidate of the same epoch runs out of
+        journal and needs a live refutation, the base is materialized
+        then, from the same (unchanged, pre-edit) netlist with the same
+        seed — bitwise what an uninterrupted run computed up front.
         """
         if self._refute_base is not None:
             return
-        self.seed_counter += 1
+        if self._refute_seed is None:
+            self.seed_counter += 1
+            self._refute_seed = self.seed_counter
+        if not simulate:
+            return
         with self.obs.span("sim.refute_base"):
             sim = BitSimulator(self.net)
-            state = self._scratch_state(sim, self.seed_counter)
+            state = self._scratch_state(sim, self._refute_seed)
         self._refute_base = (sim, state)
         self.stats.engine.sim_scratch += 1
         self.obs.metrics.counter("sim_scratch_rebuilds",
@@ -344,6 +360,7 @@ class EngineContext:
         self._pending |= dirty
         self._pending_removed |= removed
         self._refute_base = None
+        self._refute_seed = None
         self._static = None  # verdicts were against the pre-commit net
 
     # ------------------------------------------------------------------

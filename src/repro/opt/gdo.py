@@ -39,6 +39,7 @@ from ..transform.substitution import (
 )
 from .config import GdoConfig, GdoStats, ModRecord
 from .engine import EngineContext
+from .replay import ReplayCursor
 
 
 class GdoResult:
@@ -62,6 +63,7 @@ def gdo_optimize(
     library: TechLibrary,
     config: Optional[GdoConfig] = None,
     broker: Optional[ProofBroker] = None,
+    resume: Optional[List[dict]] = None,
 ) -> GdoResult:
     """Run GDO on a mapped netlist; the input is not modified.
 
@@ -69,6 +71,14 @@ def gdo_optimize(
     :class:`~repro.proof.broker.ProofBroker`, letting its verdict cache
     (and worker pool) survive across runs; by default the run builds
     and tears down its own per ``config``.
+
+    ``resume`` optionally supplies the journal prefix of an interrupted
+    run over the same (netlist, config): refutation outcomes and proof
+    verdicts up to the last committed substitution are replayed from
+    the records instead of recomputed (see :mod:`repro.opt.replay`),
+    after which the run continues live.  The journal is re-emitted from
+    seq 0 and the final netlist is identical to an uninterrupted run —
+    the crash-recovery contract of :mod:`repro.service`.
     """
     cfg = config or GdoConfig()
     work = net.copy(name=net.name)
@@ -87,7 +97,7 @@ def gdo_optimize(
         seed=cfg.seed, n_words=cfg.n_words,
     )
 
-    runner = _GdoRunner(work, library, cfg, stats, ctx)
+    runner = _GdoRunner(work, library, cfg, stats, ctx, resume=resume)
     with obs.span("gdo.optimize"):
         runner.run()
 
@@ -124,13 +134,16 @@ class _GdoRunner:
     """Holds the mutable optimization state for one run."""
 
     def __init__(self, net: Netlist, library: TechLibrary,
-                 cfg: GdoConfig, stats: GdoStats, ctx: EngineContext):
+                 cfg: GdoConfig, stats: GdoStats, ctx: EngineContext,
+                 resume: Optional[List[dict]] = None):
         self.net = net
         self.library = library
         self.cfg = cfg
         self.stats = stats
         self.ctx = ctx
         self.obs = ctx.obs
+        self.replay = ReplayCursor(resume) if resume else None
+        stats.resumed = self.replay is not None
         self._round = 0
         # Candidates that failed trial/refutation/proof since the last
         # adoption: nothing they depend on has changed, so re-evaluating
@@ -334,6 +347,11 @@ class _GdoRunner:
             # the broker below.  Pure — identical under any worker
             # count, so the journal stays deterministic.
             verdict = self.ctx.static_classify(cand)
+            if self.replay is not None and verdict != UNKNOWN:
+                # Early divergence check: static verdicts are pure, so
+                # a mismatch means the journal is not this run's.
+                self.replay.static_check(
+                    desc, "refuted" if verdict == REFUTED else "proved")
             if verdict == REFUTED:
                 self._rejected.add(key)
                 self.stats.static_refuted += 1
@@ -350,7 +368,12 @@ class _GdoRunner:
                                     kind=cand.kind, desc=desc)
             self.obs.metrics.counter("gdo_trials", phase=phase).inc()
             if verdict != PROVED:
-                self.ctx.prepare_refutation()
+                # During replay the refutation outcome comes from the
+                # journal, so the epoch-base simulation is skipped (the
+                # seed stream still advances — see prepare_refutation).
+                self.ctx.prepare_refutation(
+                    simulate=self.replay is None
+                    or not self.replay.has_refute())
             try:
                 edit = apply_candidate_inplace(
                     self.net, cand, library=self.library
@@ -401,8 +424,13 @@ class _GdoRunner:
                 # most false positives die on a second, different batch.
                 self.obs.metrics.counter("gdo_to_bpfs",
                                          phase=phase).inc()
-                with self.obs.span("gdo.refute"):
-                    refuted = self.ctx.refutes(cand, edit)
+                replayed = (self.replay.refute(desc)
+                            if self.replay is not None else None)
+                if replayed is None:
+                    with self.obs.span("gdo.refute"):
+                        refuted = self.ctx.refutes(cand, edit)
+                else:
+                    refuted = replayed
                 self.obs.journal.record("refute", desc=desc,
                                         refuted=refuted)
                 if refuted:
@@ -470,6 +498,19 @@ class _GdoRunner:
         """
         if self.cfg.proof == "none":
             return True
+        if self.replay is not None:
+            rec = self.replay.verdict()
+            if rec is not None:
+                # The journal is the proof certificate: this verdict was
+                # computed (and, if a commit followed, acted on) before
+                # the crash.  Re-emit it so the resumed journal matches
+                # the uninterrupted one; skip the O(net) undo-copy and
+                # the broker entirely.
+                self.obs.journal.record(
+                    "verdict", obligation=rec.get("obligation", ""),
+                    verdict=rec["verdict"], cache_hit=True, wall_ms=0.0)
+                self.stats.replayed_verdicts += 1
+                return rec["verdict"] == VALID
         original = self.net.copy()
         edit.undo(original)
         broker = self.ctx.broker
@@ -491,6 +532,11 @@ class _GdoRunner:
         broker = self.ctx.broker
         if broker is None or broker.workers <= 1 or \
                 self.cfg.proof == "none":
+            return
+        if self.replay is not None and self.replay.active:
+            # Replayed verdicts never reach the broker; warming the
+            # cache for them would burn the obligation extractions the
+            # resume exists to skip.  Prefetch resumes with live play.
             return
         with self.obs.span("gdo.prefetch"):
             obligations = []

@@ -1,0 +1,128 @@
+"""Journal-guided replay: resume a GDO run from its decision trail.
+
+GDO is deterministic given (netlist, config, seed): re-executing a
+crashed run makes the *identical* decision sequence.  Resuming from the
+last committed substitution therefore does not need a state checkpoint —
+it needs the expensive oracles answered from the journal instead of
+recomputed.  :class:`ReplayCursor` wraps the journal prefix up to the
+last ``commit`` record and supplies, in order:
+
+* **refutation outcomes** (``refute`` records) — the per-candidate
+  random-vector filter, normally a cone resimulation;
+* **proof verdicts** (``verdict`` records) — normally an obligation
+  extraction (O(net) copy) plus a broker dispatch.  Each journaled
+  commit was individually proven before the crash, so the journal is a
+  valid proof certificate for its own prefix.
+
+Everything else — enumeration, trial edits, timing refreshes, static
+classification — *is* re-executed: it is the cheap incremental part,
+and re-executing it reconstructs the exact in-memory state (seed
+stream, rejected-set, pass positions) the live continuation needs.
+The resumed run re-emits the journal from seq 0, so a resumed journal
+and an uninterrupted journal are comparable end to end (modulo
+:data:`~repro.obs.journal.VOLATILE_FIELDS`).
+
+Replay cross-checks every ``static`` and ``refute`` record against the
+recomputed candidate description; a mismatch means the journal does not
+belong to this (netlist, config, seed) and raises
+:class:`ReplayDivergence` — the caller falls back to a fresh run, which
+is always sound (and still warm: verdicts live in the shared store).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+
+class ReplayDivergence(RuntimeError):
+    """The journal's decisions do not match the re-executed run."""
+
+
+def committed_prefix(records: List[dict]) -> Optional[List[dict]]:
+    """The resumable prefix: records up to the last ``commit``.
+
+    Everything after the last commit is uncommitted work the resumed
+    run redoes live (its proofs are warm in the shared store anyway).
+    ``None`` when the journal holds no commit — resuming would replay
+    nothing, so the caller should just rerun from scratch.
+    """
+    last = None
+    for i, rec in enumerate(records):
+        if rec.get("type") == "commit":
+            last = i
+    if last is None:
+        return None
+    return records[: last + 1]
+
+
+class ReplayCursor:
+    """Ordered oracle queues over one journal prefix.
+
+    The runner consumes ``refute``/``verdict`` outcomes through
+    :meth:`refute` / :meth:`verdict` while re-executing everything
+    else; when the queues drain the run continues live, seamlessly —
+    the prefix ends at a commit boundary, so no epoch state straddles
+    the transition.
+    """
+
+    def __init__(self, records: List[dict]):
+        self._statics: Deque[dict] = deque(
+            r for r in records if r.get("type") == "static")
+        self._refutes: Deque[dict] = deque(
+            r for r in records if r.get("type") == "refute")
+        self._verdicts: Deque[dict] = deque(
+            r for r in records if r.get("type") == "verdict")
+        self.commits = sum(
+            1 for r in records if r.get("type") == "commit")
+
+    @property
+    def active(self) -> bool:
+        """Oracle records remain — prefetching is pointless and the
+        expensive paths should keep consulting the journal."""
+        return bool(self._statics or self._refutes or self._verdicts)
+
+    def has_refute(self) -> bool:
+        """Whether the *next* refutation outcome comes from the journal
+        (decides if the epoch-base simulation can be skipped)."""
+        return bool(self._refutes)
+
+    # ------------------------------------------------------------------
+    def static_check(self, desc: str, verdict: str) -> None:
+        """Cross-check a recomputed static verdict against the journal.
+
+        Static classification is a pure function of the netlist and is
+        always recomputed; the journal record is only used to detect
+        divergence as early as possible.
+        """
+        if not self._statics:
+            return
+        rec = self._statics.popleft()
+        if rec.get("desc") != desc or rec.get("verdict") != verdict:
+            raise ReplayDivergence(
+                f"static record {rec!r} != recomputed "
+                f"({desc!r}, {verdict!r})")
+
+    def refute(self, desc: str) -> Optional[bool]:
+        """The journaled refutation outcome for the next candidate, or
+        ``None`` once the journal is exhausted (compute live)."""
+        if not self._refutes:
+            return None
+        rec = self._refutes.popleft()
+        if rec.get("desc") != desc:
+            raise ReplayDivergence(
+                f"refute record {rec!r} is not for candidate {desc!r}")
+        refuted = rec.get("refuted")
+        if not isinstance(refuted, bool):
+            raise ReplayDivergence(f"malformed refute record {rec!r}")
+        return refuted
+
+    def verdict(self) -> Optional[dict]:
+        """The journaled proof verdict record for the next proof, or
+        ``None`` once the journal is exhausted (prove live)."""
+        if not self._verdicts:
+            return None
+        rec = self._verdicts.popleft()
+        if not isinstance(rec.get("verdict"), str):
+            raise ReplayDivergence(f"malformed verdict record {rec!r}")
+        return rec

@@ -95,6 +95,7 @@ class ProofBroker:
         timeout: Optional[float] = None,
         cache_size: int = 4096,
         cache_path: Optional[str] = None,
+        cache=None,
     ):
         if mode not in ("sat", "bdd", "auto", "none"):
             raise ValueError(f"unknown proof mode {mode!r}")
@@ -105,7 +106,11 @@ class ProofBroker:
             max_conflicts=max_conflicts, bdd_max_nodes=bdd_max_nodes,
             retry_factor=retry_factor, timeout=timeout,
         )
-        self.cache = ProofCache(max_entries=cache_size, path=cache_path)
+        # ``cache`` injects a caller-owned verdict cache — the service
+        # hands every worker a ShardedProofCache over one shared store;
+        # by default the broker owns a private ProofCache.
+        self.cache = cache if cache is not None else \
+            ProofCache(max_entries=cache_size, path=cache_path)
         self.counters = ProofCounters()
         self._pool = None
         self._pool_broken = False

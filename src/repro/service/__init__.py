@@ -1,0 +1,39 @@
+"""The optimization service: a long-lived GDO daemon.
+
+``repro.service`` turns the one-shot optimizer into a service
+(DESIGN.md §10):
+
+* :mod:`~repro.service.store` — sharded persistent verdict store every
+  worker's proof broker shares (append-only segments, read-side merge,
+  compaction);
+* :mod:`~repro.service.queue` — filesystem-spooled job queue accepting
+  netlists in any :mod:`repro.io` frontend format with per-job
+  :class:`~repro.opt.config.GdoConfig` overrides;
+* :mod:`~repro.service.worker` — the worker loop / multiprocessing pool
+  that claims and runs jobs;
+* :mod:`~repro.service.recovery` — crash recovery over the per-job run
+  journals: finished jobs are detected, interrupted jobs resume from
+  their last committed substitution (:mod:`repro.opt.replay`);
+* :mod:`~repro.service.server` / :mod:`~repro.service.client` — a
+  JSON-lines TCP front end with per-job status and service-level
+  metrics, exported to ``BENCH_service.json``.
+
+``python -m repro.service`` is the CLI (``serve``, ``submit``,
+``status``, ``stats``, ``drain``, ``recover``).
+"""
+
+from .queue import Job, JobQueue, JobSpec, QueueError
+from .recovery import RecoveryReport, recover_queue, resume_records
+from .store import (
+    CompactionStats, ShardedProofCache, ShardedVerdictStore, StoreError,
+    shard_of,
+)
+from .worker import WorkerPool, run_job
+
+__all__ = [
+    "Job", "JobQueue", "JobSpec", "QueueError",
+    "RecoveryReport", "recover_queue", "resume_records",
+    "CompactionStats", "ShardedProofCache", "ShardedVerdictStore",
+    "StoreError", "shard_of",
+    "WorkerPool", "run_job",
+]

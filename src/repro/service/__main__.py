@@ -1,0 +1,168 @@
+"""CLI for the optimization service: ``python -m repro.service``.
+
+Daemon side::
+
+    python -m repro.service serve --root RUNDIR [--port P] [--workers N]
+    python -m repro.service recover --root RUNDIR
+    python -m repro.service drain --root RUNDIR [--workers N]   # offline
+
+Client side (against a running daemon)::
+
+    python -m repro.service submit --port P circuit.blif [-o key=value]
+    python -m repro.service status --port P [JOB_ID]
+    python -m repro.service stats --port P [--export BENCH_service.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List
+
+
+def _parse_overrides(pairs: List[str]) -> Dict[str, object]:
+    overrides: Dict[str, object] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep:
+            raise SystemExit(f"bad override {pair!r} (want key=value)")
+        try:
+            overrides[key] = json.loads(value)
+        except ValueError:
+            overrides[key] = value
+    return overrides
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="long-lived GDO optimization service")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the daemon (foreground)")
+    serve.add_argument("--root", required=True,
+                       help="service state directory (spool + store)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="0 picks an ephemeral port (printed)")
+    serve.add_argument("--workers", type=int, default=2)
+
+    recover = sub.add_parser(
+        "recover", help="classify spooled jobs, clear stale leases")
+    recover.add_argument("--root", required=True)
+
+    drain = sub.add_parser(
+        "drain", help="offline batch: run workers until spool is empty")
+    drain.add_argument("--root", required=True)
+    drain.add_argument("--workers", type=int, default=2)
+
+    submit = sub.add_parser("submit", help="submit a netlist file")
+    submit.add_argument("path")
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, required=True)
+    submit.add_argument("--fmt", default=None,
+                        help="blif|bench|verilog (default: by extension)")
+    submit.add_argument("--library", default="mcnc_like",
+                        choices=("mcnc_like", "unit"))
+    submit.add_argument("-o", "--override", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="GdoConfig override (JSON value)")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job is terminal")
+
+    status = sub.add_parser("status", help="job or queue status")
+    status.add_argument("job", nargs="?", default=None)
+    status.add_argument("--host", default="127.0.0.1")
+    status.add_argument("--port", type=int, required=True)
+
+    stats = sub.add_parser("stats", help="service-level metrics")
+    stats.add_argument("--host", default="127.0.0.1")
+    stats.add_argument("--port", type=int, required=True)
+    stats.add_argument("--export", default=None, metavar="PATH",
+                       help="also append a BENCH_service.json entry")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "serve":
+        from .server import OptimizationService
+
+        service = OptimizationService(
+            args.root, host=args.host, port=args.port,
+            workers=args.workers)
+        host, port = service.address
+        print(f"serving on {host}:{port} "
+              f"(root={service.root}, workers={args.workers}, "
+              f"recovered: {len(service.recovery.resumable)} resumable, "
+              f"{len(service.recovery.fresh)} fresh)", flush=True)
+        try:
+            service.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            pass
+        return 0
+
+    if args.command == "recover":
+        from .queue import JobQueue
+        from .recovery import recover_queue
+
+        report = recover_queue(JobQueue(args.root))
+        print(json.dumps({
+            "terminal": len(report.terminal),
+            "resumable": report.resumable,
+            "fresh": report.fresh,
+            "leases_cleared": report.leases_cleared,
+            "torn_records": report.torn_records,
+        }, indent=2))
+        return 0
+
+    if args.command == "drain":
+        import os
+
+        from .worker import drain_queue
+
+        done = drain_queue(
+            args.root,
+            store_path=os.path.join(args.root, "store"),
+            workers=args.workers)
+        print(f"drained: {done} jobs terminal")
+        return 0
+
+    from .client import ServiceClient
+
+    client = ServiceClient(host=args.host, port=args.port)
+
+    if args.command == "submit":
+        overrides = _parse_overrides(args.override)
+        job_id = client.submit_file(
+            args.path, fmt=args.fmt, library=args.library,
+            config=overrides)
+        print(job_id)
+        if args.wait:
+            final = client.wait(job_id)
+            print(json.dumps(final, indent=2, sort_keys=True))
+            return 0 if final.get("state") == "done" else 1
+        return 0
+
+    if args.command == "status":
+        if args.job:
+            print(json.dumps(client.status(args.job), indent=2,
+                             sort_keys=True))
+        else:
+            print(json.dumps(client.jobs(), indent=2, sort_keys=True))
+        return 0
+
+    if args.command == "stats":
+        data = client.stats()
+        print(json.dumps(data, indent=2, sort_keys=True))
+        if args.export:
+            from .server import export_service
+
+            export_service(data, path=args.export)
+            print(f"exported to {args.export}", file=sys.stderr)
+        return 0
+
+    return 2  # pragma: no cover - argparse enforces the subcommands
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""Client for the optimization daemon's JSON-lines protocol."""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Optional
+
+from ..io import format_from_path
+from .server import request
+
+
+class ServiceClient:
+    """Thin wrapper over the wire protocol (one connection per call)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _call(self, payload: dict) -> dict:
+        response = request(self.host, self.port, payload,
+                           timeout=self.timeout)
+        if not response.get("ok"):
+            raise RuntimeError(
+                f"service error: {response.get('error', response)}")
+        return response
+
+    # ------------------------------------------------------------------
+    def ping(self) -> dict:
+        return self._call({"op": "ping"})
+
+    def submit(
+        self,
+        netlist: str,
+        fmt: str = "blif",
+        name: str = "job",
+        library: str = "mcnc_like",
+        config: Optional[Dict[str, object]] = None,
+    ) -> str:
+        """Submit netlist source text; returns the job id."""
+        response = self._call({"op": "submit", "spec": {
+            "netlist": netlist, "fmt": fmt, "name": name,
+            "library": library, "config": config or {},
+        }})
+        return response["job"]
+
+    def submit_file(self, path: str, fmt: Optional[str] = None,
+                    **kwargs) -> str:
+        """Submit a netlist file (format inferred from the extension)."""
+        fmt = fmt or format_from_path(path)
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        name = kwargs.pop(
+            "name", os.path.splitext(os.path.basename(path))[0])
+        return self.submit(text, fmt=fmt, name=name, **kwargs)
+
+    def status(self, job_id: str) -> dict:
+        return self._call({"op": "status", "job": job_id})
+
+    def jobs(self) -> Dict[str, str]:
+        return self._call({"op": "jobs"})["jobs"]
+
+    def stats(self) -> dict:
+        return self._call({"op": "stats"})["stats"]
+
+    def drain(self, timeout: float = 60.0) -> bool:
+        response = self._call({"op": "drain", "timeout": timeout})
+        return bool(response.get("drained"))
+
+    def compact(self) -> dict:
+        return self._call({"op": "compact"})
+
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll: float = 0.1) -> dict:
+        """Block until the job is terminal; returns its final status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status.get("state") in ("done", "failed"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status.get('state')!r} "
+                    f"after {timeout}s")
+            time.sleep(poll)

@@ -1,0 +1,346 @@
+"""Filesystem-spooled job queue for the optimization service.
+
+Every job is a directory under ``<root>/jobs/``::
+
+    <root>/jobs/<job_id>/
+      job.json          # the JobSpec: netlist text, format, overrides
+      lease             # claim marker: "<pid>\\n" (O_EXCL-created)
+      journal.jsonl     # the run journal (written by the worker)
+      result.json       # terminal: summary of the finished run
+      result.blif       # terminal: the optimized netlist
+      error.json        # terminal: what went wrong
+
+The spool *is* the durable state — there is no in-memory queue to lose.
+Submission is a directory rename (tmp + ``os.replace``), claiming is an
+``O_EXCL`` lease-file create, so any number of client and worker
+processes can share one root without coordination beyond the
+filesystem.  Crash recovery (:mod:`repro.service.recovery`) is a pure
+function of this layout: a job with a journal but no ``result.json``
+was interrupted; a lease naming a dead pid is stale.
+
+Status model::
+
+    queued -> running -> done | failed
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import uuid
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+_ID_SAFE = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-")
+
+#: job states surfaced by :meth:`JobQueue.status`
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+
+class QueueError(RuntimeError):
+    """Malformed job spec or unusable queue root."""
+
+
+@dataclass
+class JobSpec:
+    """What a client submits: one netlist plus how to optimize it.
+
+    ``netlist`` is source text in ``fmt`` (any :data:`repro.io.FORMATS`
+    entry); ``config`` holds :class:`~repro.opt.config.GdoConfig` field
+    overrides by name (service-owned fields — observability, the store
+    path — are set by the worker and rejected here).
+    """
+
+    netlist: str
+    fmt: str = "blif"
+    name: str = "job"
+    library: str = "mcnc_like"
+    config: Dict[str, object] = field(default_factory=dict)
+
+    _FORBIDDEN = frozenset(
+        {"obs", "proof_store_path", "proof_cache_path"})
+
+    def validate(self) -> None:
+        from ..io import FORMATS
+
+        if not isinstance(self.netlist, str) or not self.netlist.strip():
+            raise QueueError("job has no netlist text")
+        if self.fmt not in FORMATS:
+            raise QueueError(f"unknown netlist format {self.fmt!r}")
+        if self.library not in ("mcnc_like", "unit"):
+            raise QueueError(f"unknown library {self.library!r}")
+        if not isinstance(self.config, dict):
+            raise QueueError("config overrides must be an object")
+        from ..opt.config import GdoConfig
+
+        valid = {f for f in GdoConfig.__dataclass_fields__}
+        for key in self.config:
+            if key in self._FORBIDDEN:
+                raise QueueError(
+                    f"config override {key!r} is service-owned")
+            if key not in valid:
+                raise QueueError(f"unknown config override {key!r}")
+
+    def to_json(self) -> dict:
+        return {
+            "netlist": self.netlist, "fmt": self.fmt, "name": self.name,
+            "library": self.library, "config": dict(self.config),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "JobSpec":
+        if not isinstance(data, dict):
+            raise QueueError(f"job spec is not an object: {data!r}")
+        spec = cls(
+            netlist=data.get("netlist", ""),
+            fmt=data.get("fmt", "blif"),
+            name=str(data.get("name", "job")),
+            library=data.get("library", "mcnc_like"),
+            config=data.get("config", {}) or {},
+        )
+        spec.validate()
+        return spec
+
+
+@dataclass
+class Job:
+    """A claimed job: its id, directory, and parsed spec."""
+
+    job_id: str
+    path: str
+    spec: JobSpec
+
+    @property
+    def journal_path(self) -> str:
+        return os.path.join(self.path, "journal.jsonl")
+
+    @property
+    def result_path(self) -> str:
+        return os.path.join(self.path, "result.json")
+
+    @property
+    def error_path(self) -> str:
+        return os.path.join(self.path, "error.json")
+
+    @property
+    def lease_path(self) -> str:
+        return os.path.join(self.path, "lease")
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, not ours
+        return True
+    return True
+
+
+class JobQueue:
+    """Shared filesystem spool of optimization jobs.
+
+    Safe for concurrent submitters and workers: submission publishes a
+    complete job directory atomically; :meth:`claim` takes per-job
+    ``O_EXCL`` leases, so each job runs exactly once while its claimant
+    lives.  ``tick`` orders claims (FIFO by submission counter).
+    """
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(root)
+        self.jobs_dir = os.path.join(self.root, "jobs")
+        os.makedirs(self.jobs_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec) -> str:
+        """Spool one job; returns its id.  The job directory appears
+        atomically (staged in a tmp dir, published by rename)."""
+        spec.validate()
+        tick = self._next_tick()
+        base = "".join(
+            c if c in _ID_SAFE else "_" for c in spec.name) or "job"
+        job_id = f"{tick:08d}-{base}-{uuid.uuid4().hex[:8]}"
+        staging = tempfile.mkdtemp(
+            dir=self.jobs_dir, prefix=".staging-")
+        try:
+            with open(os.path.join(staging, "job.json"), "w",
+                      encoding="utf-8") as fh:
+                json.dump(spec.to_json(), fh)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(staging, os.path.join(self.jobs_dir, job_id))
+        except OSError:
+            for name in os.listdir(staging):
+                os.unlink(os.path.join(staging, name))
+            os.rmdir(staging)
+            raise
+        return job_id
+
+    def _next_tick(self) -> int:
+        """Monotonic submission counter (lock-free: O_EXCL ticket
+        files double as the counter's history)."""
+        path = os.path.join(self.root, "ticks")
+        os.makedirs(path, exist_ok=True)
+        n = len(os.listdir(path))
+        while True:
+            try:
+                fd = os.open(os.path.join(path, f"{n:08d}"),
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                os.close(fd)
+                return n
+            except FileExistsError:
+                n += 1
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+    def claim(self, reclaim_stale: bool = True) -> Optional[Job]:
+        """Atomically claim the oldest queued job, or ``None``.
+
+        A lease whose pid is dead is stale (crashed worker): with
+        ``reclaim_stale`` it is replaced and the job re-claimed — the
+        new claimant resumes from the journal, not from scratch."""
+        for job_id in sorted(self._job_ids()):
+            job = self._load(job_id)
+            if job is None or self._terminal(job):
+                continue
+            if self._take_lease(job, reclaim_stale):
+                return job
+        return None
+
+    def _take_lease(self, job: Job, reclaim_stale: bool) -> bool:
+        try:
+            fd = os.open(job.lease_path,
+                         os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            if not reclaim_stale:
+                return False
+            pid = self._lease_pid(job)
+            if pid is not None and _pid_alive(pid):
+                return False
+            # Stale: replace atomically so racers see one winner.
+            tmp = job.lease_path + f".{os.getpid()}"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(f"{os.getpid()}\n")
+            stale = self._lease_pid(job)
+            if stale is not None and _pid_alive(stale):
+                os.unlink(tmp)
+                return False
+            os.replace(tmp, job.lease_path)
+            return True
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(f"{os.getpid()}\n")
+        return True
+
+    def _lease_pid(self, job: Job) -> Optional[int]:
+        try:
+            with open(job.lease_path, "r", encoding="utf-8") as fh:
+                return int(fh.read().strip() or "0")
+        except (OSError, ValueError):
+            return None
+
+    # ------------------------------------------------------------------
+    # completion
+    # ------------------------------------------------------------------
+    def complete(self, job: Job, result: dict,
+                 netlist_blif: Optional[str] = None) -> None:
+        """Publish a terminal result (atomic: tmp + rename)."""
+        if netlist_blif is not None:
+            self._write_atomic(
+                os.path.join(job.path, "result.blif"), netlist_blif)
+        self._write_atomic(job.result_path,
+                           json.dumps(result, sort_keys=True))
+
+    def fail(self, job: Job, error: str) -> None:
+        self._write_atomic(job.error_path,
+                           json.dumps({"error": error}))
+
+    @staticmethod
+    def _write_atomic(path: str, text: str) -> None:
+        directory = os.path.dirname(path)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(text)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except OSError:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def _job_ids(self) -> List[str]:
+        try:
+            names = os.listdir(self.jobs_dir)
+        except FileNotFoundError:
+            return []
+        return [n for n in names if not n.startswith(".")]
+
+    def _load(self, job_id: str) -> Optional[Job]:
+        path = os.path.join(self.jobs_dir, job_id)
+        try:
+            with open(os.path.join(path, "job.json"), "r",
+                      encoding="utf-8") as fh:
+                spec = JobSpec.from_json(json.load(fh))
+        except (OSError, ValueError, QueueError):
+            return None
+        return Job(job_id=job_id, path=path, spec=spec)
+
+    def get(self, job_id: str) -> Optional[Job]:
+        """The job by id (``None`` when unknown/corrupt)."""
+        if "/" in job_id or job_id.startswith("."):
+            return None
+        return self._load(job_id)
+
+    def _terminal(self, job: Job) -> bool:
+        return (os.path.exists(job.result_path)
+                or os.path.exists(job.error_path))
+
+    def status(self, job_id: str) -> dict:
+        """One job's state: ``{state, ...terminal payload}``."""
+        job = self.get(job_id)
+        if job is None:
+            return {"state": "unknown"}
+        if os.path.exists(job.result_path):
+            try:
+                with open(job.result_path, "r", encoding="utf-8") as fh:
+                    result = json.load(fh)
+            except (OSError, ValueError):
+                result = {}
+            return {"state": DONE, "result": result}
+        if os.path.exists(job.error_path):
+            try:
+                with open(job.error_path, "r", encoding="utf-8") as fh:
+                    error = json.load(fh).get("error", "")
+            except (OSError, ValueError):
+                error = ""
+            return {"state": FAILED, "error": error}
+        pid = self._lease_pid(job)
+        if pid is not None and _pid_alive(pid):
+            return {"state": RUNNING, "pid": pid}
+        return {"state": QUEUED}
+
+    def jobs(self) -> Dict[str, str]:
+        """``{job_id: state}`` for every spooled job."""
+        return {
+            job_id: self.status(job_id)["state"]
+            for job_id in sorted(self._job_ids())
+        }
+
+    def depth(self) -> int:
+        """Jobs neither terminal nor actively running."""
+        return sum(
+            1 for state in self.jobs().values()
+            if state == QUEUED
+        )

@@ -1,0 +1,111 @@
+"""Crash recovery for the optimization service.
+
+The durable state after a crash (power loss, SIGKILL'd worker) is the
+job spool plus each job's run journal.  Recovery is a pure function of
+that state:
+
+* a job with ``result.json``/``error.json`` is **terminal** — the
+  publish was atomic, partial results never exist;
+* a job whose journal holds at least one ``commit`` record is
+  **resumable**: :func:`resume_records` returns the committed prefix
+  and the worker passes it to
+  :func:`~repro.opt.gdo.gdo_optimize` as ``resume=`` — the run replays
+  its own decisions (cheap) with the journal answering the expensive
+  oracles (:mod:`repro.opt.replay`), then continues live from the last
+  committed substitution;
+* anything else is **fresh** — the journal (possibly torn mid-line by
+  the crash; tolerated by
+  :func:`~repro.obs.journal.load_journal_tolerant`) buys nothing, the
+  job just reruns.  Still warm: its proof verdicts live in the shared
+  store.
+
+Stale leases (claimant pid dead) are cleared so the next worker can
+re-claim; the resumed journal is re-emitted from seq 0, so the old one
+is moved aside to ``journal.prev.jsonl`` rather than truncated.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..obs.journal import load_journal_tolerant
+from ..opt.replay import committed_prefix
+from .queue import Job, JobQueue, _pid_alive
+
+
+@dataclass
+class RecoveryReport:
+    """What :func:`recover_queue` found in one spool."""
+
+    terminal: List[str] = field(default_factory=list)
+    resumable: List[str] = field(default_factory=list)
+    fresh: List[str] = field(default_factory=list)
+    leases_cleared: int = 0
+    torn_records: int = 0
+
+    @property
+    def pending(self) -> List[str]:
+        return self.resumable + self.fresh
+
+
+def resume_records(job: Job) -> Optional[List[dict]]:
+    """The committed journal prefix of an interrupted job, or ``None``
+    when there is nothing worth replaying."""
+    if not os.path.exists(job.journal_path):
+        return None
+    try:
+        records, _dropped = load_journal_tolerant(job.journal_path)
+    except (OSError, ValueError):
+        return None
+    return committed_prefix(records)
+
+
+def prepare_resume(job: Job) -> Optional[List[dict]]:
+    """``resume_records`` plus the side effects a rerun needs: the old
+    journal is moved aside (the resumed run re-emits from seq 0)."""
+    prefix = resume_records(job)
+    if os.path.exists(job.journal_path):
+        os.replace(job.journal_path, job.journal_path + ".prev")
+    return prefix
+
+
+def recover_queue(queue: JobQueue) -> RecoveryReport:
+    """Classify every spooled job and clear stale leases.
+
+    Idempotent and safe to run while workers are live: only leases
+    whose pid is dead are removed, and classification reads the same
+    durable files the workers publish atomically.
+    """
+    report = RecoveryReport()
+    for job_id in sorted(queue.jobs()):
+        job = queue.get(job_id)
+        if job is None:
+            continue
+        if queue._terminal(job):
+            report.terminal.append(job_id)
+            continue
+        pid = queue._lease_pid(job)
+        if pid is not None:
+            if _pid_alive(pid):
+                continue  # live claimant — not ours to touch
+            try:
+                os.unlink(job.lease_path)
+                report.leases_cleared += 1
+            except OSError:
+                pass
+        prefix: Optional[List[dict]] = None
+        if os.path.exists(job.journal_path):
+            try:
+                records, dropped = load_journal_tolerant(
+                    job.journal_path)
+                report.torn_records += dropped
+                prefix = committed_prefix(records)
+            except (OSError, ValueError):
+                prefix = None
+        if prefix:
+            report.resumable.append(job_id)
+        else:
+            report.fresh.append(job_id)
+    return report

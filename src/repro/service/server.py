@@ -1,0 +1,272 @@
+"""The optimization daemon: a JSON-lines TCP front end over the spool.
+
+One request per connection, one JSON object per line::
+
+    {"op": "submit", "spec": {...JobSpec...}}   -> {"ok": true, "job": id}
+    {"op": "status", "job": "<id>"}             -> {"ok": true, ...}
+    {"op": "jobs"}                              -> {"ok": true, "jobs": {...}}
+    {"op": "stats"}                             -> {"ok": true, "stats": {...}}
+    {"op": "drain", "timeout": 60}              -> {"ok": true, "drained": b}
+    {"op": "compact"}                           -> {"ok": true, ...}
+    {"op": "ping"}                              -> {"ok": true}
+
+The daemon owns a :class:`~repro.service.worker.WorkerPool`; all durable
+state lives in the spool and the sharded store, so killing the daemon
+loses nothing — on restart it recovers the spool
+(:func:`~repro.service.recovery.recover_queue`) and interrupted jobs
+resume from their journals.
+
+Service-level metrics (jobs/sec, queue depth, cross-client cache hit
+rate) are aggregated from the durable per-job results into an
+:class:`~repro.obs.MetricsRegistry` snapshot and exported to
+``BENCH_service.json`` via :func:`export_service`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import socketserver
+import threading
+import time
+from typing import Dict, Optional
+
+from ..obs import (
+    MetricsRegistry, append_bench, bench_entry, validate_service_entry,
+)
+from .queue import JobQueue, JobSpec, QueueError
+from .recovery import recover_queue
+from .store import ShardedVerdictStore
+from .worker import WorkerPool
+
+MAX_REQUEST_BYTES = 64 * 1024 * 1024  # netlists travel inline
+
+
+def service_stats(root: str, started: Optional[float] = None) -> dict:
+    """Aggregate service metrics from the durable spool state.
+
+    Pure function of the spool — callable from the daemon, the CLI
+    (offline), and tests alike.  Cross-client hit rate counts verdicts
+    served to one job out of another client's store appends
+    (``store.shared_hits``) against store misses.
+    """
+    queue = JobQueue(root)
+    states: Dict[str, int] = {}
+    shared_hits = local_hits = misses = 0
+    seconds = 0.0
+    resumed = replayed = 0
+    for job_id, state in queue.jobs().items():
+        states[state] = states.get(state, 0) + 1
+        if state != "done":
+            continue
+        status = queue.status(job_id)
+        result = status.get("result", {})
+        store = result.get("store", {})
+        shared_hits += store.get("shared_hits", 0)
+        local_hits += store.get("local_hits", 0)
+        misses += store.get("misses", 0)
+        seconds += result.get("seconds", 0.0)
+        resumed += 1 if result.get("resumed") else 0
+        replayed += result.get("replayed_verdicts", 0)
+    done = states.get("done", 0)
+    uptime = max(time.monotonic() - started, 1e-9) if started else None
+    lookups = shared_hits + misses
+    stats = {
+        "jobs": states,
+        "queue_depth": states.get("queued", 0),
+        "jobs_done": done,
+        "jobs_failed": states.get("failed", 0),
+        "job_seconds_total": seconds,
+        "jobs_per_sec_busy": done / seconds if seconds > 0 else 0.0,
+        "cross_client_hits": shared_hits,
+        "local_hits": local_hits,
+        "store_misses": misses,
+        "cross_client_hit_rate":
+            shared_hits / lookups if lookups else 0.0,
+        "resumed_jobs": resumed,
+        "replayed_verdicts": replayed,
+    }
+    if uptime is not None:
+        stats["uptime_seconds"] = uptime
+        stats["jobs_per_sec"] = done / uptime
+    return stats
+
+
+def stats_registry(stats: dict) -> MetricsRegistry:
+    """The service metrics as an ``obs`` registry (snapshot-able,
+    mergeable with run registries)."""
+    reg = MetricsRegistry()
+    for state, count in stats.get("jobs", {}).items():
+        reg.counter("service_jobs", state=state).inc(count)
+    reg.counter("service_cross_client_hits").inc(
+        stats.get("cross_client_hits", 0))
+    reg.counter("service_store_misses").inc(
+        stats.get("store_misses", 0))
+    reg.counter("service_replayed_verdicts").inc(
+        stats.get("replayed_verdicts", 0))
+    reg.gauge("service_queue_depth").set(stats.get("queue_depth", 0))
+    reg.gauge("service_cross_client_hit_rate").set(
+        stats.get("cross_client_hit_rate", 0.0))
+    reg.gauge("service_jobs_per_sec").set(
+        stats.get("jobs_per_sec", stats.get("jobs_per_sec_busy", 0.0)))
+    return reg
+
+
+def export_service(
+    stats: dict,
+    path: str = "BENCH_service.json",
+    key: Optional[str] = None,
+    **extra,
+) -> dict:
+    """Append one service-stats entry to ``BENCH_service.json``."""
+    entry = bench_entry(
+        key=key,
+        jobs=dict(stats.get("jobs", {})),
+        jobs_per_sec=stats.get(
+            "jobs_per_sec", stats.get("jobs_per_sec_busy", 0.0)),
+        queue_depth=stats.get("queue_depth", 0),
+        cross_client_hit_rate=stats.get("cross_client_hit_rate", 0.0),
+        cross_client_hits=stats.get("cross_client_hits", 0),
+        store_misses=stats.get("store_misses", 0),
+        resumed_jobs=stats.get("resumed_jobs", 0),
+        replayed_verdicts=stats.get("replayed_verdicts", 0),
+        metrics=stats_registry(stats).snapshot(),
+        **extra,
+    )
+    validate_service_entry(entry)
+    append_bench(path, entry, key_fields=("key",))
+    return entry
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:  # pragma: no cover - exercised via client
+        line = self.rfile.readline(MAX_REQUEST_BYTES)
+        if not line:
+            return
+        try:
+            request = json.loads(line)
+            response = self.server.service.dispatch(request)  # type: ignore[attr-defined]
+        except Exception as exc:  # noqa: BLE001 - protocol boundary
+            response = {"ok": False,
+                        "error": f"{type(exc).__name__}: {exc}"}
+        self.wfile.write(json.dumps(response).encode() + b"\n")
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class OptimizationService:
+    """The daemon: spool + store + worker pool + TCP front end."""
+
+    def __init__(
+        self,
+        root: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+    ):
+        self.root = os.path.abspath(root)
+        self.queue = JobQueue(self.root)
+        self.store_path = os.path.join(self.root, "store")
+        self.recovery = recover_queue(self.queue)
+        self.pool = WorkerPool(self.root, store_path=self.store_path,
+                               workers=workers)
+        self.started = time.monotonic()
+        self._server = _Server((host, port), _Handler)
+        self._server.service = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self):
+        """``(host, port)`` actually bound (port 0 resolves here)."""
+        return self._server.server_address
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start workers and serve requests on a background thread."""
+        self.pool.start()
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True)
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Foreground mode (the CLI's ``serve`` command)."""
+        self.pool.start()
+        try:
+            self._server.serve_forever()
+        finally:
+            self.pool.stop()
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(5.0)
+        self.pool.stop()
+
+    # ------------------------------------------------------------------
+    def dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "root": self.root}
+        if op == "submit":
+            try:
+                spec = JobSpec.from_json(request.get("spec", {}))
+            except QueueError as exc:
+                return {"ok": False, "error": str(exc)}
+            job_id = self.queue.submit(spec)
+            return {"ok": True, "job": job_id}
+        if op == "status":
+            status = self.queue.status(str(request.get("job", "")))
+            return {"ok": True, **status}
+        if op == "jobs":
+            return {"ok": True, "jobs": self.queue.jobs()}
+        if op == "stats":
+            stats = service_stats(self.root, started=self.started)
+            stats["workers_alive"] = self.pool.alive
+            stats["recovery"] = {
+                "resumable": len(self.recovery.resumable),
+                "leases_cleared": self.recovery.leases_cleared,
+                "torn_records": self.recovery.torn_records,
+            }
+            return {"ok": True, "stats": stats}
+        if op == "drain":
+            timeout = float(request.get("timeout", 60.0))
+            deadline = time.monotonic() + timeout
+            while time.monotonic() < deadline:
+                states = self.queue.jobs().values()
+                if all(s in ("done", "failed") for s in states):
+                    return {"ok": True, "drained": True}
+                time.sleep(0.05)
+            return {"ok": True, "drained": False}
+        if op == "compact":
+            store = ShardedVerdictStore(self.store_path)
+            cs = store.compact()
+            store.close()
+            return {"ok": True, "shards": cs.shards,
+                    "segments_folded": cs.segments_folded,
+                    "entries": cs.entries,
+                    "orphans_sealed": cs.orphans_sealed}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+
+def request(host: str, port: int, payload: dict,
+            timeout: float = 30.0) -> dict:
+    """One client request/response round trip."""
+    with socket.create_connection((host, port), timeout=timeout) as sk:
+        sk.sendall(json.dumps(payload).encode() + b"\n")
+        chunks = []
+        while True:
+            chunk = sk.recv(1 << 20)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            if chunk.endswith(b"\n"):
+                break
+    data = b"".join(chunks)
+    if not data:
+        raise ConnectionError("empty response from service")
+    return json.loads(data)

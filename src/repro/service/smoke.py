@@ -1,0 +1,113 @@
+"""Service smoke test: daemon + two client processes + restart.
+
+``python -m repro.service.smoke`` (CI's service-smoke job):
+
+1. start the daemon on an ephemeral port over a fresh root;
+2. submit the same small circuit from **two separate client
+   processes** (the real CLI, over the real socket) and wait;
+3. assert both jobs completed and the second was served cross-client
+   verdicts out of the shared store (hit rate > 0);
+4. restart the daemon on the same root, submit a third job, and assert
+   the store survived: the warm run gets cross-client hits again.
+
+Exits non-zero with a diagnostic on any failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+from .client import ServiceClient
+from .server import OptimizationService, export_service, service_stats
+
+#: cheap-but-nontrivial GDO settings: enough proof traffic to exercise
+#: the store, small enough for CI.
+SMOKE_OVERRIDES = {
+    "n_words": 4,
+    "max_rounds": 2,
+    "verify_final": False,
+    "static_funnel": False,
+    "max_seconds": 60.0,
+    "proof_workers": 1,
+}
+
+CIRCUIT = os.path.join("examples", "circuits", "c432_small.blif")
+
+
+def _client_submit(port: int, path: str) -> dict:
+    """Submit via the CLI in a separate process and wait for the job."""
+    overrides = [
+        f"-o{key}={json.dumps(value)}"
+        for key, value in SMOKE_OVERRIDES.items()
+    ]
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.service", "submit",
+         "--port", str(port), "--wait", path, *overrides],
+        capture_output=True, text=True, timeout=300,
+    )
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"client submit failed:\n{proc.stdout}\n{proc.stderr}")
+    lines = proc.stdout.strip().splitlines()
+    return json.loads("\n".join(lines[1:]))
+
+
+def main() -> int:
+    if not os.path.exists(CIRCUIT):
+        raise SystemExit(f"smoke circuit missing: {CIRCUIT}")
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as root:
+        service = OptimizationService(root, workers=2)
+        service.start()
+        _host, port = service.address
+        print(f"daemon up on port {port}", flush=True)
+        try:
+            first = _client_submit(port, CIRCUIT)
+            second = _client_submit(port, CIRCUIT)
+            for i, status in enumerate((first, second)):
+                if status.get("state") != "done":
+                    raise SystemExit(
+                        f"job {i} not done: {status}")
+            stats = ServiceClient(port=port).stats()
+        finally:
+            service.close()
+        print(f"two-client stats: "
+              f"hits={stats['cross_client_hits']} "
+              f"misses={stats['store_misses']} "
+              f"rate={stats['cross_client_hit_rate']:.3f}", flush=True)
+        if stats["jobs_done"] != 2:
+            raise SystemExit(f"expected 2 done jobs: {stats['jobs']}")
+        if stats["cross_client_hits"] <= 0:
+            raise SystemExit(
+                "no cross-client cache hits — store sharing broken")
+
+        # Restart on the same root: the store must survive.
+        service = OptimizationService(root, workers=1)
+        service.start()
+        _host, port = service.address
+        try:
+            third = _client_submit(port, CIRCUIT)
+            if third.get("state") != "done":
+                raise SystemExit(f"post-restart job not done: {third}")
+            result = third.get("result", {})
+            store = result.get("store", {})
+            if store.get("shared_hits", 0) <= 0:
+                raise SystemExit(
+                    f"store did not survive restart: {store}")
+        finally:
+            service.close()
+        print(f"post-restart job: shared_hits={store['shared_hits']} "
+              f"misses={store['misses']}", flush=True)
+
+        final = service_stats(root)
+        if os.environ.get("SMOKE_EXPORT"):
+            export_service(final, path=os.environ["SMOKE_EXPORT"])
+        print("service smoke PASS", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,488 @@
+"""Sharded persistent verdict store shared by every service worker.
+
+The single-JSON :class:`~repro.proof.cache.ProofCache` mirror is a
+read-modify-write file — fine for one process, a serialization point
+(and, pre-fix, a clobbering hazard) for many.  The service replaces it
+with a store laid out for concurrent writers::
+
+    <root>/
+      shards/<prefix>/base.json                   # compacted snapshot
+      shards/<prefix>/seg-<pid>-<token>.open.jsonl  # live writer segment
+      shards/<prefix>/seg-<pid>-<token>.jsonl       # sealed segment
+
+* **sharding** — verdicts land in the shard named by the first
+  ``prefix_len`` hex digits of their obligation hash.  Obligation hashes
+  are uniform, so shards stay balanced, and every shard is an
+  independent unit of append, merge, and compaction (the hash-prefix
+  clustering layout motivated by Donovan et al., PAPERS.md).
+* **append** — each writer appends one JSON line per verdict to its own
+  per-process segment file opened ``O_APPEND``; whole-line writes from
+  distinct writers never interleave, so *no verdict is ever lost* to
+  concurrency.  ``flush`` fsyncs each dirty shard fd once (the
+  per-shard fsync discipline).
+* **read-side merge** — a shard's view is ``base.json`` plus every
+  segment, sealed *and* open.  Verdicts are pure functions of their key
+  and only definitive verdicts are stored, so merge order is
+  irrelevant: duplicate keys always agree.  Readers tail segments
+  incrementally (byte offsets per file), making another client's fresh
+  verdicts visible at the next refresh without re-reading the store.
+* **compaction** — folds sealed segments into ``base.json``
+  (tmp + rename, atomic) and unlinks them.  Readers list segments
+  *before* reading the base, so a concurrent compaction can only move
+  entries from files the reader has already consumed into a base it is
+  about to read — never hide them.  Open segments whose writer pid is
+  dead (SIGKILL'd worker) are sealed first, so crashes leak nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import uuid
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..proof.backends import INVALID, VALID
+
+_HEX = "0123456789abcdef"
+
+
+class StoreError(RuntimeError):
+    """The store root is unusable (bad layout or parameters)."""
+
+
+def shard_of(key: str, prefix_len: int) -> str:
+    """The shard name holding ``key`` (hash-prefix, lower-cased)."""
+    prefix = key[:prefix_len].lower()
+    if len(prefix) < prefix_len or any(c not in _HEX for c in prefix):
+        # Non-hex or short keys (tests, sentinel keys) share one shard.
+        return "_" * prefix_len
+    return prefix
+
+
+def _segment_pid(name: str) -> Optional[int]:
+    """Writer pid encoded in a segment file name, if parseable."""
+    parts = name.split("-")
+    if len(parts) >= 3 and parts[0] == "seg":
+        try:
+            return int(parts[1])
+        except ValueError:
+            return None
+    return None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, not ours
+        return True
+    except OSError:  # pragma: no cover - conservative
+        return True
+    return True
+
+
+@dataclass
+class CompactionStats:
+    """What one :meth:`ShardedVerdictStore.compact` pass did."""
+
+    shards: int = 0
+    segments_folded: int = 0
+    orphans_sealed: int = 0
+    entries: int = 0
+    torn_lines_dropped: int = 0
+
+
+@dataclass
+class _ShardView:
+    """Reader-side state of one shard: merged dict + tail offsets."""
+
+    entries: Dict[str, str] = field(default_factory=dict)
+    offsets: Dict[str, int] = field(default_factory=dict)
+    base_stat: Optional[Tuple[int, int]] = None  # (st_ino, st_size)
+
+
+class ShardedVerdictStore:
+    """Append-only, hash-prefix-sharded store of definitive verdicts.
+
+    One instance per process; many instances (across processes and
+    hosts sharing a filesystem) may point at the same ``root``.
+    """
+
+    def __init__(self, root: str, prefix_len: int = 1,
+                 fsync_interval: int = 64):
+        if not 1 <= prefix_len <= 4:
+            raise StoreError(f"prefix_len {prefix_len} not in 1..4")
+        self.root = root
+        self.prefix_len = prefix_len
+        self.fsync_interval = max(1, fsync_interval)
+        self.shards_dir = os.path.join(root, "shards")
+        os.makedirs(self.shards_dir, exist_ok=True)
+        self._token = uuid.uuid4().hex[:8]
+        self._write_fds: Dict[str, int] = {}       # shard -> fd
+        self._write_paths: Dict[str, str] = {}     # shard -> open path
+        self._unsynced: Dict[str, int] = {}        # shard -> appends
+        self._views: Dict[str, _ShardView] = {}
+        self.appends = 0
+
+    # ------------------------------------------------------------------
+    # write side
+    # ------------------------------------------------------------------
+    def append(self, key: str, verdict: str) -> bool:
+        """Durably queue one definitive verdict; returns True if written.
+
+        Non-definitive verdicts are refused (budget-relative, not
+        shareable).  The line reaches the OS immediately via a single
+        ``write(2)`` on an ``O_APPEND`` fd — atomic with respect to
+        every other writer of the shard directory.
+        """
+        if verdict not in (VALID, INVALID):
+            return False
+        shard = shard_of(key, self.prefix_len)
+        fd = self._shard_fd(shard)
+        line = json.dumps({"k": key, "v": verdict}) + "\n"
+        os.write(fd, line.encode("utf-8"))
+        self.appends += 1
+        self._unsynced[shard] = self._unsynced.get(shard, 0) + 1
+        if self._unsynced[shard] >= self.fsync_interval:
+            os.fsync(fd)
+            self._unsynced[shard] = 0
+        # Keep our own view current without re-reading the file.
+        self._view(shard).entries.setdefault(key, verdict)
+        return True
+
+    def _shard_fd(self, shard: str) -> int:
+        fd = self._write_fds.get(shard)
+        if fd is not None:
+            return fd
+        shard_dir = os.path.join(self.shards_dir, shard)
+        os.makedirs(shard_dir, exist_ok=True)
+        name = f"seg-{os.getpid()}-{self._token}.open.jsonl"
+        path = os.path.join(shard_dir, name)
+        fd = os.open(path, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644)
+        self._write_fds[shard] = fd
+        self._write_paths[shard] = path
+        self._unsynced[shard] = 0
+        return fd
+
+    def flush(self) -> None:
+        """fsync every shard fd with unsynced appends."""
+        for shard, fd in self._write_fds.items():
+            if self._unsynced.get(shard):
+                os.fsync(fd)
+                self._unsynced[shard] = 0
+
+    def seal(self) -> None:
+        """Close this writer's segments and mark them compactable
+        (``.open.jsonl`` → ``.jsonl``)."""
+        self.flush()
+        for shard, fd in list(self._write_fds.items()):
+            os.close(fd)
+            path = self._write_paths[shard]
+            sealed = path[: -len(".open.jsonl")] + ".jsonl"
+            try:
+                os.replace(path, sealed)
+            except OSError:  # pragma: no cover - concurrent cleanup
+                pass
+            del self._write_fds[shard]
+            del self._write_paths[shard]
+        self._unsynced.clear()
+
+    close = seal
+
+    def __enter__(self) -> "ShardedVerdictStore":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.seal()
+        return False
+
+    # ------------------------------------------------------------------
+    # read side
+    # ------------------------------------------------------------------
+    def get(self, key: str, refresh: bool = False) -> Optional[str]:
+        """The stored verdict for ``key`` (``None`` on a miss).
+
+        ``refresh=True`` re-tails the key's shard first, picking up
+        verdicts other processes appended since the last look — the
+        read path of cross-client cache sharing.
+        """
+        shard = shard_of(key, self.prefix_len)
+        view = self._view(shard)
+        verdict = view.entries.get(key)
+        if verdict is None and refresh:
+            self.refresh(shard)
+            verdict = view.entries.get(key)
+        return verdict
+
+    def load(self) -> Dict[str, str]:
+        """Refresh every shard and return the merged verdict dict."""
+        merged: Dict[str, str] = {}
+        for shard in self._list_shards():
+            self.refresh(shard)
+            merged.update(self._views[shard].entries)
+        return merged
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+    def refresh(self, shard: str) -> None:
+        """Fold new on-disk bytes of one shard into its view.
+
+        Segments are read before the base (see the module docstring for
+        why that order survives a concurrent compaction); each segment
+        is tailed from its last consumed offset, so a refresh after N
+        appended verdicts costs O(N), not O(shard).
+        """
+        view = self._view(shard)
+        shard_dir = os.path.join(self.shards_dir, shard)
+        try:
+            names = sorted(os.listdir(shard_dir))
+        except OSError:
+            return
+        segments = [n for n in names if n.startswith("seg-")
+                    and n.endswith(".jsonl")]
+        for name in segments:
+            self._tail_segment(view, os.path.join(shard_dir, name), name)
+        # Forget offsets of segments compaction removed — their entries
+        # are in the base we are about to (re)read.
+        gone = set(view.offsets) - set(segments)
+        for name in gone:
+            del view.offsets[name]
+        base = os.path.join(shard_dir, "base.json")
+        try:
+            st = os.stat(base)
+        except OSError:
+            return
+        stamp = (st.st_ino, st.st_size)
+        if stamp != view.base_stat:
+            for k, v in _read_base(base).items():
+                view.entries.setdefault(k, v)
+            view.base_stat = stamp
+
+    def _tail_segment(self, view: _ShardView, path: str,
+                      name: str) -> None:
+        offset = view.offsets.get(name, 0)
+        try:
+            with open(path, "rb") as fh:
+                fh.seek(offset)
+                data = fh.read()
+        except OSError:
+            return
+        if not data:
+            return
+        # Consume only whole lines; a torn tail (writer mid-append or
+        # crashed) is retried at the next refresh / dropped by compact.
+        cut = data.rfind(b"\n")
+        if cut < 0:
+            return
+        for line in data[: cut + 1].splitlines():
+            entry = _parse_segment_line(line)
+            if entry is not None:
+                view.entries.setdefault(*entry)
+        view.offsets[name] = offset + cut + 1
+
+    def _view(self, shard: str) -> _ShardView:
+        view = self._views.get(shard)
+        if view is None:
+            view = self._views[shard] = _ShardView()
+        return view
+
+    def _list_shards(self) -> List[str]:
+        try:
+            return sorted(
+                n for n in os.listdir(self.shards_dir)
+                if os.path.isdir(os.path.join(self.shards_dir, n))
+            )
+        except OSError:
+            return []
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def compact(self, reclaim_orphans: bool = True) -> CompactionStats:
+        """Fold sealed segments into each shard's base snapshot.
+
+        Safe under concurrent readers and writers: only sealed segments
+        are folded (live writers own ``.open`` files), the base is
+        replaced atomically, and folded segments are unlinked only
+        after the new base is in place.  ``reclaim_orphans`` first
+        seals ``.open`` segments whose writer pid is gone.
+        """
+        stats = CompactionStats()
+        for shard in self._list_shards():
+            shard_dir = os.path.join(self.shards_dir, shard)
+            if reclaim_orphans:
+                stats.orphans_sealed += _seal_orphans(shard_dir)
+            try:
+                names = sorted(os.listdir(shard_dir))
+            except OSError:
+                continue
+            sealed = [
+                n for n in names
+                if n.startswith("seg-") and n.endswith(".jsonl")
+                and not n.endswith(".open.jsonl")
+            ]
+            base = os.path.join(shard_dir, "base.json")
+            merged = _read_base(base)
+            if not sealed:
+                if merged:
+                    stats.shards += 1
+                    stats.entries += len(merged)
+                continue
+            for name in sealed:
+                entries, torn = _read_segment(
+                    os.path.join(shard_dir, name))
+                merged.update(entries)
+                stats.torn_lines_dropped += torn
+            tmp = base + f".tmp-{os.getpid()}-{self._token}"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(merged, fh, sort_keys=True)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, base)
+            for name in sealed:
+                try:
+                    os.unlink(os.path.join(shard_dir, name))
+                except OSError:  # pragma: no cover - racing compactor
+                    pass
+            stats.shards += 1
+            stats.segments_folded += len(sealed)
+            stats.entries += len(merged)
+        return stats
+
+
+def _seal_orphans(shard_dir: str) -> int:
+    sealed = 0
+    try:
+        names = os.listdir(shard_dir)
+    except OSError:
+        return 0
+    for name in names:
+        if not name.endswith(".open.jsonl"):
+            continue
+        pid = _segment_pid(name)
+        if pid is None or pid == os.getpid() or _pid_alive(pid):
+            continue
+        path = os.path.join(shard_dir, name)
+        target = path[: -len(".open.jsonl")] + ".jsonl"
+        try:
+            os.replace(path, target)
+            sealed += 1
+        except OSError:  # pragma: no cover - racing compactor
+            pass
+    return sealed
+
+
+def _parse_segment_line(line: bytes) -> Optional[Tuple[str, str]]:
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        obj = json.loads(line)
+    except ValueError:
+        return None
+    if not isinstance(obj, dict):
+        return None
+    key, verdict = obj.get("k"), obj.get("v")
+    if isinstance(key, str) and verdict in (VALID, INVALID):
+        return key, verdict
+    return None
+
+
+def _read_segment(path: str) -> Tuple[Dict[str, str], int]:
+    entries: Dict[str, str] = {}
+    torn = 0
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except OSError:
+        return entries, 0
+    for line in data.splitlines():
+        parsed = _parse_segment_line(line)
+        if parsed is None:
+            if line.strip():
+                torn += 1
+            continue
+        entries.setdefault(*parsed)
+    return entries, torn
+
+
+def _read_base(path: str) -> Dict[str, str]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(data, dict):
+        return {}
+    return {k: v for k, v in data.items()
+            if isinstance(k, str) and v in (VALID, INVALID)}
+
+
+# ----------------------------------------------------------------------
+# broker adapter
+# ----------------------------------------------------------------------
+class ShardedProofCache:
+    """:class:`~repro.proof.cache.ProofCache`-compatible adapter over a
+    :class:`ShardedVerdictStore`.
+
+    Same interface the broker consumes (``get``/``put``/``flush``/
+    ``len``), backed by the shared store instead of a private JSON
+    mirror.  ``shared_hits`` counts gets served from the *store* —
+    verdicts this process never computed, i.e. cross-client cache
+    sharing — separately from in-memory LRU hits.
+    """
+
+    def __init__(self, store: ShardedVerdictStore,
+                 max_entries: int = 4096, refresh_on_miss: bool = True):
+        self.store = store
+        self.max_entries = max(1, max_entries)
+        self.refresh_on_miss = refresh_on_miss
+        self.path = store.root  # parity with ProofCache.path
+        self._mem: "OrderedDict[str, str]" = OrderedDict()
+        self.shared_hits = 0
+        self.local_hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    def get(self, key: str) -> Optional[str]:
+        verdict = self._mem.get(key)
+        if verdict is not None:
+            self._mem.move_to_end(key)
+            self.local_hits += 1
+            return verdict
+        verdict = self.store.get(key, refresh=self.refresh_on_miss)
+        if verdict is not None:
+            self.shared_hits += 1
+            self._put_mem(key, verdict)
+            return verdict
+        self.misses += 1
+        return None
+
+    def put(self, key: str, verdict: str) -> None:
+        self._put_mem(key, verdict)
+        self.store.append(key, verdict)  # refuses non-definitive
+
+    def _put_mem(self, key: str, verdict: str) -> None:
+        self._mem[key] = verdict
+        self._mem.move_to_end(key)
+        while len(self._mem) > self.max_entries:
+            self._mem.popitem(last=False)
+
+    @property
+    def shared_hit_rate(self) -> float:
+        """Fraction of proof-or-store decisions another client saved
+        this one: store-served hits over store hits + real misses."""
+        total = self.shared_hits + self.misses
+        return self.shared_hits / total if total else 0.0
+
+    def flush(self) -> None:
+        self.store.flush()
+
+    def close(self) -> None:
+        self.store.seal()

@@ -1,0 +1,229 @@
+"""Service workers: claim spooled jobs, run GDO, publish results.
+
+:func:`run_job` is the whole per-job pipeline — parse (any
+:mod:`repro.io` frontend format), apply the job's config overrides,
+attach the shared verdict store and the per-job run journal, resume
+from the journal when one survives a crash, optimize, publish.
+
+:class:`WorkerPool` fans that loop over ``multiprocessing`` worker
+processes.  Workers share nothing in memory — the job spool and the
+sharded store are the only coordination — so a SIGKILL'd worker leaves
+at most one stale lease and one torn journal line, both of which
+recovery handles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+import traceback
+from typing import Dict, List, Optional
+
+from ..io import parse_netlist, write_blif
+from ..library import mcnc_like, unit_delay_library
+from ..netlist.edit import structural_signature
+from ..obs import ObsConfig
+from ..opt.config import GdoConfig
+from ..opt.gdo import gdo_optimize
+from ..opt.replay import ReplayDivergence
+from .queue import Job, JobQueue
+from .recovery import prepare_resume
+
+_LIBRARIES = {
+    "mcnc_like": mcnc_like,
+    "unit": unit_delay_library,
+}
+
+
+def signature_digest(net) -> str:
+    """Stable hex fingerprint of a netlist's structural signature."""
+    sig = structural_signature(net)
+    return hashlib.sha256(repr(sig).encode()).hexdigest()[:16]
+
+
+def _job_config(job: Job, store_path: Optional[str]) -> GdoConfig:
+    cfg = GdoConfig(**job.spec.config)
+    cfg.proof_store_path = store_path
+    cfg.obs = ObsConfig(metrics=True, journal=True,
+                        journal_path=job.journal_path)
+    return cfg
+
+
+def run_job(
+    queue: JobQueue,
+    job: Job,
+    store_path: Optional[str] = None,
+) -> dict:
+    """Run one claimed job to a terminal state; returns the published
+    result (or error) payload.
+
+    The broker is built here rather than inside ``gdo_optimize`` so the
+    shared-store hit counters can be read back after the run — they are
+    the service's cross-client cache economics.
+    """
+    try:
+        result = _run_job_inner(job, store_path)
+    except Exception as exc:  # noqa: BLE001 - jobs must not kill workers
+        queue.fail(job, f"{type(exc).__name__}: {exc}\n"
+                        f"{traceback.format_exc(limit=8)}")
+        return {"state": "failed", "error": str(exc)}
+    queue.complete(job, result["summary"], netlist_blif=result["blif"])
+    return {"state": "done", "result": result["summary"]}
+
+
+def _run_job_inner(job: Job, store_path: Optional[str]) -> dict:
+    spec = job.spec
+    library = _LIBRARIES[spec.library]()
+    net = parse_netlist(spec.netlist, spec.fmt, library=library,
+                        name=spec.name)
+    resume = prepare_resume(job)
+    cfg = _job_config(job, store_path)
+    broker = cfg.make_broker()
+    t0 = time.perf_counter()
+    try:
+        try:
+            result = gdo_optimize(net, library, cfg, broker=broker,
+                                  resume=resume)
+        except ReplayDivergence:
+            # Journal belongs to some other (netlist, config, seed) —
+            # rerun from scratch; proofs are warm in the store anyway.
+            prepare_resume(job)
+            result = gdo_optimize(net, library, cfg, broker=broker)
+        store_counters = _store_counters(broker)
+    finally:
+        if broker is not None:
+            broker.close()
+    wall = time.perf_counter() - t0
+    s = result.stats
+    summary = {
+        "circuit": spec.name,
+        "delay_before": s.delay_before, "delay_after": s.delay_after,
+        "area_before": s.area_before, "area_after": s.area_after,
+        "mods": len(s.history), "rounds": s.rounds,
+        "seconds": wall,
+        "resumed": s.resumed,
+        "replayed_verdicts": s.replayed_verdicts,
+        "equivalent": s.equivalent,
+        "signature": signature_digest(result.net),
+        "proof": {
+            "cache_hits": s.proof.cache_hits,
+            "cache_misses": s.proof.cache_misses,
+            "dispatched": s.proof.dispatched,
+        },
+        "store": store_counters,
+        "worker_pid": os.getpid(),
+    }
+    return {"summary": summary, "blif": write_blif(result.net)}
+
+
+def _store_counters(broker) -> Dict[str, float]:
+    cache = getattr(broker, "cache", None)
+    if cache is None or not hasattr(cache, "shared_hits"):
+        return {"shared_hits": 0, "local_hits": 0, "misses": 0,
+                "shared_hit_rate": 0.0}
+    return {
+        "shared_hits": cache.shared_hits,
+        "local_hits": cache.local_hits,
+        "misses": cache.misses,
+        "shared_hit_rate": cache.shared_hit_rate,
+    }
+
+
+# ----------------------------------------------------------------------
+# pool
+# ----------------------------------------------------------------------
+def _worker_loop(
+    root: str,
+    store_path: Optional[str],
+    stop: multiprocessing.Event,  # type: ignore[valid-type]
+    poll_interval: float,
+    drain: bool,
+) -> None:
+    queue = JobQueue(root)
+    while not stop.is_set():
+        job = queue.claim()
+        if job is None:
+            if drain:
+                return
+            stop.wait(poll_interval)
+            continue
+        run_job(queue, job, store_path=store_path)
+
+
+class WorkerPool:
+    """N worker processes over one spool and one shared store."""
+
+    def __init__(
+        self,
+        root: str,
+        store_path: Optional[str] = None,
+        workers: int = 2,
+        poll_interval: float = 0.1,
+    ):
+        self.root = root
+        self.store_path = store_path
+        self.workers = max(1, workers)
+        self.poll_interval = poll_interval
+        self._procs: List[multiprocessing.Process] = []
+        self._ctx = multiprocessing.get_context("fork")
+        self._stop = self._ctx.Event()
+
+    def start(self, drain: bool = False) -> None:
+        """Launch the workers.  With ``drain`` each worker exits when
+        it finds the queue empty (batch mode); otherwise they poll
+        until :meth:`stop`."""
+        if self._procs:
+            raise RuntimeError("pool already started")
+        for _ in range(self.workers):
+            proc = self._ctx.Process(
+                target=_worker_loop,
+                args=(self.root, self.store_path, self._stop,
+                      self.poll_interval, drain),
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Wait for every worker; ``True`` when all have exited."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for proc in self._procs:
+            remaining = None if deadline is None else \
+                max(0.0, deadline - time.monotonic())
+            proc.join(remaining)
+        return all(not p.is_alive() for p in self._procs)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Signal and reap the workers (terminate stragglers)."""
+        self._stop.set()
+        if not self.join(timeout):
+            for proc in self._procs:
+                if proc.is_alive():  # pragma: no cover - straggler path
+                    proc.terminate()
+                    proc.join(1.0)
+        self._procs.clear()
+        self._stop = self._ctx.Event()
+
+    @property
+    def alive(self) -> int:
+        return sum(1 for p in self._procs if p.is_alive())
+
+
+def drain_queue(
+    root: str,
+    store_path: Optional[str] = None,
+    workers: int = 2,
+) -> int:
+    """Batch mode: run workers until the spool is empty; returns the
+    number of jobs in a terminal state afterwards."""
+    pool = WorkerPool(root, store_path=store_path, workers=workers)
+    pool.start(drain=True)
+    pool.join()
+    queue = JobQueue(root)
+    return sum(
+        1 for state in queue.jobs().values()
+        if state in ("done", "failed")
+    )

@@ -105,3 +105,88 @@ def test_journal_context_manager_closes_file(tmp_path):
         journal.record("phase_begin", phase="delay", round=1)
     assert journal._fh is None
     assert load_journal(str(path)) == journal.records
+
+
+# ----------------------------------------------------------------------
+# crash tolerance: torn tails and the fault-injection hook
+# ----------------------------------------------------------------------
+def test_tolerant_load_accepts_torn_final_line(tmp_path):
+    from repro.obs.journal import load_journal_tolerant
+
+    path = tmp_path / "torn.jsonl"
+    journal = RunJournal(str(path))
+    _write_demo(journal)
+    journal.close()
+    intact = load_journal(str(path))
+
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"seq": 99, "type": "tri')   # killed mid-write
+
+    with pytest.raises(ValueError):
+        load_journal(str(path))                # strict loader refuses
+    records, dropped = load_journal_tolerant(str(path))
+    assert records == intact
+    assert dropped == 1
+
+
+def test_tolerant_load_clean_file_drops_nothing(tmp_path):
+    from repro.obs.journal import load_journal_tolerant
+
+    path = tmp_path / "clean.jsonl"
+    journal = RunJournal(str(path))
+    _write_demo(journal)
+    journal.close()
+    records, dropped = load_journal_tolerant(str(path))
+    assert records == journal.records
+    assert dropped == 0
+
+
+def test_tolerant_load_rejects_mid_file_corruption(tmp_path):
+    from repro.obs.journal import load_journal_tolerant
+
+    path = tmp_path / "bad.jsonl"
+    path.write_text(
+        '{"seq": 0, "type": "run_begin", "circuit": "c", "gates": 1, '
+        '"seed": 0, "n_words": 8}\n'
+        "garbage in the middle\n"
+        '{"seq": 1, "type": "phase_begin", "phase": "delay", '
+        '"round": 1}\n'
+    )
+    with pytest.raises(ValueError, match="line 2"):
+        load_journal_tolerant(str(path))
+
+
+def test_crash_hook_parsing():
+    from repro.obs.journal import _parse_crash_hook
+
+    assert _parse_crash_hook(None) is None
+    assert _parse_crash_hook("") is None
+    assert _parse_crash_hook("commit:3") == ("commit", 3, False)
+    assert _parse_crash_hook("commit:2:partial") == ("commit", 2, True)
+    assert _parse_crash_hook("nonsense") is None
+    assert _parse_crash_hook("commit:zero") is None
+
+
+def test_crash_hook_sigkills_after_nth_record(tmp_path):
+    import multiprocessing
+    import os as _os
+
+    from repro.obs.journal import load_journal_tolerant
+
+    path = str(tmp_path / "crash.jsonl")
+
+    def victim():
+        _os.environ["REPRO_CRASH_AFTER"] = "commit:1:partial"
+        journal = RunJournal(path)
+        _write_demo(journal)          # dies at the first commit
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    ctx = multiprocessing.get_context("fork")
+    proc = ctx.Process(target=victim)
+    proc.start()
+    proc.join(timeout=30)
+    assert proc.exitcode == -9        # SIGKILL, not a clean exit
+
+    records, dropped = load_journal_tolerant(path)
+    assert dropped == 1               # the injected torn line
+    assert records[-1]["type"] == "commit"

@@ -1,0 +1,121 @@
+"""Crash recovery: SIGKILL a worker mid-run, restart, compare against
+an uninterrupted run — the acceptance test of the resume contract."""
+
+import multiprocessing
+import os
+
+from repro.obs import load_journal_tolerant, strip_volatile
+from repro.service import JobQueue, JobSpec
+from repro.service.recovery import (
+    prepare_resume, recover_queue, resume_records,
+)
+from repro.service.worker import run_job
+
+CTX = multiprocessing.get_context("fork")
+
+OVERRIDES = {"n_words": 4, "max_rounds": 1, "verify_final": False,
+             "static_funnel": False, "proof_workers": 1,
+             "max_seconds": 60.0}
+
+
+def _blif():
+    path = os.path.join("examples", "circuits", "c432_small.blif")
+    with open(path, encoding="utf-8") as fh:
+        return fh.read()
+
+
+def _submit(root):
+    queue = JobQueue(root)
+    return queue, queue.submit(JobSpec(
+        netlist=_blif(), fmt="blif", name="c432s",
+        config=dict(OVERRIDES)))
+
+
+def _work(root, crash=None):
+    """Claim-and-run in a child process, optionally crashing via the
+    journal's SIGKILL fault-injection hook."""
+    if crash:
+        os.environ["REPRO_CRASH_AFTER"] = crash
+    else:
+        os.environ.pop("REPRO_CRASH_AFTER", None)
+    queue = JobQueue(root)
+    job = queue.claim()
+    assert job is not None
+    run_job(queue, job, store_path=os.path.join(root, "store"))
+
+
+def _run_child(root, crash=None):
+    proc = CTX.Process(target=_work, args=(root, crash))
+    proc.start()
+    proc.join(timeout=300)
+    return proc.exitcode
+
+
+def test_sigkilled_job_resumes_identically(tmp_path):
+    # Reference: uninterrupted run in its own root.  Both runs execute
+    # in children forked from this process, so hash seeds agree.
+    ref_root = str(tmp_path / "ref")
+    ref_queue, ref_id = _submit(ref_root)
+    assert _run_child(ref_root) == 0
+    ref = ref_queue.status(ref_id)
+    assert ref["state"] == "done"
+
+    # Crash run: SIGKILL after the 2nd commit, torn journal line.
+    root = str(tmp_path / "crash")
+    queue, job_id = _submit(root)
+    assert _run_child(root, crash="commit:2:partial") == -9
+
+    report = recover_queue(queue)
+    assert report.resumable == [job_id]
+    assert report.leases_cleared == 1
+    assert report.torn_records >= 1  # the injected partial line
+
+    # Restarted worker resumes from the journal and finishes.
+    assert _run_child(root) == 0
+    status = queue.status(job_id)
+    assert status["state"] == "done"
+    result = status["result"]
+    assert result["resumed"] is True
+    assert result["replayed_verdicts"] > 0
+
+    # The resume contract: identical final netlist and identical
+    # decision trail, modulo volatile fields.
+    assert result["signature"] == ref["result"]["signature"]
+    assert result["delay_after"] == ref["result"]["delay_after"]
+    assert result["area_after"] == ref["result"]["area_after"]
+    job = queue.get(job_id)
+    resumed_journal, _ = load_journal_tolerant(job.journal_path)
+    ref_journal, _ = load_journal_tolerant(
+        ref_queue.get(ref_id).journal_path)
+    assert strip_volatile(resumed_journal) == strip_volatile(ref_journal)
+    # The pre-crash journal was preserved, not clobbered.
+    assert os.path.exists(job.journal_path + ".prev")
+
+
+def test_recover_classifies_fresh_and_terminal(tmp_path):
+    queue = JobQueue(str(tmp_path))
+    done_id = queue.submit(JobSpec(netlist=_blif(), name="done"))
+    queue.complete(queue.claim(), {"ok": True})
+    fresh_id = queue.submit(JobSpec(netlist=_blif(), name="fresh"))
+
+    report = recover_queue(queue)
+    assert report.terminal == [done_id]
+    assert report.fresh == [fresh_id]
+    assert report.resumable == []
+    assert report.pending == [fresh_id]
+
+
+def test_resume_records_requires_commits(tmp_path):
+    queue = JobQueue(str(tmp_path))
+    job = queue.get(queue.submit(JobSpec(netlist=_blif())))
+    # No journal at all.
+    assert resume_records(job) is None
+    # Journal without commits: nothing worth replaying.
+    with open(job.journal_path, "w", encoding="utf-8") as fh:
+        fh.write('{"seq": 0, "type": "run_begin"}\n')
+        fh.write('{"seq": 1, "type": "trial", "desc": "x"}\n')
+    assert resume_records(job) is None
+    # prepare_resume still moves the stale journal aside.
+    assert prepare_resume(job) is None
+    assert not os.path.exists(job.journal_path)
+    assert os.path.exists(job.journal_path + ".prev")

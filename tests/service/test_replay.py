@@ -1,0 +1,127 @@
+"""Journal-guided replay: prefix selection, oracle queues, resume
+determinism (in-process; the SIGKILL path lives in test_recovery)."""
+
+import pytest
+
+from repro.circuits import build
+from repro.library import mcnc_like
+from repro.obs import ObsConfig, strip_volatile
+from repro.opt import GdoConfig, gdo_optimize
+from repro.opt.replay import (
+    ReplayCursor, ReplayDivergence, committed_prefix,
+)
+
+
+def rec(rectype, **fields):
+    return {"type": rectype, **fields}
+
+
+# ----------------------------------------------------------------------
+# committed_prefix
+# ----------------------------------------------------------------------
+def test_prefix_cuts_after_last_commit():
+    records = [
+        rec("run_begin"), rec("trial", desc="a"),
+        rec("commit", desc="a"), rec("trial", desc="b"),
+        rec("commit", desc="b"), rec("trial", desc="c"),
+    ]
+    assert committed_prefix(records) == records[:5]
+
+
+def test_prefix_none_without_commits():
+    assert committed_prefix([rec("run_begin"), rec("trial")]) is None
+    assert committed_prefix([]) is None
+
+
+# ----------------------------------------------------------------------
+# ReplayCursor
+# ----------------------------------------------------------------------
+def _cursor():
+    return ReplayCursor([
+        rec("static", desc="a", verdict="refuted"),
+        rec("refute", desc="b", refuted=True),
+        rec("refute", desc="c", refuted=False),
+        rec("verdict", obligation="ab", verdict="valid"),
+        rec("commit", desc="c"),
+    ])
+
+
+def test_cursor_serves_in_order_then_goes_live():
+    cur = _cursor()
+    assert cur.active and cur.has_refute()
+    cur.static_check("a", "refuted")
+    assert cur.refute("b") is True
+    assert cur.refute("c") is False
+    assert not cur.has_refute()
+    assert cur.verdict()["verdict"] == "valid"
+    assert not cur.active
+    # Drained: every oracle says "compute live".
+    assert cur.refute("d") is None
+    assert cur.verdict() is None
+    cur.static_check("anything", "proved")  # no-op when drained
+    assert cur.commits == 1
+
+
+def test_cursor_detects_divergence():
+    with pytest.raises(ReplayDivergence):
+        _cursor().static_check("a", "proved")
+    cur = _cursor()
+    cur.static_check("a", "refuted")
+    with pytest.raises(ReplayDivergence):
+        cur.refute("not-b")
+    with pytest.raises(ReplayDivergence):
+        ReplayCursor([rec("refute", desc="x", refuted="yes")]).refute("x")
+    with pytest.raises(ReplayDivergence):
+        ReplayCursor([rec("verdict", verdict=7)]).verdict()
+
+
+# ----------------------------------------------------------------------
+# resume determinism (in-process)
+# ----------------------------------------------------------------------
+CFG = dict(n_words=4, max_rounds=1, verify_final=False,
+           static_funnel=False, proof_workers=1, max_seconds=60.0)
+
+
+def _run(resume=None):
+    net = build("C432", small=True)
+    cfg = GdoConfig(obs=ObsConfig(metrics=True, journal=True), **CFG)
+    return gdo_optimize(net, mcnc_like(), cfg, resume=resume)
+
+
+def test_resumed_run_matches_uninterrupted(tmp_path):
+    from repro.netlist.edit import structural_signature
+
+    ref = _run()
+    journal = ref.stats.obs.journal_records
+    commits = [i for i, r in enumerate(journal)
+               if r.get("type") == "commit"]
+    assert len(commits) >= 2, "circuit too easy to exercise replay"
+
+    # Crash "between" two commits: resume from a mid-run prefix.
+    cut = journal[: commits[len(commits) // 2] + 1]
+    prefix = committed_prefix(cut)
+    resumed = _run(resume=prefix)
+
+    assert resumed.stats.resumed
+    assert resumed.stats.replayed_verdicts > 0
+    assert structural_signature(resumed.net) \
+        == structural_signature(ref.net)
+    assert resumed.stats.delay_after == ref.stats.delay_after
+    assert strip_volatile(resumed.stats.obs.journal_records) \
+        == strip_volatile(journal)
+
+
+def test_foreign_journal_raises_divergence():
+    ref = _run()
+    journal = ref.stats.obs.journal_records
+    prefix = committed_prefix(journal)
+    assert prefix is not None
+    # Corrupt the first refute decision: replay must notice, not
+    # silently commit someone else's run.
+    doctored = [dict(r) for r in prefix]
+    for r in doctored:
+        if r.get("type") == "refute":
+            r["desc"] = "bogus<-nothing"
+            break
+    with pytest.raises(ReplayDivergence):
+        _run(resume=doctored)

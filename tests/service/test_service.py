@@ -1,0 +1,135 @@
+"""Daemon front end: wire protocol, worker pool, service stats."""
+
+import json
+import os
+
+import pytest
+
+from repro.service.client import ServiceClient
+from repro.service.queue import JobQueue, JobSpec
+from repro.service.server import (
+    OptimizationService, export_service, request, service_stats,
+    stats_registry,
+)
+from repro.service.worker import drain_queue
+
+BENCH = """\
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+g1 = NAND(a, b)
+y = NAND(g1, c)
+"""
+
+#: cheap job: no proving, one round — milliseconds per job.
+FAST = {"proof": "none", "n_words": 2, "max_rounds": 1,
+        "verify_final": False, "max_seconds": 10.0}
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = OptimizationService(str(tmp_path / "svc"), workers=2)
+    svc.start()
+    try:
+        yield svc
+    finally:
+        svc.close()
+
+
+def _client(service):
+    _host, port = service.address
+    return ServiceClient(port=port)
+
+
+def test_submit_status_roundtrip(service):
+    client = _client(service)
+    assert client.ping()["ok"]
+    job_id = client.submit(BENCH, fmt="bench", name="tiny", config=FAST)
+    final = client.wait(job_id, timeout=60.0)
+    assert final["state"] == "done"
+    result = final["result"]
+    assert result["circuit"] == "tiny"
+    assert result["delay_after"] <= result["delay_before"]
+    assert "signature" in result
+
+
+def test_two_clients_share_one_daemon(service):
+    # Two distinct client objects (separate connections per call).
+    a, b = _client(service), _client(service)
+    ja = a.submit(BENCH, fmt="bench", name="a", config=FAST)
+    jb = b.submit(BENCH, fmt="bench", name="b", config=FAST)
+    assert a.drain(timeout=60.0)
+    assert {a.status(ja)["state"], b.status(jb)["state"]} == {"done"}
+    jobs = a.jobs()
+    assert jobs[ja] == "done" and jobs[jb] == "done"
+
+
+def test_stats_and_export(service, tmp_path):
+    client = _client(service)
+    client.wait(client.submit(BENCH, fmt="bench", config=FAST),
+                timeout=60.0)
+    stats = client.stats()
+    assert stats["jobs_done"] >= 1
+    assert stats["queue_depth"] == 0
+    assert "cross_client_hit_rate" in stats
+    assert stats["workers_alive"] == 2
+    assert "uptime_seconds" in stats
+
+    reg = stats_registry(stats)
+    snap = reg.snapshot()
+    assert snap["counters"]["service_jobs{state=done}"] >= 1
+
+    path = str(tmp_path / "BENCH_service.json")
+    entry = export_service(stats, path=path, key="testkey")
+    assert entry["key"] == "testkey"
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    assert data["entries"][0]["jobs"]["done"] >= 1
+
+
+def test_bad_requests_are_rejected(service):
+    _host, port = service.address
+    bad_spec = request("127.0.0.1", port, {
+        "op": "submit", "spec": {"netlist": "", "fmt": "blif"}})
+    assert not bad_spec["ok"] and "netlist" in bad_spec["error"]
+    unknown = request("127.0.0.1", port, {"op": "frobnicate"})
+    assert not unknown["ok"]
+    garbled = request("127.0.0.1", port, {"op": "submit",
+                                          "spec": "not-an-object"})
+    assert not garbled["ok"]
+
+
+def test_failed_job_reports_error(service):
+    client = _client(service)
+    job_id = client.submit("definitely not blif", fmt="blif",
+                           name="broken")
+    final = client.wait(job_id, timeout=60.0)
+    assert final["state"] == "failed"
+    assert final["error"]
+
+
+def test_compact_op(service):
+    client = _client(service)
+    client.wait(client.submit(BENCH, fmt="bench", config=FAST),
+                timeout=60.0)
+    response = client.compact()
+    assert response["ok"]
+    assert response["segments_folded"] >= 0
+
+
+def test_drain_queue_offline(tmp_path):
+    """Batch mode without a daemon: workers run the spool dry."""
+    root = str(tmp_path / "batch")
+    queue = JobQueue(root)
+    for i in range(3):
+        queue.submit(JobSpec(netlist=BENCH, fmt="bench",
+                             name=f"j{i}", config=dict(FAST)))
+    done = drain_queue(root, store_path=os.path.join(root, "store"),
+                       workers=2)
+    assert done == 3
+    assert all(s == "done" for s in queue.jobs().values())
+
+    stats = service_stats(root)
+    assert stats["jobs_done"] == 3
+    assert stats["queue_depth"] == 0

@@ -1,0 +1,232 @@
+"""Sharded verdict store: appends, merge, compaction, concurrency."""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.proof.backends import INVALID, UNKNOWN, VALID
+from repro.service.store import (
+    ShardedProofCache, ShardedVerdictStore, StoreError, shard_of,
+)
+
+CTX = multiprocessing.get_context("fork")
+
+
+def test_shard_of_hex_prefix():
+    assert shard_of("ab12ff", 1) == "a"
+    assert shard_of("AB12ff", 2) == "ab"
+    assert shard_of("zkey", 1) == "_"      # non-hex shares one shard
+    assert shard_of("", 2) == "__"
+
+
+def test_prefix_len_validated(tmp_path):
+    with pytest.raises(StoreError):
+        ShardedVerdictStore(str(tmp_path), prefix_len=0)
+    with pytest.raises(StoreError):
+        ShardedVerdictStore(str(tmp_path), prefix_len=9)
+
+
+def test_append_get_roundtrip_across_instances(tmp_path):
+    root = str(tmp_path / "store")
+    writer = ShardedVerdictStore(root)
+    assert writer.append("aa01", VALID)
+    assert writer.append("bb02", INVALID)
+    writer.flush()
+
+    reader = ShardedVerdictStore(root)
+    assert reader.get("aa01", refresh=True) == VALID
+    assert reader.get("bb02", refresh=True) == INVALID
+    assert reader.get("cc03", refresh=True) is None
+    writer.close()
+    reader.close()
+
+
+def test_non_definitive_refused(tmp_path):
+    store = ShardedVerdictStore(str(tmp_path / "store"))
+    assert not store.append("aa01", UNKNOWN)
+    assert not store.append("aa02", "weird")
+    assert store.get("aa01") is None
+    store.close()
+
+
+def test_incremental_refresh_sees_other_writers(tmp_path):
+    root = str(tmp_path / "store")
+    a = ShardedVerdictStore(root)
+    b = ShardedVerdictStore(root)
+    a.append("aa01", VALID)
+    a.flush()
+    # b's first look misses without refresh, hits with.
+    assert b.get("aa01") is None
+    assert b.get("aa01", refresh=True) == VALID
+    # New appends after b's refresh are picked up by the next refresh
+    # (incremental tail, not a re-read).
+    a.append("aa02", INVALID)
+    a.flush()
+    assert b.get("aa02", refresh=True) == INVALID
+    a.close()
+    b.close()
+
+
+def _hammer(root, worker, n):
+    store = ShardedVerdictStore(root, fsync_interval=8)
+    for i in range(n):
+        # Same shard ('a') from every process: worst-case contention.
+        store.append(f"aa{worker:02d}{i:04d}", VALID if i % 2 else INVALID)
+    store.close()
+
+
+def test_concurrent_appends_lose_nothing(tmp_path):
+    root = str(tmp_path / "store")
+    workers, per = 4, 150
+    procs = [
+        CTX.Process(target=_hammer, args=(root, w, per))
+        for w in range(workers)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join()
+    assert all(p.exitcode == 0 for p in procs)
+
+    merged = ShardedVerdictStore(root).load()
+    assert len(merged) == workers * per
+    for w in range(workers):
+        for i in range(per):
+            want = VALID if i % 2 else INVALID
+            assert merged[f"aa{w:02d}{i:04d}"] == want
+
+
+def test_compaction_folds_sealed_segments(tmp_path):
+    root = str(tmp_path / "store")
+    for salt in range(2):
+        writer = ShardedVerdictStore(root)
+        for i in range(20):
+            writer.append(f"aa{salt}{i:03d}", VALID)
+        writer.close()  # seals -> compactable
+
+    store = ShardedVerdictStore(root)
+    stats = store.compact()
+    assert stats.segments_folded == 2
+    assert stats.entries == 40
+    shard_dir = tmp_path / "store" / "shards" / "a"
+    assert (shard_dir / "base.json").exists()
+    assert not [n for n in os.listdir(shard_dir) if n.startswith("seg-")]
+    assert len(store.load()) == 40
+    store.close()
+
+
+def test_compaction_under_concurrent_reader(tmp_path):
+    """A reader that tailed segments pre-compaction keeps a consistent
+    view afterwards — nothing disappears, new base entries appear."""
+    root = str(tmp_path / "store")
+    writer = ShardedVerdictStore(root)
+    for i in range(10):
+        writer.append(f"aa{i:03d}", VALID)
+    writer.flush()
+
+    reader = ShardedVerdictStore(root)
+    assert reader.get("aa000", refresh=True) == VALID  # tails the segment
+
+    writer.append("aa900", INVALID)
+    writer.close()
+    compactor = ShardedVerdictStore(root)
+    stats = compactor.compact()
+    compactor.close()
+    assert stats.segments_folded >= 1
+
+    # Pre-compaction entries survive in the reader's view; the entry
+    # appended after its refresh arrives via the new base.
+    for i in range(10):
+        assert reader.get(f"aa{i:03d}") == VALID
+    assert reader.get("aa900", refresh=True) == INVALID
+    reader.close()
+
+
+def _orphan_pid():
+    """A real-but-dead pid (forked child that exits immediately)."""
+    proc = CTX.Process(target=lambda: None)
+    proc.start()
+    proc.join()
+    return proc.pid
+
+
+def test_compaction_reclaims_dead_writer_orphans(tmp_path):
+    root = str(tmp_path / "store")
+    shard_dir = tmp_path / "store" / "shards" / "a"
+    shard_dir.mkdir(parents=True)
+    pid = _orphan_pid()
+    orphan = shard_dir / f"seg-{pid}-deadbeef.open.jsonl"
+    orphan.write_text(json.dumps({"k": "aa01", "v": VALID}) + "\n")
+
+    store = ShardedVerdictStore(root)
+    stats = store.compact()
+    assert stats.orphans_sealed == 1
+    assert stats.segments_folded == 1
+    assert not orphan.exists()
+    assert store.get("aa01", refresh=True) == VALID
+    store.close()
+
+
+def test_torn_segment_tail_dropped(tmp_path):
+    root = str(tmp_path / "store")
+    shard_dir = tmp_path / "store" / "shards" / "a"
+    shard_dir.mkdir(parents=True)
+    pid = _orphan_pid()
+    seg = shard_dir / f"seg-{pid}-cafe0123.jsonl"
+    seg.write_bytes(
+        json.dumps({"k": "aa01", "v": VALID}).encode() + b"\n"
+        + b'{"k": "aa02", "v": "val'  # torn mid-write by a crash
+    )
+    store = ShardedVerdictStore(root)
+    assert store.get("aa01", refresh=True) == VALID
+    assert store.get("aa02", refresh=True) is None
+    stats = store.compact()
+    assert stats.torn_lines_dropped == 1
+    assert store.get("aa01", refresh=True) == VALID
+    store.close()
+
+
+# ----------------------------------------------------------------------
+# ShardedProofCache (the broker adapter)
+# ----------------------------------------------------------------------
+def test_cache_counts_shared_vs_local_hits(tmp_path):
+    root = str(tmp_path / "store")
+    other = ShardedProofCache(ShardedVerdictStore(root))
+    other.put("aa01", VALID)
+    other.flush()
+
+    mine = ShardedProofCache(ShardedVerdictStore(root))
+    assert mine.get("aa01") == VALID     # served from the store
+    assert mine.get("aa01") == VALID     # now from the local LRU
+    assert mine.get("bb02") is None
+    assert (mine.shared_hits, mine.local_hits, mine.misses) == (1, 1, 1)
+    assert mine.shared_hit_rate == 0.5
+    other.close()
+    mine.close()
+
+
+def test_cache_put_is_durable_but_unknown_stays_local(tmp_path):
+    root = str(tmp_path / "store")
+    cache = ShardedProofCache(ShardedVerdictStore(root))
+    cache.put("aa01", VALID)
+    cache.put("aa02", UNKNOWN)   # LRU only — never shared
+    cache.close()
+
+    fresh = ShardedProofCache(ShardedVerdictStore(root))
+    assert fresh.get("aa01") == VALID
+    assert fresh.get("aa02") is None
+    fresh.close()
+
+
+def test_cache_lru_bounded_but_store_backed(tmp_path):
+    root = str(tmp_path / "store")
+    cache = ShardedProofCache(ShardedVerdictStore(root), max_entries=2)
+    for i in range(5):
+        cache.put(f"aa{i:02d}", VALID)
+    assert len(cache) == 2
+    # Evicted from memory, still answerable from the store.
+    assert cache.get("aa00") == VALID
+    assert cache.shared_hits == 1
+    cache.close()
