@@ -1,0 +1,287 @@
+"""Chaos soak: the self-healing service under seeded fault injection.
+
+The robustness claim (DESIGN.md §11): with the deterministic fault
+plane firing crashes, hangs, torn writes, flaky proof backends, and
+lease races across the whole stack, the supervised service still loses
+**zero** jobs and corrupts **zero** results — and because every fault
+schedule is a pure function of ``(seed, job name)``, the entire soak
+is exactly reproducible from its seed.
+
+Acceptance, asserted below and exported to ``BENCH_chaos.json``:
+
+* every submitted job reaches ``done`` (no failures, no dead-letters);
+* every result netlist is SAT-miter-equivalent to its INPUT netlist
+  (signature equality is *not* enough — backend faults legitimately
+  change which modifications commit);
+* the recorded per-job fault activations replay exactly against the
+  plan's schedule;
+* completion-time inflation under chaos stays bounded.
+"""
+
+import fnmatch
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import register_report
+
+from repro.circuits.alu import priority_controller
+from repro.circuits.control import random_control
+from repro.faults import PLAN_ENV, FaultPlan, FaultPlane, FaultSpec
+from repro.io import parse_netlist, write_blif
+from repro.obs import append_bench, git_sha, validate_chaos_entry
+from repro.obs.journal import event_counts, load_events
+from repro.service import JobQueue, JobSpec, Supervisor, WorkerPool
+from repro.service.server import service_stats
+from repro.verify.equiv import check_equivalence
+
+#: proof-heavy-enough settings: every job dispatches real SAT proofs
+#: (so the store/backend fault points actually evaluate) but stays
+#: sub-second, keeping a 50+ job soak CI-friendly.
+OVERRIDES = {"n_words": 2, "max_rounds": 1, "verify_final": False,
+             "static_funnel": False, "proof_workers": 1,
+             "max_seconds": 60.0}
+
+CHAOS_SEED = 1995
+JOBS_FLOOR = 50
+#: CI's chaos-smoke runs a reduced mix (REPRO_CHAOS_JOBS=20); the
+#: committed BENCH_chaos.json entry comes from the full 52-job soak.
+N_JOBS = int(os.environ.get("REPRO_CHAOS_JOBS", "52"))
+WORKERS = 4
+MAX_ATTEMPTS = 5
+STALL_TIMEOUT = 2.0
+#: chaos wall bound: crashes re-run jobs and every hang costs a
+#: watchdog window, but inflation must stay bounded, not open-ended.
+INFLATION_CAP = 10.0
+INFLATION_SLACK = 20.0  # absolute seconds, for near-zero baselines
+
+#: the randomized-but-seeded chaos plan.  ``max_fires`` caps are
+#: *lifetime* caps (workers preload recorded fires on retry), which is
+#: what bounds each job's attempt count under the retry budget.
+PLAN = FaultPlan(seed=CHAOS_SEED, specs=(
+    FaultSpec(pattern="worker.job.crash", prob=0.10, max_fires=1),
+    FaultSpec(pattern="worker.job.hang", prob=0.04, max_fires=1,
+              arg=8.0),
+    FaultSpec(pattern="io.parse.truncated", prob=0.06, max_fires=1),
+    FaultSpec(pattern="journal.record.crash", prob=0.001, max_fires=1,
+              arg=1.0),
+    FaultSpec(pattern="store.append.error", prob=0.03),
+    FaultSpec(pattern="store.append.torn", prob=0.01),
+    FaultSpec(pattern="store.fsync.error", prob=0.05),
+    FaultSpec(pattern="proof.backend.flaky", prob=0.02),
+    FaultSpec(pattern="proof.backend.timeout", prob=0.01),
+    FaultSpec(pattern="proof.backend.slow", prob=0.03, arg=0.002),
+    FaultSpec(pattern="proof.pool.break", prob=0.02, max_fires=1),
+    FaultSpec(pattern="queue.lease.race", prob=0.05, max_fires=1),
+))
+
+
+def _circuit_blifs(lib):
+    nets = {
+        "rc_tiny": random_control(8, 24, 4, seed=7, locality=8,
+                                  name="rc_tiny"),
+        "prio4": priority_controller(4, name="prio4"),
+        "rc_mid": random_control(10, 40, 6, seed=9, locality=8,
+                                 name="rc_mid"),
+    }
+    for net in nets.values():
+        lib.rebind(net)
+    return {key: write_blif(net) for key, net in nets.items()}
+
+
+def _job_mix():
+    """``N_JOBS`` (name, circuit) pairs — 10:2:1 tiny/medium/larger,
+    interleaved so a reduced smoke keeps the proportions; names are
+    unique so every job gets its own fault stream."""
+    pattern = (["rc_tiny"] * 5 + ["prio4"]
+               + ["rc_tiny"] * 5 + ["prio4", "rc_mid"])
+    return [(f"chaos{i:02d}-{pattern[i % len(pattern)]}",
+             pattern[i % len(pattern)])
+            for i in range(max(4, N_JOBS))]
+
+
+def _submit_all(root, jobs, blifs):
+    queue = JobQueue(root)
+    for name, circuit in jobs:
+        queue.submit(JobSpec(netlist=blifs[circuit], fmt="blif",
+                             name=name, config=dict(OVERRIDES)))
+    return queue
+
+
+def _drain_supervised(root, queue, timeout):
+    pool = WorkerPool(root, store_path=os.path.join(root, "store"),
+                      workers=WORKERS, max_attempts=MAX_ATTEMPTS)
+    supervisor = Supervisor(pool, queue, stall_timeout=STALL_TIMEOUT)
+    t0 = time.perf_counter()
+    assert supervisor.drain(timeout=timeout), "drain timed out"
+    return time.perf_counter() - t0, supervisor.stats()
+
+
+def _job_ids(queue):
+    return {state_id: queue.status(state_id)
+            for state_id in queue.jobs()}
+
+
+def _verify_results(queue, jobs, blifs, lib):
+    """Every result must be a true equivalence of its INPUT netlist —
+    checked with the SAT miter, not by comparing signatures."""
+    inputs = {circuit: parse_netlist(blif, "blif", library=lib,
+                                     name=circuit)
+              for circuit, blif in blifs.items()}
+    by_name = dict(jobs)
+    checked = 0
+    for job_id, state in sorted(queue.jobs().items()):
+        assert state == "done", f"{job_id} ended {state!r}, not done"
+        job = queue.get(job_id)
+        with open(os.path.join(job.path, "result.blif"), "r",
+                  encoding="utf-8") as fh:
+            result_net = parse_netlist(fh.read(), "blif", library=lib,
+                                       name=job.spec.name)
+        verdict = check_equivalence(
+            inputs[by_name[job.spec.name]], result_net,
+            n_words=16, method="sat")
+        assert verdict is True, (
+            f"{job_id}: result not equivalent to input "
+            f"(verdict {verdict!r}) — a fault corrupted the output"
+        )
+        checked += 1
+    return checked
+
+
+def _verify_replay(queue):
+    """The recorded activations must be exactly what the plan's seeded
+    schedule produces — chaos runs are reproducible, not just noisy."""
+    total = 0
+    fires_by_point = {}
+    for job_id in sorted(queue.jobs()):
+        job = queue.get(job_id)
+        try:
+            with open(job.faults_path, "r", encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except OSError:
+            continue
+        plane = FaultPlane(PLAN.scoped(job.spec.name))
+        recorded = {}
+        for line in lines:
+            try:
+                rec = json.loads(line)
+            except ValueError:
+                continue  # torn tail from a mid-append SIGKILL
+            recorded.setdefault(rec["point"], []).append(rec)
+        for point, recs in recorded.items():
+            allowed = set(plane.schedule(
+                point, max(rec["eval"] for rec in recs)))
+            fires = [rec["fire"] for rec in recs]
+            # Lifetime fire numbers are strictly increasing (retries
+            # preload prior fires, they never replay them) ...
+            assert fires == sorted(set(fires)), (
+                f"{job_id}:{point} re-fired a spent activation: {recs}")
+            spec = next(s for s in PLAN.specs
+                        if fnmatch.fnmatchcase(point, s.pattern))
+            if spec.max_fires:
+                assert max(fires) <= spec.max_fires, (
+                    f"{job_id}:{point} exceeded max_fires: {recs}")
+            # ... and every activation lands on a scheduled evaluation.
+            for rec in recs:
+                assert rec["eval"] in allowed, (
+                    f"{job_id}:{point} fired off-schedule at eval "
+                    f"{rec['eval']} (allowed {sorted(allowed)})")
+            total += len(recs)
+            fires_by_point[point] = (fires_by_point.get(point, 0)
+                                     + len(recs))
+    return total, fires_by_point
+
+
+def test_chaos_soak_loses_nothing(lib, tmp_path, monkeypatch):
+    # CI uploads the spool (journals, events, fault logs) on failure
+    # when REPRO_CHAOS_ROOT points somewhere outside pytest's tmpdir.
+    keep_root = os.environ.get("REPRO_CHAOS_ROOT")
+    if keep_root:
+        tmp_path = Path(os.path.abspath(keep_root))
+        tmp_path.mkdir(parents=True, exist_ok=True)
+    blifs = _circuit_blifs(lib)
+    jobs = _job_mix()
+    assert N_JOBS < JOBS_FLOOR or len(jobs) >= JOBS_FLOOR
+
+    # Fault-free baseline: same mix, same supervision, no plan.
+    monkeypatch.delenv(PLAN_ENV, raising=False)
+    base_root = str(tmp_path / "baseline")
+    base_queue = _submit_all(base_root, jobs, blifs)
+    base_wall, _ = _drain_supervised(base_root, base_queue, timeout=300)
+    base_stats = service_stats(base_root)
+    assert base_stats["jobs_done"] == len(jobs), base_stats["jobs"]
+
+    # Chaos run: the seeded plan reaches every worker via the
+    # environment; each worker scopes it per job name.
+    chaos_root = str(tmp_path / "chaos")
+    chaos_queue = _submit_all(chaos_root, jobs, blifs)
+    monkeypatch.setenv(PLAN_ENV, PLAN.to_env())
+    chaos_wall, sup_stats = _drain_supervised(
+        chaos_root, chaos_queue, timeout=600)
+    monkeypatch.delenv(PLAN_ENV)
+
+    # Zero lost jobs: all done, nothing failed or quarantined.
+    chaos_stats = service_stats(chaos_root)
+    assert chaos_stats["jobs_done"] == len(jobs), chaos_stats["jobs"]
+    assert chaos_stats["jobs_failed"] == 0
+    assert chaos_queue.deadletter_jobs() == {}
+
+    # Zero corrupted results: SAT-miter equivalence vs the input.
+    checked = _verify_results(chaos_queue, jobs, blifs, lib)
+    assert checked == len(jobs)
+
+    # Reproducibility: recorded activations match the seeded schedule.
+    activations, fires_by_point = _verify_replay(chaos_queue)
+    assert activations > 0, "chaos run fired no faults — plan inert"
+
+    # Bounded completion-time inflation.
+    inflation = chaos_wall / base_wall if base_wall > 0 else 1.0
+    assert chaos_wall <= INFLATION_CAP * base_wall + INFLATION_SLACK, (
+        f"chaos wall {chaos_wall:.1f}s vs baseline {base_wall:.1f}s "
+        f"(inflation {inflation:.2f}x exceeds bound)"
+    )
+
+    events, _ = load_events(os.path.join(chaos_root, "events.jsonl"))
+    counts = event_counts(events)
+    entry = {
+        "key": git_sha(),
+        "seed": CHAOS_SEED,
+        "jobs": len(jobs),
+        "jobs_done": chaos_stats["jobs_done"],
+        "deadlettered": len(chaos_queue.deadletter_jobs()),
+        "fault_activations": activations,
+        "fires_by_point": dict(sorted(fires_by_point.items())),
+        "baseline_seconds": round(base_wall, 4),
+        "chaos_seconds": round(chaos_wall, 4),
+        "inflation": round(inflation, 3),
+        "watchdog_kills": sup_stats["watchdog_kills"],
+        "respawns": sup_stats["respawns"],
+        "job_retries": counts.get("job_retry", 0),
+        "equivalence_checked": checked,
+        "replay_verified": True,
+    }
+    validate_chaos_entry(entry)
+    if len(jobs) >= JOBS_FLOOR:
+        # Only the full soak updates the committed artifact — CI's
+        # reduced smoke must not clobber the 52-job entry.
+        append_bench(
+            str(Path(__file__).resolve().parent.parent
+                / "BENCH_chaos.json"),
+            entry, key_fields=("key",),
+        )
+
+    rows = [
+        "run        jobs   wall[s]   faults  respawns  watchdog",
+        f"baseline   {len(jobs):4d}  {base_wall:8.2f}       --"
+        "        --        --",
+        f"chaos      {len(jobs):4d}  {chaos_wall:8.2f}  "
+        f"{activations:7d}  {sup_stats['respawns']:8d}  "
+        f"{sup_stats['watchdog_kills']:8d}",
+        f"inflation  {inflation:.2f}x   "
+        f"(cap {INFLATION_CAP}x + {INFLATION_SLACK}s)",
+        f"equivalence-checked results: {checked}/{len(jobs)}  "
+        f"dead-lettered: 0  replay: exact",
+    ]
+    register_report("Chaos soak: seeded faults, zero lost jobs",
+                    "\n".join(rows))

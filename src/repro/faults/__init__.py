@@ -1,0 +1,25 @@
+"""Deterministic fault injection for the optimization stack.
+
+The plane (DESIGN.md §11) makes the service's failure space
+first-class: named fault points registered throughout the stack
+(:func:`catalog` enumerates them once the instrumented modules are
+imported), seeded :class:`FaultPlan` schedules that make any chaos run
+exactly reproducible, and an activation log every run can
+replay-verify against its seed.
+
+Sites call :func:`fault`/:func:`fault_arg`; orchestration installs a
+plane with :func:`install_plane` or the :class:`active` context
+manager, or ships a plan to child processes via :data:`PLAN_ENV`.
+"""
+
+from .plane import (
+    FAULT_POINTS, FaultPlan, FaultPlanError, FaultPlane, FaultSpec,
+    PLAN_ENV, active, active_plane, catalog, fault, fault_arg,
+    install_plane, register_point,
+)
+
+__all__ = [
+    "FAULT_POINTS", "FaultPlan", "FaultPlanError", "FaultPlane",
+    "FaultSpec", "PLAN_ENV", "active", "active_plane", "catalog",
+    "fault", "fault_arg", "install_plane", "register_point",
+]

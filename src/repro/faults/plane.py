@@ -1,0 +1,366 @@
+"""The deterministic fault-injection plane.
+
+Failure points are first-class, enumerable objects — the same move the
+clustering work makes for partition boundaries (Donovan et al.,
+PAPERS.md), applied to the failure space: every place the service can
+tear, crash, hang, or lie is a **named fault point** registered in a
+catalog (:func:`register_point` at import time of the instrumented
+module), and a **seeded schedule** decides exactly which evaluations of
+each point fire.
+
+Determinism contract
+--------------------
+A :class:`FaultPlan` is ``(seed, scope, specs)``.  Each fault point
+gets an independent RNG stream seeded by ``(seed, scope, point)``, so:
+
+* whether evaluation *i* of point *p* fires is a pure function of the
+  plan — firing one point never shifts another point's schedule;
+* scoping a plan per job (``plan.scoped(job_name)``) makes each job's
+  activation sequence independent of which worker runs it or how jobs
+  interleave — the chaos soak is reproducible from its seed alone;
+* :meth:`FaultPlane.schedule` replays the decision for evaluations
+  ``1..n`` without side effects, which is how the soak *asserts* that
+  the recorded activations match the plan.
+
+Hot-path contract: :func:`fault` with no plane installed is one module
+global load and an ``is None`` test — cheap enough to leave in
+production paths permanently (guarded by
+``tests/faults/test_plane.py``'s computed <2% overhead bound).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+#: environment variable carrying a serialized plan into child processes
+#: (the worker pool forks, but the CLI / daemon restart path re-reads it)
+PLAN_ENV = "REPRO_FAULT_PLAN"
+
+
+class FaultPlanError(ValueError):
+    """A plan or spec is malformed (bad field, unknown point pattern)."""
+
+
+# ----------------------------------------------------------------------
+# catalog
+# ----------------------------------------------------------------------
+#: every fault point the stack registers, name -> one-line description
+FAULT_POINTS: Dict[str, str] = {}
+
+
+def register_point(name: str, description: str) -> str:
+    """Declare a named fault point (idempotent; import-time side
+    effect of instrumented modules).  Returns the name so modules can
+    bind it to a constant."""
+    FAULT_POINTS.setdefault(name, description)
+    return name
+
+
+def catalog() -> Dict[str, str]:
+    """The registered fault points (import the stack to populate)."""
+    return dict(sorted(FAULT_POINTS.items()))
+
+
+# ----------------------------------------------------------------------
+# plan
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultSpec:
+    """Schedule for the points matching ``pattern`` (fnmatch syntax).
+
+    Exactly one of the two triggers drives the schedule:
+
+    * ``prob`` — each evaluation fires with this probability, drawn
+      from the point's seeded stream (reproducible);
+    * ``every`` — deterministic counter: evaluations ``after + every``,
+      ``after + 2*every``, ... fire.
+
+    ``max_fires`` caps activations per point (0 = unlimited) — how a
+    chaos schedule guarantees a retried job eventually succeeds.
+    ``arg`` parameterizes the fault at the site (sleep seconds,
+    truncation fraction); sites document their interpretation.
+    """
+
+    pattern: str
+    prob: float = 0.0
+    every: int = 0
+    after: int = 0
+    max_fires: int = 0
+    arg: float = 0.0
+
+    def validate(self) -> None:
+        if not self.pattern:
+            raise FaultPlanError("spec has an empty point pattern")
+        if not 0.0 <= self.prob <= 1.0:
+            raise FaultPlanError(f"prob {self.prob} not in [0, 1]")
+        if self.every < 0 or self.after < 0 or self.max_fires < 0:
+            raise FaultPlanError(
+                f"negative schedule field in {self!r}")
+        if (self.prob > 0.0) == (self.every > 0):
+            raise FaultPlanError(
+                f"spec {self.pattern!r} needs exactly one of "
+                f"prob/every")
+
+    def to_json(self) -> dict:
+        return {"pattern": self.pattern, "prob": self.prob,
+                "every": self.every, "after": self.after,
+                "max_fires": self.max_fires, "arg": self.arg}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FaultSpec":
+        if not isinstance(data, dict):
+            raise FaultPlanError(f"fault spec is not an object: {data!r}")
+        try:
+            spec = cls(
+                pattern=str(data["pattern"]),
+                prob=float(data.get("prob", 0.0)),
+                every=int(data.get("every", 0)),
+                after=int(data.get("after", 0)),
+                max_fires=int(data.get("max_fires", 0)),
+                arg=float(data.get("arg", 0.0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FaultPlanError(f"bad fault spec {data!r}") from exc
+        spec.validate()
+        return spec
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed, a scope salt, and the fault schedules — the whole chaos
+    run, reproducibly."""
+
+    seed: int = 0
+    scope: str = ""
+    specs: tuple = ()
+
+    def validate(self) -> None:
+        for spec in self.specs:
+            spec.validate()
+
+    def scoped(self, scope: str) -> "FaultPlan":
+        """The same schedules re-seeded for ``scope`` (e.g. a job
+        name): activation sequences become a pure function of
+        ``(seed, scope)``, independent of scheduling."""
+        return FaultPlan(seed=self.seed, scope=scope, specs=self.specs)
+
+    def to_json(self) -> dict:
+        return {"seed": self.seed, "scope": self.scope,
+                "specs": [s.to_json() for s in self.specs]}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise FaultPlanError(f"fault plan is not an object: {data!r}")
+        specs = data.get("specs", [])
+        if not isinstance(specs, list):
+            raise FaultPlanError("plan specs must be a list")
+        plan = cls(
+            seed=int(data.get("seed", 0)),
+            scope=str(data.get("scope", "")),
+            specs=tuple(FaultSpec.from_json(s) for s in specs),
+        )
+        return plan
+
+    # -- env round trip (daemon restarts, CLI-launched workers) --------
+    def to_env(self, environ: Optional[Dict[str, str]] = None) -> str:
+        payload = json.dumps(self.to_json(), sort_keys=True)
+        if environ is not None:
+            environ[PLAN_ENV] = payload
+        return payload
+
+    @classmethod
+    def from_env(
+        cls, environ: Optional[Dict[str, str]] = None
+    ) -> Optional["FaultPlan"]:
+        payload = (environ if environ is not None else os.environ).get(
+            PLAN_ENV)
+        if not payload:
+            return None
+        try:
+            return cls.from_json(json.loads(payload))
+        except (ValueError, FaultPlanError):
+            return None
+
+
+# ----------------------------------------------------------------------
+# plane
+# ----------------------------------------------------------------------
+@dataclass
+class _PointState:
+    spec: FaultSpec
+    rng: random.Random
+    evals: int = 0
+    fires: int = 0
+
+
+class FaultPlane:
+    """Live per-process (or per-job) fault state built from a plan.
+
+    ``fire(point)`` advances the point's evaluation counter and reports
+    whether this evaluation faults; every activation is appended to
+    :attr:`activations` (and passed to ``on_fire`` when set) so runs
+    can journal and later replay-verify their fault sequence.
+
+    ``preload_fires`` maps point names to fire counts already spent in
+    *earlier* planes over the same scope — a worker retrying a job
+    whose previous attempt was killed by a crash fault preloads the
+    recorded activations so ``max_fires`` caps the job's **lifetime**
+    fires, not each attempt's (otherwise a ``max_fires=1`` crash fault
+    would kill every retry and no job could ever survive chaos).
+    """
+
+    def __init__(self, plan: FaultPlan,
+                 on_fire: Optional[Callable[[dict], None]] = None,
+                 preload_fires: Optional[Dict[str, int]] = None):
+        plan.validate()
+        self.plan = plan
+        self.on_fire = on_fire
+        self.activations: List[dict] = []
+        self._states: Dict[str, Optional[_PointState]] = {}
+        self._preload = dict(preload_fires or {})
+
+    # -- spec resolution ----------------------------------------------
+    def _state(self, point: str) -> Optional[_PointState]:
+        try:
+            return self._states[point]
+        except KeyError:
+            pass
+        spec = None
+        for candidate in self.plan.specs:
+            if fnmatch.fnmatchcase(point, candidate.pattern):
+                spec = candidate
+                break
+        state = None
+        if spec is not None:
+            state = _PointState(spec=spec, rng=self._stream(point),
+                                fires=self._preload.get(point, 0))
+        self._states[point] = state
+        return state
+
+    def _stream(self, point: str) -> random.Random:
+        return random.Random(
+            f"{self.plan.seed}:{self.plan.scope}:{point}")
+
+    # -- firing --------------------------------------------------------
+    def fire(self, point: str) -> bool:
+        """Evaluate ``point`` once; True when this evaluation faults."""
+        state = self._state(point)
+        if state is None:
+            return False
+        state.evals += 1
+        if not self._decides(state, state.evals):
+            return False
+        state.fires += 1
+        activation = {"point": point, "eval": state.evals,
+                      "fire": state.fires}
+        self.activations.append(activation)
+        if self.on_fire is not None:
+            self.on_fire(activation)
+        return True
+
+    def fire_arg(self, point: str) -> Optional[float]:
+        """Like :meth:`fire` but returns the spec's ``arg`` when firing
+        (``None`` otherwise) — for parameterized faults."""
+        state = self._state(point)
+        if state is not None and self.fire(point):
+            return state.spec.arg
+        return None
+
+    @staticmethod
+    def _decides(state: _PointState, n: int) -> bool:
+        spec = state.spec
+        if spec.max_fires and state.fires >= spec.max_fires:
+            return False
+        if n <= spec.after:
+            # Burn a draw so prob schedules stay aligned with replay.
+            if spec.prob > 0.0:
+                state.rng.random()
+            return False
+        if spec.every:
+            return (n - spec.after) % spec.every == 0
+        return state.rng.random() < spec.prob
+
+    # -- replay / preview ---------------------------------------------
+    def schedule(self, point: str, n_evals: int) -> List[int]:
+        """The evaluation indices of ``point`` that fire over
+        ``1..n_evals`` — a side-effect-free replay of the plan, used to
+        assert that a recorded chaos run matches its seed."""
+        state = self._state(point)
+        if state is None:
+            return []
+        replay = _PointState(spec=state.spec, rng=self._stream(point))
+        fired = []
+        for n in range(1, n_evals + 1):
+            replay.evals = n
+            if self._decides(replay, n):
+                replay.fires += 1
+                fired.append(n)
+        return fired
+
+    def counters(self) -> Dict[str, Dict[str, int]]:
+        """Per-point ``{evals, fires}`` (points evaluated so far)."""
+        return {
+            point: {"evals": st.evals, "fires": st.fires}
+            for point, st in sorted(self._states.items())
+            if st is not None and st.evals
+        }
+
+
+# ----------------------------------------------------------------------
+# module-level installation (the hot-path entry)
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[FaultPlane] = None
+
+
+def fault(point: str) -> bool:
+    """Does this evaluation of ``point`` fault?  The one call sites
+    make; with no plane installed it is a global load and a compare."""
+    plane = _ACTIVE
+    if plane is None:
+        return False
+    return plane.fire(point)
+
+
+def fault_arg(point: str) -> Optional[float]:
+    """Parameterized variant: the firing spec's ``arg``, else None."""
+    plane = _ACTIVE
+    if plane is None:
+        return None
+    return plane.fire_arg(point)
+
+
+def active_plane() -> Optional[FaultPlane]:
+    return _ACTIVE
+
+
+def install_plane(plane: Optional[FaultPlane]) -> Optional[FaultPlane]:
+    """Install (or, with ``None``, clear) the process-wide plane;
+    returns the previous one so callers can restore it."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = plane
+    return previous
+
+
+class active:
+    """``with active(plan_or_plane):`` — scoped installation."""
+
+    def __init__(self, plan, on_fire=None):
+        if isinstance(plan, FaultPlan):
+            plan = FaultPlane(plan, on_fire=on_fire)
+        self.plane: Optional[FaultPlane] = plan
+        self._previous: Optional[FaultPlane] = None
+
+    def __enter__(self) -> Optional[FaultPlane]:
+        self._previous = install_plane(self.plane)
+        return self.plane
+
+    def __exit__(self, *exc) -> bool:
+        install_plane(self._previous)
+        return False

@@ -10,6 +10,7 @@ from __future__ import annotations
 import os
 from typing import Optional
 
+from ..faults import fault, register_point
 from ..library.cells import TechLibrary
 from ..netlist.netlist import Netlist
 from .bench import BenchError, load_bench, parse_bench, write_bench
@@ -17,6 +18,15 @@ from .blif import BlifError, load_blif, parse_blif, write_blif
 from .verilog import (
     VerilogError, load_verilog, parse_verilog, write_verilog,
 )
+
+#: fault point: the netlist source arrives truncated (torn read).  The
+#: torn prefix is still fed to the parser — parsers must reject, not
+#: mis-parse, torn input — and the read then fails with ``OSError`` so
+#: the caller sees a transient I/O failure, never a silent wrong parse.
+FP_PARSE_TRUNCATED = register_point(
+    "io.parse.truncated",
+    "netlist source text truncated mid-file before parsing "
+    "(transient OSError after exercising the parser on the torn text)")
 
 #: Formats understood by :func:`parse_netlist`, with the file
 #: extensions :func:`load_netlist` maps onto them.
@@ -32,6 +42,12 @@ _EXTENSIONS = {
 
 class FormatError(Exception):
     """Unknown or undetectable netlist format."""
+
+
+#: what a parser raises on malformed input — *permanent* failures (the
+#: input will never parse), unlike I/O errors, which are transient.
+#: The service's retry policy splits on exactly this tuple.
+PARSE_ERRORS = (FormatError, BenchError, BlifError, VerilogError)
 
 
 def format_from_path(path: str) -> str:
@@ -57,6 +73,22 @@ def parse_netlist(
     ``library`` is consulted for mapped-cell constructs (BLIF ``.gate``
     lines, Verilog cell instances) and ignored by ``.bench``.
     """
+    if fault(FP_PARSE_TRUNCATED):
+        torn = text[:max(1, len(text) // 2)]
+        try:
+            _parse_dispatch(torn, fmt, library, name)
+        except PARSE_ERRORS:
+            pass  # torn input must reject cleanly, never mis-parse
+        raise OSError("injected truncated netlist read")
+    return _parse_dispatch(text, fmt, library, name)
+
+
+def _parse_dispatch(
+    text: str,
+    fmt: str,
+    library: Optional[TechLibrary],
+    name: Optional[str],
+) -> Netlist:
     if fmt == "blif":
         net = parse_blif(text, library=library)
         if name:
@@ -88,6 +120,6 @@ __all__ = [
     "BenchError", "load_bench", "parse_bench", "write_bench",
     "BlifError", "load_blif", "parse_blif", "write_blif",
     "VerilogError", "load_verilog", "parse_verilog", "write_verilog",
-    "FormatError", "FORMATS", "format_from_path",
+    "FormatError", "FORMATS", "PARSE_ERRORS", "format_from_path",
     "parse_netlist", "load_netlist",
 ]

@@ -26,13 +26,14 @@ from typing import Dict, Optional
 
 from .export import (
     ExportSchemaError, append_bench, bench_entry, export_gdo, gdo_entry,
-    git_sha, load_bench, validate_bench_entry, validate_gdo_entry,
-    validate_service_entry,
+    git_sha, load_bench, validate_bench_entry,
+    validate_chaos_entry, validate_gdo_entry, validate_service_entry,
 )
 from .journal import (
-    NULL_JOURNAL, JournalSchemaError, NullJournal, RunJournal,
-    VOLATILE_FIELDS, load_journal, load_journal_tolerant, strip_volatile,
-    validate_journal, validate_record,
+    EventLog, NULL_JOURNAL, JournalSchemaError, NullJournal, RunJournal,
+    VOLATILE_FIELDS, event_counts, load_events, load_journal,
+    load_journal_tolerant, strip_volatile, validate_journal,
+    validate_record,
 )
 from .metrics import (
     DEFAULT_BUCKETS, MetricsRegistry, NULL_REGISTRY, rendered_key,
@@ -143,10 +144,12 @@ __all__ = [
     "Tracer", "NULL_TRACER", "hot_spans",
     "MetricsRegistry", "NULL_REGISTRY", "DEFAULT_BUCKETS", "rendered_key",
     "RunJournal", "NullJournal", "NULL_JOURNAL", "JournalSchemaError",
+    "EventLog", "event_counts", "load_events",
     "VOLATILE_FIELDS", "load_journal", "load_journal_tolerant",
     "strip_volatile",
     "validate_journal", "validate_record",
     "ExportSchemaError", "append_bench", "bench_entry", "export_gdo",
     "gdo_entry", "git_sha", "load_bench", "validate_bench_entry",
-    "validate_gdo_entry", "validate_service_entry",
+    "validate_chaos_entry", "validate_gdo_entry",
+    "validate_service_entry",
 ]

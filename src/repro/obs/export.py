@@ -181,6 +181,40 @@ def validate_service_entry(entry: dict) -> None:
                 f"{state!r}: {count!r}")
 
 
+_CHAOS_FIELDS = {
+    "key": str, "seed": int, "jobs": int, "jobs_done": int,
+    "deadlettered": int, "fault_activations": int,
+    "fires_by_point": dict,
+    "baseline_seconds": (int, float), "chaos_seconds": (int, float),
+    "inflation": (int, float),
+    "watchdog_kills": int, "respawns": int,
+    "equivalence_checked": int, "replay_verified": bool,
+}
+
+
+def validate_chaos_entry(entry: dict) -> None:
+    """Raise :class:`ExportSchemaError` unless ``entry`` matches the
+    ``BENCH_chaos.json`` schema (chaos-soak acceptance metrics)."""
+    validate_bench_entry(entry)
+    for field, types in _CHAOS_FIELDS.items():
+        if field not in entry:
+            raise ExportSchemaError(f"chaos entry missing {field!r}")
+        if not isinstance(entry[field], types):
+            raise ExportSchemaError(
+                f"chaos entry field {field!r} has type "
+                f"{type(entry[field]).__name__}")
+    if entry["jobs_done"] != entry["jobs"] or entry["deadlettered"]:
+        raise ExportSchemaError(
+            "chaos entry records lost jobs: "
+            f"{entry['jobs_done']}/{entry['jobs']} done, "
+            f"{entry['deadlettered']} dead-lettered")
+    for point, fires in entry["fires_by_point"].items():
+        if not isinstance(point, str) or not isinstance(fires, int):
+            raise ExportSchemaError(
+                f"chaos entry fires_by_point has malformed item "
+                f"{point!r}: {fires!r}")
+
+
 def validate_gdo_entry(entry: dict) -> None:
     """Raise :class:`ExportSchemaError` unless ``entry`` matches the
     GDO trajectory schema."""

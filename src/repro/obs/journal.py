@@ -24,6 +24,14 @@ import os
 import signal
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..faults import fault_arg, register_point
+
+#: fault point: SIGKILL the process mid-journal-append (``arg > 0``
+#: first writes a torn partial line, as a crash mid-write would leave)
+FP_JOURNAL_CRASH = register_point(
+    "journal.record.crash",
+    "SIGKILL while appending a journal record (arg>0: torn line first)")
+
 #: fields whose values may differ between byte-identical decision
 #: sequences (scheduling, caching, wall clock); comparisons strip them
 VOLATILE_FIELDS = frozenset({"wall_ms", "cache_hit", "batched"})
@@ -115,6 +123,9 @@ class RunJournal:
                 os.fsync(self._fh.fileno())
         if self._crash is not None:
             self._crash_tick(rectype)
+        arg = fault_arg(FP_JOURNAL_CRASH)
+        if arg is not None:
+            self._die(torn=arg > 0)
         return rec
 
     def _crash_tick(self, rectype: str) -> None:
@@ -125,8 +136,14 @@ class RunJournal:
         self._crash_seen += 1
         if self._crash_seen < crash_count:
             return
+        self._die(torn=partial)
+
+    def _die(self, torn: bool) -> None:
+        """SIGKILL this process, optionally leaving a torn final line —
+        the shared exit of the ``REPRO_CRASH_AFTER`` hook and the
+        ``journal.record.crash`` fault point."""
         if self._fh is not None:
-            if partial:
+            if torn:
                 # A torn final line, as a crash mid-append would leave.
                 self._fh.write('{"seq": 999999, "type": "tri')
             self._fh.flush()
@@ -237,3 +254,92 @@ def strip_volatile(records: Iterable[dict]) -> List[dict]:
         {k: v for k, v in rec.items() if k not in VOLATILE_FIELDS}
         for rec in records
     ]
+
+
+# ----------------------------------------------------------------------
+# service event log
+# ----------------------------------------------------------------------
+class EventLog:
+    """Multi-process append-only JSONL event log (the service trail).
+
+    Unlike :class:`RunJournal` this is *not* a determinism artifact:
+    workers, the supervisor, and the daemon all append to one file, so
+    events interleave by wall-clock scheduling.  Each ``emit`` is a
+    single whole-line ``write(2)`` on an ``O_APPEND`` fd — the same
+    discipline as the verdict store's segments — so concurrent writers
+    never interleave bytes, and a killed writer leaves at most one torn
+    tail line, which :func:`load_events` skips.  ``seq`` restarts per
+    process; ``pid`` disambiguates.
+    """
+
+    def __init__(self, path: str, fsync: bool = False):
+        self.path = path
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._fsync = fsync
+        self._seq = 0
+        self._fd: Optional[int] = os.open(
+            path, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644)
+
+    def emit(self, etype: str, **fields) -> dict:
+        """Append one event; returns the record written."""
+        rec = {"type": etype, "pid": os.getpid(), "seq": self._seq}
+        rec.update(fields)
+        self._seq += 1
+        if self._fd is not None:
+            os.write(self._fd,
+                     (json.dumps(rec, sort_keys=True) + "\n").encode())
+            if self._fsync:
+                os.fsync(self._fd)
+        return rec
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+def load_events(path: str) -> Tuple[List[dict], int]:
+    """Parse an event log; returns ``(events, dropped)``.
+
+    Tolerant by design — any unparseable line (torn tail of a killed
+    writer) is counted and skipped, never raised: the event log is an
+    operational trail, not a replay oracle.
+    """
+    events: List[dict] = []
+    dropped = 0
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except ValueError:
+                    dropped += 1
+                    continue
+                if isinstance(rec, dict):
+                    events.append(rec)
+                else:
+                    dropped += 1
+    except OSError:
+        return [], 0
+    return events, dropped
+
+
+def event_counts(events: Iterable[dict]) -> Dict[str, int]:
+    """``{event type: count}`` — the stats-surface rollup."""
+    counts: Dict[str, int] = {}
+    for rec in events:
+        etype = str(rec.get("type"))
+        counts[etype] = counts.get(etype, 0) + 1
+    return dict(sorted(counts.items()))

@@ -68,6 +68,12 @@ class GdoConfig:
     # keeps proving fully deterministic; a finite timeout trades that
     # determinism for bounded latency on pathological obligations.
     proof_timeout: Optional[float] = None
+    # Base pause (seconds) before retry/fallback rungs of the ladder,
+    # with seeded jitter (fraction) so retry herds across pool workers
+    # de-synchronize.  0 (the default) = no pause.  Purely temporal —
+    # verdicts and the modification sequence are unaffected.
+    proof_retry_delay: float = 0.0
+    proof_retry_jitter: float = 0.5
     # Verdict LRU entries, and an optional JSON file persisting the
     # definitive (valid/invalid) verdicts across runs.
     proof_cache_size: int = 4096
@@ -150,6 +156,8 @@ class GdoConfig:
             bdd_max_nodes=self.bdd_max_nodes,
             retry_factor=self.proof_retry_factor,
             timeout=self.proof_timeout,
+            retry_delay=self.proof_retry_delay,
+            retry_jitter=self.proof_retry_jitter,
             cache_size=self.proof_cache_size,
             cache_path=self.proof_cache_path,
             cache=cache,

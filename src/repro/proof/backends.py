@@ -17,6 +17,7 @@ function of the obligation key: parallel and serial runs agree.
 
 from __future__ import annotations
 
+import random
 import signal
 import threading
 from dataclasses import dataclass
@@ -24,6 +25,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..bdd.bdd import BddBudgetExceeded
 from ..bdd.circuit_bdd import bdd_equivalent
+from ..faults import fault, fault_arg, register_point
 from ..netlist.netlist import Netlist
 from ..sat.miter import miter_equivalent
 from ..sat.solver import SolverBudgetExceeded
@@ -31,6 +33,20 @@ from ..sat.solver import SolverBudgetExceeded
 VALID = "valid"
 INVALID = "invalid"
 UNKNOWN = "unknown"
+
+#: fault points of the proving ladder (DESIGN.md §11).  All three are
+#: *fail-safe* by construction: a backend under fault only loses time
+#: or returns UNKNOWN (dropping a candidate) — it never asserts a wrong
+#: verdict, so injected faults cannot corrupt results.
+FP_BACKEND_TIMEOUT = register_point(
+    "proof.backend.timeout",
+    "one ladder attempt expires as if its wall-clock budget ran out")
+FP_BACKEND_FLAKY = register_point(
+    "proof.backend.flaky",
+    "one ladder attempt forgets its verdict and reports UNKNOWN")
+FP_BACKEND_SLOW = register_point(
+    "proof.backend.slow",
+    "one ladder attempt takes `arg` extra seconds before answering")
 
 
 @dataclass(frozen=True)
@@ -42,6 +58,21 @@ class LadderSpec:
     bdd_max_nodes: int = 200_000
     retry_factor: int = 4          # escalated-budget multiplier
     timeout: Optional[float] = None  # per-attempt wall clock; None = off
+    #: base pause before a retry/fallback rung (0 = no pause).  Spreads
+    #: retry herds out in time when many pool workers hit budget
+    #: exhaustion together; purely temporal — verdicts are unaffected.
+    retry_delay: float = 0.0
+    #: jitter fraction on ``retry_delay``, drawn from an RNG seeded by
+    #: (obligation key, attempt) — reproducible, and de-correlated
+    #: across obligations so workers never re-synchronize.
+    retry_jitter: float = 0.5
+
+    def retry_pause(self, key: str, attempt: int) -> float:
+        """The pause before ladder rung ``attempt`` (0 for the first)."""
+        if attempt <= 0 or self.retry_delay <= 0.0:
+            return 0.0
+        rng = random.Random(f"ladder:{key}:{attempt}")
+        return self.retry_delay * (1.0 + self.retry_jitter * rng.random())
 
     def rungs(self) -> List[Tuple[str, int]]:
         """The ``(backend, budget)`` attempts, in order."""
@@ -142,14 +173,27 @@ def prove_serialized(job) -> Tuple[str, str, Dict[str, int], dict]:
     rungs = spec.rungs()
     verdict = UNKNOWN
     for attempt, (backend, budget) in enumerate(rungs):
+        pause = spec.retry_pause(key, attempt)
+        if pause > 0.0:
+            time.sleep(pause)
+        slow = fault_arg(FP_BACKEND_SLOW)
+        if slow is not None:
+            time.sleep(slow)
         t0 = time.perf_counter()
         try:
+            if fault(FP_BACKEND_TIMEOUT):
+                raise ProofTimeout()
             verdict = _run_with_timeout(
                 lambda: prove_pair(left, right, backend, budget),
                 spec.timeout,
             )
         except ProofTimeout:
             bump("timeouts")
+            verdict = UNKNOWN
+        if verdict != UNKNOWN and fault(FP_BACKEND_FLAKY):
+            # Fail-safe lie: the backend "forgets" — UNKNOWN walks the
+            # ladder / drops the candidate, it never flips a verdict.
+            bump("flaky")
             verdict = UNKNOWN
         metrics.histogram("proof_attempt_seconds", backend=backend) \
             .observe(time.perf_counter() - t0)

@@ -31,11 +31,19 @@ from dataclasses import dataclass, fields
 from typing import Dict, Iterable, List, Optional
 
 from ..clauses.pvcc import Candidate
+from ..faults import fault, register_point
 from ..netlist.netlist import Netlist
 from ..obs import NULL_JOURNAL, NULL_REGISTRY, NULL_TRACER
 from .backends import LadderSpec, VALID, prove_serialized
 from .cache import ProofCache
 from .obligation import ProofObligation, obligation_from_nets
+
+#: fault point: the worker pool breaks mid-dispatch, exercising the
+#: broker's degrade-to-serial path without a real pool failure
+FP_POOL_BREAK = register_point(
+    "proof.pool.break",
+    "proof worker pool breaks mid-dispatch (degrades to in-process "
+    "serial proving)")
 
 
 @dataclass
@@ -57,6 +65,7 @@ class ProofCounters:
     retries: int = 0           # same-backend escalated-budget attempts
     fallbacks: int = 0         # cross-backend ladder steps
     timeouts: int = 0          # wall-clock expiries (if enabled)
+    flaky: int = 0             # injected verdict amnesia (fault plane)
     unknown_final: int = 0     # obligations the whole ladder left open
     static_skips: int = 0      # obligations discharged by the static
     #                            refuter before ever reaching the broker
@@ -93,6 +102,8 @@ class ProofBroker:
         bdd_max_nodes: int = 200_000,
         retry_factor: int = 4,
         timeout: Optional[float] = None,
+        retry_delay: float = 0.0,
+        retry_jitter: float = 0.5,
         cache_size: int = 4096,
         cache_path: Optional[str] = None,
         cache=None,
@@ -105,6 +116,7 @@ class ProofBroker:
             mode=mode if mode != "none" else "sat",
             max_conflicts=max_conflicts, bdd_max_nodes=bdd_max_nodes,
             retry_factor=retry_factor, timeout=timeout,
+            retry_delay=retry_delay, retry_jitter=retry_jitter,
         )
         # ``cache`` injects a caller-owned verdict cache — the service
         # hands every worker a ShardedProofCache over one shared store;
@@ -114,6 +126,10 @@ class ProofBroker:
         self.counters = ProofCounters()
         self._pool = None
         self._pool_broken = False
+        #: lifetime count of pool breakages (degradations to serial) —
+        #: not per-run: a broken pool stays broken, and the service
+        #: surfaces this as the broker's degradation state
+        self.pool_breaks = 0
         # Per-run observability, attached by EngineContext; defaults
         # are the shared no-op singletons so a bare broker stays silent.
         self._metrics = NULL_REGISTRY
@@ -275,6 +291,8 @@ class ProofBroker:
         if pool is None:
             return [prove_serialized(job) for job in jobs]
         try:
+            if fault(FP_POOL_BREAK):
+                raise RuntimeError("injected proof pool break")
             chunk = max(1, len(jobs) // (self.workers * 4))
             results = pool.map(prove_serialized, jobs, chunksize=chunk)
             self.counters.parallel_batches += 1
@@ -283,6 +301,8 @@ class ProofBroker:
             # A broken pool (pickling, interpreter teardown, resource
             # limits) degrades to in-process proving, never to a crash.
             self._pool_broken = True
+            self.pool_breaks += 1
+            self._metrics.counter("proof_pool_breaks").inc()
             try:
                 pool.terminate()
                 pool.join()

@@ -14,26 +14,35 @@
 * :mod:`~repro.service.recovery` — crash recovery over the per-job run
   journals: finished jobs are detected, interrupted jobs resume from
   their last committed substitution (:mod:`repro.opt.replay`);
+* :mod:`~repro.service.supervisor` — the self-healing layer
+  (DESIGN.md §11): worker heartbeats, watchdog kills of hung workers,
+  respawn of crashed ones; retry budgets and dead-letter quarantine
+  live in the queue/worker layers it drives;
 * :mod:`~repro.service.server` / :mod:`~repro.service.client` — a
   JSON-lines TCP front end with per-job status and service-level
   metrics, exported to ``BENCH_service.json``.
 
 ``python -m repro.service`` is the CLI (``serve``, ``submit``,
-``status``, ``stats``, ``drain``, ``recover``).
+``status``, ``stats``, ``drain``, ``recover``, ``deadletter``).
 """
 
-from .queue import Job, JobQueue, JobSpec, QueueError
+from .queue import Job, JobQueue, JobSpec, QueueError, lease_live
 from .recovery import RecoveryReport, recover_queue, resume_records
 from .store import (
     CompactionStats, ShardedProofCache, ShardedVerdictStore, StoreError,
     shard_of,
 )
-from .worker import WorkerPool, run_job
+from .supervisor import Supervisor
+from .worker import (
+    RetryPolicy, WorkerPool, drain_queue, read_heartbeats, run_job,
+)
 
 __all__ = [
-    "Job", "JobQueue", "JobSpec", "QueueError",
+    "Job", "JobQueue", "JobSpec", "QueueError", "lease_live",
     "RecoveryReport", "recover_queue", "resume_records",
     "CompactionStats", "ShardedProofCache", "ShardedVerdictStore",
     "StoreError", "shard_of",
-    "WorkerPool", "run_job",
+    "Supervisor",
+    "RetryPolicy", "WorkerPool", "drain_queue", "read_heartbeats",
+    "run_job",
 ]

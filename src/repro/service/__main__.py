@@ -4,7 +4,9 @@ Daemon side::
 
     python -m repro.service serve --root RUNDIR [--port P] [--workers N]
     python -m repro.service recover --root RUNDIR
-    python -m repro.service drain --root RUNDIR [--workers N]   # offline
+    python -m repro.service drain --root RUNDIR [--workers N] [--supervise]
+    python -m repro.service deadletter list    --root RUNDIR | --port P
+    python -m repro.service deadletter requeue JOB --root RUNDIR | --port P
 
 Client side (against a running daemon)::
 
@@ -56,6 +58,20 @@ def main(argv=None) -> int:
         "drain", help="offline batch: run workers until spool is empty")
     drain.add_argument("--root", required=True)
     drain.add_argument("--workers", type=int, default=2)
+    drain.add_argument("--supervise", action="store_true",
+                       help="respawn crashed workers, kill hung ones")
+    drain.add_argument("--stall-timeout", type=float, default=30.0)
+
+    deadletter = sub.add_parser(
+        "deadletter", help="inspect or requeue quarantined poison jobs")
+    deadletter.add_argument("action", choices=("list", "requeue"))
+    deadletter.add_argument("job", nargs="?", default=None,
+                            help="job id (for requeue)")
+    group = deadletter.add_mutually_exclusive_group(required=True)
+    group.add_argument("--root", help="operate on the spool directly")
+    group.add_argument("--port", type=int,
+                       help="operate through a running daemon")
+    deadletter.add_argument("--host", default="127.0.0.1")
 
     submit = sub.add_parser("submit", help="submit a netlist file")
     submit.add_argument("path")
@@ -123,9 +139,40 @@ def main(argv=None) -> int:
         done = drain_queue(
             args.root,
             store_path=os.path.join(args.root, "store"),
-            workers=args.workers)
+            workers=args.workers,
+            supervise=args.supervise,
+            stall_timeout=args.stall_timeout)
         print(f"drained: {done} jobs terminal")
         return 0
+
+    if args.command == "deadletter":
+        if args.root:
+            from .queue import JobQueue
+
+            queue = JobQueue(args.root)
+            if args.action == "list":
+                print(json.dumps(queue.deadletter_jobs(), indent=2,
+                                 sort_keys=True))
+                return 0
+            if not args.job:
+                raise SystemExit("requeue needs a job id")
+            ok = queue.requeue(args.job)
+            print(f"requeued: {args.job}" if ok
+                  else f"no dead-lettered job {args.job!r}")
+            return 0 if ok else 1
+        from .client import ServiceClient
+
+        client = ServiceClient(host=args.host, port=args.port)
+        if args.action == "list":
+            print(json.dumps(client.deadletter(), indent=2,
+                             sort_keys=True))
+            return 0
+        if not args.job:
+            raise SystemExit("requeue needs a job id")
+        ok = client.requeue(args.job)
+        print(f"requeued: {args.job}" if ok
+              else f"no dead-lettered job {args.job!r}")
+        return 0 if ok else 1
 
     from .client import ServiceClient
 

@@ -72,13 +72,26 @@ class ServiceClient:
     def compact(self) -> dict:
         return self._call({"op": "compact"})
 
+    def deadletter(self) -> Dict[str, dict]:
+        """The quarantined poison jobs: ``{job_id: reason payload}``."""
+        return self._call({"op": "deadletter"})["deadletter"]
+
+    def requeue(self, job_id: str) -> bool:
+        """Send a dead-lettered job back to the spool (fresh budget)."""
+        try:
+            return bool(self._call(
+                {"op": "requeue", "job": job_id}).get("ok"))
+        except RuntimeError:
+            return False
+
     def wait(self, job_id: str, timeout: float = 120.0,
              poll: float = 0.1) -> dict:
         """Block until the job is terminal; returns its final status."""
         deadline = time.monotonic() + timeout
         while True:
             status = self.status(job_id)
-            if status.get("state") in ("done", "failed"):
+            if status.get("state") in ("done", "failed",
+                                       "deadlettered"):
                 return status
             if time.monotonic() >= deadline:
                 raise TimeoutError(

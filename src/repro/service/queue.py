@@ -4,11 +4,16 @@ Every job is a directory under ``<root>/jobs/``::
 
     <root>/jobs/<job_id>/
       job.json          # the JobSpec: netlist text, format, overrides
-      lease             # claim marker: "<pid>\\n" (O_EXCL-created)
+      lease             # claim marker (O_EXCL-created JSON:
+                        #   pid, start tick, token, created)
       journal.jsonl     # the run journal (written by the worker)
+      attempts.jsonl    # durable retry ledger (start/error events)
+      not_before        # retry backoff stamp (skip until this time)
       result.json       # terminal: summary of the finished run
       result.blif       # terminal: the optimized netlist
       error.json        # terminal: what went wrong
+
+    <root>/deadletter/<job_id>/   # quarantined poison jobs
 
 The spool *is* the durable state — there is no in-memory queue to lose.
 Submission is a directory rename (tmp + ``os.replace``), claiming is an
@@ -21,25 +26,41 @@ was interrupted; a lease naming a dead pid is stale.
 Status model::
 
     queued -> running -> done | failed
+                      -> deadlettered   (poison: retry budget spent)
 """
 
 from __future__ import annotations
 
+import fcntl
 import json
 import os
 import tempfile
+import time
 import uuid
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..faults import fault, register_point
+
 _ID_SAFE = frozenset(
     "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-")
+
+#: fault points of the spool (DESIGN.md §11)
+FP_LEASE_RACE = register_point(
+    "queue.lease.race",
+    "claim loses the lease race after winning it (another claimant "
+    "appears to have taken the job)")
+FP_SUBMIT_TORN = register_point(
+    "queue.submit.torn",
+    "submitter dies between staging and publish, leaving a stale "
+    ".staging-* directory")
 
 #: job states surfaced by :meth:`JobQueue.status`
 QUEUED = "queued"
 RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
+DEADLETTERED = "deadlettered"
 
 
 class QueueError(RuntimeError):
@@ -131,6 +152,18 @@ class Job:
     def lease_path(self) -> str:
         return os.path.join(self.path, "lease")
 
+    @property
+    def attempts_path(self) -> str:
+        return os.path.join(self.path, "attempts.jsonl")
+
+    @property
+    def not_before_path(self) -> str:
+        return os.path.join(self.path, "not_before")
+
+    @property
+    def faults_path(self) -> str:
+        return os.path.join(self.path, "faults.jsonl")
+
 
 def _pid_alive(pid: int) -> bool:
     try:
@@ -139,6 +172,64 @@ def _pid_alive(pid: int) -> bool:
         return False
     except PermissionError:  # pragma: no cover - exists, not ours
         return True
+    return True
+
+
+def _proc_start(pid: int) -> Optional[int]:
+    """The kernel's start tick of ``pid`` (Linux ``/proc``), or None.
+
+    Field 22 of ``/proc/<pid>/stat``, read *after* the closing paren of
+    the comm field (which may itself contain spaces/parens).  Two
+    processes can share a pid only across a recycle, and a recycled pid
+    gets a new start tick — so ``(pid, start)`` identifies a process
+    where a bare pid does not.
+    """
+    try:
+        with open(f"/proc/{pid}/stat", "rb") as fh:
+            data = fh.read()
+        fields = data[data.rindex(b")") + 2:].split()
+        return int(fields[19])  # stat field 22, 0-indexed after comm
+    except (OSError, ValueError, IndexError):
+        return None
+
+
+def _lease_payload() -> dict:
+    pid = os.getpid()
+    return {
+        "pid": pid,
+        "start": _proc_start(pid),
+        "token": uuid.uuid4().hex[:8],
+        "created": time.time(),
+    }
+
+
+def lease_live(info: Optional[dict],
+               ttl: Optional[float] = None) -> bool:
+    """Is the lease's claimant provably the process that took it?
+
+    * pid dead → stale;
+    * pid alive with a recorded start tick that no longer matches →
+      the pid was recycled onto an unrelated process → stale;
+    * pid alive, start tick unavailable (non-Linux or legacy lease) →
+      trust liveness, unless ``ttl`` has expired — the TTL is the
+      backstop that keeps reclaim safe when pid recycling cannot be
+      ruled out.
+    """
+    if info is None:
+        return False
+    pid = info.get("pid")
+    if not isinstance(pid, int) or not _pid_alive(pid):
+        return False
+    recorded = info.get("start")
+    if recorded is not None:
+        current = _proc_start(pid)
+        if current is not None:
+            return current == recorded
+    if ttl is not None:
+        created = info.get("created")
+        if not isinstance(created, (int, float)) or \
+                time.time() - created > ttl:
+            return False
     return True
 
 
@@ -154,6 +245,7 @@ class JobQueue:
     def __init__(self, root: str):
         self.root = os.path.abspath(root)
         self.jobs_dir = os.path.join(self.root, "jobs")
+        self.deadletter_dir = os.path.join(self.root, "deadletter")
         os.makedirs(self.jobs_dir, exist_ok=True)
 
     # ------------------------------------------------------------------
@@ -168,13 +260,20 @@ class JobQueue:
             c if c in _ID_SAFE else "_" for c in spec.name) or "job"
         job_id = f"{tick:08d}-{base}-{uuid.uuid4().hex[:8]}"
         staging = tempfile.mkdtemp(
-            dir=self.jobs_dir, prefix=".staging-")
+            dir=self.jobs_dir, prefix=f".staging-{os.getpid()}-")
         try:
             with open(os.path.join(staging, "job.json"), "w",
                       encoding="utf-8") as fh:
                 json.dump(spec.to_json(), fh)
                 fh.flush()
                 os.fsync(fh.fileno())
+            if fault(FP_SUBMIT_TORN):
+                # Submitter "dies" before publish: the staged directory
+                # stays behind exactly as a crash would leave it
+                # (cleared by clean_staging / recovery); the job was
+                # never submitted, so the client retries.
+                raise QueueError(
+                    "injected submit crash before publish")
             os.replace(staging, os.path.join(self.jobs_dir, job_id))
         except OSError:
             for name in os.listdir(staging):
@@ -201,50 +300,300 @@ class JobQueue:
     # ------------------------------------------------------------------
     # worker side
     # ------------------------------------------------------------------
-    def claim(self, reclaim_stale: bool = True) -> Optional[Job]:
-        """Atomically claim the oldest queued job, or ``None``.
+    def claim(self, reclaim_stale: bool = True,
+              lease_ttl: Optional[float] = None) -> Optional[Job]:
+        """Atomically claim the oldest due queued job, or ``None``.
 
-        A lease whose pid is dead is stale (crashed worker): with
-        ``reclaim_stale`` it is replaced and the job re-claimed — the
-        new claimant resumes from the journal, not from scratch."""
+        Jobs deferred by :meth:`defer` (retry backoff) are skipped
+        until their ``not_before`` stamp passes.  A lease whose
+        claimant is provably gone — dead pid, recycled pid (start-tick
+        mismatch), or ``lease_ttl`` expiry when liveness cannot be
+        pinned — is stale: with ``reclaim_stale`` it is replaced and
+        the job re-claimed; the new claimant resumes from the journal,
+        not from scratch."""
+        now = time.time()
         for job_id in sorted(self._job_ids()):
             job = self._load(job_id)
             if job is None or self._terminal(job):
                 continue
-            if self._take_lease(job, reclaim_stale):
+            if self.deferred_until(job) > now:
+                continue
+            if self._take_lease(job, reclaim_stale, lease_ttl):
+                if fault(FP_LEASE_RACE):
+                    # Lost the race after all: another claimant beat us
+                    # (from this process's view the claim just fails).
+                    self.release(job)
+                    continue
                 return job
         return None
 
-    def _take_lease(self, job: Job, reclaim_stale: bool) -> bool:
+    def _install_lease(self, job: Job, payload: str) -> bool:
+        """Atomically create the lease *with* its payload (tmp write +
+        hard link).  A create-then-write would leave an empty lease
+        visible between the two steps — empty reads as stale, inviting
+        a concurrent reclaim of a job that was just claimed."""
+        tmp = (job.lease_path
+               + f".claim.{os.getpid()}.{uuid.uuid4().hex[:8]}")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(payload)
         try:
-            fd = os.open(job.lease_path,
-                         os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            os.link(tmp, job.lease_path)
         except FileExistsError:
-            if not reclaim_stale:
-                return False
-            pid = self._lease_pid(job)
-            if pid is not None and _pid_alive(pid):
-                return False
-            # Stale: replace atomically so racers see one winner.
-            tmp = job.lease_path + f".{os.getpid()}"
-            with open(tmp, "w", encoding="utf-8") as fh:
-                fh.write(f"{os.getpid()}\n")
-            stale = self._lease_pid(job)
-            if stale is not None and _pid_alive(stale):
-                os.unlink(tmp)
-                return False
-            os.replace(tmp, job.lease_path)
-            return True
-        with os.fdopen(fd, "w", encoding="utf-8") as fh:
-            fh.write(f"{os.getpid()}\n")
+            return False
+        finally:
+            os.unlink(tmp)
         return True
 
-    def _lease_pid(self, job: Job) -> Optional[int]:
+    def _take_lease(self, job: Job, reclaim_stale: bool,
+                    lease_ttl: Optional[float] = None) -> bool:
+        payload = json.dumps(_lease_payload(), sort_keys=True) + "\n"
+        if self._install_lease(job, payload):
+            return True
+        if not reclaim_stale:
+            return False
+        if lease_live(self._lease_info(job), lease_ttl):
+            return False
+        # Stale: the whole reclaim cycle — re-check, corpse-rename,
+        # re-create — runs under an exclusive flock on the job
+        # directory, because the staleness read above is unlocked: a
+        # second reclaimer could finish its entire cycle between our
+        # read and our rename, and we would rename its *fresh* lease
+        # to a corpse and double-claim the job.  Fresh claimants never
+        # remove a lease (their link-install only succeeds when none
+        # exists), so they cannot steal; one slipping into our
+        # rename/install gap just makes our install lose with EEXIST.
+        try:
+            dirfd = os.open(job.path, os.O_RDONLY)
+        except OSError:
+            return False
+        try:
+            try:
+                fcntl.flock(dirfd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                return False  # another reclaimer is mid-cycle
+            if lease_live(self._lease_info(job), lease_ttl):
+                return False  # reclaimed while we took the lock
+            corpse = (job.lease_path
+                      + f".stale.{os.getpid()}.{uuid.uuid4().hex[:8]}")
+            try:
+                os.rename(job.lease_path, corpse)
+            except OSError:
+                pass  # lease released meanwhile: install decides
+            else:
+                try:
+                    os.unlink(corpse)
+                except OSError:  # pragma: no cover - harmless debris
+                    pass
+            return self._install_lease(job, payload)
+        finally:
+            os.close(dirfd)
+
+    def renew_lease(self, job: Job) -> None:
+        """Refresh this claimant's lease stamp (TTL keep-alive)."""
+        tmp = job.lease_path + f".renew.{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(_lease_payload(),
+                                    sort_keys=True) + "\n")
+            os.replace(tmp, job.lease_path)
+        except OSError:  # pragma: no cover - renewals are best-effort
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+
+    def release(self, job: Job) -> None:
+        """Drop the lease (the job becomes claimable again)."""
+        try:
+            os.unlink(job.lease_path)
+        except OSError:
+            pass
+
+    def _lease_info(self, job: Job) -> Optional[dict]:
+        """The lease payload; legacy bare-pid leases are adapted."""
         try:
             with open(job.lease_path, "r", encoding="utf-8") as fh:
-                return int(fh.read().strip() or "0")
-        except (OSError, ValueError):
+                text = fh.read().strip()
+        except OSError:
             return None
+        if not text:
+            return None
+        try:
+            info = json.loads(text)
+        except ValueError:
+            return None
+        if isinstance(info, int):  # legacy bare-pid lease
+            return {"pid": info}
+        return info if isinstance(info, dict) else None
+
+    def _lease_pid(self, job: Job) -> Optional[int]:
+        info = self._lease_info(job)
+        pid = info.get("pid") if info else None
+        return pid if isinstance(pid, int) else None
+
+    # ------------------------------------------------------------------
+    # retry bookkeeping (the supervisor's durable state)
+    # ------------------------------------------------------------------
+    def record_attempt(self, job: Job, event: str,
+                       error: str = "") -> int:
+        """Append one attempt event (``start`` | ``error``) to the
+        job's ``attempts.jsonl``; returns how many events of that kind
+        the job now has.  Durable, append-only — the retry budget
+        survives worker crashes."""
+        rec = {"event": event, "pid": os.getpid(), "t": time.time()}
+        if error:
+            rec["error"] = error[:2000]
+        line = json.dumps(rec, sort_keys=True) + "\n"
+        fd = os.open(job.attempts_path,
+                     os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644)
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+        return self.attempt_counts(job).get(event, 0)
+
+    def attempt_counts(self, job: Job) -> Dict[str, int]:
+        """``{event: count}`` over the job's attempt history."""
+        counts: Dict[str, int] = {}
+        try:
+            with open(job.attempts_path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        event = json.loads(line).get("event")
+                    except ValueError:
+                        continue  # torn tail of a killed writer
+                    if isinstance(event, str):
+                        counts[event] = counts.get(event, 0) + 1
+        except OSError:
+            pass
+        return counts
+
+    def defer(self, job: Job, delay: float) -> float:
+        """Back the job off: release the lease and stamp
+        ``not_before`` so no worker re-claims it for ``delay``
+        seconds.  Returns the stamp."""
+        due = time.time() + max(0.0, delay)
+        self._write_atomic(job.not_before_path, f"{due:.6f}\n")
+        self.release(job)
+        return due
+
+    def deferred_until(self, job: Job) -> float:
+        """The job's ``not_before`` stamp (0.0 when not deferred)."""
+        try:
+            with open(job.not_before_path, "r",
+                      encoding="utf-8") as fh:
+                return float(fh.read().strip() or "0")
+        except (OSError, ValueError):
+            return 0.0
+
+    # ------------------------------------------------------------------
+    # dead-letter quarantine
+    # ------------------------------------------------------------------
+    def quarantine(self, job: Job, reason: str) -> str:
+        """Move a poison job out of the spool into ``deadletter/``.
+
+        Atomic (directory rename); the job keeps its journal, attempt
+        history, and fault log for inspection, plus a
+        ``deadletter.json`` with the reason.  Returns the new path."""
+        os.makedirs(self.deadletter_dir, exist_ok=True)
+        self.release(job)
+        target = os.path.join(self.deadletter_dir, job.job_id)
+        try:
+            self._write_atomic(
+                os.path.join(job.path, "deadletter.json"),
+                json.dumps({
+                    "reason": reason[:2000],
+                    "attempts": self.attempt_counts(job),
+                    "quarantined_at": time.time(),
+                }, sort_keys=True))
+            os.replace(job.path, target)
+        except OSError:
+            # Raced another quarantiner (or the dir is otherwise gone):
+            # as long as the job landed in deadletter/, the outcome we
+            # wanted holds and crashing the worker would help nobody.
+            if os.path.isdir(target) and not os.path.isdir(job.path):
+                return target
+            raise
+        return target
+
+    def deadletter_jobs(self) -> Dict[str, dict]:
+        """``{job_id: deadletter.json payload}`` for quarantined jobs."""
+        try:
+            names = sorted(os.listdir(self.deadletter_dir))
+        except OSError:
+            return {}
+        out: Dict[str, dict] = {}
+        for name in names:
+            if name.startswith("."):
+                continue
+            info_path = os.path.join(
+                self.deadletter_dir, name, "deadletter.json")
+            try:
+                with open(info_path, "r", encoding="utf-8") as fh:
+                    out[name] = json.load(fh)
+            except (OSError, ValueError):
+                out[name] = {}
+        return out
+
+    def requeue(self, job_id: str) -> bool:
+        """Move a dead-lettered job back into the spool with a fresh
+        retry budget (attempts, backoff stamp, lease, and terminal
+        error cleared; the journal moves aside like a resume)."""
+        if "/" in job_id or job_id.startswith("."):
+            return False
+        source = os.path.join(self.deadletter_dir, job_id)
+        if not os.path.isdir(source):
+            return False
+        for name in ("lease", "attempts.jsonl", "not_before",
+                     "faults.jsonl", "deadletter.json", "error.json"):
+            try:
+                os.unlink(os.path.join(source, name))
+            except OSError:
+                pass
+        journal = os.path.join(source, "journal.jsonl")
+        if os.path.exists(journal):
+            os.replace(journal, journal + ".prev")
+        os.replace(source, os.path.join(self.jobs_dir, job_id))
+        return True
+
+    def clean_staging(self, max_age: float = 300.0) -> int:
+        """Remove ``.staging-*`` directories whose submitter is dead
+        (or, failing pid parse, older than ``max_age``) — the debris a
+        submitter crash between staging and publish leaves behind."""
+        removed = 0
+        now = time.time()
+        try:
+            names = os.listdir(self.jobs_dir)
+        except OSError:
+            return 0
+        for name in names:
+            if not name.startswith(".staging-"):
+                continue
+            path = os.path.join(self.jobs_dir, name)
+            pid: Optional[int] = None
+            parts = name.split("-")
+            if len(parts) >= 2:
+                try:
+                    pid = int(parts[1])
+                except ValueError:
+                    pid = None
+            if pid is not None and _pid_alive(pid):
+                continue  # live submitter mid-publish
+            if pid is None:
+                try:
+                    if now - os.stat(path).st_mtime < max_age:
+                        continue
+                except OSError:
+                    continue
+            try:
+                for entry in os.listdir(path):
+                    os.unlink(os.path.join(path, entry))
+                os.rmdir(path)
+                removed += 1
+            except OSError:  # pragma: no cover - racing cleaner
+                pass
+        return removed
 
     # ------------------------------------------------------------------
     # completion
@@ -311,6 +660,9 @@ class JobQueue:
         """One job's state: ``{state, ...terminal payload}``."""
         job = self.get(job_id)
         if job is None:
+            if job_id in self.deadletter_jobs():
+                return {"state": DEADLETTERED,
+                        "deadletter": self.deadletter_jobs()[job_id]}
             return {"state": "unknown"}
         if os.path.exists(job.result_path):
             try:
@@ -326,9 +678,8 @@ class JobQueue:
             except (OSError, ValueError):
                 error = ""
             return {"state": FAILED, "error": error}
-        pid = self._lease_pid(job)
-        if pid is not None and _pid_alive(pid):
-            return {"state": RUNNING, "pid": pid}
+        if lease_live(self._lease_info(job)):
+            return {"state": RUNNING, "pid": self._lease_pid(job)}
         return {"state": QUEUED}
 
     def jobs(self) -> Dict[str, str]:

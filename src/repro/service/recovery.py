@@ -32,7 +32,7 @@ from typing import List, Optional
 
 from ..obs.journal import load_journal_tolerant
 from ..opt.replay import committed_prefix
-from .queue import Job, JobQueue, _pid_alive
+from .queue import Job, JobQueue, lease_live
 
 
 @dataclass
@@ -44,6 +44,7 @@ class RecoveryReport:
     fresh: List[str] = field(default_factory=list)
     leases_cleared: int = 0
     torn_records: int = 0
+    staging_cleared: int = 0
 
     @property
     def pending(self) -> List[str]:
@@ -79,6 +80,7 @@ def recover_queue(queue: JobQueue) -> RecoveryReport:
     durable files the workers publish atomically.
     """
     report = RecoveryReport()
+    report.staging_cleared = queue.clean_staging()
     for job_id in sorted(queue.jobs()):
         job = queue.get(job_id)
         if job is None:
@@ -86,9 +88,9 @@ def recover_queue(queue: JobQueue) -> RecoveryReport:
         if queue._terminal(job):
             report.terminal.append(job_id)
             continue
-        pid = queue._lease_pid(job)
-        if pid is not None:
-            if _pid_alive(pid):
+        info = queue._lease_info(job)
+        if info is not None:
+            if lease_live(info):
                 continue  # live claimant — not ours to touch
             try:
                 os.unlink(job.lease_path)

@@ -8,6 +8,8 @@ One request per connection, one JSON object per line::
     {"op": "stats"}                             -> {"ok": true, "stats": {...}}
     {"op": "drain", "timeout": 60}              -> {"ok": true, "drained": b}
     {"op": "compact"}                           -> {"ok": true, ...}
+    {"op": "deadletter"}                        -> {"ok": true, "deadletter": {...}}
+    {"op": "requeue", "job": "<id>"}            -> {"ok": true, "job": id}
     {"op": "ping"}                              -> {"ok": true}
 
 The daemon owns a :class:`~repro.service.worker.WorkerPool`; all durable
@@ -33,11 +35,13 @@ import time
 from typing import Dict, Optional
 
 from ..obs import (
-    MetricsRegistry, append_bench, bench_entry, validate_service_entry,
+    MetricsRegistry, append_bench, bench_entry, event_counts,
+    load_events, validate_service_entry,
 )
 from .queue import JobQueue, JobSpec, QueueError
 from .recovery import recover_queue
 from .store import ShardedVerdictStore
+from .supervisor import Supervisor
 from .worker import WorkerPool
 
 MAX_REQUEST_BYTES = 64 * 1024 * 1024  # netlists travel inline
@@ -140,17 +144,39 @@ def export_service(
 
 
 class _Handler(socketserver.StreamRequestHandler):
+    #: per-connection socket timeout — a client that connects and never
+    #: sends (or never finishes a line) cannot pin a handler thread
+    timeout = 30.0
+
     def handle(self) -> None:  # pragma: no cover - exercised via client
-        line = self.rfile.readline(MAX_REQUEST_BYTES)
+        try:
+            line = self.rfile.readline(MAX_REQUEST_BYTES)
+        except (TimeoutError, socket.timeout, OSError):
+            return  # slow-loris / dead peer: drop the connection
         if not line:
             return
         try:
             request = json.loads(line)
+        except ValueError:
+            self._reply({"ok": False,
+                         "error": "malformed JSON request"})
+            return
+        if not isinstance(request, dict):
+            self._reply({"ok": False,
+                         "error": "request must be a JSON object"})
+            return
+        try:
             response = self.server.service.dispatch(request)  # type: ignore[attr-defined]
         except Exception as exc:  # noqa: BLE001 - protocol boundary
             response = {"ok": False,
                         "error": f"{type(exc).__name__}: {exc}"}
-        self.wfile.write(json.dumps(response).encode() + b"\n")
+        self._reply(response)
+
+    def _reply(self, response: dict) -> None:
+        try:
+            self.wfile.write(json.dumps(response).encode() + b"\n")
+        except OSError:  # pragma: no cover - peer went away
+            pass
 
 
 class _Server(socketserver.ThreadingTCPServer):
@@ -167,6 +193,7 @@ class OptimizationService:
         host: str = "127.0.0.1",
         port: int = 0,
         workers: int = 2,
+        stall_timeout: float = 30.0,
     ):
         self.root = os.path.abspath(root)
         self.queue = JobQueue(self.root)
@@ -174,10 +201,14 @@ class OptimizationService:
         self.recovery = recover_queue(self.queue)
         self.pool = WorkerPool(self.root, store_path=self.store_path,
                                workers=workers)
+        self.supervisor = Supervisor(self.pool, self.queue,
+                                     stall_timeout=stall_timeout)
         self.started = time.monotonic()
         self._server = _Server((host, port), _Handler)
         self._server.service = self  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
+        self._watch_stop = threading.Event()
+        self._watch_thread: Optional[threading.Thread] = None
 
     @property
     def address(self):
@@ -185,9 +216,23 @@ class OptimizationService:
         return self._server.server_address
 
     # ------------------------------------------------------------------
+    def _start_watch(self) -> None:
+        self._watch_thread = threading.Thread(
+            target=self.supervisor.watch, args=(self._watch_stop,),
+            daemon=True)
+        self._watch_thread.start()
+
+    def _stop_watch(self) -> None:
+        self._watch_stop.set()
+        if self._watch_thread is not None:
+            self._watch_thread.join(5.0)
+            self._watch_thread = None
+
     def start(self) -> None:
-        """Start workers and serve requests on a background thread."""
+        """Start workers (supervised) and serve requests on a
+        background thread."""
         self.pool.start()
+        self._start_watch()
         self._thread = threading.Thread(
             target=self._server.serve_forever, daemon=True)
         self._thread.start()
@@ -195,9 +240,11 @@ class OptimizationService:
     def serve_forever(self) -> None:
         """Foreground mode (the CLI's ``serve`` command)."""
         self.pool.start()
+        self._start_watch()
         try:
             self._server.serve_forever()
         finally:
+            self._stop_watch()
             self.pool.stop()
 
     def close(self) -> None:
@@ -205,7 +252,9 @@ class OptimizationService:
         self._server.server_close()
         if self._thread is not None:
             self._thread.join(5.0)
+        self._stop_watch()
         self.pool.stop()
+        self.supervisor.events.close()
 
     # ------------------------------------------------------------------
     def dispatch(self, request: dict) -> dict:
@@ -231,8 +280,24 @@ class OptimizationService:
                 "resumable": len(self.recovery.resumable),
                 "leases_cleared": self.recovery.leases_cleared,
                 "torn_records": self.recovery.torn_records,
+                "staging_cleared": self.recovery.staging_cleared,
             }
+            stats["supervisor"] = self.supervisor.stats()
+            stats["deadletter"] = len(self.queue.deadletter_jobs())
+            events, dropped = load_events(
+                os.path.join(self.root, "events.jsonl"))
+            stats["events"] = event_counts(events)
+            stats["events_dropped"] = dropped
             return {"ok": True, "stats": stats}
+        if op == "deadletter":
+            return {"ok": True,
+                    "deadletter": self.queue.deadletter_jobs()}
+        if op == "requeue":
+            job_id = str(request.get("job", ""))
+            if self.queue.requeue(job_id):
+                return {"ok": True, "job": job_id}
+            return {"ok": False,
+                    "error": f"no dead-lettered job {job_id!r}"}
         if op == "drain":
             timeout = float(request.get("timeout", 60.0))
             deadline = time.monotonic() + timeout

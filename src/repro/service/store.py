@@ -41,11 +41,24 @@ import os
 import uuid
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
+from ..faults import fault, register_point
 from ..proof.backends import INVALID, VALID
 
 _HEX = "0123456789abcdef"
+
+#: fault points of the store's write path (DESIGN.md §11)
+FP_APPEND_TORN = register_point(
+    "store.append.torn",
+    "segment append writes only a partial line (torn write; the "
+    "writer believes it succeeded)")
+FP_APPEND_ERROR = register_point(
+    "store.append.error",
+    "segment append fails with OSError (full disk, dead mount)")
+FP_FSYNC_ERROR = register_point(
+    "store.fsync.error",
+    "shard fsync fails with OSError (write-back error)")
 
 
 class StoreError(RuntimeError):
@@ -112,7 +125,9 @@ class ShardedVerdictStore:
     """
 
     def __init__(self, root: str, prefix_len: int = 1,
-                 fsync_interval: int = 64):
+                 fsync_interval: int = 64,
+                 degrade_after: int = 4, probe_interval: int = 32,
+                 on_event: Optional[Callable[[str, dict], None]] = None):
         if not 1 <= prefix_len <= 4:
             raise StoreError(f"prefix_len {prefix_len} not in 1..4")
         self.root = root
@@ -126,6 +141,23 @@ class ShardedVerdictStore:
         self._unsynced: Dict[str, int] = {}        # shard -> appends
         self._views: Dict[str, _ShardView] = {}
         self.appends = 0
+        # --- degradation ladder (DESIGN.md §11) -----------------------
+        # After ``degrade_after`` *consecutive* write/fsync failures the
+        # store turns read-only: appends land in a local in-memory
+        # overlay (this process keeps its verdicts; nothing shared).
+        # Every ``probe_interval`` overlay appends a re-promotion is
+        # probed — on success the overlay is flushed to disk and the
+        # store is read-write again.
+        self.degrade_after = max(1, degrade_after)
+        self.probe_interval = max(1, probe_interval)
+        self.on_event = on_event
+        self.read_only = False
+        self._overlay: Dict[str, str] = {}
+        self._consecutive_failures = 0
+        self._since_probe = 0
+        self.write_errors = 0      # total failed writes/fsyncs
+        self.degradations = 0      # read-write -> read-only transitions
+        self.repromotions = 0      # read-only -> read-write transitions
 
     # ------------------------------------------------------------------
     # write side
@@ -137,21 +169,98 @@ class ShardedVerdictStore:
         shareable).  The line reaches the OS immediately via a single
         ``write(2)`` on an ``O_APPEND`` fd — atomic with respect to
         every other writer of the shard directory.
+
+        Never raises on I/O failure: a failed write keeps the verdict
+        in the local overlay (reads still see it) and returns False;
+        persistent failure degrades the store to read-only until a
+        probe write succeeds again.
         """
         if verdict not in (VALID, INVALID):
             return False
         shard = shard_of(key, self.prefix_len)
-        fd = self._shard_fd(shard)
+        # Keep our own view current regardless of disk outcome.
+        self._view(shard).entries.setdefault(key, verdict)
+        if self.read_only:
+            self._overlay.setdefault(key, verdict)
+            self._since_probe += 1
+            if self._since_probe >= self.probe_interval:
+                self._since_probe = 0
+                return self._try_repromote()
+            return False
+        if self._append_disk(shard, key, verdict):
+            self.appends += 1
+            self._consecutive_failures = 0
+            return True
+        self._write_failed(key, verdict)
+        return False
+
+    def _append_disk(self, shard: str, key: str, verdict: str) -> bool:
+        """One segment append; False (never an exception) on failure."""
         line = json.dumps({"k": key, "v": verdict}) + "\n"
-        os.write(fd, line.encode("utf-8"))
-        self.appends += 1
+        data = line.encode("utf-8")
+        try:
+            fd = self._shard_fd(shard)
+            if fault(FP_APPEND_TORN):
+                # Torn write: a prefix lands, no newline — readers and
+                # compaction drop it; the writer believes it succeeded.
+                os.write(fd, data[: max(1, len(data) // 2)])
+                return True
+            if fault(FP_APPEND_ERROR):
+                raise OSError("injected append failure")
+            os.write(fd, data)
+        except OSError:
+            return False
         self._unsynced[shard] = self._unsynced.get(shard, 0) + 1
         if self._unsynced[shard] >= self.fsync_interval:
+            self._fsync_shard(shard, fd)
+        return True
+
+    def _fsync_shard(self, shard: str, fd: int) -> None:
+        try:
+            if fault(FP_FSYNC_ERROR):
+                raise OSError("injected fsync failure")
             os.fsync(fd)
             self._unsynced[shard] = 0
-        # Keep our own view current without re-reading the file.
-        self._view(shard).entries.setdefault(key, verdict)
+        except OSError:
+            self._write_failed()
+
+    def _write_failed(self, key: Optional[str] = None,
+                      verdict: Optional[str] = None) -> None:
+        self.write_errors += 1
+        self._consecutive_failures += 1
+        if key is not None and verdict is not None:
+            self._overlay.setdefault(key, verdict)
+        if (not self.read_only
+                and self._consecutive_failures >= self.degrade_after):
+            self.read_only = True
+            self.degradations += 1
+            self._since_probe = 0
+            self._emit("store_degraded",
+                       consecutive_failures=self._consecutive_failures,
+                       overlay=len(self._overlay))
+
+    def _try_repromote(self) -> bool:
+        """Probe the write path; on success flush the overlay and leave
+        read-only mode.  Any failure keeps the store degraded."""
+        for key, verdict in list(self._overlay.items()):
+            shard = shard_of(key, self.prefix_len)
+            if not self._append_disk(shard, key, verdict):
+                self.write_errors += 1
+                return False
+            del self._overlay[key]
+            self.appends += 1
+        self.read_only = False
+        self._consecutive_failures = 0
+        self.repromotions += 1
+        self._emit("store_repromoted", flushed=self.appends)
         return True
+
+    def _emit(self, etype: str, **fields) -> None:
+        if self.on_event is not None:
+            try:
+                self.on_event(etype, fields)
+            except Exception:  # pragma: no cover - observer must not kill
+                pass
 
     def _shard_fd(self, shard: str) -> int:
         fd = self._write_fds.get(shard)
@@ -169,14 +278,17 @@ class ShardedVerdictStore:
 
     def flush(self) -> None:
         """fsync every shard fd with unsynced appends."""
-        for shard, fd in self._write_fds.items():
+        for shard, fd in list(self._write_fds.items()):
             if self._unsynced.get(shard):
-                os.fsync(fd)
-                self._unsynced[shard] = 0
+                self._fsync_shard(shard, fd)
 
     def seal(self) -> None:
         """Close this writer's segments and mark them compactable
-        (``.open.jsonl`` → ``.jsonl``)."""
+        (``.open.jsonl`` → ``.jsonl``).  A degraded store gets one
+        last re-promotion attempt so overlay verdicts are not lost if
+        the write path recovered."""
+        if self.read_only:
+            self._try_repromote()
         self.flush()
         for shard, fd in list(self._write_fds.items()):
             os.close(fd)
@@ -480,6 +592,16 @@ class ShardedProofCache:
         this one: store-served hits over store hits + real misses."""
         total = self.shared_hits + self.misses
         return self.shared_hits / total if total else 0.0
+
+    def health(self) -> Dict[str, object]:
+        """The store's degradation state, for job summaries/stats."""
+        return {
+            "read_only": self.store.read_only,
+            "write_errors": self.store.write_errors,
+            "degradations": self.store.degradations,
+            "repromotions": self.store.repromotions,
+            "overlay_entries": len(self.store._overlay),
+        }
 
     def flush(self) -> None:
         self.store.flush()

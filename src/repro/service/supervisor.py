@@ -1,0 +1,162 @@
+"""Self-healing supervision for the worker pool (DESIGN.md §11).
+
+The :class:`Supervisor` closes the service's last liveness gaps — the
+failures the spool's durability cannot fix on its own because nobody is
+left alive to re-claim the work:
+
+* **crashed workers** (SIGKILL, OOM, injected ``worker.job.crash``):
+  every :meth:`check` respawns dead pool members; the replacement
+  re-claims the stale lease and resumes from the journal;
+* **hung workers** (injected ``worker.job.hang``, a wedged solver): a
+  worker holding a live lease whose job shows no progress — no journal
+  append, no lease renewal, no heartbeat — for ``stall_timeout``
+  seconds is watchdog-killed, which turns the hang into the crash case
+  above.  Progress is read from file mtimes: the run journal is written
+  every trial, so a healthy job cannot look stalled.
+
+Everything the supervisor does is journaled to the service
+:class:`~repro.obs.journal.EventLog` (``events.jsonl`` in the spool
+root) and surfaced by the daemon's ``stats`` op.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Optional
+
+from ..obs.journal import EventLog
+from .queue import JobQueue, lease_live
+from .worker import WorkerPool, read_heartbeats
+
+#: job states that still need a worker (see ``queue`` status model)
+_PENDING = ("queued", "running")
+
+
+class Supervisor:
+    """Watchdog over one :class:`WorkerPool` and its spool."""
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        queue: JobQueue,
+        stall_timeout: float = 30.0,
+        poll_interval: float = 0.25,
+        events: Optional[EventLog] = None,
+    ):
+        self.pool = pool
+        self.queue = queue
+        self.stall_timeout = stall_timeout
+        self.poll_interval = poll_interval
+        self.watchdog_kills = 0
+        self._own_events = events is None
+        self.events = events or EventLog(
+            os.path.join(queue.root, "events.jsonl"))
+
+    # ------------------------------------------------------------------
+    def check(self) -> Dict[str, int]:
+        """One supervision tick: kill stalled workers, respawn dead
+        ones.  Order matters — a watchdog kill this tick is respawned
+        this same tick."""
+        killed = self._kill_stalled()
+        respawned = self.pool.respawn()
+        if respawned:
+            self.events.emit("worker_respawned", count=respawned)
+        return {"killed": killed, "respawned": respawned}
+
+    def _kill_stalled(self) -> int:
+        killed = 0
+        now = time.time()
+        pool_pids = set(self.pool.pids())
+        beats = read_heartbeats(self.queue.root)
+        for job_id in self.queue._job_ids():
+            job = self.queue.get(job_id)
+            if job is None or self.queue._terminal(job):
+                continue
+            info = self.queue._lease_info(job)
+            if not lease_live(info):
+                continue  # unclaimed or already-stale: claim fixes it
+            pid = info.get("pid")
+            if pid not in pool_pids:
+                continue  # someone else's worker — not ours to kill
+            idle = now - self._last_progress(job, beats.get(pid))
+            if idle <= self.stall_timeout:
+                continue
+            if self.pool.kill_worker(pid):
+                killed += 1
+                self.watchdog_kills += 1
+                self.events.emit("worker_watchdog_kill", pid=pid,
+                                 job=job.job_id,
+                                 idle=round(idle, 2))
+        return killed
+
+    @staticmethod
+    def _last_progress(job, beat: Optional[dict]) -> float:
+        """The newest progress stamp a job's claimant left anywhere:
+        journal append (per trial), lease create/renew, heartbeat."""
+        stamps: List[float] = []
+        for path in (job.journal_path, job.lease_path):
+            try:
+                stamps.append(os.stat(path).st_mtime)
+            except OSError:
+                pass
+        if beat is not None and isinstance(beat.get("t"), (int, float)):
+            stamps.append(beat["t"])
+        return max(stamps) if stamps else 0.0
+
+    # ------------------------------------------------------------------
+    def _pending(self) -> int:
+        return sum(1 for state in self.queue.jobs().values()
+                   if state in _PENDING)
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Run the pool in drain mode under supervision until the
+        spool is dry (every job terminal or dead-lettered); ``True``
+        when it drained, ``False`` on timeout.
+
+        Unlike a bare :meth:`WorkerPool.join`, this survives every
+        worker dying at once: as long as pending jobs remain, dead
+        members are respawned."""
+        self.pool.start(drain=True)
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        try:
+            while True:
+                pending = self._pending()
+                if pending == 0 and self.pool.alive == 0:
+                    return True
+                if deadline is not None and \
+                        time.monotonic() > deadline:
+                    self.events.emit("drain_timeout", pending=pending)
+                    return False
+                if self.queue.depth():
+                    # Claimable work exists (queued, deferred, or a
+                    # crashed claimant's stale lease): keep the pool
+                    # at strength.
+                    self.check()
+                else:
+                    # Every pending job is running on a live claimant;
+                    # drain-mode workers exit on an empty queue, and
+                    # respawning them here would just churn fork/exit
+                    # until the stragglers finish.  Watch for hangs —
+                    # a watchdog kill turns the job back into depth.
+                    self._kill_stalled()
+                time.sleep(self.poll_interval)
+        finally:
+            self.pool.stop()
+            if self._own_events:
+                self.events.close()
+
+    def watch(self, stop, interval: Optional[float] = None) -> None:
+        """Daemon mode: tick :meth:`check` until ``stop`` is set (a
+        ``threading.Event``)."""
+        interval = self.poll_interval if interval is None else interval
+        while not stop.wait(interval):
+            self.check()
+
+    def stats(self) -> dict:
+        return {
+            "watchdog_kills": self.watchdog_kills,
+            "respawns": self.pool.respawns,
+            "workers_alive": self.pool.alive,
+        }

@@ -5,11 +5,23 @@
 attach the shared verdict store and the per-job run journal, resume
 from the journal when one survives a crash, optimize, publish.
 
+Failure semantics (DESIGN.md §11): failures split **permanent** vs
+**transient**.  A netlist that will never parse fails the job
+immediately; everything else (I/O errors, injected faults, backend
+breakage) spends one unit of the job's retry budget
+(:class:`RetryPolicy`) and is re-queued with exponential backoff and
+seeded jitter.  A job that exhausts the budget — or keeps crashing its
+worker before reaching a terminal state, which the durable ``start``
+ledger in ``attempts.jsonl`` counts — is quarantined to the dead-letter
+directory instead of looping forever.
+
 :class:`WorkerPool` fans that loop over ``multiprocessing`` worker
 processes.  Workers share nothing in memory — the job spool and the
 sharded store are the only coordination — so a SIGKILL'd worker leaves
 at most one stale lease and one torn journal line, both of which
-recovery handles.
+recovery handles.  Each worker maintains a heartbeat file under
+``<root>/workers/`` for the supervisor's liveness view, and the pool
+can :meth:`~WorkerPool.respawn` members the supervisor found dead.
 """
 
 from __future__ import annotations
@@ -18,24 +30,66 @@ import hashlib
 import json
 import multiprocessing
 import os
+import random
+import signal
 import time
 import traceback
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from ..io import parse_netlist, write_blif
+from ..faults import (
+    FaultPlan, FaultPlane, fault_arg, install_plane, register_point,
+)
+from ..io import PARSE_ERRORS, parse_netlist, write_blif
 from ..library import mcnc_like, unit_delay_library
 from ..netlist.edit import structural_signature
 from ..obs import ObsConfig
+from ..obs.journal import EventLog
 from ..opt.config import GdoConfig
 from ..opt.gdo import gdo_optimize
 from ..opt.replay import ReplayDivergence
-from .queue import Job, JobQueue
-from .recovery import prepare_resume
+from .queue import Job, JobQueue, QueueError
+
+#: fault points of the worker itself (DESIGN.md §11)
+FP_JOB_CRASH = register_point(
+    "worker.job.crash",
+    "SIGKILL the worker process mid-job (after claim, before publish)")
+FP_JOB_HANG = register_point(
+    "worker.job.hang",
+    "worker stalls mid-job for `arg` seconds (supervisor watchdog bait)")
 
 _LIBRARIES = {
     "mcnc_like": mcnc_like,
     "unit": unit_delay_library,
 }
+
+#: exceptions that mean the job itself is bad and a retry cannot help
+PERMANENT_ERRORS = PARSE_ERRORS + (QueueError,)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-job retry budget with exponential backoff and seeded jitter.
+
+    ``max_attempts`` bounds *both* ledgers: transient errors
+    (``attempts.jsonl`` ``error`` events) and worker crashes (``start``
+    events — a job seen starting more than ``max_attempts`` times
+    without ever reaching a terminal state is a worker-killer).  Jitter
+    is seeded from the job id, so two chaos runs defer identically.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 5.0
+    jitter: float = 0.25
+
+    def delay(self, attempt: int, seed_key: str = "") -> float:
+        base = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** max(0, attempt - 1))
+        rng = random.Random(f"retry:{seed_key}:{attempt}")
+        return base * (1.0 + self.jitter * rng.random())
 
 
 def signature_digest(net) -> str:
@@ -52,29 +106,76 @@ def _job_config(job: Job, store_path: Optional[str]) -> GdoConfig:
     return cfg
 
 
+def _emit(events: Optional[EventLog], etype: str, **fields) -> None:
+    if events is not None:
+        events.emit(etype, **fields)
+
+
 def run_job(
     queue: JobQueue,
     job: Job,
     store_path: Optional[str] = None,
+    policy: Optional[RetryPolicy] = None,
+    events: Optional[EventLog] = None,
 ) -> dict:
-    """Run one claimed job to a terminal state; returns the published
-    result (or error) payload.
+    """Advance one claimed job; returns what happened.
+
+    Outcomes: ``done`` (result published), ``failed`` (permanent —
+    the input can never succeed), ``retry`` (transient — lease
+    released, job deferred by backoff), ``deadlettered`` (budget
+    spent, job quarantined).
 
     The broker is built here rather than inside ``gdo_optimize`` so the
     shared-store hit counters can be read back after the run — they are
     the service's cross-client cache economics.
     """
+    policy = policy or RetryPolicy()
+    starts = queue.record_attempt(job, "start")
+    if starts > policy.max_attempts:
+        # The job has started more times than the budget allows yet
+        # never reached a terminal state: it kills its workers.
+        path = queue.quarantine(
+            job, f"crash loop: {starts} starts without a terminal state")
+        _emit(events, "job_quarantined", job=job.job_id,
+              reason="crash_loop", starts=starts)
+        return {"state": "deadlettered", "path": path}
     try:
         result = _run_job_inner(job, store_path)
-    except Exception as exc:  # noqa: BLE001 - jobs must not kill workers
-        queue.fail(job, f"{type(exc).__name__}: {exc}\n"
-                        f"{traceback.format_exc(limit=8)}")
+    except PERMANENT_ERRORS as exc:
+        queue.fail(job, f"{type(exc).__name__}: {exc}")
+        _emit(events, "job_failed", job=job.job_id, error=str(exc)[:200])
         return {"state": "failed", "error": str(exc)}
+    except Exception as exc:  # noqa: BLE001 - jobs must not kill workers
+        detail = (f"{type(exc).__name__}: {exc}\n"
+                  f"{traceback.format_exc(limit=8)}")
+        errors = queue.record_attempt(job, "error", error=detail)
+        if errors >= policy.max_attempts:
+            path = queue.quarantine(
+                job, f"retry budget spent ({errors} transient "
+                     f"errors); last: {type(exc).__name__}: {exc}")
+            _emit(events, "job_quarantined", job=job.job_id,
+                  reason="retry_budget", errors=errors)
+            return {"state": "deadlettered", "path": path,
+                    "error": str(exc)}
+        delay = policy.delay(errors, seed_key=job.job_id)
+        queue.defer(job, delay)
+        _emit(events, "job_retry", job=job.job_id, attempt=errors,
+              delay=round(delay, 4), error=str(exc)[:200])
+        return {"state": "retry", "attempt": errors, "delay": delay}
     queue.complete(job, result["summary"], netlist_blif=result["blif"])
+    _emit(events, "job_done", job=job.job_id,
+          mods=result["summary"]["mods"])
     return {"state": "done", "result": result["summary"]}
 
 
 def _run_job_inner(job: Job, store_path: Optional[str]) -> dict:
+    from .recovery import prepare_resume
+
+    if fault_arg(FP_JOB_CRASH) is not None:
+        os.kill(os.getpid(), signal.SIGKILL)
+    hang = fault_arg(FP_JOB_HANG)
+    if hang is not None:
+        time.sleep(hang)
     spec = job.spec
     library = _LIBRARIES[spec.library]()
     net = parse_netlist(spec.netlist, spec.fmt, library=library,
@@ -93,6 +194,7 @@ def _run_job_inner(job: Job, store_path: Optional[str]) -> dict:
             prepare_resume(job)
             result = gdo_optimize(net, library, cfg, broker=broker)
         store_counters = _store_counters(broker)
+        pool_breaks = getattr(broker, "pool_breaks", 0)
     finally:
         if broker is not None:
             broker.close()
@@ -114,6 +216,7 @@ def _run_job_inner(job: Job, store_path: Optional[str]) -> dict:
             "dispatched": s.proof.dispatched,
         },
         "store": store_counters,
+        "pool_breaks": pool_breaks,
         "worker_pid": os.getpid(),
     }
     return {"summary": summary, "blif": write_blif(result.net)}
@@ -124,33 +227,143 @@ def _store_counters(broker) -> Dict[str, float]:
     if cache is None or not hasattr(cache, "shared_hits"):
         return {"shared_hits": 0, "local_hits": 0, "misses": 0,
                 "shared_hit_rate": 0.0}
-    return {
+    counters = {
         "shared_hits": cache.shared_hits,
         "local_hits": cache.local_hits,
         "misses": cache.misses,
         "shared_hit_rate": cache.shared_hit_rate,
     }
+    if hasattr(cache, "health"):
+        counters["health"] = cache.health()
+    return counters
 
 
 # ----------------------------------------------------------------------
 # pool
 # ----------------------------------------------------------------------
+def heartbeat_dir(root: str) -> str:
+    return os.path.join(os.path.abspath(root), "workers")
+
+
+def _beat(root: str, job_id: Optional[str]) -> None:
+    """Refresh this worker's heartbeat file (atomic replace — readers
+    never see a torn beat)."""
+    directory = heartbeat_dir(root)
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{os.getpid()}.json")
+    tmp = path + ".tmp"
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump({"pid": os.getpid(), "t": time.time(),
+                       "job": job_id}, fh)
+        os.replace(tmp, path)
+    except OSError:  # pragma: no cover - heartbeats are best-effort
+        pass
+
+
+def read_heartbeats(root: str) -> Dict[int, dict]:
+    """``{pid: beat}`` for every worker heartbeat under ``root``."""
+    out: Dict[int, dict] = {}
+    try:
+        names = os.listdir(heartbeat_dir(root))
+    except OSError:
+        return out
+    for name in names:
+        if not name.endswith(".json"):
+            continue
+        try:
+            with open(os.path.join(heartbeat_dir(root), name), "r",
+                      encoding="utf-8") as fh:
+                beat = json.load(fh)
+            out[int(beat["pid"])] = beat
+        except (OSError, ValueError, KeyError, TypeError):
+            continue
+    return out
+
+
+def _fault_sink(job: Job):
+    """Activation callback appending to the job's ``faults.jsonl`` —
+    the durable record the chaos soak replay-verifies."""
+    def sink(activation: dict) -> None:
+        line = json.dumps(activation, sort_keys=True) + "\n"
+        fd = os.open(job.faults_path,
+                     os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644)
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+    return sink
+
+
+def _prior_fires(job: Job) -> dict:
+    """Per-point lifetime fire counts recorded by earlier attempts.
+
+    Activations are written durably *before* their fault takes effect
+    (a crash fault appends, then SIGKILLs), so a retrying worker can
+    preload these counts into its plane — ``max_fires`` then caps the
+    job's lifetime fires, and a once-only crash fault stays once-only
+    across retries."""
+    counts: dict = {}
+    try:
+        with open(job.faults_path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                try:
+                    rec = json.loads(line)
+                except ValueError:
+                    continue  # torn tail of a killed writer
+                point, fire = rec.get("point"), rec.get("fire")
+                if isinstance(point, str) and isinstance(fire, int):
+                    counts[point] = max(counts.get(point, 0), fire)
+    except OSError:
+        pass
+    return counts
+
+
 def _worker_loop(
     root: str,
     store_path: Optional[str],
     stop: multiprocessing.Event,  # type: ignore[valid-type]
     poll_interval: float,
     drain: bool,
+    lease_ttl: Optional[float] = None,
+    max_attempts: int = 3,
 ) -> None:
     queue = JobQueue(root)
-    while not stop.is_set():
-        job = queue.claim()
-        if job is None:
-            if drain:
-                return
-            stop.wait(poll_interval)
-            continue
-        run_job(queue, job, store_path=store_path)
+    plan = FaultPlan.from_env()
+    policy = RetryPolicy(max_attempts=max_attempts)
+    events = EventLog(os.path.join(queue.root, "events.jsonl"))
+    try:
+        while not stop.is_set():
+            _beat(root, None)
+            job = queue.claim(lease_ttl=lease_ttl)
+            if job is None:
+                if drain:
+                    if queue.depth() == 0:
+                        return
+                    # Deferred (backing-off) jobs still pending: the
+                    # spool is not dry, just not due yet.
+                    stop.wait(min(poll_interval, 0.05))
+                    continue
+                stop.wait(poll_interval)
+                continue
+            _beat(root, job.job_id)
+            if plan is not None:
+                # Per-job scope: the job's fault schedule depends only
+                # on (seed, job name), never on worker interleaving.
+                plane = FaultPlane(plan.scoped(job.spec.name),
+                                   on_fire=_fault_sink(job),
+                                   preload_fires=_prior_fires(job))
+                install_plane(plane)
+                try:
+                    run_job(queue, job, store_path=store_path,
+                            policy=policy, events=events)
+                finally:
+                    install_plane(None)
+            else:
+                run_job(queue, job, store_path=store_path,
+                        policy=policy, events=events)
+    finally:
+        events.close()
 
 
 class WorkerPool:
@@ -162,14 +375,31 @@ class WorkerPool:
         store_path: Optional[str] = None,
         workers: int = 2,
         poll_interval: float = 0.1,
+        lease_ttl: Optional[float] = None,
+        max_attempts: int = 3,
     ):
         self.root = root
         self.store_path = store_path
         self.workers = max(1, workers)
         self.poll_interval = poll_interval
+        self.lease_ttl = lease_ttl
+        self.max_attempts = max_attempts
+        self.respawns = 0
+        self._drain = False
         self._procs: List[multiprocessing.Process] = []
         self._ctx = multiprocessing.get_context("fork")
         self._stop = self._ctx.Event()
+
+    def _spawn(self) -> multiprocessing.Process:
+        proc = self._ctx.Process(
+            target=_worker_loop,
+            args=(self.root, self.store_path, self._stop,
+                  self.poll_interval, self._drain, self.lease_ttl,
+                  self.max_attempts),
+            daemon=True,
+        )
+        proc.start()
+        return proc
 
     def start(self, drain: bool = False) -> None:
         """Launch the workers.  With ``drain`` each worker exits when
@@ -177,15 +407,36 @@ class WorkerPool:
         until :meth:`stop`."""
         if self._procs:
             raise RuntimeError("pool already started")
+        self._drain = drain
         for _ in range(self.workers):
-            proc = self._ctx.Process(
-                target=_worker_loop,
-                args=(self.root, self.store_path, self._stop,
-                      self.poll_interval, drain),
-                daemon=True,
-            )
-            proc.start()
-            self._procs.append(proc)
+            self._procs.append(self._spawn())
+
+    def respawn(self) -> int:
+        """Replace dead workers (crashed or watchdog-killed); returns
+        how many were restarted.  The supervisor's restart primitive —
+        a no-op while everyone is alive."""
+        if self._stop.is_set():
+            return 0
+        restarted = 0
+        for i, proc in enumerate(self._procs):
+            if not proc.is_alive():
+                proc.join(0.1)
+                self._procs[i] = self._spawn()
+                restarted += 1
+        self.respawns += restarted
+        return restarted
+
+    def pids(self) -> List[int]:
+        return [p.pid for p in self._procs if p.pid is not None]
+
+    def kill_worker(self, pid: int) -> bool:
+        """SIGKILL one member (watchdog action on a hung worker)."""
+        for proc in self._procs:
+            if proc.pid == pid and proc.is_alive():
+                proc.kill()
+                proc.join(1.0)
+                return True
+        return False
 
     def join(self, timeout: Optional[float] = None) -> bool:
         """Wait for every worker; ``True`` when all have exited."""
@@ -216,12 +467,34 @@ def drain_queue(
     root: str,
     store_path: Optional[str] = None,
     workers: int = 2,
+    max_attempts: int = 3,
+    supervise: bool = False,
+    stall_timeout: float = 30.0,
+    timeout: Optional[float] = None,
 ) -> int:
     """Batch mode: run workers until the spool is empty; returns the
-    number of jobs in a terminal state afterwards."""
-    pool = WorkerPool(root, store_path=store_path, workers=workers)
-    pool.start(drain=True)
-    pool.join()
+    number of jobs in a terminal state afterwards.
+
+    With ``supervise`` a :class:`~repro.service.supervisor.Supervisor`
+    watches the drain: crashed workers are respawned (so injected
+    worker crashes cannot strand the queue) and hung workers are
+    watchdog-killed after ``stall_timeout``.
+    """
+    pool = WorkerPool(root, store_path=store_path, workers=workers,
+                      max_attempts=max_attempts)
+    if not supervise:
+        pool.start(drain=True)
+        pool.join(timeout)
+        queue = JobQueue(root)
+        return sum(
+            1 for state in queue.jobs().values()
+            if state in ("done", "failed")
+        )
+    from .supervisor import Supervisor
+
+    supervisor = Supervisor(pool, JobQueue(root),
+                            stall_timeout=stall_timeout)
+    supervisor.drain(timeout=timeout)
     queue = JobQueue(root)
     return sum(
         1 for state in queue.jobs().values()

@@ -1,0 +1,241 @@
+"""The deterministic fault plane (DESIGN.md §11).
+
+Contracts:
+
+* activation sequences are pure functions of ``(seed, scope, point)``
+  — same plan, same firings, regardless of what other points do;
+* :meth:`FaultPlane.schedule` replays exactly what :func:`fault`
+  decided live (the chaos soak's verification primitive);
+* plans round-trip through JSON and the environment;
+* the disabled fast path costs <2% of a GDO-scale event volume
+  (computed, not raced — same idiom as the obs overhead guard).
+"""
+
+import time
+
+import pytest
+
+from repro.faults import (
+    FaultPlan, FaultPlanError, FaultPlane, FaultSpec, PLAN_ENV, active,
+    active_plane, catalog, fault, fault_arg, install_plane,
+)
+
+
+def _plan(seed=7, scope="", **kw):
+    return FaultPlan(seed=seed, scope=scope,
+                     specs=(FaultSpec(pattern="p.x", **kw),))
+
+
+# ----------------------------------------------------------------------
+# specs and plans
+# ----------------------------------------------------------------------
+def test_spec_needs_exactly_one_trigger():
+    with pytest.raises(FaultPlanError):
+        FaultSpec(pattern="a").validate()          # neither
+    with pytest.raises(FaultPlanError):
+        FaultSpec(pattern="a", prob=0.5, every=2).validate()  # both
+    with pytest.raises(FaultPlanError):
+        FaultSpec(pattern="a", prob=1.5).validate()
+    with pytest.raises(FaultPlanError):
+        FaultSpec(pattern="", prob=0.5).validate()
+    FaultSpec(pattern="a", prob=0.5).validate()
+    FaultSpec(pattern="a", every=3, after=2, max_fires=1).validate()
+
+
+def test_plan_json_round_trip():
+    plan = FaultPlan(seed=42, scope="jobX", specs=(
+        FaultSpec(pattern="store.*", prob=0.25, max_fires=3, arg=1.5),
+        FaultSpec(pattern="queue.lease.race", every=5, after=2),
+    ))
+    again = FaultPlan.from_json(plan.to_json())
+    assert again == plan
+
+
+def test_plan_env_round_trip():
+    plan = _plan(prob=0.5)
+    env = {}
+    plan.to_env(env)
+    assert PLAN_ENV in env
+    assert FaultPlan.from_env(env) == plan
+    assert FaultPlan.from_env({}) is None
+    assert FaultPlan.from_env({PLAN_ENV: "not json"}) is None
+
+
+def test_bad_plan_json_raises():
+    with pytest.raises(FaultPlanError):
+        FaultPlan.from_json({"specs": [{"pattern": "a", "prob": 2.0}]})
+    with pytest.raises(FaultPlanError):
+        FaultPlan.from_json("nope")
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+def test_every_schedule_is_counter_exact():
+    plane = FaultPlane(_plan(every=3, after=1))
+    fired = [n for n in range(1, 13) if plane.fire("p.x")]
+    # fires at evaluations n > after with (n - after) % every == 0
+    assert fired == [4, 7, 10]
+
+
+def test_prob_schedule_reproducible_across_planes():
+    a = FaultPlane(_plan(prob=0.3))
+    b = FaultPlane(_plan(prob=0.3))
+    decisions_a = [a.fire("p.x") for _ in range(200)]
+    decisions_b = [b.fire("p.x") for _ in range(200)]
+    assert decisions_a == decisions_b
+    assert any(decisions_a) and not all(decisions_a)
+
+
+def test_streams_are_independent_per_point():
+    plan = FaultPlan(seed=1, specs=(
+        FaultSpec(pattern="p.*", prob=0.3),))
+    lone = FaultPlane(plan)
+    lone_x = [lone.fire("p.x") for _ in range(100)]
+    mixed = FaultPlane(plan)
+    mixed_x = []
+    for _ in range(100):
+        mixed.fire("p.y")          # interleave another point
+        mixed_x.append(mixed.fire("p.x"))
+    assert mixed_x == lone_x
+
+
+def test_scope_changes_the_schedule():
+    base = _plan(prob=0.3)
+    a = FaultPlane(base.scoped("job-a"))
+    b = FaultPlane(base.scoped("job-b"))
+    da = [a.fire("p.x") for _ in range(200)]
+    db = [b.fire("p.x") for _ in range(200)]
+    assert da != db  # astronomically unlikely to collide
+    again = FaultPlane(base.scoped("job-a"))
+    assert [again.fire("p.x") for _ in range(200)] == da
+
+
+def test_schedule_replays_live_decisions():
+    for kw in ({"prob": 0.4, "max_fires": 5},
+               {"every": 4, "after": 3, "max_fires": 2}):
+        plane = FaultPlane(_plan(**kw))
+        live = [n for n in range(1, 101) if plane.fire("p.x")]
+        replay = FaultPlane(_plan(**kw))
+        assert replay.schedule("p.x", 100) == [n for n in live]
+        # replay is side-effect-free: live firing still matches after
+        assert replay.schedule("p.x", 100) == live
+
+
+def test_max_fires_caps_activations():
+    plane = FaultPlane(_plan(every=2, max_fires=3))
+    fires = sum(plane.fire("p.x") for _ in range(100))
+    assert fires == 3
+
+
+def test_after_offset_burns_draws_for_alignment():
+    """A prob spec with after=N decides evals >N with the same draws
+    replay uses — the offset must not desynchronize the stream."""
+    plane = FaultPlane(_plan(prob=0.5, after=10))
+    live = [n for n in range(1, 61) if plane.fire("p.x")]
+    assert live and min(live) > 10
+    assert FaultPlane(_plan(prob=0.5, after=10)).schedule("p.x", 60) \
+        == live
+
+
+def test_activations_and_counters_and_callback():
+    seen = []
+    plane = FaultPlane(_plan(every=2), on_fire=seen.append)
+    for _ in range(6):
+        plane.fire("p.x")
+    plane.fire("p.unmatched-not-in-plan")
+    assert [a["eval"] for a in plane.activations] == [2, 4, 6]
+    assert seen == plane.activations
+    assert plane.counters() == {"p.x": {"evals": 6, "fires": 3}}
+
+
+def test_preload_fires_caps_lifetime_not_per_plane():
+    """A retrying worker preloads recorded fires so max_fires bounds
+    the job's lifetime activations across attempts."""
+    first = FaultPlane(_plan(every=1, max_fires=1))
+    assert first.fire("p.x") is True
+    retry = FaultPlane(_plan(every=1, max_fires=1),
+                       preload_fires={"p.x": 1})
+    assert not any(retry.fire("p.x") for _ in range(10))
+    assert retry.counters()["p.x"] == {"evals": 10, "fires": 1}
+
+
+def test_fire_arg_returns_spec_arg():
+    plane = FaultPlane(_plan(every=2, arg=7.5))
+    assert plane.fire_arg("p.x") is None     # eval 1
+    assert plane.fire_arg("p.x") == 7.5      # eval 2 fires
+
+
+# ----------------------------------------------------------------------
+# module-level installation
+# ----------------------------------------------------------------------
+def test_fault_without_plane_is_inert():
+    assert active_plane() is None
+    assert fault("anything.at.all") is False
+    assert fault_arg("anything.at.all") is None
+
+
+def test_active_context_installs_and_restores():
+    with active(_plan(every=1)) as plane:
+        assert active_plane() is plane
+        assert fault("p.x") is True
+        assert fault("unmatched.point") is False
+    assert active_plane() is None
+
+
+def test_install_plane_returns_previous():
+    first = FaultPlane(_plan(every=1))
+    assert install_plane(first) is None
+    try:
+        second = FaultPlane(_plan(every=1))
+        assert install_plane(second) is first
+    finally:
+        install_plane(None)
+
+
+def test_catalog_contains_registered_stack_points():
+    import repro.io  # noqa: F401 - registration side effects
+    import repro.proof.backends  # noqa: F401
+    import repro.service.queue  # noqa: F401
+    import repro.service.store  # noqa: F401
+    import repro.service.worker  # noqa: F401
+
+    points = catalog()
+    for expected in (
+        "journal.record.crash",
+        "io.parse.truncated",
+        "proof.backend.timeout", "proof.backend.flaky",
+        "proof.backend.slow", "proof.pool.break",
+        "queue.lease.race", "queue.submit.torn",
+        "store.append.torn", "store.append.error", "store.fsync.error",
+        "worker.job.crash", "worker.job.hang",
+    ):
+        assert expected in points, expected
+        assert points[expected]  # has a description
+
+
+# ----------------------------------------------------------------------
+# overhead
+# ----------------------------------------------------------------------
+def test_disabled_fault_overhead_under_two_percent():
+    """Acceptance: the disabled plane costs <2% on fault-point-dense
+    paths.  Computed, not raced (the obs-guard idiom): measure the
+    per-call cost of a no-plane `fault()` and bound the cost of a
+    GDO-scale event volume against a conservative run wall."""
+    assert active_plane() is None
+    reps = 200_000
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        fault("store.append.torn")
+    per_call = (time.perf_counter() - t0) / reps
+
+    # A c17 service job (~0.03s wall, the densest case per event) sees
+    # well under 2000 fault-point evaluations: store appends + fsyncs,
+    # a handful of queue/journal/backend points per proof.
+    events, wall = 2000, 0.03
+    overhead = per_call * events
+    assert overhead <= 0.02 * wall, (
+        f"disabled fault() would cost {1e3 * overhead:.3f}ms of a "
+        f"{1e3 * wall:.0f}ms job ({100 * overhead / wall:.2f}% > 2%): "
+        f"{1e9 * per_call:.0f}ns per call"
+    )
