@@ -1,0 +1,187 @@
+"""Partitioned parallel GDO end-to-end speedup (DESIGN.md §12).
+
+Times one full GDO run per side on the same netlist and config:
+
+* serial — ``gdo_optimize`` with ``partition_workers=0``, the ordinary
+  single-process engine;
+* partitioned — ``partition_workers=4`` over 8 dominator-cone regions,
+  region-local runs in forked workers, canonical conflict-checked
+  merge.
+
+The C5315 row asserts the >=3x end-to-end floor promised in ISSUE/
+DESIGN.md §12; C7552 records the larger-circuit row.  Results append
+to ``BENCH_partition.json``.
+
+CI smoke mode (reduced C5315, workers=1 vs workers=2, asserts the
+serial-equivalence signature and journal instead of the speedup —
+shared runners make timing floors flaky but determinism is exact)::
+
+    PYTHONPATH=src python benchmarks/bench_partition.py --smoke --out DIR
+"""
+
+import time
+from pathlib import Path
+
+from repro.circuits.registry import build
+from repro.library import mcnc_like
+from repro.netlist.edit import structural_signature
+from repro.obs import (
+    ObsConfig, append_bench, bench_entry, git_sha, load_journal,
+    strip_volatile, validate_journal,
+)
+from repro.opt import GdoConfig, gdo_optimize
+
+_BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_partition.json"
+
+#: C5315 floor asserted here and recorded in BENCH_partition.json
+REQUIRED_SPEEDUP = 3.0
+
+WORKERS = 4
+
+
+def _cfg(workers, **kw):
+    base = dict(
+        n_words=8, verify_words=16, verify_final=False,
+        max_rounds=2, max_passes_per_phase=6,
+        max_trials_per_pass=128, max_proofs_per_pass=48,
+        partition_workers=workers, partition_regions=8,
+        partition_max_rounds=2, partition_min_gates=64,
+    )
+    base.update(kw)
+    return GdoConfig(**base)
+
+
+def _run(circuit, lib, workers, small=False, **kw):
+    net = build(circuit, small=small)
+    lib.rebind(net)
+    t0 = time.perf_counter()
+    result = gdo_optimize(net, lib, _cfg(workers, **kw))
+    return time.perf_counter() - t0, result
+
+
+def measure(circuit, lib):
+    """Serial vs workers=4 partitioned wall clock, one run each (both
+    sides are deterministic; the serial side dominates the budget)."""
+    t_serial, r_serial = _run(circuit, lib, 0)
+    t_part, r_part = _run(circuit, lib, WORKERS)
+    s = r_part.stats
+    return {
+        "gates": r_serial.stats.gates_before,
+        "workers": WORKERS,
+        "regions": s.partition_regions,
+        "conflicts": s.partition_conflicts,
+        "serial_seconds": round(t_serial, 4),
+        "partition_seconds": round(t_part, 4),
+        "speedup": round(t_serial / t_part, 3),
+        "serial_mods": len(r_serial.stats.history),
+        "partition_mods": len(s.history),
+        "serial_delay": round(r_serial.stats.delay_after, 4),
+        "partition_delay": round(s.delay_after, 4),
+    }
+
+
+def _record(circuit, row):
+    append_bench(
+        str(_BENCH_PATH),
+        bench_entry(key=git_sha(), circuit=circuit, **row),
+        key_fields=("key", "circuit"),
+    )
+
+
+def _table(results):
+    lines = ["circuit  gates  regions  conflicts  serial[s]  part4[s]"
+             "  speedup"]
+    for circuit, row in results:
+        lines.append(
+            f"{circuit:7} {row['gates']:6d} {row['regions']:8d} "
+            f"{row['conflicts']:10d} {row['serial_seconds']:10.2f} "
+            f"{row['partition_seconds']:9.2f} {row['speedup']:7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def _run_c5315(lib):
+    row = measure("C5315", lib)
+    _record("C5315", row)
+    assert row["speedup"] >= REQUIRED_SPEEDUP, (
+        f"C5315 partitioned GDO only {row['speedup']:.2f}x faster "
+        f"(needs >= {REQUIRED_SPEEDUP}x)"
+    )
+    return row
+
+
+def test_partition_speedup_c5315(lib):
+    """Partitioned GDO >=3x end-to-end on C5315 at workers=4."""
+    row = _run_c5315(lib)
+    from conftest import register_report
+    register_report("Partitioned parallel GDO (C5315, workers=4)",
+                    _table([("C5315", row)]))
+
+
+def test_partition_scale_c7552(lib):
+    """The larger C7552 row: records timing, requires only that the
+    partitioned run actually commits region work."""
+    row = measure("C7552", lib)
+    _record("C7552", row)
+    assert row["partition_mods"] > 0
+    from conftest import register_report
+    register_report("Partitioned parallel GDO (C7552, workers=4)",
+                    _table([("C7552", row)]))
+
+
+def smoke(out_dir):
+    """CI determinism gate: reduced C5315, workers=1 vs workers=2 —
+    identical final netlist and identical journal modulo volatile
+    fields.  Journals land in ``out_dir`` for artifact upload."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    lib = mcnc_like()
+    sides = {}
+    for workers in (1, 2):
+        journal_path = str(out / f"C5315-w{workers}.jsonl")
+        _, result = _run(
+            "C5315", lib, workers, small=True,
+            max_trials_per_pass=48, max_proofs_per_pass=32,
+            partition_regions=4, partition_min_gates=32,
+            obs=ObsConfig.full(journal_path=journal_path),
+        )
+        records = load_journal(journal_path)
+        validate_journal(records)
+        sides[workers] = (result, records)
+    r1, j1 = sides[1]
+    r2, j2 = sides[2]
+    assert r1.stats.history, "smoke run made no modifications"
+    assert structural_signature(r1.net) == structural_signature(r2.net), (
+        "workers=1 and workers=2 netlists diverged")
+    assert strip_volatile(j1) == strip_volatile(j2), (
+        "workers=1 and workers=2 journals diverged")
+    print(f"OK: workers=1 == workers=2 on reduced C5315 "
+          f"({len(r1.stats.history)} mods, "
+          f"{r1.stats.partition_regions} regions, "
+          f"{r1.stats.partition_conflicts} conflicts, "
+          f"{len(j1)} journal records)")
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced determinism check for CI")
+    parser.add_argument("--out", default="partition-artifacts",
+                        help="journal output directory (smoke mode)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        smoke(args.out)
+        return
+    lib = mcnc_like()
+    rows = [("C5315", _run_c5315(lib))]
+    rows.append(("C7552", measure("C7552", lib)))
+    _record("C7552", rows[-1][1])
+    print(_table(rows))
+    print(f"OK: partitioned GDO {rows[0][1]['speedup']:.2f}x "
+          f">= {REQUIRED_SPEEDUP}x on C5315")
+
+
+if __name__ == "__main__":
+    main()

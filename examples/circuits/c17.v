@@ -1,0 +1,19 @@
+module c17 (
+  input  G1,
+  input  G2,
+  input  G3,
+  input  G6,
+  input  G7,
+  output po0,
+  output po1
+);
+  wire G10, G11, G16, G19, G22, G23;
+  nand u0 (G10, G1, G3);
+  nand u1 (G11, G3, G6);
+  nand u2 (G16, G2, G11);
+  nand u3 (G19, G11, G7);
+  nand u4 (G22, G10, G16);
+  nand u5 (G23, G16, G19);
+  assign po0 = G22;
+  assign po1 = G23;
+endmodule

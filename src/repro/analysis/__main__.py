@@ -2,9 +2,11 @@
 
 Usage::
 
-    python -m repro.analysis circuit.bench [circuit2.blif ...]
+    python -m repro.analysis circuit.bench [circuit2.v ...]
 
-Parses each circuit (.bench or .blif), runs the full invariant-rule
+Parses each circuit through the :mod:`repro.io` format dispatcher
+(every registered format — ``.bench``, ``.blif``, ``.v`` — lints
+without this module knowing the list), runs the full invariant-rule
 catalog, prints every diagnostic, and exits nonzero when any
 error-severity diagnostic (or a parse failure) was found.  ``--strict``
 also fails on warnings; ``--rules`` restricts the rule set;
@@ -17,8 +19,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from ..io.bench import BenchError, load_bench
-from ..io.blif import BlifError, load_blif
+from ..io import PARSE_ERRORS, load_netlist
 from ..library import mcnc_like
 from ..library.cells import TechLibrary
 from ..netlist.netlist import Netlist
@@ -26,12 +27,8 @@ from .invariants import RULES, check_netlist
 
 
 def _load(path: str, library: TechLibrary) -> Netlist:
-    if path.endswith(".blif"):
-        return load_blif(path, library)
-    if path.endswith(".bench"):
-        return load_bench(path)
-    raise ValueError(f"unsupported circuit format: {path!r} "
-                     "(expected .bench or .blif)")
+    net: Netlist = load_netlist(path, library=library)
+    return net
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -41,7 +38,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "rule catalog.",
     )
     parser.add_argument("circuits", nargs="*",
-                        help=".bench or .blif files to check")
+                        help="netlist files to check (any format the "
+                             "io dispatcher knows: .bench, .blif, .v)")
     parser.add_argument("--rules", default=None,
                         help="comma-separated rule ids (default: all)")
     parser.add_argument("--strict", action="store_true",
@@ -71,7 +69,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     for path in args.circuits:
         try:
             net = _load(path, library)
-        except (OSError, ValueError, BenchError, BlifError) as exc:
+        except PARSE_ERRORS + (OSError, ValueError) as exc:
             print(f"{path}: parse error: {exc}", file=sys.stderr)
             failed = True
             continue

@@ -5,8 +5,8 @@ from .arith import (
     c880_like, carry_select_adder, comparator, ripple_carry_adder, z5xp1_like,
 )
 from .control import (
-    apex6_like, c5315_like, frg2_like, pair_like, random_control, rot_like,
-    term1_like, vda_like, x3_like,
+    apex6_like, c5315_like, c7552_like, frg2_like, pair_like,
+    random_control, rot_like, term1_like, vda_like, x3_like,
 )
 from .ecc import c1355_like, sec_corrector
 from .multipliers import array_multiplier, squarer
@@ -17,7 +17,8 @@ from .symmetric import majority, nsym, nsym9
 __all__ = [
     "alu181", "alu4_like", "priority_controller",
     "c880_like", "carry_select_adder", "comparator", "ripple_carry_adder",
-    "z5xp1_like", "apex6_like", "c5315_like", "frg2_like", "pair_like",
+    "z5xp1_like", "apex6_like", "c5315_like", "c7552_like", "frg2_like",
+    "pair_like",
     "random_control", "rot_like", "term1_like", "vda_like", "x3_like",
     "c1355_like", "sec_corrector", "array_multiplier", "squarer",
     "c1908_like", "parity_tree", "SMALL_SUITE", "SUITE", "TABLE2_NAMES",

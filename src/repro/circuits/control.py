@@ -123,3 +123,7 @@ def pair_like(name: str = "pair_like") -> Netlist:
 
 def c5315_like(name: str = "c5315_like") -> Netlist:
     return random_control(178, 2100, 123, seed=909, locality=48, name=name)
+
+
+def c7552_like(name: str = "c7552_like") -> Netlist:
+    return random_control(207, 2500, 108, seed=7552, locality=52, name=name)

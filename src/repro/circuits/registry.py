@@ -10,8 +10,8 @@ from ..netlist.netlist import Netlist
 from .alu import alu4_like, alu181, priority_controller
 from .arith import c880_like, z5xp1_like
 from .control import (
-    apex6_like, c5315_like, frg2_like, pair_like, random_control, rot_like,
-    term1_like, vda_like, x3_like,
+    apex6_like, c5315_like, c7552_like, frg2_like, pair_like,
+    random_control, rot_like, term1_like, vda_like, x3_like,
 )
 from .ecc import c1355_like, sec_corrector
 from .multipliers import array_multiplier
@@ -39,6 +39,7 @@ SUITE: Dict[str, Generator] = {
     "pair": pair_like,
     "C5315": c5315_like,
     "C6288": lambda: array_multiplier(16, name="c6288_like"),
+    "C7552": c7552_like,
 }
 
 # Reduced-size variants: same structures, pure-Python-friendly runtimes.
@@ -70,6 +71,8 @@ SMALL_SUITE: Dict[str, Generator] = {
     "C5315": lambda: random_control(44, 230, 22, seed=909, locality=18,
                                     name="c5315_small"),
     "C6288": lambda: array_multiplier(6, name="c6288_small"),
+    "C7552": lambda: random_control(48, 260, 20, seed=7552, locality=18,
+                                    name="c7552_small"),
 }
 
 # The Table-2 experiment uses the subset the paper lists.

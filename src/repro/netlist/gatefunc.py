@@ -39,6 +39,15 @@ class GateFunc:
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"GateFunc({self.name})"
 
+    def __reduce__(self):
+        # Gate functions are module-level singletons compared by
+        # identity (FlatView.build asserts ``FUNC_BY_NAME[name] is
+        # func``), so unpickling must resolve back to the singleton
+        # instead of constructing a lookalike — this is what lets whole
+        # netlists and flat region views cross process boundaries
+        # (repro.partition's fork workers).
+        return (func_from_name, (self.name,))
+
     # ------------------------------------------------------------------
     # evaluation
     # ------------------------------------------------------------------

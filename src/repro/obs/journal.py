@@ -56,6 +56,21 @@ RECORD_SCHEMA: Dict[str, frozenset] = {
                          "delay_after", "area_after"}),
     "run_end": frozenset({"delay_after", "area_after",
                           "mods", "rounds"}),
+    # --- partitioned parallel GDO (repro.partition, DESIGN.md §12) ---
+    # Scheduling-independent by construction: the partition plan is a
+    # pure function of (netlist, config) and regions are journaled in
+    # canonical index order, never worker/completion order, so
+    # workers=1 and workers=N journals are identical.
+    "partition_begin": frozenset({"regions", "gates", "cones",
+                                  "cut_edges"}),
+    "region": frozenset({"region", "round", "gates", "halo",
+                         "exports"}),
+    "region_result": frozenset({"region", "round", "commits",
+                                "delay_after"}),
+    "region_merge": frozenset({"region", "round", "modified"}),
+    "region_reject": frozenset({"region", "round", "overlap", "reason"}),
+    "region_requeue": frozenset({"region", "round"}),
+    "partition_end": frozenset({"rounds", "merged", "rejected"}),
 }
 
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
 from ..obs import ObsConfig, ObsSnapshot
@@ -113,6 +113,24 @@ class GdoConfig:
     # perturbs the modification sequence.
     obs: ObsConfig = field(default_factory=ObsConfig)
 
+    # --- partitioned parallel GDO (repro.partition, DESIGN.md §12) ---
+    # Worker processes for region-parallel optimization of one netlist;
+    # 0 (the default) keeps the serial trial loop.  The partition plan
+    # is fixed by partition_regions — never by the worker count — and
+    # regions merge in canonical index order, so workers=1 and
+    # workers=N produce identical netlists and journals.
+    partition_workers: int = 0
+    # Dominator-cone regions the partitioner cuts the netlist into.
+    partition_regions: int = 4
+    # Merge rounds before regions still re-queued by conflicts are
+    # abandoned (their unmerged results are discarded, the master
+    # netlist stays proven-equivalent).
+    partition_max_rounds: int = 4
+    # Netlists below this gate count are not worth cutting: the
+    # partitioned path collapses to one region (serial semantics with
+    # the partition journal envelope).
+    partition_min_gates: int = 64
+
     # --- phases ---
     area_phase: bool = True
     area_mods_before_retry: int = 5
@@ -168,6 +186,29 @@ class GdoConfig:
         if self.proof_prefetch is not None:
             return self.proof_prefetch
         return 2 * self.max_mods_per_pass
+
+    def region_config(self) -> "GdoConfig":
+        """The derived config for one region-local GDO run.
+
+        Regions recurse into the *serial* optimizer (partitioning does
+        not nest), skip the final miter (the master run verifies the
+        merged netlist once), prove single-process (the regions
+        themselves are the parallelism — a proof pool per region would
+        oversubscribe), and run observability off: partition decisions
+        are journaled by the master coordinator, and region-local
+        journals would interleave by scheduling.  Everything else —
+        seed, engine mode, enumeration caps, proof knobs including the
+        shared ``proof_store_path`` — is inherited, so every region
+        still shares verdicts through the sharded store.
+        """
+        return replace(
+            self,
+            partition_workers=0,
+            verify_final=False,
+            proof_workers=1,
+            proof_prefetch=None,
+            obs=ObsConfig.off(),
+        )
 
 
 @dataclass
@@ -226,6 +267,12 @@ class GdoStats:
     # journal instead of the broker.
     resumed: bool = False
     replayed_verdicts: int = 0
+    # Partitioned parallel GDO (repro.partition): how many regions the
+    # run was cut into (0 = serial path), merge conflicts that
+    # re-queued a region, and merge rounds executed.
+    partition_regions: int = 0
+    partition_conflicts: int = 0
+    partition_rounds: int = 0
     rounds: int = 0
     cpu_seconds: float = 0.0
     equivalent: Optional[bool] = None

@@ -65,6 +65,12 @@ class EngineContext:
     def __init__(self, net: Netlist, library: TechLibrary,
                  cfg: GdoConfig, stats: GdoStats,
                  broker: Optional[ProofBroker] = None):
+        if cfg.partition_workers:
+            raise ValueError(
+                "EngineContext drives the serial trial loop; a config "
+                "with partition_workers > 0 must enter through "
+                "gdo_optimize, which routes it to repro.partition "
+                "(region runs use cfg.region_config())")
         self.net = net
         self.library = library
         self.cfg = cfg

@@ -81,6 +81,15 @@ def gdo_optimize(
     the crash-recovery contract of :mod:`repro.service`.
     """
     cfg = config or GdoConfig()
+    if cfg.partition_workers:
+        # Region-parallel execution plane (repro.partition): cut the
+        # netlist into dominator-cone regions, optimize them in fork
+        # workers, merge in canonical order.  Region runs recurse into
+        # this function with partition_workers=0.
+        from ..partition.runner import run_partitioned
+
+        return run_partitioned(net, library, cfg, broker=broker,
+                               resume=resume)
     work = net.copy(name=net.name)
     library.rebind(work)
     stats = GdoStats()

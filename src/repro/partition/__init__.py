@@ -1,0 +1,34 @@
+"""Partitioned parallel GDO: region-parallel optimization of one
+netlist (DESIGN.md §12).
+
+Three layers:
+
+* :mod:`.partitioner` — cuts the levelized netlist into at most k
+  low-coupling regions along dominator cones, with read-only boundary
+  halos and explicit export interfaces;
+* :mod:`.region` — extracts a region as a standalone netlist, splices
+  an optimized region back into the master deterministically, and
+  fingerprints export cones for conflict detection;
+* :mod:`.runner` — the coordinator behind
+  ``GdoConfig.partition_workers``: fork workers optimize regions in
+  parallel, results merge in canonical region order, conflicting
+  commits are rejected and their regions re-queued with refreshed
+  boundaries.
+
+The whole plane is worker-count invariant: the plan, merge order, and
+journal depend only on (netlist, config).
+"""
+
+from .partitioner import (
+    Partition, Region, dominator_cones, make_region, partition_netlist,
+    signal_rank,
+)
+from .region import cone_signature, extract_region, splice_region
+from .runner import RegionResult, optimize_region, run_partitioned
+
+__all__ = [
+    "Partition", "Region", "RegionResult",
+    "cone_signature", "dominator_cones", "extract_region",
+    "make_region", "optimize_region", "partition_netlist",
+    "run_partitioned", "signal_rank", "splice_region",
+]

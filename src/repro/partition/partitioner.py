@@ -1,0 +1,215 @@
+"""Dominator-cone partitioning of a levelized netlist.
+
+The partitioner cuts one netlist into at most k regions for
+region-parallel GDO (DESIGN.md §12).  The cut unit is the **dominator
+cone**: every gate is grouped under the outermost entry of its
+dominator chain (:class:`repro.analysis.dominators.Dominators`), i.e.
+the gate through which *all* of its paths to the POs pass.  A cone is
+exactly the logic only its root exposes downstream, so packing whole
+cones keeps region boundaries — and therefore halos — small.
+
+Cones are packed greedily (first-fit-decreasing under a balance cap)
+by a **coupling metric over shared fanout**: a cone joins the region it
+shares the most boundary signals with, counting signals one side
+produces and the other reads plus signals both read (shared fanout of
+a common source).  Low cross-coupling is what makes the regions'
+halo-frozen timing approximations honest, which is what keeps merge
+conflicts (runner.py) rare.
+
+Everything here is a pure function of the netlist: the plan is derived
+from the levelized flat view's canonical signal order
+(:class:`repro.flat.view.FlatView`) and the dominator tree, never from
+worker scheduling — any ``partition_workers`` sees the same plan.
+
+The clustering formulation follows Donovan et al. ("Complexity issues
+in some clustering problems in combinatorial circuits", PAPERS.md):
+optimal low-coupling clustering is hard, so we take the standard
+greedy bin-packing approximation with deterministic tie-breaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..analysis.dominators import Dominators
+from ..flat.view import FlatView, FlatViewError
+from ..library.cells import TechLibrary
+from ..netlist.netlist import Netlist
+
+
+@dataclass
+class Region:
+    """One partition region: a gate set plus its boundary interface.
+
+    ``gates`` are in canonical (PIs-first topological) master order;
+    ``halo`` is every signal the region reads but does not drive — the
+    region's PIs, read-only by contract; ``exports`` is every region
+    signal visible outside it (read by another region's gate, or a
+    master PO) — the region's POs, whose functions a region-local
+    optimizer must preserve.
+    """
+
+    index: int
+    gates: List[str]
+    halo: List[str]
+    exports: List[str]
+
+
+@dataclass
+class Partition:
+    """The partitioner's output: regions plus cut statistics."""
+
+    regions: List[Region]
+    cones: int = 0        # dominator cones that were packed
+    cut_edges: int = 0    # region-boundary reads of non-PI signals
+
+
+def signal_rank(net: Netlist) -> Dict[str, int]:
+    """Canonical position of every signal: PIs first, then topo order —
+    the same order :meth:`FlatView.build` assigns flat indices in."""
+    rank = {pi: i for i, pi in enumerate(net.pis)}
+    base = len(rank)
+    for i, sig in enumerate(net.topo_order()):
+        rank[sig] = base + i
+    return rank
+
+
+def dominator_cones(net: Netlist) -> List[List[str]]:
+    """Gate outputs grouped by their outermost dominator.
+
+    A gate's cone root is the last entry of its dominator chain — the
+    unique gate closest to the POs that every path from the gate
+    passes through (the virtual PO sink is excluded, so gates with no
+    real dominator root their own cone).  Cones are returned in topo
+    order of their roots, members in topo order: fully deterministic.
+    """
+    doms = Dominators(net)
+    order = net.topo_order()
+    rank = {s: i for i, s in enumerate(order)}
+    cones: Dict[str, List[str]] = {}
+    for sig in order:
+        root = sig
+        for dom in doms.chain(sig):
+            root = dom
+        cones.setdefault(root, []).append(sig)
+    return [cones[root] for root in sorted(cones, key=rank.__getitem__)]
+
+
+def _cone_interface(net: Netlist, cone: Sequence[str]):
+    """(produced, external-reads) signal sets of one cone."""
+    produced = set(cone)
+    reads: Set[str] = set()
+    for sig in cone:
+        for src in net.gates[sig].inputs:
+            if src not in produced:
+                reads.add(src)
+    return produced, reads
+
+
+def _pack_cones(net: Netlist, cones: List[List[str]],
+                k: int) -> List[List[str]]:
+    """Greedy max-coupling packing of cones into at most k regions.
+
+    First-fit-decreasing under a balance cap of ceil(gates / k): each
+    cone (largest first) joins the open region it is most coupled to
+    that still has capacity; uncoupled cones open a new region while
+    fewer than k exist; when everything is full the smallest region
+    absorbs the cone (balance beats coupling at the margin).  Ties
+    break toward the lowest region id — deterministic throughout.
+    """
+    rank = {s: i for i, s in enumerate(net.topo_order())}
+    infos = [(cone, *_cone_interface(net, cone)) for cone in cones]
+    # Largest first; cones are topo-ordered so cone[0] is the earliest
+    # member, giving a stable secondary key.
+    infos.sort(key=lambda t: (-len(t[0]), rank[t[0][0]]))
+    total = sum(len(cone) for cone, _, _ in infos)
+    cap = max(1, -(-total // k))
+    members: List[Set[str]] = []
+    reads: List[Set[str]] = []
+    packed: List[List[str]] = []
+    for cone, produced, ext in infos:
+        best = -1
+        best_score = 0
+        for ri in range(len(members)):
+            if members[ri] and len(members[ri]) + len(cone) > cap:
+                continue
+            score = (len(ext & members[ri])
+                     + len(reads[ri] & produced)
+                     + len(reads[ri] & ext))
+            if best < 0 or score > best_score:
+                best, best_score = ri, score
+        if (best < 0 or best_score == 0) and len(members) < k:
+            members.append(set())
+            reads.append(set())
+            packed.append([])
+            best = len(members) - 1
+        elif best < 0:
+            best = min(range(len(members)),
+                       key=lambda ri: (len(members[ri]), ri))
+        members[best] |= produced
+        reads[best] |= ext
+        packed[best].extend(cone)
+    return [gates for gates in packed if gates]
+
+
+def make_region(net: Netlist, index: int, gates: Sequence[str],
+                rank: Optional[Dict[str, int]] = None) -> Region:
+    """The region interface (halo + exports) of ``gates`` in ``net``.
+
+    Always computed against the *current* master netlist, so a
+    re-queued region's boundary reflects every merge applied since it
+    was first cut — the "refreshed timing" a conflict re-queue buys.
+    ``rank`` (default :func:`signal_rank`) orders the interface lists
+    canonically, independent of set-iteration order.
+    """
+    if rank is None:
+        rank = signal_rank(net)
+    mem = set(gates)
+    halo: Set[str] = set()
+    for sig in gates:
+        for src in net.gates[sig].inputs:
+            if src not in mem:
+                halo.add(src)
+    exported: Set[str] = set(net.pos) & mem
+    for out, gate in net.gates.items():
+        if out in mem:
+            continue
+        for src in gate.inputs:
+            if src in mem:
+                exported.add(src)
+    return Region(
+        index=index,
+        gates=sorted(mem, key=rank.__getitem__),
+        halo=sorted(halo, key=rank.__getitem__),
+        exports=sorted(exported, key=rank.__getitem__),
+    )
+
+
+def partition_netlist(net: Netlist, k: int,
+                      library: Optional[TechLibrary] = None) -> Partition:
+    """Cut ``net`` into at most ``k`` low-coupling regions.
+
+    Builds the levelized flat view first — it validates the netlist is
+    flat-kernel clean (singleton functions, no cycles) and its PI-first
+    level order is the canonical rank every region interface is sorted
+    by.  Falls back to the plain topological rank for structures the
+    flat view rejects.
+    """
+    try:
+        view = FlatView.build(net, library)
+        rank = dict(view.index_of)
+    except FlatViewError:
+        rank = signal_rank(net)
+    cones = dominator_cones(net)
+    packed = _pack_cones(net, cones, max(1, k))
+    # Canonical region numbering: by earliest member in master order.
+    packed.sort(key=lambda gates: min(rank[s] for s in gates))
+    regions = [
+        make_region(net, index, gates, rank)
+        for index, gates in enumerate(packed)
+    ]
+    cut = sum(
+        1 for region in regions for h in region.halo if h in net.gates
+    )
+    return Partition(regions=regions, cones=len(cones), cut_edges=cut)

@@ -1,0 +1,116 @@
+"""Region extraction and splice-back against the master netlist.
+
+A region travels as a standalone :class:`~repro.netlist.netlist.Netlist`
+whose PIs are the region halo and whose POs are the region exports.
+The extraction preserves gate names, functions, and cell bindings
+verbatim, so a region composes with the master by name and — via
+``GateFunc.__reduce__`` — pickles across the fork boundary with its
+function singletons intact.
+
+:func:`cone_signature` is the conflict-detection currency: the
+order-independent fingerprint of an export's in-region fanin cone,
+names included (external readers reference region logic *by name*).
+:func:`splice_region` applies an optimized region back into the master
+with fully deterministic renaming, so workers=1 and workers=N splice
+byte-identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..netlist.netlist import Netlist
+from .partitioner import Region
+
+
+def extract_region(net: Netlist, region: Region,
+                   name: Optional[str] = None) -> Netlist:
+    """A standalone netlist of the region: halo → PIs, exports → POs."""
+    sub = Netlist(name or f"{net.name}.r{region.index}")
+    for h in region.halo:
+        sub.add_pi(h)
+    for sig in region.gates:
+        gate = net.gates[sig]
+        sub.add_gate(sig, gate.func, list(gate.inputs), cell=gate.cell)
+    sub.set_pos(region.exports)
+    sub.validate()
+    return sub
+
+
+def cone_signature(net: Netlist, root: str) -> Tuple:
+    """Fingerprint of ``root``'s in-netlist transitive fanin cone.
+
+    Two versions of a region compare equal on an export iff the logic
+    implementing it — gate functions, cells, exact wiring, *and* signal
+    names — is unchanged.  Names matter because other regions and the
+    master PO list resolve the export by name; a renamed driver is a
+    modification even when functionally identity.
+    """
+    cone = net.transitive_fanin(root, include_self=True)
+    gates = tuple(sorted(
+        (out, net.gates[out].func.name, net.gates[out].cell,
+         tuple(net.gates[out].inputs))
+        for out in cone if out in net.gates
+    ))
+    return (root, gates)
+
+
+def splice_region(master: Netlist, region: Region,
+                  optimized: Netlist) -> List[str]:
+    """Replace the region's gates in ``master`` with ``optimized``'s.
+
+    Naming is deterministic: the driver of export *i* takes the
+    export's master name (external readers keep resolving without a
+    rewrite), other gates keep their region name when still free, and
+    genuine collisions draw from a region-indexed counter — never from
+    the master's global fresh-name counter, wall clock, or ``id()``.
+    When the optimizer rewired an export onto a halo signal or merged
+    it with an earlier export (OS2 can substitute one PO stem for
+    another), the *external* readers of the vacated name are patched to
+    the surviving driver.  Returns the master names of the spliced
+    gates — the region's identity for later merge rounds.
+    """
+    for sig in region.gates:
+        del master.gates[sig]
+    master.invalidate()
+    mapping: Dict[str, str] = {pi: pi for pi in optimized.pis}
+    rewires: Dict[str, str] = {}
+    # Export drivers claim the export names first, in canonical export
+    # order; a driver feeding several exports keeps the first name and
+    # the later exports alias onto it.
+    for i, export in enumerate(region.exports):
+        driver = optimized.pos[i]
+        if driver in mapping:
+            if mapping[driver] != export:
+                rewires[export] = mapping[driver]
+            continue
+        mapping[driver] = export
+    taken = set(mapping.values())
+    counter = 0
+    spliced: List[str] = []
+    for sig in optimized.topo_order():
+        target = mapping.get(sig)
+        if target is None:
+            if sig not in taken and not master.has_signal(sig):
+                target = sig
+            else:
+                while True:
+                    counter += 1
+                    cand = f"r{region.index}m_{counter}"
+                    if cand not in taken and not master.has_signal(cand):
+                        target = cand
+                        break
+            mapping[sig] = target
+            taken.add(target)
+        gate = optimized.gates[sig]
+        master.add_gate(target, gate.func,
+                        [mapping[src] for src in gate.inputs],
+                        cell=gate.cell)
+        spliced.append(target)
+    if rewires:
+        for gate in master.gates.values():
+            gate.inputs[:] = [rewires.get(s, s) for s in gate.inputs]
+        master.pos = [rewires.get(s, s) for s in master.pos]
+        master.invalidate()
+    master.validate()
+    return spliced

@@ -538,22 +538,25 @@ class JobQueue:
 
     def requeue(self, job_id: str) -> bool:
         """Move a dead-lettered job back into the spool with a fresh
-        retry budget (attempts, backoff stamp, lease, and terminal
-        error cleared; the journal moves aside like a resume)."""
+        retry budget (backoff stamp, lease, and terminal error
+        cleared; the durable attempt ledger and the journal move aside
+        as ``.prev`` so the fresh budget starts at zero attempts while
+        the quarantine history stays auditable)."""
         if "/" in job_id or job_id.startswith("."):
             return False
         source = os.path.join(self.deadletter_dir, job_id)
         if not os.path.isdir(source):
             return False
-        for name in ("lease", "attempts.jsonl", "not_before",
-                     "faults.jsonl", "deadletter.json", "error.json"):
+        for name in ("lease", "not_before", "faults.jsonl",
+                     "deadletter.json", "error.json"):
             try:
                 os.unlink(os.path.join(source, name))
             except OSError:
                 pass
-        journal = os.path.join(source, "journal.jsonl")
-        if os.path.exists(journal):
-            os.replace(journal, journal + ".prev")
+        for name in ("attempts.jsonl", "journal.jsonl"):
+            path = os.path.join(source, name)
+            if os.path.exists(path):
+                os.replace(path, path + ".prev")
         os.replace(source, os.path.join(self.jobs_dir, job_id))
         return True
 

@@ -314,7 +314,8 @@ class OptimizationService:
             return {"ok": True, "shards": cs.shards,
                     "segments_folded": cs.segments_folded,
                     "entries": cs.entries,
-                    "orphans_sealed": cs.orphans_sealed}
+                    "orphans_sealed": cs.orphans_sealed,
+                    "retired": cs.retired}
         return {"ok": False, "error": f"unknown op {op!r}"}
 
 

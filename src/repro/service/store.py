@@ -106,6 +106,7 @@ class CompactionStats:
     orphans_sealed: int = 0
     entries: int = 0
     torn_lines_dropped: int = 0
+    retired: int = 0           # verdicts dropped by the GC policy
 
 
 @dataclass
@@ -127,9 +128,15 @@ class ShardedVerdictStore:
     def __init__(self, root: str, prefix_len: int = 1,
                  fsync_interval: int = 64,
                  degrade_after: int = 4, probe_interval: int = 32,
-                 on_event: Optional[Callable[[str, dict], None]] = None):
+                 on_event: Optional[Callable[[str, dict], None]] = None,
+                 gc_max_generations: Optional[int] = None,
+                 gc_max_entries: Optional[int] = None):
         if not 1 <= prefix_len <= 4:
             raise StoreError(f"prefix_len {prefix_len} not in 1..4")
+        if gc_max_generations is not None and gc_max_generations < 1:
+            raise StoreError("gc_max_generations must be >= 1")
+        if gc_max_entries is not None and gc_max_entries < 1:
+            raise StoreError("gc_max_entries must be >= 1")
         self.root = root
         self.prefix_len = prefix_len
         self.fsync_interval = max(1, fsync_interval)
@@ -158,6 +165,16 @@ class ShardedVerdictStore:
         self.write_errors = 0      # total failed writes/fsyncs
         self.degradations = 0      # read-write -> read-only transitions
         self.repromotions = 0      # read-only -> read-write transitions
+        # --- GC policy (age/size-bounded retirement) ------------------
+        # Verdicts are pure and re-provable, so the store may retire
+        # them: compaction stamps every key with the generation that
+        # first folded it into the base, and drops keys older than
+        # ``gc_max_generations`` compactions or beyond the
+        # ``gc_max_entries`` per-shard size bound (oldest first).
+        # ``None`` (the defaults) = keep everything.
+        self.gc_max_generations = gc_max_generations
+        self.gc_max_entries = gc_max_entries
+        self.retired = 0           # cumulative GC-retired verdicts
 
     # ------------------------------------------------------------------
     # write side
@@ -422,6 +439,14 @@ class ShardedVerdictStore:
         replaced atomically, and folded segments are unlinked only
         after the new base is in place.  ``reclaim_orphans`` first
         seals ``.open`` segments whose writer pid is gone.
+
+        Each fold advances the shard's **generation** and stamps
+        newly-folded keys with it (recorded under a ``"__meta__"`` key
+        older readers transparently ignore).  When the GC bounds are
+        set, verdicts whose stamp fell out of the ``gc_max_generations``
+        window — or beyond the ``gc_max_entries`` size bound, oldest
+        first — are retired from the base: dropping a verdict only
+        costs a future re-prove, never correctness.
         """
         stats = CompactionStats()
         for shard in self._list_shards():
@@ -444,14 +469,29 @@ class ShardedVerdictStore:
                     stats.shards += 1
                     stats.entries += len(merged)
                 continue
+            stamps, generation = _read_base_meta(base)
+            generation += 1
             for name in sealed:
                 entries, torn = _read_segment(
                     os.path.join(shard_dir, name))
+                for key in entries:
+                    if key not in merged:
+                        stamps[key] = generation
                 merged.update(entries)
                 stats.torn_lines_dropped += torn
+            stamps = {k: g for k, g in stamps.items() if k in merged}
+            retired = self._gc_keys(merged, stamps, generation)
+            for key in retired:
+                merged.pop(key, None)
+                stamps.pop(key, None)
+            stats.retired += len(retired)
+            self.retired += len(retired)
+            snapshot = dict(merged)
+            snapshot["__meta__"] = {"generation": generation,
+                                    "stamps": stamps}
             tmp = base + f".tmp-{os.getpid()}-{self._token}"
             with open(tmp, "w", encoding="utf-8") as fh:
-                json.dump(merged, fh, sort_keys=True)
+                json.dump(snapshot, fh, sort_keys=True)
                 fh.flush()
                 os.fsync(fh.fileno())
             os.replace(tmp, base)
@@ -464,6 +504,29 @@ class ShardedVerdictStore:
             stats.segments_folded += len(sealed)
             stats.entries += len(merged)
         return stats
+
+    def _gc_keys(self, merged: Dict[str, str], stamps: Dict[str, int],
+                 generation: int) -> List[str]:
+        """Keys the GC policy retires from one shard's merged view.
+
+        Age first (stamped more than ``gc_max_generations`` folds ago
+        — keys with no stamp, i.e. from a pre-GC base, count as oldest),
+        then the size bound, evicting oldest-stamped keys (ties by key)
+        until ``gc_max_entries`` survive.
+        """
+        retired: List[str] = []
+        if self.gc_max_generations is not None:
+            floor = generation - self.gc_max_generations
+            retired.extend(k for k in merged
+                           if stamps.get(k, 0) <= floor)
+        if self.gc_max_entries is not None:
+            dropped = set(retired)
+            survivors = [k for k in merged if k not in dropped]
+            excess = len(survivors) - self.gc_max_entries
+            if excess > 0:
+                survivors.sort(key=lambda k: (stamps.get(k, 0), k))
+                retired.extend(survivors[:excess])
+        return retired
 
 
 def _seal_orphans(shard_dir: str) -> int:
@@ -523,6 +586,9 @@ def _read_segment(path: str) -> Tuple[Dict[str, str], int]:
 
 
 def _read_base(path: str) -> Dict[str, str]:
+    # Filtering to definitive verdict values also skips "__meta__" (the
+    # GC bookkeeping, a dict) — so pre-GC readers and GC-aware bases
+    # are compatible in both directions.
     try:
         with open(path, "r", encoding="utf-8") as fh:
             data = json.load(fh)
@@ -532,6 +598,33 @@ def _read_base(path: str) -> Dict[str, str]:
         return {}
     return {k: v for k, v in data.items()
             if isinstance(k, str) and v in (VALID, INVALID)}
+
+
+def _read_base_meta(path: str) -> Tuple[Dict[str, int], int]:
+    """GC bookkeeping of a base snapshot: ``(stamps, generation)``.
+
+    A base written before the GC policy existed has neither — its keys
+    read as stamp 0 (oldest) at generation 0.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        return {}, 0
+    if not isinstance(data, dict):
+        return {}, 0
+    meta = data.get("__meta__")
+    if not isinstance(meta, dict):
+        return {}, 0
+    generation = meta.get("generation")
+    if not isinstance(generation, int) or generation < 0:
+        generation = 0
+    raw = meta.get("stamps")
+    stamps: Dict[str, int] = {}
+    if isinstance(raw, dict):
+        stamps = {k: g for k, g in raw.items()
+                  if isinstance(k, str) and isinstance(g, int)}
+    return stamps, generation
 
 
 # ----------------------------------------------------------------------
@@ -601,7 +694,13 @@ class ShardedProofCache:
             "degradations": self.store.degradations,
             "repromotions": self.store.repromotions,
             "overlay_entries": len(self.store._overlay),
+            "retired": self.store.retired,
         }
+
+    def compact(self, reclaim_orphans: bool = True) -> CompactionStats:
+        """Fold-and-GC the backing store (see
+        :meth:`ShardedVerdictStore.compact`)."""
+        return self.store.compact(reclaim_orphans=reclaim_orphans)
 
     def flush(self) -> None:
         self.store.flush()

@@ -219,6 +219,13 @@ def _run_job_inner(job: Job, store_path: Optional[str]) -> dict:
         "pool_breaks": pool_breaks,
         "worker_pid": os.getpid(),
     }
+    if cfg.partition_workers:
+        summary["partition"] = {
+            "workers": cfg.partition_workers,
+            "regions": s.partition_regions,
+            "conflicts": s.partition_conflicts,
+            "rounds": s.partition_rounds,
+        }
     return {"summary": summary, "blif": write_blif(result.net)}
 
 

@@ -75,11 +75,26 @@ def test_parse_error_exits_nonzero(tmp_path, capsys):
     assert "parse error" in capsys.readouterr().err
 
 
-def test_unsupported_extension_is_parse_error(tmp_path, capsys):
+def test_clean_verilog_exits_zero(capsys):
+    # The CLI lints every format the io dispatcher registers, so the
+    # structural-verilog example works the same as .bench/.blif.
+    assert main([_example("c17.v"), "--strict"]) == 0
+    out = capsys.readouterr().out
+    assert "c17.v: 6 gates, clean" in out
+
+
+def test_bad_verilog_is_parse_error(tmp_path, capsys):
     other = tmp_path / "net.v"
     other.write_text("module m; endmodule\n")
     assert main([str(other)]) == 1
-    assert "unsupported circuit format" in capsys.readouterr().err
+    assert "parse error" in capsys.readouterr().err
+
+
+def test_unsupported_extension_is_parse_error(tmp_path, capsys):
+    other = tmp_path / "net.xyz"
+    other.write_text("whatever\n")
+    assert main([str(other)]) == 1
+    assert "parse error" in capsys.readouterr().err
 
 
 def test_rule_filter(tmp_path):

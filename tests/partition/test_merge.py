@@ -1,0 +1,164 @@
+"""Merge coordinator: conflict rejection, re-queue, splice fidelity.
+
+The crafted two-region netlist has an overlapping fanout cone by
+construction — region 0's export ``x`` sits in region 1's halo — so
+when an injected region optimizer makes both regions commit, the
+canonical merge must accept region 0, reject region 1's stale commits,
+re-queue it, and merge it cleanly against the refreshed master in the
+next round.  The final netlist stays SAT-equivalent throughout, and
+the journal is identical at any worker count.
+"""
+
+import pytest
+
+from repro.library import mcnc_like
+from repro.netlist.edit import structural_signature
+from repro.netlist.netlist import Netlist
+from repro.obs import ObsConfig, load_journal, strip_volatile, validate_journal
+from repro.opt import GdoConfig, gdo_optimize
+from repro.partition import (
+    RegionResult, cone_signature, extract_region, partition_netlist,
+    splice_region,
+)
+from repro.verify.equiv import check_equivalence
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return mcnc_like()
+
+
+def two_cone_net(lib):
+    """Two dominator cones where cone 1 reads cone 0's root ``x``."""
+    net = Netlist("twocone")
+    for pi in ("a", "b", "c", "d"):
+        net.add_pi(pi)
+    net.add_gate("g1", "AND", ["a", "b"])
+    net.add_gate("x", "AND", ["g1", "c"])
+    net.add_gate("h1", "OR", ["x", "d"])
+    net.add_gate("y", "AND", ["h1", "x"])
+    net.add_po("x")
+    net.add_po("y")
+    lib.rebind(net)
+    return net
+
+
+def _renamed_copy(sub, suffix):
+    """A functionally identical copy with non-export gates renamed —
+    the cheapest rewrite whose export cone signatures change."""
+    out = Netlist(sub.name)
+    for pi in sub.pis:
+        out.add_pi(pi)
+    exports = set(sub.pos)
+    mapping = {}
+    for sig in sub.topo_order():
+        gate = sub.gates[sig]
+        target = sig if sig in exports else sig + suffix
+        mapping[sig] = target
+        out.add_gate(target, gate.func,
+                     [mapping.get(s, s) for s in gate.inputs],
+                     cell=gate.cell)
+    for po in sub.pos:
+        out.add_po(po)
+    return out
+
+
+def crafted_optimizer(master, library, cfg, region):
+    """Injected region optimizer: always commits a rename-rewrite that
+    modifies every export cone."""
+    sub = extract_region(master, region)
+    before = {po: cone_signature(sub, po) for po in sub.pos}
+    opt = _renamed_copy(sub, f"_r{region.index}")
+    modified = [
+        region.exports[i] for i, po in enumerate(opt.pos)
+        if cone_signature(opt, po) != before[po]
+    ]
+    return RegionResult(
+        index=region.index, net=opt, commits=1, modified=modified,
+        delay_after=1.0,
+        history=[("delay", "rename", "os2", 1.0, 1.0, 1.0, 1.0)],
+    )
+
+
+def _run(lib, workers, journal_path):
+    from repro.partition import run_partitioned
+
+    net = two_cone_net(lib)
+    cfg = GdoConfig(
+        partition_workers=workers, partition_regions=2,
+        partition_min_gates=1, verify_final=False,
+        obs=ObsConfig.full(journal_path=journal_path),
+    )
+    return net, run_partitioned(net, lib, cfg,
+                                region_optimizer=crafted_optimizer)
+
+
+def test_partition_puts_x_on_the_boundary(lib):
+    net = two_cone_net(lib)
+    part = partition_netlist(net, 2, library=lib)
+    assert len(part.regions) == 2
+    assert "x" in part.regions[0].exports
+    assert "x" in part.regions[1].halo
+
+
+def test_conflict_is_rejected_then_requeued_then_merged(lib, tmp_path):
+    journal_path = str(tmp_path / "conflict.jsonl")
+    original, result = _run(lib, 1, journal_path)
+    s = result.stats
+    assert s.partition_regions == 2
+    assert s.partition_conflicts == 1
+    assert s.partition_rounds == 2
+    # Both regions merged in the end (one of them on the second try).
+    assert len(s.history) == 2
+    assert {m.description for m in s.history} == {"r0:rename", "r1:rename"}
+    assert check_equivalence(original, result.net, n_words=16, seed=3)
+
+    records = load_journal(journal_path)
+    validate_journal(records)
+    by_type = {}
+    for rec in records:
+        by_type.setdefault(rec["type"], []).append(rec)
+    assert len(by_type["region_merge"]) == 2
+    assert len(by_type["region_reject"]) == 1
+    assert len(by_type["region_requeue"]) == 1
+    reject = by_type["region_reject"][0]
+    assert reject["region"] == 1 and reject["round"] == 1
+    assert reject["overlap"] == 1
+    merged_rounds = {(r["region"], r["round"])
+                     for r in by_type["region_merge"]}
+    assert merged_rounds == {(0, 1), (1, 2)}
+    end = by_type["partition_end"][0]
+    assert end["merged"] == 2 and end["rejected"] == 1
+
+
+def test_worker_count_never_shows_in_netlist_or_journal(lib, tmp_path):
+    j1 = str(tmp_path / "w1.jsonl")
+    j4 = str(tmp_path / "w4.jsonl")
+    _, r1 = _run(lib, 1, j1)
+    _, r4 = _run(lib, 4, j4)
+    assert structural_signature(r1.net) == structural_signature(r4.net)
+    assert (strip_volatile(load_journal(j1))
+            == strip_volatile(load_journal(j4)))
+
+
+def test_splice_of_untouched_region_is_identity(lib):
+    net = two_cone_net(lib)
+    sig = structural_signature(net)
+    part = partition_netlist(net, 2, library=lib)
+    for region in part.regions:
+        sub = extract_region(net, region)
+        spliced = splice_region(net, region, sub)
+        assert sorted(spliced) == sorted(region.gates)
+    assert structural_signature(net) == sig
+
+
+def test_partition_workers_routes_through_gdo_optimize(lib):
+    """``GdoConfig.partition_workers`` is the only switch: the public
+    entry point must hand the run to the partition plane."""
+    net = two_cone_net(lib)
+    cfg = GdoConfig(partition_workers=2, partition_regions=2,
+                    partition_min_gates=1, verify_final=True,
+                    n_words=8, verify_words=16)
+    result = gdo_optimize(net, lib, cfg)
+    assert result.stats.partition_regions == 2
+    assert result.stats.equivalent is True

@@ -1,0 +1,84 @@
+"""The partition plane's worker-count invariance contract.
+
+``partition_workers=1`` and ``=4`` must produce the identical netlist
+and the identical journal (modulo ``VOLATILE_FIELDS``): the region
+plan, merge order, and conflict decisions are pure functions of
+(netlist, config), and worker processes only decide *when* results
+arrive.  Exercised end to end — real regions, real region-local GDO
+runs, real merges — on the reduced C5315.
+"""
+
+import pytest
+
+from repro.circuits.registry import build
+from repro.library import mcnc_like
+from repro.netlist.edit import structural_signature
+from repro.obs import ObsConfig, load_journal, strip_volatile, validate_journal
+from repro.opt import GdoConfig, gdo_optimize
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return mcnc_like()
+
+
+def _cfg(workers, journal_path):
+    return GdoConfig(
+        n_words=8, verify_words=16, verify_final=False,
+        max_rounds=2, max_passes_per_phase=6,
+        max_trials_per_pass=48, max_proofs_per_pass=32,
+        partition_workers=workers, partition_regions=4,
+        partition_min_gates=32,
+        obs=ObsConfig.full(journal_path=journal_path),
+    )
+
+
+@pytest.fixture(scope="module")
+def runs(lib, tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("partition")
+    out = {}
+    for workers in (1, 4):
+        net = build("C5315", small=True)
+        lib.rebind(net)
+        journal_path = str(tmp / f"w{workers}.jsonl")
+        result = gdo_optimize(net, lib, _cfg(workers, journal_path))
+        out[workers] = (result, load_journal(journal_path))
+    return out
+
+
+def test_runs_are_not_vacuous(runs):
+    result, _ = runs[1]
+    s = result.stats
+    assert s.history, "no region commits merged; test is vacuous"
+    assert s.partition_regions == 4
+    assert s.delay_after < s.delay_before
+
+
+def test_identical_netlists(runs):
+    r1, _ = runs[1]
+    r4, _ = runs[4]
+    assert structural_signature(r1.net) == structural_signature(r4.net)
+    assert r1.stats.delay_after == r4.stats.delay_after
+    assert r1.stats.area_after == r4.stats.area_after
+    assert [(m.phase, m.kind, m.description) for m in r1.stats.history] \
+        == [(m.phase, m.kind, m.description) for m in r4.stats.history]
+    assert r1.stats.partition_conflicts == r4.stats.partition_conflicts
+
+
+def test_identical_journals_modulo_volatile(runs):
+    _, j1 = runs[1]
+    _, j4 = runs[4]
+    validate_journal(j1)
+    validate_journal(j4)
+    assert strip_volatile(j1) == strip_volatile(j4)
+
+
+def test_journal_records_plan_not_schedule(runs):
+    """No journal record may mention worker count — that is what makes
+    the invariance hold by construction, not by luck."""
+    _, j4 = runs[4]
+    types = {rec["type"] for rec in j4}
+    assert "partition_begin" in types
+    assert "region" in types and "region_merge" in types
+    for rec in j4:
+        assert "workers" not in rec

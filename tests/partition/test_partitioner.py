@@ -1,0 +1,104 @@
+"""Dominator-cone partitioning: coverage, halos, determinism."""
+
+import pickle
+
+import pytest
+
+from repro.analysis.dominators import Dominators
+from repro.circuits.registry import build
+from repro.flat import FlatView
+from repro.library import mcnc_like
+from repro.partition import (
+    dominator_cones, extract_region, make_region, partition_netlist,
+    signal_rank,
+)
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return mcnc_like()
+
+
+@pytest.fixture(scope="module")
+def net(lib):
+    circuit = build("C880", small=True)
+    lib.rebind(circuit)
+    return circuit
+
+
+def test_cones_cover_all_gates_disjointly(net):
+    cones = dominator_cones(net)
+    seen = []
+    for cone in cones:
+        seen.extend(cone)
+    assert sorted(seen) == sorted(net.topo_order())
+    assert len(seen) == len(set(seen))
+
+
+def test_cone_roots_are_outermost_dominators(net):
+    doms = Dominators(net)
+    roots = {cone[-1] for cone in dominator_cones(net)}
+    # A cone root is exactly a gate that no other gate dominates.
+    expected = {sig for sig in net.topo_order()
+                if not list(doms.chain(sig))}
+    assert roots == expected
+
+
+def test_partition_covers_and_respects_k(net, lib):
+    for k in (1, 2, 4, 7):
+        part = partition_netlist(net, k, library=lib)
+        assert 1 <= len(part.regions) <= k
+        seen = []
+        for region in part.regions:
+            seen.extend(region.gates)
+        assert sorted(seen) == sorted(net.topo_order())
+        # Regions are numbered by earliest member in topo rank.
+        assert [r.index for r in part.regions] == list(
+            range(len(part.regions)))
+
+
+def test_halo_is_read_only_and_exports_are_read_or_po(net, lib):
+    part = partition_netlist(net, 4, library=lib)
+    pos = set(net.pos)
+    for region in part.regions:
+        members = set(region.gates)
+        produced = {g for g in region.gates}
+        for sig in region.halo:
+            assert sig not in produced, "halo signal produced in-region"
+        external_reads = set()
+        for out in net.topo_order():
+            if out in members:
+                continue
+            external_reads.update(net.gates[out].inputs)
+        for sig in region.exports:
+            assert sig in members
+            assert sig in external_reads or sig in pos
+
+
+def test_partition_is_deterministic(net, lib):
+    a = partition_netlist(net, 4, library=lib)
+    b = partition_netlist(net, 4, library=lib)
+    assert [r.gates for r in a.regions] == [r.gates for r in b.regions]
+    assert [r.halo for r in a.regions] == [r.halo for r in b.regions]
+    assert a.cut_edges == b.cut_edges
+
+
+def test_make_region_recomputes_boundary(net, lib):
+    part = partition_netlist(net, 4, library=lib)
+    rank = signal_rank(net)
+    for region in part.regions:
+        again = make_region(net, region.index, list(region.gates), rank)
+        assert again.halo == region.halo
+        assert again.exports == region.exports
+
+
+def test_extracted_region_pickles_with_func_singletons(net, lib):
+    """Regions must cross the fork queue: ``GateFunc.__reduce__``
+    restores the function singletons so ``FlatView.build`` (which
+    asserts singleton identity) accepts an unpickled netlist."""
+    part = partition_netlist(net, 4, library=lib)
+    sub = extract_region(net, part.regions[0])
+    clone = pickle.loads(pickle.dumps(sub))
+    assert sorted(clone.gates) == sorted(sub.gates)
+    lib.rebind(clone)
+    FlatView.build(clone, lib)

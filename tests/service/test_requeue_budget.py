@@ -1,0 +1,60 @@
+"""Dead-letter requeue resets the durable retry budget.
+
+A requeued job must start from zero attempts — otherwise the very
+first transient error after an operator requeue re-quarantines it —
+while the pre-quarantine attempt ledger survives as
+``attempts.jsonl.prev`` for the post-mortem.
+"""
+
+import os
+
+from repro.service.queue import JobQueue, JobSpec
+
+BLIF = """.model tiny
+.inputs a b
+.outputs y
+.names a b y
+11 1
+.end
+"""
+
+
+def _deadletter_one(q):
+    job_id = q.submit(JobSpec(netlist=BLIF, fmt="blif", name="tiny",
+                              config={}))
+    job = q.claim()
+    for _ in range(3):
+        q.record_attempt(job, "start")
+        q.record_attempt(job, "error", error="boom")
+    q.quarantine(job, "retry budget spent")
+    return job_id
+
+
+def test_requeue_zeroes_durable_attempts(tmp_path):
+    q = JobQueue(str(tmp_path))
+    job_id = _deadletter_one(q)
+    assert q.requeue(job_id)
+    job = q.claim()
+    assert job.job_id == job_id
+    # Fresh budget: the attempt ledger restarts from zero...
+    assert q.attempt_counts(job) == {}
+    assert q.record_attempt(job, "start") == 1
+    # ...and the quarantine history moved aside instead of vanishing.
+    prev = job.attempts_path + ".prev"
+    assert os.path.exists(prev)
+    with open(prev, "r", encoding="utf-8") as fh:
+        assert sum(1 for _ in fh) == 6
+
+
+def test_second_quarantine_overwrites_prev_ledger(tmp_path):
+    q = JobQueue(str(tmp_path))
+    job_id = _deadletter_one(q)
+    assert q.requeue(job_id)
+    job = q.claim()
+    q.record_attempt(job, "error", error="boom again")
+    q.quarantine(job, "still failing")
+    assert q.requeue(job_id)
+    job = q.claim()
+    assert q.attempt_counts(job) == {}
+    with open(job.attempts_path + ".prev", "r", encoding="utf-8") as fh:
+        assert sum(1 for _ in fh) == 1

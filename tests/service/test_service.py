@@ -116,6 +116,23 @@ def test_compact_op(service):
     response = client.compact()
     assert response["ok"]
     assert response["segments_folded"] >= 0
+    assert response["retired"] == 0      # no GC bounds on the daemon
+
+
+def test_partition_workers_as_per_job_override(service):
+    """`-o partition_workers=N` routes one job through the partition
+    plane; the summary reports the partition counters."""
+    client = _client(service)
+    config = dict(FAST, partition_workers=2, partition_regions=2,
+                  partition_min_gates=1)
+    job_id = client.submit(BENCH, fmt="bench", name="part",
+                           config=config)
+    final = client.wait(job_id, timeout=60.0)
+    assert final["state"] == "done"
+    part = final["result"]["partition"]
+    assert part["workers"] == 2
+    assert part["regions"] >= 1
+    assert part["rounds"] >= 0
 
 
 def test_drain_queue_offline(tmp_path):

@@ -1,0 +1,138 @@
+"""Verdict-store GC: age/size-bounded retirement during compaction.
+
+Verdicts are pure and re-provable, so the store may drop them — GC
+costs a future re-prove, never correctness.  Compaction stamps every
+key with the generation that folded it; ``gc_max_generations`` retires
+keys that survived too many folds, ``gc_max_entries`` bounds each
+shard's base (oldest stamps evicted first).  Both default to off:
+an unbounded store behaves exactly as before, byte-compatible bases
+included.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.proof.backends import VALID
+from repro.service.store import (
+    ShardedProofCache, ShardedVerdictStore, StoreError,
+)
+
+
+def _seal(root, keys):
+    writer = ShardedVerdictStore(root)
+    for key in keys:
+        writer.append(key, VALID)
+    writer.close()
+
+
+def test_gc_bounds_validated(tmp_path):
+    with pytest.raises(StoreError):
+        ShardedVerdictStore(str(tmp_path), gc_max_generations=0)
+    with pytest.raises(StoreError):
+        ShardedVerdictStore(str(tmp_path), gc_max_entries=0)
+
+
+def test_no_gc_by_default_and_meta_invisible_to_readers(tmp_path):
+    root = str(tmp_path / "store")
+    _seal(root, [f"aa{i:03d}" for i in range(10)])
+    store = ShardedVerdictStore(root)
+    stats = store.compact()
+    assert stats.retired == 0 and store.retired == 0
+    # The GC bookkeeping lives in base.json but never leaks into reads.
+    base = tmp_path / "store" / "shards" / "a" / "base.json"
+    data = json.loads(base.read_text())
+    assert data["__meta__"]["generation"] == 1
+    assert len(data["__meta__"]["stamps"]) == 10
+    assert len(store.load()) == 10
+    assert "__meta__" not in store.load()
+    store.close()
+
+
+def test_age_gc_retires_old_generations(tmp_path):
+    root = str(tmp_path / "store")
+    gc = dict(gc_max_generations=2)
+    # Generation 1: ten keys.  Generations 2 and 3: one fresh key each.
+    _seal(root, [f"aa{i:03d}" for i in range(10)])
+    ShardedVerdictStore(root, **gc).compact()
+    for salt in ("x", "y"):
+        _seal(root, [f"aa{salt}"])
+        store = ShardedVerdictStore(root, **gc)
+        stats = store.compact()
+        retired = stats.retired
+        store.close()
+    # The third compaction (generation 3) retires the generation-1
+    # keys (3 - 2 >= 1) but keeps generations 2 and 3.
+    assert retired == 10
+    reader = ShardedVerdictStore(root)
+    assert sorted(reader.load()) == ["aax", "aay"]
+    reader.close()
+
+
+def test_size_gc_keeps_newest(tmp_path):
+    root = str(tmp_path / "store")
+    _seal(root, [f"aa0{i:02d}" for i in range(8)])
+    ShardedVerdictStore(root).compact()          # gen 1: 8 keys
+    _seal(root, [f"aa1{i:02d}" for i in range(4)])
+    store = ShardedVerdictStore(root, gc_max_entries=5)
+    stats = store.compact()                      # gen 2 folds 4 more
+    store.close()
+    # Twelve keys in shard "a", bounded to 5: the oldest-stamped
+    # (gen-1, tie-broken by key) go first.
+    assert stats.retired == 7
+    reader = ShardedVerdictStore(root)
+    merged = reader.load()
+    assert len(merged) == 5
+    assert sorted(merged) == ["aa007"] + [f"aa1{i:02d}" for i in range(4)]
+    reader.close()
+
+
+def test_gc_skips_shards_with_nothing_to_fold(tmp_path):
+    """GC piggybacks on compaction: a shard with no sealed segments is
+    never rewritten, so its base keeps every verdict regardless of the
+    bounds."""
+    root = str(tmp_path / "store")
+    _seal(root, [f"aa{i:03d}" for i in range(8)])
+    ShardedVerdictStore(root).compact()
+    _seal(root, ["bb001"])                       # only shard "b" folds
+    store = ShardedVerdictStore(root, gc_max_entries=1)
+    stats = store.compact()
+    store.close()
+    assert stats.retired == 0
+    reader = ShardedVerdictStore(root)
+    assert len(reader.load()) == 9
+    reader.close()
+
+
+def test_gc_survives_pre_gc_bases(tmp_path):
+    """A base written before the GC policy (no ``__meta__``) reads as
+    oldest: a bounded compaction may retire its keys, an unbounded one
+    keeps them — no crash either way."""
+    root = str(tmp_path / "store")
+    _seal(root, ["aa001", "aa002"])
+    store = ShardedVerdictStore(root)
+    store.compact()
+    store.close()
+    base = tmp_path / "store" / "shards" / "a" / "base.json"
+    data = json.loads(base.read_text())
+    del data["__meta__"]                         # simulate old base
+    base.write_text(json.dumps(data))
+    _seal(root, ["aa003"])
+    store = ShardedVerdictStore(root, gc_max_generations=1)
+    stats = store.compact()
+    store.close()
+    assert stats.retired == 2                    # unstamped == oldest
+    reader = ShardedVerdictStore(root)
+    assert sorted(reader.load()) == ["aa003"]
+    reader.close()
+
+
+def test_cache_passthrough_and_health_counter(tmp_path):
+    root = str(tmp_path / "store")
+    _seal(root, [f"aa{i:03d}" for i in range(6)])
+    cache = ShardedProofCache(ShardedVerdictStore(root, gc_max_entries=2))
+    stats = cache.compact()
+    assert stats.retired == 4
+    assert cache.health()["retired"] == 4
+    cache.close()
